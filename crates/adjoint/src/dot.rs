@@ -1,0 +1,124 @@
+//! Graphviz DOT export of the DynDFG (Fig. 1 of the paper).
+
+use std::fmt::Write as _;
+
+use crate::node::{NodeId, Op};
+use crate::tape::Tape;
+use crate::value::Scalar;
+
+/// Options controlling [`Tape::to_dot`] output.
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Graph name used in the `digraph` header.
+    pub name: String,
+    /// Render node values inside each vertex.
+    pub show_values: bool,
+    /// Render the local partial derivatives as edge labels (the
+    /// annotations of Fig. 1a).
+    pub show_partials: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            name: "dyndfg".to_owned(),
+            show_values: true,
+            show_partials: true,
+        }
+    }
+}
+
+impl<V: Scalar> Tape<V> {
+    /// Renders the recorded DynDFG in Graphviz DOT syntax.
+    ///
+    /// Input nodes are drawn as boxes, constants as diamonds, everything
+    /// else as ellipses. Edges run from operand to result, matching the
+    /// forward data-flow direction of Fig. 1a in the paper.
+    ///
+    /// ```
+    /// use scorpio_adjoint::{dot_options, Tape};
+    ///
+    /// let tape = Tape::<f64>::new();
+    /// let x = tape.var(0.5);
+    /// let _y = x.sin() + x;
+    /// let dot = tape.to_dot(&dot_options());
+    /// assert!(dot.starts_with("digraph"));
+    /// assert!(dot.contains("sin"));
+    /// ```
+    pub fn to_dot(&self, options: &DotOptions) -> String {
+        let nodes = self.snapshot();
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph {} {{", options.name);
+        let _ = writeln!(out, "  rankdir=TB;");
+        for (i, node) in nodes.iter().enumerate() {
+            let id = NodeId::from_index(i);
+            let shape = match node.op() {
+                Op::Input => "box",
+                Op::Const => "diamond",
+                _ => "ellipse",
+            };
+            let mut label = format!("{id}: {}", node.op());
+            if options.show_values {
+                let _ = write!(label, "\\n{:?}", node.value());
+            }
+            let _ = writeln!(out, "  n{i} [shape={shape}, label=\"{label}\"];");
+        }
+        for (i, node) in nodes.iter().enumerate() {
+            for (pred, partial) in node.pred_partials() {
+                if options.show_partials {
+                    let _ = writeln!(
+                        out,
+                        "  n{} -> n{i} [label=\"{:?}\"];",
+                        pred.index(),
+                        partial
+                    );
+                } else {
+                    let _ = writeln!(out, "  n{} -> n{i};", pred.index());
+                }
+            }
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+/// Returns the default [`DotOptions`].
+///
+/// Free-function spelling so callers don't need to import the type for the
+/// common case.
+pub fn dot_options() -> DotOptions {
+    DotOptions::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let tape = Tape::<f64>::new();
+        let x = tape.var(1.0);
+        let y = x.exp() * x;
+        let dot = tape.to_dot(&dot_options());
+        assert!(dot.contains("n0 [shape=box"));
+        assert!(dot.contains("exp"));
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("n1 -> n2"));
+        assert!(dot.ends_with("}\n"));
+        assert!(y.value() > 0.0);
+    }
+
+    #[test]
+    fn dot_without_partials_has_plain_edges() {
+        let tape = Tape::<f64>::new();
+        let x = tape.var(1.0);
+        let _ = x + x;
+        let opts = DotOptions {
+            show_partials: false,
+            ..dot_options()
+        };
+        let dot = tape.to_dot(&opts);
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(!dot.contains("label=\"1.0\""));
+    }
+}

@@ -1,0 +1,120 @@
+//! Liveness analysis on the recorded DynDFG.
+//!
+//! Not every recorded node reaches a registered output — computations
+//! whose results are discarded still occupy tape space and reverse-sweep
+//! time. [`Tape::live_nodes`] marks the sub-DAG reaching a set of roots,
+//! and [`Tape::dead_count`] summarises the waste; the analysis layer
+//! surfaces both so a developer can spot discarded work (a zero
+//! significance plus dead liveness is a stronger hint than either
+//! alone).
+
+use crate::node::NodeId;
+use crate::tape::Tape;
+use crate::value::Scalar;
+
+/// Summary of a liveness pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LivenessSummary {
+    /// Total recorded nodes.
+    pub total: usize,
+    /// Nodes reaching at least one root.
+    pub live: usize,
+    /// `total − live`.
+    pub dead: usize,
+}
+
+impl<V: Scalar> Tape<V> {
+    /// Marks every node from which some `root` is reachable along
+    /// data-flow edges. `result[i]` is `true` iff node `i` contributes
+    /// to a root.
+    ///
+    /// ```
+    /// use scorpio_adjoint::Tape;
+    /// let tape = Tape::<f64>::new();
+    /// let x = tape.var(1.0);
+    /// let used = x.sin();
+    /// let _unused = x.exp(); // recorded but never consumed by `used`
+    /// let live = tape.live_nodes(&[used.id()]);
+    /// assert!(live[used.id().index()]);
+    /// assert!(!live[2]); // the exp node
+    /// ```
+    pub fn live_nodes(&self, roots: &[NodeId]) -> Vec<bool> {
+        let nodes = self.snapshot();
+        let mut live = vec![false; nodes.len()];
+        let mut stack: Vec<usize> = Vec::new();
+        for r in roots {
+            if !live[r.index()] {
+                live[r.index()] = true;
+                stack.push(r.index());
+            }
+        }
+        while let Some(i) = stack.pop() {
+            for p in nodes[i].preds() {
+                if !live[p.index()] {
+                    live[p.index()] = true;
+                    stack.push(p.index());
+                }
+            }
+        }
+        live
+    }
+
+    /// Counts live vs dead nodes with respect to the given roots.
+    pub fn dead_count(&self, roots: &[NodeId]) -> LivenessSummary {
+        let live = self.live_nodes(roots);
+        let live_count = live.iter().filter(|&&l| l).count();
+        LivenessSummary {
+            total: live.len(),
+            live: live_count,
+            dead: live.len() - live_count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_live_in_straight_line() {
+        let tape = Tape::<f64>::new();
+        let x = tape.var(2.0);
+        let y = x.exp().sin();
+        let s = tape.dead_count(&[y.id()]);
+        assert_eq!(s.dead, 0);
+        assert_eq!(s.live, 3);
+    }
+
+    #[test]
+    fn discarded_branch_is_dead() {
+        let tape = Tape::<f64>::new();
+        let x = tape.var(2.0);
+        let _dead = x.sqr() + 1.0; // 3 nodes never used downstream
+        let y = x.sin();
+        let s = tape.dead_count(&[y.id()]);
+        assert_eq!(s.total, 5); // x, sqr, const 1, add, sin
+        assert_eq!(s.live, 2); // x and sin
+        assert_eq!(s.dead, 3); // sqr, const 1, add
+    }
+
+    #[test]
+    fn multiple_roots_union() {
+        let tape = Tape::<f64>::new();
+        let x = tape.var(1.0);
+        let a = x.sin();
+        let b = x.cos();
+        let live_a = tape.live_nodes(&[a.id()]);
+        assert!(!live_a[b.id().index()]);
+        let live_both = tape.live_nodes(&[a.id(), b.id()]);
+        assert!(live_both[a.id().index()] && live_both[b.id().index()]);
+    }
+
+    #[test]
+    fn diamond_reaches_shared_input_once() {
+        let tape = Tape::<f64>::new();
+        let x = tape.var(1.0);
+        let y = x.sin() + x.cos();
+        let live = tape.live_nodes(&[y.id()]);
+        assert!(live.iter().all(|&l| l));
+    }
+}

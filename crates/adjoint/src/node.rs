@@ -1,0 +1,246 @@
+//! DynDFG nodes: elementary operations with recorded local partials.
+
+use std::fmt;
+
+/// Index of a node within a [`Tape`](crate::Tape).
+///
+/// Node ids are dense and allocated in execution order, so `a.id() < b.id()`
+/// whenever `a` was computed before `b` — the `i ≺ j ⇒ i < j` property of
+/// the paper's three-part evaluation procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Sentinel used for unused predecessor slots.
+    pub(crate) const INVALID: NodeId = NodeId(u32::MAX);
+
+    /// The dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX - 1`.
+    #[inline]
+    pub fn from_index(index: usize) -> NodeId {
+        assert!(index < u32::MAX as usize, "tape too large");
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// The elementary function `φ_j` a node represents (Eq. 2 of the paper:
+/// arithmetic operations and C++ intrinsics).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// A registered input variable `x_k` (Eq. 1).
+    Input,
+    /// A literal constant.
+    Const,
+    /// `a + b`
+    Add,
+    /// `a − b`
+    Sub,
+    /// `a · b`
+    Mul,
+    /// `a / b`
+    Div,
+    /// `−a`
+    Neg,
+    /// `sin a`
+    Sin,
+    /// `cos a`
+    Cos,
+    /// `tan a`
+    Tan,
+    /// `eᵃ`
+    Exp,
+    /// `ln a`
+    Ln,
+    /// `√a`
+    Sqrt,
+    /// `a²`
+    Sqr,
+    /// `1/a`
+    Recip,
+    /// `aⁿ`, integer exponent
+    Powi(i32),
+    /// `aᵖ`, real exponent
+    Powf(f64),
+    /// `|a|`
+    Abs,
+    /// `atan a`
+    Atan,
+    /// `tanh a`
+    Tanh,
+    /// `sinh a`
+    Sinh,
+    /// `cosh a`
+    Cosh,
+    /// `erf a`
+    Erf,
+    /// standard-normal CDF `Φ(a)`
+    Cndf,
+    /// `√(a² + b²)`
+    Hypot,
+    /// `min(a, b)`
+    Min,
+    /// `max(a, b)`
+    Max,
+}
+
+impl Op {
+    /// Number of predecessor operands (0 for inputs/constants).
+    #[inline]
+    pub fn arity(self) -> usize {
+        match self {
+            Op::Input | Op::Const => 0,
+            Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Hypot | Op::Min | Op::Max => 2,
+            _ => 1,
+        }
+    }
+
+    /// `true` for the accumulation-friendly operators whose chains the
+    /// Algorithm-1 `simplify` step (S4) may collapse.
+    #[inline]
+    pub fn is_additive(self) -> bool {
+        matches!(self, Op::Add | Op::Sub)
+    }
+
+    /// Short mnemonic used by graph dumps.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Op::Input => "in",
+            Op::Const => "const",
+            Op::Add => "+",
+            Op::Sub => "-",
+            Op::Mul => "*",
+            Op::Div => "/",
+            Op::Neg => "neg",
+            Op::Sin => "sin",
+            Op::Cos => "cos",
+            Op::Tan => "tan",
+            Op::Exp => "exp",
+            Op::Ln => "ln",
+            Op::Sqrt => "sqrt",
+            Op::Sqr => "sqr",
+            Op::Recip => "recip",
+            Op::Powi(_) => "powi",
+            Op::Powf(_) => "powf",
+            Op::Abs => "abs",
+            Op::Atan => "atan",
+            Op::Tanh => "tanh",
+            Op::Sinh => "sinh",
+            Op::Cosh => "cosh",
+            Op::Erf => "erf",
+            Op::Cndf => "cndf",
+            Op::Hypot => "hypot",
+            Op::Min => "min",
+            Op::Max => "max",
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Powi(n) => write!(f, "powi({n})"),
+            Op::Powf(p) => write!(f, "powf({p})"),
+            other => f.write_str(other.mnemonic()),
+        }
+    }
+}
+
+/// One recorded elementary operation: `value = op(preds)`, with the local
+/// partial derivatives `∂φ/∂pred` captured at recording time (the edge
+/// annotations of Fig. 1a in the paper).
+#[derive(Debug, Clone, Copy)]
+pub struct Node<V> {
+    pub(crate) op: Op,
+    pub(crate) preds: [NodeId; 2],
+    pub(crate) partials: [V; 2],
+    pub(crate) value: V,
+}
+
+impl<V: Copy> Node<V> {
+    /// The elementary function this node applies.
+    #[inline]
+    pub fn op(&self) -> Op {
+        self.op
+    }
+
+    /// The recorded result value `[u_j]`.
+    #[inline]
+    pub fn value(&self) -> V {
+        self.value
+    }
+
+    /// Predecessor node ids (`i ≺ j`), in operand order.
+    #[inline]
+    pub fn preds(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.preds
+            .iter()
+            .take(self.op.arity())
+            .copied()
+            .filter(|&p| p != NodeId::INVALID)
+    }
+
+    /// Predecessors paired with the local partial `∂φ_j/∂u_i`.
+    #[inline]
+    pub fn pred_partials(&self) -> impl Iterator<Item = (NodeId, V)> + '_ {
+        (0..self.op.arity())
+            .filter(|&k| self.preds[k] != NodeId::INVALID)
+            .map(|k| (self.preds[k], self.partials[k]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_operator_class() {
+        assert_eq!(Op::Input.arity(), 0);
+        assert_eq!(Op::Sin.arity(), 1);
+        assert_eq!(Op::Add.arity(), 2);
+        assert_eq!(Op::Hypot.arity(), 2);
+        assert_eq!(Op::Powi(3).arity(), 1);
+    }
+
+    #[test]
+    fn additive_ops() {
+        assert!(Op::Add.is_additive());
+        assert!(Op::Sub.is_additive());
+        assert!(!Op::Mul.is_additive());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Op::Add.to_string(), "+");
+        assert_eq!(Op::Powi(3).to_string(), "powi(3)");
+        assert_eq!(NodeId(7).to_string(), "u7");
+    }
+
+    #[test]
+    fn node_pred_iteration() {
+        let n = Node {
+            op: Op::Add,
+            preds: [NodeId(1), NodeId(2)],
+            partials: [1.0, 1.0],
+            value: 3.0,
+        };
+        let preds: Vec<_> = n.preds().collect();
+        assert_eq!(preds, vec![NodeId(1), NodeId(2)]);
+        let pp: Vec<_> = n.pred_partials().collect();
+        assert_eq!(pp.len(), 2);
+    }
+}

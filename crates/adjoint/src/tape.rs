@@ -1,0 +1,320 @@
+//! The [`Tape`]: DynDFG recording arena plus derivative sweeps.
+
+use std::cell::RefCell;
+use std::fmt;
+
+use crate::node::{Node, NodeId, Op};
+use crate::value::Scalar;
+use crate::var::Var;
+
+/// Recording arena for a single evaluation trace.
+///
+/// The tape owns the DynDFG: a vector of [`Node`]s in execution order.
+/// Active values ([`Var`]) borrow the tape; every arithmetic operation on
+/// them appends one node. Because the trace of one program execution has a
+/// unique elementary-operation sequence (§2.1 of the paper), the vector *is*
+/// the three-part evaluation procedure of Eq. 1–3.
+///
+/// # Example
+///
+/// ```
+/// use scorpio_adjoint::Tape;
+/// use scorpio_interval::Interval;
+///
+/// let tape = Tape::<Interval>::new();
+/// let x = tape.var(Interval::new(-0.5, 0.5));
+/// let y = x.sin() * 2.0;
+/// assert!(y.value().contains(2.0 * 0.25f64.sin()));
+/// let grads = tape.adjoints(&[(y.id(), Interval::ONE)]);
+/// // d(2 sin x)/dx = 2 cos x ∈ [2 cos 0.5, 2]
+/// assert!(grads[x.id()].contains(2.0 * 0.3f64.cos()));
+/// ```
+pub struct Tape<V> {
+    nodes: RefCell<Vec<Node<V>>>,
+}
+
+impl<V: Scalar> Default for Tape<V> {
+    fn default() -> Self {
+        Tape::new()
+    }
+}
+
+impl<V: Scalar> Tape<V> {
+    /// Creates an empty tape.
+    pub fn new() -> Tape<V> {
+        Tape {
+            nodes: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Creates an empty tape with room for `capacity` nodes.
+    pub fn with_capacity(capacity: usize) -> Tape<V> {
+        Tape {
+            nodes: RefCell::new(Vec::with_capacity(capacity)),
+        }
+    }
+
+    /// Registers an independent (input) variable with the given value,
+    /// returning the active value to compute with (Eq. 1 / the `INPUT`
+    /// macro of the paper).
+    pub fn var(&self, value: V) -> Var<'_, V> {
+        let id = self.push(Node {
+            op: Op::Input,
+            preds: [NodeId::INVALID; 2],
+            partials: [V::zero(); 2],
+            value,
+        });
+        Var::new(self, id, value)
+    }
+
+    /// Records a literal constant. Constants carry no derivative.
+    pub fn constant(&self, value: V) -> Var<'_, V> {
+        let id = self.push(Node {
+            op: Op::Const,
+            preds: [NodeId::INVALID; 2],
+            partials: [V::zero(); 2],
+            value,
+        });
+        Var::new(self, id, value)
+    }
+
+    /// Convenience: a constant from a plain `f64`.
+    pub fn constant_f64(&self, value: f64) -> Var<'_, V> {
+        self.constant(V::from_f64(value))
+    }
+
+    pub(crate) fn push(&self, node: Node<V>) -> NodeId {
+        let mut nodes = self.nodes.borrow_mut();
+        let id = NodeId::from_index(nodes.len());
+        nodes.push(node);
+        id
+    }
+
+    pub(crate) fn record1(&self, op: Op, a: NodeId, partial: V, value: V) -> NodeId {
+        self.push(Node {
+            op,
+            preds: [a, NodeId::INVALID],
+            partials: [partial, V::zero()],
+            value,
+        })
+    }
+
+    pub(crate) fn record2(
+        &self,
+        op: Op,
+        a: NodeId,
+        b: NodeId,
+        pa: V,
+        pb: V,
+        value: V,
+    ) -> NodeId {
+        self.push(Node {
+            op,
+            preds: [a, b],
+            partials: [pa, pb],
+            value,
+        })
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.borrow().len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.borrow().is_empty()
+    }
+
+    /// A copy of node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> Node<V> {
+        self.nodes.borrow()[id.index()]
+    }
+
+    /// The recorded value `[u_j]` of node `id`.
+    pub fn value(&self, id: NodeId) -> V {
+        self.nodes.borrow()[id.index()].value
+    }
+
+    /// A snapshot of all nodes (cloned out of the arena).
+    pub fn snapshot(&self) -> Vec<Node<V>> {
+        self.nodes.borrow().clone()
+    }
+
+    /// Reverse (adjoint) sweep, Eq. 7–9 of the paper.
+    ///
+    /// `seeds` assigns initial adjoints to output nodes (typically
+    /// `[(y.id(), 1)]`; for vector functions seed every output with 1 to
+    /// obtain the summed significances of §2.3). Returns the adjoint of
+    /// **every** node: `result[u_j] = ∇_{u_j} y`, the derivative of the
+    /// seeded combination of outputs with respect to each intermediate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a seed id is out of range.
+    pub fn adjoints(&self, seeds: &[(NodeId, V)]) -> Adjoints<V> {
+        let nodes = self.nodes.borrow();
+        let mut adj = vec![V::zero(); nodes.len()];
+        for &(id, seed) in seeds {
+            adj[id.index()] = adj[id.index()] + seed;
+        }
+        for j in (0..nodes.len()).rev() {
+            let a = adj[j];
+            if a.is_zero() {
+                continue;
+            }
+            let node = &nodes[j];
+            for k in 0..node.op.arity() {
+                let p = node.preds[k];
+                if p != NodeId::INVALID {
+                    let contribution = node.partials[k] * a;
+                    adj[p.index()] = adj[p.index()] + contribution;
+                }
+            }
+        }
+        Adjoints { values: adj }
+    }
+
+    /// Forward (tangent-linear) sweep.
+    ///
+    /// `seeds` assigns tangents to input nodes; the sweep propagates them
+    /// forward through the recorded partials. `result[y] = ⟨∇f, ẋ⟩` for the
+    /// seeded direction `ẋ`. Used to cross-check the adjoint sweep via the
+    /// dot-product identity `ȳ·(∇f·ẋ) = (ȳ·∇f)·ẋ`.
+    pub fn tangents(&self, seeds: &[(NodeId, V)]) -> Tangents<V> {
+        let nodes = self.nodes.borrow();
+        let mut tan = vec![V::zero(); nodes.len()];
+        for &(id, seed) in seeds {
+            tan[id.index()] = tan[id.index()] + seed;
+        }
+        for j in 0..nodes.len() {
+            let node = &nodes[j];
+            if node.op.arity() == 0 {
+                continue;
+            }
+            let mut acc = V::zero();
+            for k in 0..node.op.arity() {
+                let p = node.preds[k];
+                if p != NodeId::INVALID {
+                    acc = acc + node.partials[k] * tan[p.index()];
+                }
+            }
+            tan[j] = acc;
+        }
+        Tangents { values: tan }
+    }
+
+    /// Ids of all input nodes, in registration order.
+    pub fn inputs(&self) -> Vec<NodeId> {
+        self.nodes
+            .borrow()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.op == Op::Input)
+            .map(|(i, _)| NodeId::from_index(i))
+            .collect()
+    }
+
+    /// Counts nodes per operator mnemonic — used for work accounting and
+    /// the DynDFG statistics printed by the figure harnesses.
+    pub fn op_histogram(&self) -> Vec<(&'static str, usize)> {
+        let mut counts: std::collections::BTreeMap<&'static str, usize> =
+            std::collections::BTreeMap::new();
+        for n in self.nodes.borrow().iter() {
+            *counts.entry(n.op.mnemonic()).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    /// For every node, the ids of nodes that consume it (successor lists —
+    /// the forward edges of the DynDFG).
+    pub fn successors(&self) -> Vec<Vec<NodeId>> {
+        let nodes = self.nodes.borrow();
+        let mut succ = vec![Vec::new(); nodes.len()];
+        for (j, node) in nodes.iter().enumerate() {
+            for p in node.preds() {
+                succ[p.index()].push(NodeId::from_index(j));
+            }
+        }
+        succ
+    }
+}
+
+impl<V: Scalar> fmt::Debug for Tape<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tape").field("len", &self.len()).finish()
+    }
+}
+
+/// Result of a reverse sweep: the adjoint of every node, indexable by
+/// [`NodeId`].
+#[derive(Debug, Clone)]
+pub struct Adjoints<V> {
+    values: Vec<V>,
+}
+
+impl<V: Copy> Adjoints<V> {
+    /// The adjoint `∇_{u_j} y` of node `id`.
+    pub fn get(&self, id: NodeId) -> V {
+        self.values[id.index()]
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if the sweep covered no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(id, adjoint)` pairs in execution order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, V)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (NodeId::from_index(i), v))
+    }
+}
+
+impl<V: Copy> std::ops::Index<NodeId> for Adjoints<V> {
+    type Output = V;
+    fn index(&self, id: NodeId) -> &V {
+        &self.values[id.index()]
+    }
+}
+
+/// Result of a forward sweep: the tangent of every node.
+#[derive(Debug, Clone)]
+pub struct Tangents<V> {
+    values: Vec<V>,
+}
+
+impl<V: Copy> Tangents<V> {
+    /// The tangent of node `id` in the seeded direction.
+    pub fn get(&self, id: NodeId) -> V {
+        self.values[id.index()]
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if the sweep covered no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl<V: Copy> std::ops::Index<NodeId> for Tangents<V> {
+    type Output = V;
+    fn index(&self, id: NodeId) -> &V {
+        &self.values[id.index()]
+    }
+}

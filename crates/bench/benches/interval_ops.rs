@@ -1,0 +1,58 @@
+//! Criterion benches for the interval substrate: op throughput with and
+//! without outward rounding (the rounding-cost ablation), and the
+//! transcendental kernels against raw `f64`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use scorpio_fastmath::{fast_cndf, fast_exp, fast_pow};
+use scorpio_interval::{nearest, real, Interval};
+
+fn bench_arithmetic(c: &mut Criterion) {
+    let a = Interval::new(0.1, 0.7);
+    let b = Interval::new(-0.4, 1.3);
+    let mut group = c.benchmark_group("interval_arith");
+    group.bench_function("add_outward", |bch| bch.iter(|| black_box(black_box(a) + black_box(b))));
+    group.bench_function("add_nearest", |bch| {
+        bch.iter(|| black_box(nearest::add(black_box(a), black_box(b))))
+    });
+    group.bench_function("mul_outward", |bch| bch.iter(|| black_box(black_box(a) * black_box(b))));
+    group.bench_function("mul_nearest", |bch| {
+        bch.iter(|| black_box(nearest::mul(black_box(a), black_box(b))))
+    });
+    group.bench_function("div_outward", |bch| {
+        let d = Interval::new(1.5, 2.5);
+        bch.iter(|| black_box(black_box(a) / black_box(d)))
+    });
+    group.finish();
+}
+
+fn bench_transcendentals(c: &mut Criterion) {
+    let x = Interval::new(0.2, 1.4);
+    let mut group = c.benchmark_group("interval_transcendental");
+    group.bench_function("sin", |b| b.iter(|| black_box(black_box(x).sin())));
+    group.bench_function("exp", |b| b.iter(|| black_box(black_box(x).exp())));
+    group.bench_function("ln", |b| b.iter(|| black_box(black_box(x).ln())));
+    group.bench_function("powi_5", |b| b.iter(|| black_box(black_box(x).powi(5))));
+    group.bench_function("erf", |b| b.iter(|| black_box(black_box(x).erf())));
+    group.bench_function("cndf", |b| b.iter(|| black_box(black_box(x).cndf())));
+    group.finish();
+}
+
+fn bench_fastmath_vs_libm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fastmath_vs_libm");
+    group.bench_function("exp_libm", |b| b.iter(|| black_box(black_box(1.234f64).exp())));
+    group.bench_function("exp_fast", |b| b.iter(|| black_box(fast_exp(black_box(1.234)))));
+    group.bench_function("pow_libm", |b| {
+        b.iter(|| black_box(black_box(2.7f64).powf(black_box(3.2))))
+    });
+    group.bench_function("pow_fast", |b| {
+        b.iter(|| black_box(fast_pow(black_box(2.7), black_box(3.2))))
+    });
+    group.bench_function("cndf_cody", |b| b.iter(|| black_box(real::cndf(black_box(0.7)))));
+    group.bench_function("cndf_fast", |b| b.iter(|| black_box(fast_cndf(black_box(0.7)))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_arithmetic, bench_transcendentals, bench_fastmath_vs_libm);
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! Criterion benches: execution time of every benchmark kernel at the
+//! Fig. 7 ratio points, for the reference, significance-tasked and
+//! perforated versions, plus task-granularity sweeps (the ablation of
+//! DESIGN.md §6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use scorpio_kernels::{blackscholes, dct, fisheye, maclaurin, nbody, sobel};
+use scorpio_quality::SyntheticImage;
+use scorpio_runtime::Executor;
+
+const RATIOS: [f64; 3] = [0.0, 0.5, 1.0];
+
+fn bench_maclaurin(c: &mut Criterion) {
+    let executor = Executor::new(4);
+    let mut group = c.benchmark_group("maclaurin");
+    group.bench_function("reference", |b| {
+        b.iter(|| black_box(maclaurin::reference(black_box(0.49), 256)))
+    });
+    for ratio in RATIOS {
+        group.bench_with_input(BenchmarkId::new("tasked", ratio), &ratio, |b, &r| {
+            b.iter(|| black_box(maclaurin::tasked(0.49, 256, &executor, r)))
+        });
+    }
+    group.bench_function("perforated_0.5", |b| {
+        b.iter(|| black_box(maclaurin::perforated(0.49, 256, 0.5)))
+    });
+    group.finish();
+}
+
+fn bench_sobel(c: &mut Criterion) {
+    let executor = Executor::new(4);
+    let img = SyntheticImage::GaussianBlobs.render(128, 128, 1);
+    let mut group = c.benchmark_group("sobel_128");
+    group.bench_function("reference", |b| b.iter(|| black_box(sobel::reference(&img))));
+    for ratio in RATIOS {
+        group.bench_with_input(BenchmarkId::new("tasked", ratio), &ratio, |b, &r| {
+            b.iter(|| black_box(sobel::tasked(&img, &executor, r)))
+        });
+    }
+    group.bench_function("perforated_0.5", |b| {
+        b.iter(|| black_box(sobel::perforated(&img, 0.5)))
+    });
+    group.finish();
+}
+
+fn bench_dct(c: &mut Criterion) {
+    let executor = Executor::new(4);
+    let img = SyntheticImage::GaussianBlobs.render(64, 64, 2);
+    let mut group = c.benchmark_group("dct_64");
+    group.bench_function("reference", |b| b.iter(|| black_box(dct::reference(&img))));
+    for ratio in RATIOS {
+        group.bench_with_input(BenchmarkId::new("tasked", ratio), &ratio, |b, &r| {
+            b.iter(|| black_box(dct::tasked(&img, &executor, r)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fisheye(c: &mut Criterion) {
+    let executor = Executor::new(4);
+    let lens = fisheye::Lens::for_image(160, 120);
+    let img = SyntheticImage::ValueNoise.render(160, 120, 3);
+    let mut group = c.benchmark_group("fisheye_160x120");
+    group.bench_function("reference", |b| {
+        b.iter(|| black_box(fisheye::reference(&img, &lens)))
+    });
+    for ratio in RATIOS {
+        group.bench_with_input(BenchmarkId::new("tasked", ratio), &ratio, |b, &r| {
+            b.iter(|| black_box(fisheye::tasked_with_blocks(&img, &lens, &executor, r, 32, 24)))
+        });
+    }
+    // Task-granularity ablation (DESIGN.md §6): block size sweep.
+    for (bw, bh) in [(16, 12), (32, 24), (80, 60)] {
+        group.bench_with_input(
+            BenchmarkId::new("tasked_block", format!("{bw}x{bh}")),
+            &(bw, bh),
+            |b, &(bw, bh)| {
+                b.iter(|| {
+                    black_box(fisheye::tasked_with_blocks(
+                        &img, &lens, &executor, 0.5, bw, bh,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_nbody(c: &mut Criterion) {
+    let executor = Executor::new(4);
+    let params = nbody::Params::small();
+    let mut group = c.benchmark_group("nbody_125");
+    group.sample_size(20);
+    group.bench_function("reference", |b| b.iter(|| black_box(nbody::reference(&params))));
+    for ratio in RATIOS {
+        group.bench_with_input(BenchmarkId::new("tasked", ratio), &ratio, |b, &r| {
+            b.iter(|| black_box(nbody::tasked(&params, &executor, r)))
+        });
+    }
+    group.bench_function("perforated_0.5", |b| {
+        b.iter(|| black_box(nbody::perforated(&params, 0.5)))
+    });
+    // Region-granularity ablation (DESIGN.md §6).
+    for regions in [2usize, 3, 5] {
+        let p = nbody::Params {
+            regions,
+            ..nbody::Params::small()
+        };
+        group.bench_with_input(BenchmarkId::new("tasked_regions", regions), &p, |b, p| {
+            b.iter(|| black_box(nbody::tasked(p, &executor, 0.5)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_blackscholes(c: &mut Criterion) {
+    let executor = Executor::new(4);
+    let options = blackscholes::generate_options(8192, 7);
+    let mut group = c.benchmark_group("blackscholes_8192");
+    group.bench_function("reference", |b| {
+        b.iter(|| black_box(blackscholes::reference(&options)))
+    });
+    for ratio in RATIOS {
+        group.bench_with_input(BenchmarkId::new("tasked", ratio), &ratio, |b, &r| {
+            b.iter(|| black_box(blackscholes::tasked(&options, 256, &executor, r)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_maclaurin,
+    bench_sobel,
+    bench_dct,
+    bench_fisheye,
+    bench_nbody,
+    bench_blackscholes
+);
+criterion_main!(benches);

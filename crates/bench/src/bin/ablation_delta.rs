@@ -1,0 +1,69 @@
+//! Ablation: sensitivity of the Algorithm-1 level cut to the variance
+//! threshold δ ("parameter δ is dependent on application characteristics
+//! and the sensitivity required by the programmer", §3.1).
+//!
+//! ```sh
+//! cargo run --release -p scorpio-bench --bin ablation_delta
+//! ```
+
+use scorpio_core::Analysis;
+use scorpio_kernels::maclaurin;
+
+fn main() {
+    println!("=== ablation: δ sensitivity of findSgnfVariance (S5) ===\n");
+
+    let deltas = [0.0, 1e-6, 1e-4, 1e-3, 1e-2, 5e-2, 1e-1, 1.0];
+
+    // Maclaurin: terms at level 1 with variance ≈ 0.008 (one zero term
+    // among near-equal ones).
+    println!("maclaurin (N = 8):");
+    let report = maclaurin::analysis(0.49, 8).expect("analysis");
+    let simplified = report.graph().simplified();
+    for &delta in &deltas {
+        let p = simplified.partition(delta);
+        println!(
+            "  δ = {delta:<8.0e} → cut level {:?} ({} levels examined)",
+            p.cut_level,
+            p.level_stats.len()
+        );
+    }
+
+    // A two-scale function: big variance at level 1, small at level 2 —
+    // shows the cut moving as δ crosses each variance.
+    println!("\ntwo-scale synthetic kernel:");
+    let report = Analysis::new()
+        .run(|ctx| {
+            let x = ctx.input("x", 0.0, 1.0);
+            // Level-2-ish structure: two mildly different branches.
+            let a = x * 1.0;
+            let b = x * 1.05;
+            // Level 1: hugely different contributions.
+            let big = (a + b) * 100.0;
+            let small = x * 0.001;
+            let y = big + small;
+            ctx.output(&y, "y");
+            Ok(())
+        })
+        .expect("analysis");
+    let simplified = report.graph().simplified();
+    for &delta in &deltas {
+        let p = simplified.partition(delta);
+        let variances: Vec<String> = p
+            .level_stats
+            .iter()
+            .map(|s| format!("L{}={:.2e}", s.level, s.variance))
+            .collect();
+        println!(
+            "  δ = {delta:<8.0e} → cut level {:?}; variances [{}]",
+            p.cut_level,
+            variances.join(", ")
+        );
+    }
+
+    println!(
+        "\n→ small δ cuts at the first level with any variation (fine task\n\
+         granularity); large δ searches deeper or leaves the graph whole.\n\
+         The paper's guidance — δ is an application-specific sensitivity\n\
+         knob — holds: there is no single correct value."
+    );
+}

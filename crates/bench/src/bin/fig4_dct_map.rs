@@ -1,0 +1,44 @@
+//! Figure 4: the 8×8 DCT coefficient significance map — "the top left
+//! corner has the highest value and drops in a wave-like pattern towards
+//! the opposite corner", matching image-compression expert wisdom.
+//!
+//! ```sh
+//! cargo run --release -p scorpio-bench --bin fig4_dct_map
+//! ```
+
+use scorpio_bench::{heat_map, matrix_table};
+use scorpio_kernels::dct;
+
+fn main() {
+    println!("=== Fig. 4: DCT coefficient significances (8×8 block pipeline) ===\n");
+    println!(
+        "analysis: forward DCT → quantisation surrogate → IDCT → clip,\n\
+         inputs profiled on a natural-image-like block ± 8 grey levels\n"
+    );
+    let report = dct::analysis_default().expect("analysis");
+    let map = dct::coefficient_map(&report);
+    let rows: Vec<Vec<f64>> = map.iter().map(|r| r.to_vec()).collect();
+
+    println!("significance values (row = v, col = u):");
+    print!("{}", matrix_table(&rows, 4));
+
+    println!("\nheat map (darker = more significant):");
+    print!("{}", heat_map(&rows));
+
+    // The zig-zag reading the paper highlights.
+    println!("\nmean significance per zig-zag diagonal (u + v = d):");
+    for d in 0..dct::DIAGONALS {
+        let cells: Vec<f64> = (0..dct::BLOCK)
+            .flat_map(|v| (0..dct::BLOCK).map(move |u| (u, v)))
+            .filter(|&(u, v)| u + v == d)
+            .map(|(u, v)| map[v][u])
+            .collect();
+        let mean = cells.iter().sum::<f64>() / cells.len() as f64;
+        let bar = "#".repeat((mean * 400.0).round() as usize);
+        println!("  d = {d:>2}: {mean:>8.4}  {bar}");
+    }
+    println!(
+        "\n→ the diagonal decay justifies the 15 diagonal tasks with\n\
+         monotonically decreasing significance used by the tasked DCT."
+    );
+}

@@ -1,0 +1,49 @@
+//! §4.1.4: N-Body significance vs inter-atom distance — "the greater the
+//! distance between atom A and atom B, the less the kinematic properties
+//! of one affect the other".
+//!
+//! ```sh
+//! cargo run --release -p scorpio-bench --bin nbody_significance
+//! ```
+
+use scorpio_kernels::nbody;
+
+fn main() {
+    println!("=== §4.1.4: Lennard-Jones pair significance vs distance ===\n");
+    println!("{:>8} {:>16}  profile", "r (σ)", "significance");
+    let mut prev: Option<f64> = None;
+    for r0 in [1.15, 1.3, 1.5, 1.8, 2.2, 2.7, 3.3, 4.0, 5.0, 6.5] {
+        let s = nbody::analysis_pair(r0, 0.05).expect("analysis");
+        let bar_len = ((s.max(1e-12)).log10() + 12.0).max(0.0) as usize;
+        println!("{r0:>8.2} {s:>16.4e}  {}", "#".repeat(bar_len));
+        if let Some(p) = prev {
+            assert!(s < p, "significance must decay with distance");
+        }
+        prev = Some(s);
+    }
+
+    // Map distances to the region decomposition the runtime uses.
+    let params = nbody::Params::evaluation();
+    println!(
+        "\nregion decomposition ({}³ regions over a {:.1}σ box):",
+        params.regions,
+        params.box_len()
+    );
+    let atom = [0.6, 0.6, 0.6];
+    let mut sig: Vec<(usize, f64)> = (0..params.regions.pow(3))
+        .map(|r| (r, nbody::pair_significance(atom, r, &params)))
+        .collect();
+    sig.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("  most significant regions for the corner atom:");
+    for (r, s) in sig.iter().take(5) {
+        println!("    region {r:>3}: task significance {s:.3}");
+    }
+    println!("  least significant:");
+    for (r, s) in sig.iter().rev().take(3) {
+        println!("    region {r:>3}: task significance {s:.3}");
+    }
+    println!(
+        "\n→ the runtime approximates far regions first (centre-of-mass\n\
+         collapse), which is why even ratio 0 stays accurate in Fig. 7."
+    );
+}

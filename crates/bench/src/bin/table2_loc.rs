@@ -1,0 +1,134 @@
+//! Table 2: lines of code of the sequential and task-based versions of
+//! each benchmark, plus the extra code for approximate functions (A) and
+//! significance handling (S) — overhead reported as (A + S) / P, as in
+//! the paper.
+//!
+//! The counts are extracted from this repository's kernel sources by
+//! brace-matched function-extent analysis, so they regenerate whenever
+//! the code changes.
+//!
+//! ```sh
+//! cargo run --release -p scorpio-bench --bin table2_loc
+//! ```
+
+use scorpio_bench::{approx_body_loc, fn_loc};
+
+struct KernelSource {
+    name: &'static str,
+    domain: &'static str,
+    source: &'static str,
+    /// Functions making up the sequential version.
+    sequential: &'static [&'static str],
+    /// Functions making up the parallel (task-based) version.
+    parallel: &'static [&'static str],
+    /// Function whose approximate closures count towards A.
+    tasked_fn: &'static str,
+    /// Functions implementing significance assignment (S).
+    significance: &'static [&'static str],
+}
+
+const KERNELS: &[KernelSource] = &[
+    KernelSource {
+        name: "Sobel Filter",
+        domain: "Image Filter",
+        source: include_str!("../../../kernels/src/sobel.rs"),
+        sequential: &["reference", "part_contribution", "combine"],
+        parallel: &["tasked", "part_contribution", "combine"],
+        tasked_fn: "tasked",
+        significance: &["significance"],
+    },
+    KernelSource {
+        name: "DCT",
+        domain: "Multimedia",
+        source: include_str!("../../../kernels/src/dct/mod.rs"),
+        sequential: &[
+            "reference",
+            "forward_block",
+            "forward_coefficient",
+            "quant_dequant",
+            "inverse_block",
+        ],
+        parallel: &[
+            "tasked",
+            "forward_coefficient",
+            "quant_dequant",
+            "inverse_block",
+        ],
+        tasked_fn: "tasked",
+        significance: &["diagonal_significance"],
+    },
+    KernelSource {
+        name: "Fisheye",
+        domain: "Multimedia",
+        source: include_str!("../../../kernels/src/fisheye.rs"),
+        sequential: &["reference", "inverse_mapping", "bicubic", "catmull_rom"],
+        parallel: &[
+            "tasked_with_blocks",
+            "inverse_mapping",
+            "bicubic",
+            "catmull_rom",
+            "bilinear",
+        ],
+        tasked_fn: "tasked_with_blocks",
+        significance: &["block_significance"],
+    },
+    KernelSource {
+        name: "N-Body",
+        domain: "Physics",
+        source: include_str!("../../../kernels/src/nbody.rs"),
+        sequential: &[
+            "reference",
+            "forces_all_pairs",
+            "verlet_step",
+            "lj_force",
+            "initial_state",
+        ],
+        parallel: &["tasked", "lj_force", "initial_state", "region_of", "region_center"],
+        tasked_fn: "tasked",
+        significance: &["pair_significance"],
+    },
+    KernelSource {
+        name: "BlackScholes",
+        domain: "Finance",
+        source: include_str!("../../../kernels/src/blackscholes.rs"),
+        sequential: &["reference", "price", "generate_options"],
+        parallel: &["tasked", "price", "generate_options"],
+        tasked_fn: "tasked",
+        significance: &[],
+    },
+];
+
+fn sum_fns(source: &str, names: &[&str]) -> usize {
+    names
+        .iter()
+        .map(|n| fn_loc(source, n).unwrap_or_else(|| panic!("function {n} not found")))
+        .sum()
+}
+
+fn main() {
+    println!("=== Table 2: lines of code per benchmark version ===\n");
+    println!(
+        "{:<14} {:<13} {:>11} {:>13} {:>10} {:>7} {:>12}",
+        "Benchmark", "Domain", "Sequential", "Parallel (P)", "Approx (A)", "Sig (S)", "(A+S)/P"
+    );
+    for k in KERNELS {
+        let sequential = sum_fns(k.source, k.sequential);
+        let parallel = sum_fns(k.source, k.parallel);
+        let approx = approx_body_loc(k.source, k.tasked_fn).unwrap_or(0);
+        let sig: usize = k
+            .significance
+            .iter()
+            .map(|n| fn_loc(k.source, n).unwrap_or(0))
+            .sum();
+        let overhead = (approx + sig) as f64 / parallel as f64 * 100.0;
+        println!(
+            "{:<14} {:<13} {:>11} {:>13} {:>10} {:>7} {:>11.1}%",
+            k.name, k.domain, sequential, parallel, approx, sig, overhead
+        );
+    }
+    println!(
+        "\npaper (C++/OpenMP): Sobel 20.7%, DCT ≈0%, Fisheye 19%, N-Body 15.7%,\n\
+         BlackScholes 31.5% — same order of magnitude: the programming-model\n\
+         overhead of approximation is a modest fraction of the parallel code."
+    );
+}

@@ -1,0 +1,273 @@
+//! Shared helpers for the figure/table harness binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! CGO'16 paper (see DESIGN.md for the experiment index); this library
+//! holds the presentation plumbing they share.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// Renders a matrix of values as an ASCII heat map: one glyph per cell,
+/// darker glyph = higher value (the terminal stand-in for the paper's
+/// grayscale figures).
+///
+/// NaN and infinite values render as `?`.
+///
+/// ```
+/// use scorpio_bench::heat_map;
+/// let map = heat_map(&[vec![0.0, 0.5], vec![0.75, 1.0]]);
+/// assert_eq!(map.lines().count(), 2);
+/// ```
+pub fn heat_map(rows: &[Vec<f64>]) -> String {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let finite: Vec<f64> = rows
+        .iter()
+        .flatten()
+        .copied()
+        .filter(|v| v.is_finite())
+        .collect();
+    let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = if hi > lo { hi - lo } else { 1.0 };
+    let mut out = String::new();
+    for row in rows {
+        for &v in row {
+            if !v.is_finite() {
+                out.push('?');
+                continue;
+            }
+            let t = ((v - lo) / span).clamp(0.0, 1.0);
+            let idx = ((t * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a numeric matrix with a fixed precision, row per line.
+///
+/// ```
+/// use scorpio_bench::matrix_table;
+/// let t = matrix_table(&[vec![1.0, 2.0]], 2);
+/// assert!(t.contains("1.00"));
+/// ```
+pub fn matrix_table(rows: &[Vec<f64>], precision: usize) -> String {
+    let mut out = String::new();
+    for row in rows {
+        for v in row {
+            let _ = write!(out, " {v:>9.precision$}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One row of the Fig. 7 sweep CSV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// `"significance"` or `"perforation"`.
+    pub method: &'static str,
+    /// The accurate-computation ratio knob.
+    pub ratio: f64,
+    /// `"psnr_db"` or `"rel_error"`.
+    pub quality_metric: &'static str,
+    /// The measured quality value.
+    pub quality: f64,
+    /// Modeled energy in Joules.
+    pub energy_j: f64,
+}
+
+/// Serialises sweep rows as CSV (with header).
+///
+/// ```
+/// use scorpio_bench::{to_csv, SweepRow};
+/// let csv = to_csv(&[SweepRow {
+///     benchmark: "sobel", method: "significance", ratio: 0.5,
+///     quality_metric: "psnr_db", quality: 30.0, energy_j: 2.5,
+/// }]);
+/// assert!(csv.starts_with("benchmark,"));
+/// assert!(csv.contains("sobel"));
+/// ```
+pub fn to_csv(rows: &[SweepRow]) -> String {
+    let mut out = String::from("benchmark,method,ratio,quality_metric,quality,energy_j\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{}",
+            r.benchmark, r.method, r.ratio, r.quality_metric, r.quality, r.energy_j
+        );
+    }
+    out
+}
+
+/// Counts the source lines of the body of function `name` in `source`
+/// (first match), by brace balancing from the signature. Used by the
+/// Table 2 line-count harness. Returns `None` if not found.
+///
+/// ```
+/// use scorpio_bench::fn_loc;
+/// let src = "fn a() {\n let x = 1;\n}\nfn b() {}\n";
+/// assert_eq!(fn_loc(src, "a"), Some(3));
+/// ```
+pub fn fn_loc(source: &str, name: &str) -> Option<usize> {
+    let needle = format!("fn {name}");
+    let mut search_from = 0;
+    loop {
+        let at = source[search_from..].find(&needle)? + search_from;
+        // Make sure the match is the full identifier (next char not
+        // alphanumeric).
+        let after = source[at + needle.len()..].chars().next();
+        if matches!(after, Some(c) if c.is_alphanumeric() || c == '_') {
+            search_from = at + needle.len();
+            continue;
+        }
+        let open = source[at..].find('{')? + at;
+        let close = matching_brace(source, open)?;
+        let lines = source[at..=close].lines().count();
+        return Some(lines);
+    }
+}
+
+/// Counts the lines spanned by every `Some(move |ctx` approximate-body
+/// closure inside function `name` — the paper's "Approx. Function (A)"
+/// column.
+pub fn approx_body_loc(source: &str, name: &str) -> Option<usize> {
+    let needle = format!("fn {name}");
+    let at = source.find(&needle)?;
+    let open = source[at..].find('{')? + at;
+    let close = matching_brace(source, open)?;
+    let body = &source[open..=close];
+    let mut total = 0;
+    let mut from = 0;
+    while let Some(pos) = body[from..].find("Some(move |ctx") {
+        let start = from + pos + 4; // the '(' of Some(
+        if let Some(end) = matching_paren(body, start) {
+            total += body[start..=end].lines().count();
+            from = end;
+        } else {
+            break;
+        }
+    }
+    Some(total)
+}
+
+fn matching_brace(source: &str, open: usize) -> Option<usize> {
+    matching_delim(source, open, b'{', b'}')
+}
+
+fn matching_paren(source: &str, open: usize) -> Option<usize> {
+    matching_delim(source, open, b'(', b')')
+}
+
+/// Finds the index of the delimiter matching the one at `open`,
+/// ignoring string/char literals well enough for rustfmt-formatted code.
+fn matching_delim(source: &str, open: usize, od: u8, cd: u8) -> Option<usize> {
+    let bytes = source.as_bytes();
+    debug_assert_eq!(bytes[open], od);
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut i = open;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if in_string {
+            if b == b'\\' {
+                i += 2;
+                continue;
+            }
+            if b == b'"' {
+                in_string = false;
+            }
+        } else if b == b'"' {
+            in_string = true;
+        } else if b == od {
+            depth += 1;
+        } else if b == cd {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heat_map_extremes() {
+        let map = heat_map(&[vec![0.0, 1.0]]);
+        assert!(map.starts_with(' '));
+        assert!(map.contains('@'));
+    }
+
+    #[test]
+    fn heat_map_handles_nan() {
+        let map = heat_map(&[vec![f64::NAN, 1.0, 2.0]]);
+        assert!(map.starts_with('?'));
+    }
+
+    #[test]
+    fn csv_round_numbers() {
+        let csv = to_csv(&[SweepRow {
+            benchmark: "dct",
+            method: "perforation",
+            ratio: 0.2,
+            quality_metric: "psnr_db",
+            quality: 25.5,
+            energy_j: 1.25,
+        }]);
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.contains("dct,perforation,0.2,psnr_db,25.5,1.25"));
+    }
+
+    #[test]
+    fn fn_loc_brace_matching() {
+        let src = r#"
+pub fn outer() {
+    if true {
+        nested();
+    }
+}
+fn other() { one_liner(); }
+"#;
+        assert_eq!(fn_loc(src, "outer"), Some(5));
+        assert_eq!(fn_loc(src, "other"), Some(1));
+        assert_eq!(fn_loc(src, "missing"), None);
+    }
+
+    #[test]
+    fn fn_loc_skips_prefix_matches() {
+        let src = "fn foobar() {\n}\nfn foo() {\n  x();\n}\n";
+        assert_eq!(fn_loc(src, "foo"), Some(3));
+    }
+
+    #[test]
+    fn approx_body_counts_closures() {
+        let src = r#"
+fn tasked() {
+    group.spawn(
+        0.5,
+        move |ctx| { accurate(); },
+        Some(move |ctx| {
+            approx();
+        }),
+    );
+}
+"#;
+        let loc = approx_body_loc(src, "tasked").unwrap();
+        assert!(loc >= 3, "counted {loc}");
+    }
+
+    #[test]
+    fn strings_do_not_confuse_matching() {
+        let src = "fn f() {\n let s = \"}\";\n done();\n}\n";
+        assert_eq!(fn_loc(src, "f"), Some(4));
+    }
+}

@@ -1,0 +1,75 @@
+//! Analysis error type.
+
+use std::fmt;
+
+/// Errors terminating a significance-analysis run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// An interval comparison could not be decided: part of the operand
+    /// range satisfies the condition and part does not (§2.2 of the
+    /// paper). The analysis is terminated and the condition reported to
+    /// the user; [`crate::splitting`] can bisect instead.
+    AmbiguousBranch {
+        /// Human-readable description of the condition, e.g. `"r < cutoff"`.
+        condition: String,
+    },
+    /// The analysed closure registered no output variable, so there is
+    /// nothing to seed the adjoint sweep with.
+    NoOutputs,
+    /// A registered name was used twice.
+    DuplicateName(String),
+    /// Interval splitting exhausted its depth budget without resolving
+    /// every ambiguous branch.
+    SplitDepthExhausted {
+        /// The condition still ambiguous at maximum depth.
+        condition: String,
+        /// The depth limit that was hit.
+        max_depth: usize,
+    },
+    /// Splitting was requested but the function has no splittable
+    /// (non-point) input.
+    NothingToSplit,
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::AmbiguousBranch { condition } => {
+                write!(f, "ambiguous interval comparison: {condition}")
+            }
+            AnalysisError::NoOutputs => write!(f, "no output variable registered"),
+            AnalysisError::DuplicateName(name) => {
+                write!(f, "variable name registered twice: {name}")
+            }
+            AnalysisError::SplitDepthExhausted {
+                condition,
+                max_depth,
+            } => write!(
+                f,
+                "interval splitting reached depth {max_depth} with condition still ambiguous: {condition}"
+            ),
+            AnalysisError::NothingToSplit => {
+                write!(f, "no non-degenerate input interval available to split")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = AnalysisError::AmbiguousBranch {
+            condition: "r < c".into(),
+        };
+        assert!(e.to_string().contains("r < c"));
+        assert!(AnalysisError::NoOutputs.to_string().contains("no output"));
+        assert!(AnalysisError::DuplicateName("x".into())
+            .to_string()
+            .contains('x'));
+    }
+}

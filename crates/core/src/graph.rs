@@ -1,0 +1,248 @@
+//! The significance-annotated DynDFG exported by an analysis run
+//! (the `G` of Algorithm 1, Fig. 2/3 of the paper).
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+use scorpio_adjoint::Op;
+use scorpio_interval::Interval;
+
+/// One node of the exported significance graph.
+#[derive(Debug, Clone)]
+pub struct SigNode {
+    /// Dense node index (matches the recording tape before
+    /// simplification; stable across [`SigGraph::simplified`], which only
+    /// rewires edges and marks nodes removed).
+    pub id: usize,
+    /// Elementary operation.
+    pub op: Op,
+    /// Operand node ids. After simplification a collapsed accumulation
+    /// node may have more than two predecessors.
+    pub preds: Vec<usize>,
+    /// Interval enclosure `[u_j]` from the forward sweep.
+    pub value: Interval,
+    /// Interval adjoint `∇_{[u_j]}[y]` from the reverse sweep.
+    pub derivative: Interval,
+    /// Significance `S_y(u_j) = w([u_j] · ∇_{[u_j]}[y])` (Eq. 11),
+    /// normalized by the total output significance so the final result
+    /// reads 1.0 as in Fig. 3.
+    pub significance: f64,
+    /// BFS distance from the output level (outputs are level 0, Fig. 2);
+    /// `None` if the node does not reach any output.
+    pub level: Option<usize>,
+    /// Name given at registration, if any.
+    pub name: Option<String>,
+    /// `true` for registered outputs.
+    pub is_output: bool,
+    /// `true` once the node has been collapsed away by
+    /// [`SigGraph::simplified`] or truncated by the level cut.
+    pub removed: bool,
+}
+
+/// The significance-annotated DynDFG.
+///
+/// Produced by [`crate::Report::graph`]; post-processed by
+/// [`SigGraph::simplified`] (Algorithm 1 step S4) and
+/// [`SigGraph::partition`] (step S5).
+#[derive(Debug, Clone)]
+pub struct SigGraph {
+    pub(crate) nodes: Vec<SigNode>,
+    pub(crate) outputs: Vec<usize>,
+}
+
+impl SigGraph {
+    pub(crate) fn new(mut nodes: Vec<SigNode>, outputs: Vec<usize>) -> SigGraph {
+        compute_levels(&mut nodes, &outputs);
+        SigGraph { nodes, outputs }
+    }
+
+    /// All nodes, including removed ones (check [`SigNode::removed`]).
+    pub fn nodes(&self) -> &[SigNode] {
+        &self.nodes
+    }
+
+    /// Ids of the registered output nodes (level 0).
+    pub fn outputs(&self) -> &[usize] {
+        &self.outputs
+    }
+
+    /// Live (non-removed) nodes.
+    pub fn live_nodes(&self) -> impl Iterator<Item = &SigNode> {
+        self.nodes.iter().filter(|n| !n.removed)
+    }
+
+    /// The graph height: one past the maximum live level.
+    pub fn height(&self) -> usize {
+        self.live_nodes()
+            .filter_map(|n| n.level)
+            .max()
+            .map_or(0, |l| l + 1)
+    }
+
+    /// Live nodes at BFS level `level`.
+    pub fn level_nodes(&self, level: usize) -> Vec<&SigNode> {
+        self.live_nodes()
+            .filter(|n| n.level == Some(level))
+            .collect()
+    }
+
+    /// Looks a node up by registration name.
+    pub fn node_by_name(&self, name: &str) -> Option<&SigNode> {
+        self.nodes
+            .iter()
+            .find(|n| n.name.as_deref() == Some(name) && !n.removed)
+    }
+
+    /// Recomputes levels after edge rewiring (used internally by the
+    /// workflow transformations).
+    pub(crate) fn recompute_levels(&mut self) {
+        compute_levels(&mut self.nodes, &self.outputs);
+    }
+
+    /// Successor lists over live nodes.
+    pub(crate) fn successors(&self) -> Vec<Vec<usize>> {
+        let mut succ = vec![Vec::new(); self.nodes.len()];
+        for node in self.nodes.iter().filter(|n| !n.removed) {
+            for &p in &node.preds {
+                if !self.nodes[p].removed {
+                    succ[p].push(node.id);
+                }
+            }
+        }
+        succ
+    }
+
+    /// Renders the live part of the graph as Graphviz DOT, with node
+    /// labels carrying name (if registered), operation and significance —
+    /// the Fig. 3 visualisation.
+    pub fn to_dot(&self, name: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph {name} {{");
+        let _ = writeln!(out, "  rankdir=BT;");
+        for node in self.live_nodes() {
+            let label = match &node.name {
+                Some(n) => format!("{n}\\n{}\\nS={:.3}", node.op, node.significance),
+                None => format!("u{}: {}\\nS={:.3}", node.id, node.op, node.significance),
+            };
+            let shape = if node.is_output {
+                "doubleoctagon"
+            } else if node.op == Op::Input {
+                "box"
+            } else {
+                "ellipse"
+            };
+            let _ = writeln!(out, "  n{} [shape={shape}, label=\"{label}\"];", node.id);
+        }
+        for node in self.live_nodes() {
+            for &p in &node.preds {
+                if !self.nodes[p].removed {
+                    let _ = writeln!(out, "  n{p} -> n{};", node.id);
+                }
+            }
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+/// Assigns `level = BFS distance from the nearest output` (outputs 0),
+/// walking result→operand edges; unreachable nodes get `None`.
+fn compute_levels(nodes: &mut [SigNode], outputs: &[usize]) {
+    for n in nodes.iter_mut() {
+        n.level = None;
+    }
+    let mut queue = VecDeque::new();
+    for &o in outputs {
+        if !nodes[o].removed && nodes[o].level.is_none() {
+            nodes[o].level = Some(0);
+            queue.push_back(o);
+        }
+    }
+    while let Some(id) = queue.pop_front() {
+        let level = nodes[id].level.expect("queued node has level");
+        let preds = nodes[id].preds.clone();
+        for p in preds {
+            if !nodes[p].removed && nodes[p].level.is_none() {
+                nodes[p].level = Some(level + 1);
+                queue.push_back(p);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_node(id: usize, op: Op, preds: Vec<usize>) -> SigNode {
+        SigNode {
+            id,
+            op,
+            preds,
+            value: Interval::ZERO,
+            derivative: Interval::ZERO,
+            significance: 0.0,
+            level: None,
+            name: None,
+            is_output: false,
+            removed: false,
+        }
+    }
+
+    #[test]
+    fn levels_are_bfs_distance_from_output() {
+        // 0:in  1:in  2:=0+1  3:=sin(2)  output 3
+        let nodes = vec![
+            mk_node(0, Op::Input, vec![]),
+            mk_node(1, Op::Input, vec![]),
+            mk_node(2, Op::Add, vec![0, 1]),
+            mk_node(3, Op::Sin, vec![2]),
+        ];
+        let g = SigGraph::new(nodes, vec![3]);
+        assert_eq!(g.nodes()[3].level, Some(0));
+        assert_eq!(g.nodes()[2].level, Some(1));
+        assert_eq!(g.nodes()[0].level, Some(2));
+        assert_eq!(g.height(), 3);
+        assert_eq!(g.level_nodes(2).len(), 2);
+    }
+
+    #[test]
+    fn unreachable_nodes_have_no_level() {
+        let nodes = vec![
+            mk_node(0, Op::Input, vec![]),
+            mk_node(1, Op::Const, vec![]), // dead
+            mk_node(2, Op::Sin, vec![0]),
+        ];
+        let g = SigGraph::new(nodes, vec![2]);
+        assert_eq!(g.nodes()[1].level, None);
+    }
+
+    #[test]
+    fn shortest_path_wins_for_fan_in() {
+        // Diamond: 0 feeds both 1 (long path via 2) and 3 directly.
+        let nodes = vec![
+            mk_node(0, Op::Input, vec![]),
+            mk_node(1, Op::Sin, vec![0]),
+            mk_node(2, Op::Cos, vec![1]),
+            mk_node(3, Op::Add, vec![0, 2]),
+        ];
+        let g = SigGraph::new(nodes, vec![3]);
+        // 0 is reachable at distance 1 (direct) even though the other path
+        // is length 3.
+        assert_eq!(g.nodes()[0].level, Some(1));
+    }
+
+    #[test]
+    fn dot_output_live_only() {
+        let mut nodes = vec![
+            mk_node(0, Op::Input, vec![]),
+            mk_node(1, Op::Sin, vec![0]),
+            mk_node(2, Op::Cos, vec![0]),
+        ];
+        nodes[2].removed = true;
+        let g = SigGraph::new(nodes, vec![1]);
+        let dot = g.to_dot("g");
+        assert!(dot.contains("sin"));
+        assert!(!dot.contains("cos"));
+    }
+}

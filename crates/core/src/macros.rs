@@ -1,0 +1,115 @@
+//! Macro sugar mirroring the dco/scorpio annotation macros of Table 1.
+//!
+//! | paper macro | Rust macro |
+//! |---|---|
+//! | `INPUT(x, xl, xu)` | [`scorpio_input!`](crate::scorpio_input) |
+//! | `INTERMEDIATE(z)` | [`scorpio_intermediate!`](crate::scorpio_intermediate) |
+//! | `OUTPUT(y)` | [`scorpio_output!`](crate::scorpio_output) |
+//! | `ANALYSE()` | implicit: [`crate::Analysis::run`] performs the sweep when the closure returns |
+//!
+//! The macros simply forward to the [`crate::Ctx`] methods, deriving the
+//! registration name from the identifier — so the annotated code reads
+//! like Listing 6 of the paper.
+
+/// Registers `$x` as an input with range `[$lo, $hi]` and binds the active
+/// variable (paper macro `INPUT(x, xl, xu, ...)`).
+///
+/// ```
+/// use scorpio_core::{scorpio_input, scorpio_output, Analysis};
+///
+/// let report = Analysis::new().run(|ctx| {
+///     scorpio_input!(ctx, x, 0.0, 1.0);
+///     let y = x.sqr();
+///     scorpio_output!(ctx, y);
+///     Ok(())
+/// }).unwrap();
+/// assert!(report.significance_of("x").unwrap() > 0.0);
+/// ```
+#[macro_export]
+macro_rules! scorpio_input {
+    ($ctx:expr, $x:ident, $lo:expr, $hi:expr) => {
+        let $x = $ctx.input(stringify!($x), $lo, $hi);
+    };
+}
+
+/// Registers `$z` as a named intermediate (paper macro
+/// `INTERMEDIATE(z, ...)`). An optional second form supplies an explicit
+/// name for loop-carried variables.
+///
+/// ```
+/// use scorpio_core::{scorpio_input, scorpio_intermediate, scorpio_output, Analysis};
+///
+/// let report = Analysis::new().run(|ctx| {
+///     scorpio_input!(ctx, x, 0.0, 1.0);
+///     let t = x.exp();
+///     scorpio_intermediate!(ctx, t);
+///     let y = t * 2.0;
+///     scorpio_output!(ctx, y);
+///     Ok(())
+/// }).unwrap();
+/// assert!(report.significance_of("t").is_some());
+/// ```
+#[macro_export]
+macro_rules! scorpio_intermediate {
+    ($ctx:expr, $z:ident) => {
+        $ctx.intermediate(&$z, stringify!($z));
+    };
+    ($ctx:expr, $z:expr, $name:expr) => {
+        $ctx.intermediate(&$z, $name);
+    };
+}
+
+/// Registers `$y` as an output, seeding its adjoint with 1 (paper macro
+/// `OUTPUT(y, ...)`).
+#[macro_export]
+macro_rules! scorpio_output {
+    ($ctx:expr, $y:ident) => {
+        $ctx.output(&$y, stringify!($y));
+    };
+    ($ctx:expr, $y:expr, $name:expr) => {
+        $ctx.output(&$y, $name);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Analysis;
+
+    #[test]
+    fn macros_register_by_identifier_name() {
+        let report = Analysis::new()
+            .run(|ctx| {
+                scorpio_input!(ctx, alpha, 0.0, 2.0);
+                let beta = alpha.sin();
+                scorpio_intermediate!(ctx, beta);
+                let gamma = beta + alpha;
+                scorpio_output!(ctx, gamma);
+                Ok(())
+            })
+            .unwrap();
+        assert!(report.var("alpha").is_some());
+        assert!(report.var("beta").is_some());
+        assert!(report.var("gamma").is_some());
+    }
+
+    #[test]
+    fn macros_work_in_loops_with_explicit_names() {
+        let report = Analysis::new()
+            .run(|ctx| {
+                scorpio_input!(ctx, x, 0.0, 1.0);
+                let mut acc = ctx.constant(0.0);
+                for i in 1..4 {
+                    let term = x.powi(i);
+                    scorpio_intermediate!(ctx, term, format!("term{i}"));
+                    acc = acc + term;
+                }
+                scorpio_output!(ctx, acc, "result");
+                Ok(())
+            })
+            .unwrap();
+        for i in 1..4 {
+            assert!(report.var(&format!("term{i}")).is_some());
+        }
+        assert!(report.var("result").is_some());
+    }
+}

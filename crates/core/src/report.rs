@@ -1,0 +1,248 @@
+//! The analysis report: per-variable significances and the exported graph.
+
+use std::fmt;
+
+use scorpio_adjoint::{NodeId, Tape};
+use scorpio_interval::Interval;
+
+use crate::error::AnalysisError;
+use crate::graph::{SigGraph, SigNode};
+use crate::session::Registrations;
+use crate::workflow::Partition;
+
+/// The role a registered variable plays in the analysed computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarKind {
+    /// Independent input with a declared range.
+    Input,
+    /// Named intermediate result.
+    Intermediate,
+    /// Registered output (adjoint seed).
+    Output,
+}
+
+impl fmt::Display for VarKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VarKind::Input => "input",
+            VarKind::Intermediate => "intermediate",
+            VarKind::Output => "output",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A registered variable with its analysis results.
+#[derive(Debug, Clone)]
+pub struct RegisteredVar {
+    /// Registration name.
+    pub name: String,
+    /// Role in the computation.
+    pub kind: VarKind,
+    /// DynDFG node the variable was bound to.
+    pub node: NodeId,
+    /// Interval enclosure `[u]` from the forward sweep.
+    pub enclosure: Interval,
+    /// Interval adjoint `∇_{[u]}[y]` from the reverse sweep.
+    pub derivative: Interval,
+    /// Raw significance `S_y(u) = w([u] · ∇_{[u]}[y])` (Eq. 11).
+    pub significance_raw: f64,
+    /// Significance normalized by the total output significance, the
+    /// scale Fig. 3 of the paper reports (final result ≡ 1.0).
+    pub significance: f64,
+}
+
+/// The result of a significance-analysis run.
+///
+/// Produced by [`crate::Analysis::run`]; see the crate docs for an
+/// end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Report {
+    registered: Vec<RegisteredVar>,
+    graph: SigGraph,
+    output_significance_raw: f64,
+    delta: f64,
+    tape_len: usize,
+}
+
+impl Report {
+    /// All registered variables in registration order.
+    pub fn registered(&self) -> &[RegisteredVar] {
+        &self.registered
+    }
+
+    /// Registered variables of one kind.
+    pub fn registered_of(&self, kind: VarKind) -> impl Iterator<Item = &RegisteredVar> {
+        self.registered.iter().filter(move |v| v.kind == kind)
+    }
+
+    /// Looks up a registered variable by name.
+    pub fn var(&self, name: &str) -> Option<&RegisteredVar> {
+        self.registered.iter().find(|v| v.name == name)
+    }
+
+    /// Normalized significance of a registered variable, if present.
+    ///
+    /// ```
+    /// use scorpio_core::Analysis;
+    /// let report = Analysis::new().run(|ctx| {
+    ///     let x = ctx.input("x", 0.0, 1.0);
+    ///     let y = x.sqr();
+    ///     ctx.output(&y, "y");
+    ///     Ok(())
+    /// }).unwrap();
+    /// assert_eq!(report.significance_of("y"), Some(1.0));
+    /// assert!(report.significance_of("nope").is_none());
+    /// ```
+    pub fn significance_of(&self, name: &str) -> Option<f64> {
+        self.var(name).map(|v| v.significance)
+    }
+
+    /// The significance-annotated DynDFG (input to Algorithm-1 steps
+    /// S4/S5).
+    pub fn graph(&self) -> &SigGraph {
+        &self.graph
+    }
+
+    /// Convenience for the full Algorithm-1 pipeline: simplify (S4) then
+    /// partition with the configured δ (S5).
+    pub fn partition(&self) -> Partition {
+        self.graph.simplified().partition(self.delta)
+    }
+
+    /// Raw (un-normalized) total output significance `Σ_i w([y_i])`, the
+    /// normalization denominator.
+    pub fn output_significance_raw(&self) -> f64 {
+        self.output_significance_raw
+    }
+
+    /// Number of DynDFG nodes the run recorded.
+    pub fn tape_len(&self) -> usize {
+        self.tape_len
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "significance report ({} nodes, {} registered)",
+            self.tape_len,
+            self.registered.len()
+        )?;
+        writeln!(
+            f,
+            "{:<20} {:<13} {:>11} {:>26} {:>26}",
+            "name", "kind", "S (norm)", "enclosure", "derivative"
+        )?;
+        for v in &self.registered {
+            writeln!(
+                f,
+                "{:<20} {:<13} {:>11.4} {:>26} {:>26}",
+                v.name,
+                v.kind.to_string(),
+                v.significance,
+                v.enclosure.to_string(),
+                v.derivative.to_string()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds the report from a recorded tape: performs the reverse sweep
+/// (with every registered output seeded by 1, per §2.3 for vector
+/// functions) and evaluates Eq. 11 for every node.
+pub(crate) fn build_report(
+    tape: &Tape<Interval>,
+    regs: Registrations,
+    delta: f64,
+) -> Result<Report, AnalysisError> {
+    let outputs: Vec<NodeId> = regs
+        .entries
+        .iter()
+        .filter(|e| e.kind == VarKind::Output)
+        .map(|e| e.node)
+        .collect();
+    if outputs.is_empty() {
+        return Err(AnalysisError::NoOutputs);
+    }
+
+    let seeds: Vec<(NodeId, Interval)> =
+        outputs.iter().map(|&o| (o, Interval::ONE)).collect();
+    let adjoints = tape.adjoints(&seeds);
+
+    // Eq. 11, raw. The product uses round-to-nearest: significance is a
+    // metric derived from the (already outward-rounded) enclosures, not
+    // itself an enclosure, and outward rounding here would turn exact
+    // zeros (constant values, zero derivatives) into ±1-ULP noise.
+    let significance_raw = |node: NodeId, value: Interval| -> f64 {
+        let d = adjoints.get(node);
+        scorpio_interval::nearest::mul(value, d).width()
+    };
+
+    // Normalization: total output significance (so the final result of an
+    // accumulation reads 1.0, as in Fig. 3a).
+    let total_raw: f64 = outputs
+        .iter()
+        .map(|&o| significance_raw(o, tape.value(o)))
+        .sum();
+    let normalize = move |raw: f64| {
+        if total_raw > 0.0 && total_raw.is_finite() {
+            raw / total_raw
+        } else {
+            raw
+        }
+    };
+
+    let snapshot = tape.snapshot();
+    let mut nodes: Vec<SigNode> = snapshot
+        .iter()
+        .enumerate()
+        .map(|(i, node)| {
+            let id = NodeId::from_index(i);
+            let raw = significance_raw(id, node.value());
+            SigNode {
+                id: i,
+                op: node.op(),
+                preds: node.preds().map(|p| p.index()).collect(),
+                value: node.value(),
+                derivative: adjoints.get(id),
+                significance: normalize(raw),
+                level: None,
+                name: None,
+                is_output: false,
+                removed: false,
+            }
+        })
+        .collect();
+
+    let mut registered = Vec::with_capacity(regs.entries.len());
+    for entry in &regs.entries {
+        let idx = entry.node.index();
+        nodes[idx].name = Some(entry.name.clone());
+        if entry.kind == VarKind::Output {
+            nodes[idx].is_output = true;
+        }
+        let value = tape.value(entry.node);
+        let raw = significance_raw(entry.node, value);
+        registered.push(RegisteredVar {
+            name: entry.name.clone(),
+            kind: entry.kind,
+            node: entry.node,
+            enclosure: value,
+            derivative: adjoints.get(entry.node),
+            significance_raw: raw,
+            significance: normalize(raw),
+        });
+    }
+
+    let graph = SigGraph::new(nodes, outputs.iter().map(|o| o.index()).collect());
+    Ok(Report {
+        registered,
+        graph,
+        output_significance_raw: total_raw,
+        delta,
+        tape_len: tape.len(),
+    })
+}

@@ -1,0 +1,343 @@
+//! Interval-splitting extension (§2.2 "ongoing research", §6 future work).
+//!
+//! When an interval comparison is ambiguous the base analysis terminates
+//! with [`AnalysisError::AmbiguousBranch`]. This module implements the
+//! remedy the paper leaves as ongoing research: **bisect** an input range
+//! and analyse each subdomain separately — control flow eventually becomes
+//! unique on small enough boxes (for almost-everywhere-continuous
+//! predicates) — then merge the per-subdomain results conservatively.
+//!
+//! Merging rules:
+//! * enclosures and interval derivatives → convex hull over subdomains;
+//! * significances → maximum over subdomains (a task must be treated as
+//!   significant if it is significant on *any* part of the input domain).
+
+use scorpio_interval::Interval;
+
+use crate::error::AnalysisError;
+use crate::report::{Report, VarKind};
+use crate::session::Analysis;
+
+/// A merged registered-variable summary across subdomains.
+#[derive(Debug, Clone)]
+pub struct SplitVar {
+    /// Registration name.
+    pub name: String,
+    /// Role in the computation.
+    pub kind: VarKind,
+    /// Hull of the per-subdomain enclosures.
+    pub enclosure: Interval,
+    /// Hull of the per-subdomain interval derivatives.
+    pub derivative: Interval,
+    /// Maximum normalized significance over subdomains.
+    pub significance: f64,
+}
+
+/// Result of an analysis with interval splitting.
+#[derive(Debug)]
+pub struct SplitReport {
+    /// Merged per-variable summaries (registration order of the first
+    /// subdomain).
+    pub vars: Vec<SplitVar>,
+    /// The input boxes of the subdomains that were successfully analysed.
+    pub subdomains: Vec<Vec<Interval>>,
+    /// Per-subdomain full reports, aligned with `subdomains`.
+    pub reports: Vec<Report>,
+    /// Boundary slivers that stayed ambiguous at the depth limit, with the
+    /// offending condition. These shrink geometrically with `max_depth`;
+    /// their omission is the machine-granularity coverage loss documented
+    /// in DESIGN.md.
+    pub unresolved: Vec<(Vec<Interval>, String)>,
+}
+
+impl SplitReport {
+    /// Merged normalized significance (max over subdomains) of a
+    /// registered variable.
+    pub fn significance_of(&self, name: &str) -> Option<f64> {
+        self.vars
+            .iter()
+            .find(|v| v.name == name)
+            .map(|v| v.significance)
+    }
+}
+
+/// Runs `f` with automatic bisection of input ranges on ambiguous
+/// branches, up to `max_depth` splits along any one path.
+///
+/// `f` must be re-runnable (it is invoked once per attempted subdomain),
+/// which mirrors the profile-driven nature of the analysis.
+///
+/// # Errors
+///
+/// * [`AnalysisError::SplitDepthExhausted`] if a branch stays ambiguous
+///   at the depth limit.
+/// * [`AnalysisError::NothingToSplit`] if an ambiguous branch occurs but
+///   every input range is a point.
+/// * Any other [`AnalysisError`] from the underlying runs.
+///
+/// # Examples
+///
+/// ```
+/// use scorpio_core::splitting::run_with_splitting;
+/// use scorpio_core::Analysis;
+///
+/// // |x| via a data-dependent branch: ambiguous over [-1, 1] as a whole,
+/// // resolvable after one bisection at 0.
+/// let report = run_with_splitting(&Analysis::new(), 8, |ctx| {
+///     let x = ctx.input("x", -1.0, 1.0);
+///     let negative = ctx.branch(x.value().certainly_lt(0.0.into()), "x < 0")?;
+///     let y = if negative { -x } else { x };
+///     ctx.output(&y, "y");
+///     Ok(())
+/// }).unwrap();
+///
+/// assert_eq!(report.subdomains.len(), 2);
+/// let y = &report.vars.iter().find(|v| v.name == "y").unwrap();
+/// assert!(y.enclosure.encloses(scorpio_interval::Interval::new(0.0, 1.0)));
+/// ```
+pub fn run_with_splitting<F>(
+    analysis: &Analysis,
+    max_depth: usize,
+    f: F,
+) -> Result<SplitReport, AnalysisError>
+where
+    F: Fn(&crate::Ctx<'_>) -> Result<(), AnalysisError>,
+{
+    let mut reports = Vec::new();
+    let mut subdomains = Vec::new();
+    let mut unresolved: Vec<(Vec<Interval>, String)> = Vec::new();
+    // Work stack of (input-overrides, depth). An empty override list means
+    // "use the declared ranges".
+    let mut stack: Vec<(Vec<Interval>, usize)> = vec![(Vec::new(), 0)];
+
+    while let Some((overrides, depth)) = stack.pop() {
+        match analysis.run_with_overrides(&f, overrides.clone()) {
+            Ok((report, _declared)) => {
+                subdomains.push(if overrides.is_empty() {
+                    report
+                        .registered_of(VarKind::Input)
+                        .map(|v| v.enclosure)
+                        .collect()
+                } else {
+                    overrides
+                });
+                reports.push(report);
+            }
+            Err(AnalysisError::AmbiguousBranch { condition }) => {
+                if depth >= max_depth {
+                    // Record the sliver and move on; only fail if nothing
+                    // at all resolves (see below).
+                    let box_now = if overrides.is_empty() {
+                        probe_declared_inputs(analysis, &f)?
+                    } else {
+                        overrides
+                    };
+                    unresolved.push((box_now, condition));
+                    continue;
+                }
+                // Recover the declared ranges by dry-running registration:
+                // run_with_overrides returned Err before reporting, so we
+                // re-derive the box from the overrides or a probe run.
+                let box_now = if overrides.is_empty() {
+                    probe_declared_inputs(analysis, &f)?
+                } else {
+                    overrides
+                };
+                // Split the widest input.
+                let widest = box_now
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| {
+                        a.1.width()
+                            .partial_cmp(&b.1.width())
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .map(|(i, _)| i);
+                let Some(widest) = widest else {
+                    return Err(AnalysisError::NothingToSplit);
+                };
+                let Some(halves) = box_now[widest].bisect() else {
+                    return Err(AnalysisError::NothingToSplit);
+                };
+                // Half-open split: the midpoint belongs to the upper half
+                // only, so a predicate boundary hit exactly by the split
+                // resolves on both sides instead of staying ambiguous
+                // forever. The open sliver between adjacent floats is the
+                // only domain loss.
+                let lower_hi = scorpio_interval::next_down(halves.lower.sup());
+                let mut lower = box_now.clone();
+                lower[widest] = Interval::new(halves.lower.inf(), lower_hi.max(halves.lower.inf()));
+                let mut upper = box_now;
+                upper[widest] = halves.upper;
+                stack.push((lower, depth + 1));
+                stack.push((upper, depth + 1));
+            }
+            Err(other) => return Err(other),
+        }
+    }
+
+    if reports.is_empty() {
+        // Nothing resolved at all: surface the depth failure.
+        if let Some((_, condition)) = unresolved.into_iter().next() {
+            return Err(AnalysisError::SplitDepthExhausted {
+                condition,
+                max_depth,
+            });
+        }
+        return Err(AnalysisError::NothingToSplit);
+    }
+
+    // Merge registered variables by name across subdomain reports.
+    let mut vars: Vec<SplitVar> = Vec::new();
+    for report in &reports {
+        for v in report.registered() {
+            match vars.iter_mut().find(|m| m.name == v.name) {
+                Some(m) => {
+                    m.enclosure = m.enclosure.hull(v.enclosure);
+                    m.derivative = m.derivative.hull(v.derivative);
+                    m.significance = m.significance.max(v.significance);
+                }
+                None => vars.push(SplitVar {
+                    name: v.name.clone(),
+                    kind: v.kind,
+                    enclosure: v.enclosure,
+                    derivative: v.derivative,
+                    significance: v.significance,
+                }),
+            }
+        }
+    }
+
+    Ok(SplitReport {
+        vars,
+        subdomains,
+        reports,
+        unresolved,
+    })
+}
+
+/// Runs the closure just far enough to learn the declared input ranges.
+/// The closure may fail with an ambiguous branch *after* declaring its
+/// inputs — exactly the situation we are probing for.
+fn probe_declared_inputs<F>(
+    analysis: &Analysis,
+    f: &F,
+) -> Result<Vec<Interval>, AnalysisError>
+where
+    F: Fn(&crate::Ctx<'_>) -> Result<(), AnalysisError>,
+{
+    match analysis.probe_inputs(f) {
+        Ok(declared) if !declared.is_empty() => Ok(declared),
+        Ok(_) => Err(AnalysisError::NothingToSplit),
+        Err(e) => Err(e),
+    }
+}
+
+impl Analysis {
+    /// Runs the closure only to harvest declared input ranges, tolerating
+    /// an ambiguous-branch failure (which necessarily happens after the
+    /// inputs involved were declared).
+    pub(crate) fn probe_inputs<F>(&self, f: &F) -> Result<Vec<Interval>, AnalysisError>
+    where
+        F: Fn(&crate::Ctx<'_>) -> Result<(), AnalysisError>,
+    {
+        use scorpio_adjoint::Tape;
+        let tape = Tape::<Interval>::new();
+        let ctx = crate::Ctx::new(&tape, Vec::new());
+        match f(&ctx) {
+            Ok(()) | Err(AnalysisError::AmbiguousBranch { .. }) => Ok(ctx.declared_inputs()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_resolve_abs_branch() {
+        let report = run_with_splitting(&Analysis::new(), 4, |ctx| {
+            let x = ctx.input("x", -2.0, 2.0);
+            let neg = ctx.branch(x.value().certainly_lt(0.0.into()), "x < 0")?;
+            let y = if neg { -x } else { x };
+            ctx.output(&y, "y");
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(report.subdomains.len(), 2);
+        let y = report.vars.iter().find(|v| v.name == "y").unwrap();
+        // |x| over [-2, 2] ⊆ merged enclosure.
+        assert!(y.enclosure.encloses(Interval::new(0.0, 2.0)));
+    }
+
+    #[test]
+    fn nested_splits() {
+        // Three-way piecewise function: needs two levels of splitting.
+        let report = run_with_splitting(&Analysis::new(), 8, |ctx| {
+            let x = ctx.input("x", 0.0, 4.0);
+            let lo = ctx.branch(x.value().certainly_lt(1.0.into()), "x < 1")?;
+            let y = if lo {
+                x * 2.0
+            } else {
+                let hi = ctx.branch(x.value().certainly_gt(3.0.into()), "x > 3")?;
+                if hi {
+                    x * 4.0
+                } else {
+                    x * 3.0
+                }
+            };
+            ctx.output(&y, "y");
+            Ok(())
+        })
+        .unwrap();
+        assert!(report.subdomains.len() >= 3);
+        // Union of subdomains covers the declared domain.
+        let hull = report
+            .subdomains
+            .iter()
+            .map(|b| b[0])
+            .fold(Interval::EMPTY, |acc, iv| acc.hull(iv));
+        assert_eq!(hull, Interval::new(0.0, 4.0));
+    }
+
+    #[test]
+    fn depth_exhaustion_reports_condition() {
+        // A branch at an irrational threshold keeps being ambiguous near
+        // the split point for a while; depth 0 must fail immediately.
+        let err = run_with_splitting(&Analysis::new(), 0, |ctx| {
+            let x = ctx.input("x", 0.0, 1.0);
+            let _ = ctx.branch(x.value().certainly_lt(0.5.into()), "x < 0.5")?;
+            ctx.output(&x, "y");
+            Ok(())
+        })
+        .unwrap_err();
+        assert!(matches!(err, AnalysisError::SplitDepthExhausted { .. }));
+    }
+
+    #[test]
+    fn point_inputs_cannot_split() {
+        let err = run_with_splitting(&Analysis::new(), 4, |ctx| {
+            let x = ctx.input("x", 1.0, 1.0);
+            // Always-ambiguous artificial branch.
+            let _ = ctx.branch(scorpio_interval::Trichotomy::Ambiguous, "artificial")?;
+            ctx.output(&x, "y");
+            Ok(())
+        })
+        .unwrap_err();
+        assert!(matches!(err, AnalysisError::NothingToSplit));
+    }
+
+    #[test]
+    fn no_split_needed_returns_single_subdomain() {
+        let report = run_with_splitting(&Analysis::new(), 4, |ctx| {
+            let x = ctx.input("x", 0.0, 1.0);
+            let y = x.sqr();
+            ctx.output(&y, "y");
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(report.subdomains.len(), 1);
+        assert_eq!(report.reports.len(), 1);
+    }
+}

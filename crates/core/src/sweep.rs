@@ -1,0 +1,220 @@
+//! Input-range sweeps (§6 future work: "extending significance analysis
+//! to a wider range of input intervals to accommodate the fact that code
+//! significance is input-dependent for some benchmarks").
+//!
+//! [`sweep_input_scale`] re-runs one analysis with the declared input
+//! ranges shrunk/expanded around their midpoints by a series of scale
+//! factors, and [`RangeSweep::ranking_stability`] quantifies how stable
+//! the resulting significance ranking is — the paper's "code
+//! significance is input-dependent for some benchmarks" made measurable.
+
+use scorpio_interval::Interval;
+
+use crate::error::AnalysisError;
+use crate::report::{Report, VarKind};
+use crate::session::Analysis;
+
+/// One sweep point: the scale factor applied to every input width and
+/// the resulting report.
+#[derive(Debug)]
+pub struct SweepPoint {
+    /// Input-width scale relative to the declared ranges (1.0 = as
+    /// declared).
+    pub scale: f64,
+    /// The analysis report at this scale.
+    pub report: Report,
+}
+
+/// The results of an input-range sweep.
+#[derive(Debug)]
+pub struct RangeSweep {
+    /// One point per requested scale, in the given order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl RangeSweep {
+    /// Normalized significance trajectory of one registered variable
+    /// across the sweep (`None` if the variable is missing anywhere).
+    pub fn trajectory(&self, name: &str) -> Option<Vec<f64>> {
+        self.points
+            .iter()
+            .map(|p| p.report.significance_of(name))
+            .collect()
+    }
+
+    /// Fraction of variable pairs whose significance order is identical
+    /// at every sweep point (1.0 = the ranking never changes with input
+    /// width). Only named intermediates take part; near-ties (within a
+    /// 1e-9 relative tolerance — ULP noise from outward rounding) are
+    /// compatible with either order.
+    pub fn ranking_stability(&self) -> f64 {
+        let names: Vec<&str> = match self.points.first() {
+            Some(p) => p
+                .report
+                .registered_of(VarKind::Intermediate)
+                .map(|v| v.name.as_str())
+                .collect(),
+            None => return 1.0,
+        };
+        // Three-valued pairwise order: Some(a > b), or None for a tie.
+        let order = |p: &SweepPoint, i: usize, j: usize| -> Option<bool> {
+            let a = p.report.significance_of(names[i]).unwrap_or(0.0);
+            let b = p.report.significance_of(names[j]).unwrap_or(0.0);
+            if (a - b).abs() <= 1e-9 * a.abs().max(b.abs()) {
+                None
+            } else {
+                Some(a > b)
+            }
+        };
+        let mut stable = 0usize;
+        let mut total = 0usize;
+        for i in 0..names.len() {
+            for j in (i + 1)..names.len() {
+                total += 1;
+                let orders: Vec<bool> = self
+                    .points
+                    .iter()
+                    .filter_map(|p| order(p, i, j))
+                    .collect();
+                if orders.windows(2).all(|w| w[0] == w[1]) {
+                    stable += 1;
+                }
+            }
+        }
+        if total == 0 {
+            1.0
+        } else {
+            stable as f64 / total as f64
+        }
+    }
+}
+
+/// Re-runs `f` once per `scale`, multiplying every declared input width
+/// by the scale (around the declared midpoint).
+///
+/// # Errors
+///
+/// Propagates the first [`AnalysisError`] from any run.
+///
+/// # Panics
+///
+/// Panics if any scale is negative.
+///
+/// # Examples
+///
+/// ```
+/// use scorpio_core::sweep::sweep_input_scale;
+/// use scorpio_core::Analysis;
+///
+/// let sweep = sweep_input_scale(&Analysis::new(), &[0.25, 0.5, 1.0], |ctx| {
+///     let x = ctx.input("x", 0.0, 1.0);
+///     let a = x.sqr();
+///     ctx.intermediate(&a, "a");
+///     let b = x.powi(4);
+///     ctx.intermediate(&b, "b");
+///     let y = a + b;
+///     ctx.output(&y, "y");
+///     Ok(())
+/// }).unwrap();
+///
+/// // a = x² dominates b = x⁴ on every sub-unit box: fully stable.
+/// // (Scales > 1 would widen past [0, 1] and eventually flip it.)
+/// assert_eq!(sweep.ranking_stability(), 1.0);
+/// assert_eq!(sweep.trajectory("a").unwrap().len(), 3);
+/// ```
+pub fn sweep_input_scale<F>(
+    analysis: &Analysis,
+    scales: &[f64],
+    f: F,
+) -> Result<RangeSweep, AnalysisError>
+where
+    F: Fn(&crate::Ctx<'_>) -> Result<(), AnalysisError>,
+{
+    // Learn the declared ranges from a probe run.
+    let declared = analysis.probe_inputs(&f)?;
+    let mut points = Vec::with_capacity(scales.len());
+    for &scale in scales {
+        assert!(scale >= 0.0, "sweep_input_scale: negative scale {scale}");
+        let overrides: Vec<Interval> = declared
+            .iter()
+            .map(|iv| Interval::centered(iv.mid(), iv.rad() * scale))
+            .collect();
+        let (report, _) = analysis.run_with_overrides(&f, overrides)?;
+        points.push(SweepPoint { scale, report });
+    }
+    Ok(RangeSweep { points })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wider_inputs_raise_raw_significance() {
+        let sweep = sweep_input_scale(&Analysis::new(), &[0.25, 0.5, 1.0], |ctx| {
+            let x = ctx.input("x", 1.0, 2.0);
+            let t = x.exp();
+            ctx.intermediate(&t, "t");
+            let y = t + x;
+            ctx.output(&y, "y");
+            Ok(())
+        })
+        .unwrap();
+        let raws: Vec<f64> = sweep
+            .points
+            .iter()
+            .map(|p| p.report.var("t").unwrap().significance_raw)
+            .collect();
+        assert!(raws[0] < raws[1] && raws[1] < raws[2], "{raws:?}");
+    }
+
+    #[test]
+    fn input_dependent_ranking_detected() {
+        // a = 10x vs b = x² on x ∈ [−30, 30]: the linear term's
+        // significance grows like the box radius r (S = 20r), the
+        // square's like r² (S = r²), so the ranking flips at r = 20 —
+        // exactly the input dependence the paper warns about.
+        let sweep = sweep_input_scale(&Analysis::new(), &[0.2, 1.0], |ctx| {
+            let x = ctx.input("x", -30.0, 30.0);
+            let a = x * 10.0;
+            ctx.intermediate(&a, "a");
+            let b = x.sqr();
+            ctx.intermediate(&b, "b");
+            let y = a + b;
+            ctx.output(&y, "y");
+            Ok(())
+        })
+        .unwrap();
+        assert!(sweep.ranking_stability() < 1.0);
+        let a = sweep.trajectory("a").unwrap();
+        let b = sweep.trajectory("b").unwrap();
+        assert!(a[0] > b[0], "linear dominates on the narrow box: {a:?} {b:?}");
+        assert!(b[1] > a[1], "square dominates on the wide box: {a:?} {b:?}");
+    }
+
+    #[test]
+    fn zero_scale_gives_point_inputs() {
+        let sweep = sweep_input_scale(&Analysis::new(), &[0.0], |ctx| {
+            let x = ctx.input("x", 0.0, 2.0);
+            let y = x.sqr();
+            ctx.output(&y, "y");
+            Ok(())
+        })
+        .unwrap();
+        let x = sweep.points[0].report.var("x").unwrap();
+        assert!(x.enclosure.is_point());
+        assert!(x.significance_raw < 1e-12);
+    }
+
+    #[test]
+    fn empty_names_are_stable() {
+        let sweep = sweep_input_scale(&Analysis::new(), &[0.5, 1.0], |ctx| {
+            let x = ctx.input("x", 0.0, 1.0);
+            let y = x.exp();
+            ctx.output(&y, "y");
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(sweep.ranking_stability(), 1.0);
+    }
+}

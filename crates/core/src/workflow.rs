@@ -1,0 +1,304 @@
+//! Algorithm 1, steps S4 and S5: graph simplification and
+//! significance-variance partitioning.
+
+use crate::graph::SigGraph;
+
+/// Per-level significance statistics produced during partitioning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelStats {
+    /// BFS level (0 = outputs).
+    pub level: usize,
+    /// Number of live nodes at the level.
+    pub count: usize,
+    /// Mean normalized significance.
+    pub mean: f64,
+    /// Population variance of the normalized significances.
+    pub variance: f64,
+}
+
+/// The result of the `findSgnfVariance` walk (Algorithm 1, step S5).
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// The level whose significance variance first exceeded δ, if any.
+    /// This is the level whose nodes become the *outputs of tasks*; the
+    /// programmer restructures code so each node at this level is
+    /// produced by one task (§3.2).
+    pub cut_level: Option<usize>,
+    /// The graph truncated to levels `≤ cut_level + 1` (or the full graph
+    /// if no cut was found, meaning all levels are near-uniformly
+    /// significant).
+    pub graph: SigGraph,
+    /// Statistics for every level that was examined.
+    pub level_stats: Vec<LevelStats>,
+}
+
+impl SigGraph {
+    /// Algorithm 1, step S4 (`simplify`): collapses **anti-dependence
+    /// chains** — accumulation patterns like `res = res + term[i]` whose
+    /// interior partial-sum nodes "aggregate results and are not really
+    /// part of the computation".
+    ///
+    /// A node is chain-interior when it is an additive op (`+`/`-`) whose
+    /// single consumer is also additive. Interior nodes are removed and
+    /// their non-chain operands re-attached to the chain's final node, so
+    /// the Maclaurin DynDFG of Fig. 3a becomes exactly Fig. 3b: every
+    /// `term_i` feeding the final `result` directly.
+    pub fn simplified(&self) -> SigGraph {
+        let mut g = self.clone();
+        let succ = g.successors();
+
+        // Chain-interior: additive, exactly one live consumer, consumer
+        // additive, and not a registered output (outputs must survive).
+        let interior: Vec<bool> = g
+            .nodes
+            .iter()
+            .map(|n| {
+                !n.removed
+                    && n.op.is_additive()
+                    && !n.is_output
+                    && succ[n.id].len() == 1
+                    && g.nodes[succ[n.id][0]].op.is_additive()
+            })
+            .collect();
+
+        // Rewire: every kept node expands interior predecessors into
+        // their own predecessors, transitively.
+        for id in 0..g.nodes.len() {
+            if g.nodes[id].removed || interior[id] {
+                continue;
+            }
+            let mut new_preds = Vec::new();
+            let mut stack: Vec<usize> = g.nodes[id].preds.clone();
+            while let Some(p) = stack.pop() {
+                if interior[p] {
+                    stack.extend(g.nodes[p].preds.iter().copied());
+                } else {
+                    new_preds.push(p);
+                }
+            }
+            new_preds.sort_unstable();
+            new_preds.dedup();
+            g.nodes[id].preds = new_preds;
+        }
+        for (id, &is_interior) in interior.iter().enumerate() {
+            if is_interior {
+                g.nodes[id].removed = true;
+                g.nodes[id].preds.clear();
+            }
+        }
+        g.recompute_levels();
+        g
+    }
+
+    /// Algorithm 1, step S5 (`findSgnfVariance`): walks levels breadth
+    /// first from the outputs (L = 1, 2, …) and cuts at the first level
+    /// whose normalized significance variance exceeds `delta`. Nodes
+    /// above level `cut + 1` are truncated from the returned graph.
+    ///
+    /// Call on the [`SigGraph::simplified`] graph for faithful Algorithm-1
+    /// behaviour; calling it on the raw graph is permitted (the ablation
+    /// benches do) but aggregation nodes may then mask the variance.
+    pub fn partition(&self, delta: f64) -> Partition {
+        assert!(delta >= 0.0, "partition: delta must be non-negative");
+        let mut level_stats = Vec::new();
+        let mut cut_level = None;
+        let height = self.height();
+        for level in 1..height {
+            let sig: Vec<f64> = self
+                .level_nodes(level)
+                .iter()
+                .map(|n| n.significance)
+                .filter(|s| s.is_finite())
+                .collect();
+            let count = sig.len();
+            let (mean, variance) = mean_variance(&sig);
+            level_stats.push(LevelStats {
+                level,
+                count,
+                mean,
+                variance,
+            });
+            if variance > delta {
+                cut_level = Some(level);
+                break;
+            }
+        }
+
+        let mut graph = self.clone();
+        if let Some(cut) = cut_level {
+            for node in &mut graph.nodes {
+                if node.level.is_none_or(|l| l > cut + 1) && !node.removed {
+                    node.removed = true;
+                }
+            }
+            // Drop dangling predecessor references of the survivors.
+            let removed: Vec<bool> = graph.nodes.iter().map(|n| n.removed).collect();
+            for node in &mut graph.nodes {
+                node.preds.retain(|&p| !removed[p]);
+            }
+            graph.recompute_levels();
+        }
+        Partition {
+            cut_level,
+            graph,
+            level_stats,
+        }
+    }
+}
+
+/// Population mean and variance; `(0, 0)` for empty input.
+fn mean_variance(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let variance = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    (mean, variance)
+}
+
+#[cfg(test)]
+mod tests {
+    use scorpio_adjoint::Op;
+    use scorpio_interval::Interval;
+
+    use super::*;
+    use crate::graph::SigNode;
+
+    fn mk(id: usize, op: Op, preds: Vec<usize>, sig: f64) -> SigNode {
+        SigNode {
+            id,
+            op,
+            preds,
+            value: Interval::ZERO,
+            derivative: Interval::ZERO,
+            significance: sig,
+            level: None,
+            name: None,
+            is_output: false,
+            removed: false,
+        }
+    }
+
+    /// Builds the Maclaurin-like accumulation:
+    /// c, t0..t3 inputs; a1 = c + t0; a2 = a1 + t1; a3 = a2 + t2;
+    /// a4 = a3 + t3 (output).
+    fn accumulation_graph() -> SigGraph {
+        let mut nodes = vec![
+            mk(0, Op::Const, vec![], 0.0),
+            mk(1, Op::Powi(0), vec![], 0.0),
+            mk(2, Op::Powi(1), vec![], 0.26),
+            mk(3, Op::Powi(2), vec![], 0.25),
+            mk(4, Op::Powi(3), vec![], 0.24),
+            mk(5, Op::Add, vec![0, 1], 0.0),
+            mk(6, Op::Add, vec![5, 2], 0.26),
+            mk(7, Op::Add, vec![6, 3], 0.51),
+            mk(8, Op::Add, vec![7, 4], 1.0),
+        ];
+        nodes[8].is_output = true;
+        SigGraph::new(nodes, vec![8])
+    }
+
+    #[test]
+    fn simplify_collapses_accumulation_chain() {
+        let g = accumulation_graph();
+        // Raw graph: terms at staggered levels because of the chain.
+        assert!(g.height() > 3);
+        let s = g.simplified();
+        // Interior adds removed...
+        assert!(s.nodes()[5].removed);
+        assert!(s.nodes()[6].removed);
+        assert!(s.nodes()[7].removed);
+        // ...final add survives with all terms as direct preds (Fig. 3b).
+        let final_preds = &s.nodes()[8].preds;
+        assert_eq!(final_preds.as_slice(), &[0, 1, 2, 3, 4]);
+        // All terms now sit at level 1.
+        assert_eq!(s.height(), 2);
+        assert_eq!(s.level_nodes(1).len(), 5);
+    }
+
+    #[test]
+    fn simplify_keeps_non_additive_structure() {
+        // mul chains must not collapse.
+        let mut nodes = vec![
+            mk(0, Op::Input, vec![], 0.1),
+            mk(1, Op::Mul, vec![0, 0], 0.2),
+            mk(2, Op::Mul, vec![1, 0], 0.3),
+        ];
+        nodes[2].is_output = true;
+        let g = SigGraph::new(nodes, vec![2]);
+        let s = g.simplified();
+        assert!(!s.nodes()[1].removed);
+        assert_eq!(s.nodes()[2].preds, vec![0, 1]);
+    }
+
+    #[test]
+    fn simplify_respects_fan_out() {
+        // An additive node consumed twice is not chain-interior.
+        let mut nodes = vec![
+            mk(0, Op::Input, vec![], 0.1),
+            mk(1, Op::Input, vec![], 0.1),
+            mk(2, Op::Add, vec![0, 1], 0.2),
+            mk(3, Op::Add, vec![2, 0], 0.3),
+            mk(4, Op::Mul, vec![2, 3], 0.4),
+        ];
+        nodes[4].is_output = true;
+        let g = SigGraph::new(nodes, vec![4]);
+        let s = g.simplified();
+        // Node 2 feeds both 3 and 4 → kept.
+        assert!(!s.nodes()[2].removed);
+        // Node 3 feeds only the mul (not additive) → kept too.
+        assert!(!s.nodes()[3].removed);
+    }
+
+    #[test]
+    fn partition_cuts_at_high_variance_level() {
+        let g = accumulation_graph().simplified();
+        let p = g.partition(1e-3);
+        // Level 1 has significances {0, 0, 0.26, 0.25, 0.24}: variance
+        // well above 1e-3 → cut at L = 1.
+        assert_eq!(p.cut_level, Some(1));
+        assert_eq!(p.level_stats.len(), 1);
+        assert!(p.level_stats[0].variance > 1e-3);
+        // Graph truncated to levels ≤ 2 (here: everything, height 2).
+        assert!(p.graph.height() <= 2);
+    }
+
+    #[test]
+    fn partition_without_variance_returns_whole_graph() {
+        let g = accumulation_graph().simplified();
+        // δ larger than any variance → no cut.
+        let p = g.partition(10.0);
+        assert_eq!(p.cut_level, None);
+        assert_eq!(p.graph.height(), g.height());
+    }
+
+    #[test]
+    fn partition_truncates_above_cut() {
+        // Two levels of structure: output <- mul <- {a, b}; a <- sin(in).
+        let mut nodes = vec![
+            mk(0, Op::Input, vec![], 0.5),
+            mk(1, Op::Sin, vec![0], 0.9),
+            mk(2, Op::Const, vec![], 0.0),
+            mk(3, Op::Mul, vec![1, 2], 0.9),
+            mk(4, Op::Neg, vec![3], 1.0),
+        ];
+        nodes[4].is_output = true;
+        let g = SigGraph::new(nodes, vec![4]);
+        // level1 = {3}: variance 0. level2 = {1, 2}: sig {0.9, 0} → var.
+        let p = g.partition(1e-3);
+        assert_eq!(p.cut_level, Some(2));
+        // Input at level 3 survives (cut + 1); nothing above it exists.
+        assert!(p.graph.live_nodes().any(|n| n.id == 0));
+    }
+
+    #[test]
+    fn mean_variance_basics() {
+        let (m, v) = mean_variance(&[]);
+        assert_eq!((m, v), (0.0, 0.0));
+        let (m, v) = mean_variance(&[2.0, 2.0]);
+        assert_eq!((m, v), (2.0, 0.0));
+        let (m, v) = mean_variance(&[1.0, 3.0]);
+        assert_eq!((m, v), (2.0, 1.0));
+    }
+}

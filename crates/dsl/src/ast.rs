@@ -1,0 +1,219 @@
+//! Abstract syntax of the analysis language.
+
+use std::fmt;
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `^` (power)
+    Pow,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Pow => "^",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A comparison operator in an `if` condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Less,
+    /// `>`
+    Greater,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Less => "<",
+            CmpOp::Greater => ">",
+        })
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Number(f64),
+    /// Variable reference, with the byte offset of the reference (for
+    /// error messages).
+    Var {
+        /// The referenced name.
+        name: String,
+        /// Byte offset in the source.
+        offset: usize,
+    },
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Binary operation.
+    Bin {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Function call.
+    Call {
+        /// Function name.
+        name: String,
+        /// Byte offset of the call (for error messages).
+        offset: usize,
+        /// Arguments in order.
+        args: Vec<Expr>,
+    },
+    /// `if lhs <op> rhs then a else b` — data-dependent control flow;
+    /// over intervals the comparison may be ambiguous (§2.2 of the
+    /// paper), terminating the analysis or triggering splitting.
+    If {
+        /// Comparison left operand.
+        cmp_lhs: Box<Expr>,
+        /// The comparison operator.
+        cmp_op: CmpOp,
+        /// Comparison right operand.
+        cmp_rhs: Box<Expr>,
+        /// Value when the comparison holds.
+        then_branch: Box<Expr>,
+        /// Value when it does not.
+        else_branch: Box<Expr>,
+    },
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Number(v) => write!(f, "{v}"),
+            Expr::Var { name, .. } => f.write_str(name),
+            Expr::Neg(inner) => write!(f, "(-{inner})"),
+            Expr::Bin { op, lhs, rhs } => write!(f, "({lhs} {op} {rhs})"),
+            Expr::Call { name, args, .. } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::If {
+                cmp_lhs,
+                cmp_op,
+                cmp_rhs,
+                then_branch,
+                else_branch,
+            } => write!(
+                f,
+                "(if {cmp_lhs} {cmp_op} {cmp_rhs} then {then_branch} else {else_branch})"
+            ),
+        }
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `input name = lo .. hi;`
+    Input {
+        /// Input name.
+        name: String,
+        /// Lower range bound.
+        lo: f64,
+        /// Upper range bound.
+        hi: f64,
+    },
+    /// `let name = expr;` — a registered intermediate.
+    Let {
+        /// Binding name.
+        name: String,
+        /// Bound expression.
+        expr: Expr,
+    },
+    /// `out name = expr;` — a registered output.
+    Out {
+        /// Output name.
+        name: String,
+        /// Output expression.
+        expr: Expr,
+    },
+}
+
+/// A parsed program: an ordered list of statements.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Statements in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Program {
+    /// Names of the declared inputs, in order.
+    pub fn input_names(&self) -> Vec<&str> {
+        self.stmts
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Input { name, .. } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of `out` statements.
+    pub fn output_count(&self) -> usize {
+        self.stmts
+            .iter()
+            .filter(|s| matches!(s, Stmt::Out { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_queries() {
+        let p = Program {
+            stmts: vec![
+                Stmt::Input {
+                    name: "x".into(),
+                    lo: 0.0,
+                    hi: 1.0,
+                },
+                Stmt::Let {
+                    name: "t".into(),
+                    expr: Expr::Number(1.0),
+                },
+                Stmt::Out {
+                    name: "y".into(),
+                    expr: Expr::Number(2.0),
+                },
+            ],
+        };
+        assert_eq!(p.input_names(), vec!["x"]);
+        assert_eq!(p.output_count(), 1);
+    }
+
+    #[test]
+    fn binop_display() {
+        assert_eq!(BinOp::Pow.to_string(), "^");
+    }
+}

@@ -1,0 +1,182 @@
+//! `scorpio-analyze` — significance analysis of expression-language
+//! programs from the command line.
+//!
+//! ```sh
+//! # From a file:
+//! scorpio-analyze program.sig
+//! # Inline:
+//! scorpio-analyze -e 'input x = 0.2 .. 0.8; out y = cos(exp(sin(x)+x)-x);'
+//! # Machine-readable / graph output:
+//! scorpio-analyze -e '…' --json
+//! scorpio-analyze -e '…' --dot
+//! scorpio-analyze -e '…' --csv
+//! # Algorithm-1 partition and task-plan skeleton:
+//! scorpio-analyze -e '…' --plan [--delta 1e-3]
+//! # Split ambiguous `if` conditions instead of failing (§2.2):
+//! scorpio-analyze -e 'input x = -1 .. 1; out y = if x < 0 then -x else x;' --split 8
+//! ```
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+use scorpio_dsl::{analyze, analyze_with_splitting};
+
+struct Options {
+    source: Option<String>,
+    inline: Option<String>,
+    json: bool,
+    dot: bool,
+    csv: bool,
+    plan: bool,
+    delta: f64,
+    split: Option<usize>,
+}
+
+const USAGE: &str = "usage: scorpio-analyze [FILE | -e PROGRAM | -] \
+[--json] [--dot] [--csv] [--plan] [--delta D] [--split DEPTH]";
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        source: None,
+        inline: None,
+        json: false,
+        dot: false,
+        csv: false,
+        plan: false,
+        delta: 1e-3,
+        split: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-e" | "--expr" => {
+                options.inline =
+                    Some(args.next().ok_or("missing program after -e")?);
+            }
+            "--json" => options.json = true,
+            "--dot" => options.dot = true,
+            "--csv" => options.csv = true,
+            "--plan" => options.plan = true,
+            "--delta" => {
+                let v = args.next().ok_or("missing value after --delta")?;
+                options.delta = v
+                    .parse()
+                    .map_err(|_| format!("invalid --delta value `{v}`"))?;
+            }
+            "--split" => {
+                let v = args.next().ok_or("missing value after --split")?;
+                options.split = Some(
+                    v.parse()
+                        .map_err(|_| format!("invalid --split depth `{v}`"))?,
+                );
+            }
+            "-h" | "--help" => return Err(USAGE.to_owned()),
+            path if !path.starts_with('-') || path == "-" => {
+                options.source = Some(path.to_owned());
+            }
+            other => return Err(format!("unknown option `{other}`\n{USAGE}")),
+        }
+    }
+    if options.inline.is_none() && options.source.is_none() {
+        return Err(USAGE.to_owned());
+    }
+    Ok(options)
+}
+
+fn read_program(options: &Options) -> Result<String, String> {
+    if let Some(text) = &options.inline {
+        return Ok(text.clone());
+    }
+    match options.source.as_deref() {
+        Some("-") => {
+            let mut text = String::new();
+            std::io::stdin()
+                .read_to_string(&mut text)
+                .map_err(|e| format!("reading stdin: {e}"))?;
+            Ok(text)
+        }
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {path}: {e}")),
+        None => unreachable!("validated in parse_args"),
+    }
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match read_program(&options) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(depth) = options.split {
+        return match analyze_with_splitting(&program, depth) {
+            Ok(split) => {
+                println!(
+                    "analysed {} subdomain(s), {} unresolved sliver(s)",
+                    split.subdomains.len(),
+                    split.unresolved.len()
+                );
+                println!(
+                    "{:<20} {:<13} {:>12} {:>28}",
+                    "name", "kind", "S (max)", "merged enclosure"
+                );
+                for v in &split.vars {
+                    println!(
+                        "{:<20} {:<13} {:>12.4} {:>28}",
+                        v.name,
+                        format!("{:?}", v.kind).to_lowercase(),
+                        v.significance,
+                        v.enclosure.to_string()
+                    );
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let report = match analyze(&program) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if options.json {
+        println!("{}", report.to_json());
+    } else if options.csv {
+        print!("{}", report.to_csv());
+    } else if options.dot {
+        print!("{}", report.graph().simplified().to_dot("analysis"));
+    } else {
+        print!("{report}");
+        if options.plan {
+            let partition = report.graph().simplified().partition(options.delta);
+            println!();
+            match partition.cut_level {
+                Some(level) => println!("Algorithm-1 cut at level {level} (δ = {})", options.delta),
+                None => println!(
+                    "no significance-variance cut at δ = {} (uniform levels)",
+                    options.delta
+                ),
+            }
+            let plan = partition.task_plan();
+            println!();
+            print!("{}", plan.to_rust_skeleton("kernel"));
+        }
+    }
+    ExitCode::SUCCESS
+}

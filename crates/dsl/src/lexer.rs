@@ -1,0 +1,338 @@
+//! Tokenizer for the analysis language.
+
+use std::fmt;
+
+/// A token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `input` keyword.
+    Input,
+    /// `let` keyword.
+    Let,
+    /// `out` keyword.
+    Out,
+    /// An identifier.
+    Ident(String),
+    /// A numeric literal.
+    Number(f64),
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `^`
+    Caret,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `=`
+    Equals,
+    /// `..`
+    DotDot,
+    /// `;`
+    Semicolon,
+    /// `if` keyword.
+    If,
+    /// `then` keyword.
+    Then,
+    /// `else` keyword.
+    Else,
+    /// `<`
+    Less,
+    /// `>`
+    Greater,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Input => write!(f, "`input`"),
+            TokenKind::Let => write!(f, "`let`"),
+            TokenKind::Out => write!(f, "`out`"),
+            TokenKind::Ident(name) => write!(f, "identifier `{name}`"),
+            TokenKind::Number(n) => write!(f, "number `{n}`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Minus => write!(f, "`-`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Slash => write!(f, "`/`"),
+            TokenKind::Caret => write!(f, "`^`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Equals => write!(f, "`=`"),
+            TokenKind::DotDot => write!(f, "`..`"),
+            TokenKind::Semicolon => write!(f, "`;`"),
+            TokenKind::If => write!(f, "`if`"),
+            TokenKind::Then => write!(f, "`then`"),
+            TokenKind::Else => write!(f, "`else`"),
+            TokenKind::Less => write!(f, "`<`"),
+            TokenKind::Greater => write!(f, "`>`"),
+        }
+    }
+}
+
+/// A token with its byte offset in the source (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was recognised.
+    pub kind: TokenKind,
+    /// Byte offset of the token's first character.
+    pub offset: usize,
+}
+
+/// A tokenization failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes a program. Comments (`#` to end of line) and whitespace are
+/// skipped.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on unexpected characters or malformed numbers.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'+' => {
+                tokens.push(Token { kind: TokenKind::Plus, offset: i });
+                i += 1;
+            }
+            b'-' => {
+                tokens.push(Token { kind: TokenKind::Minus, offset: i });
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(Token { kind: TokenKind::Star, offset: i });
+                i += 1;
+            }
+            b'/' => {
+                tokens.push(Token { kind: TokenKind::Slash, offset: i });
+                i += 1;
+            }
+            b'^' => {
+                tokens.push(Token { kind: TokenKind::Caret, offset: i });
+                i += 1;
+            }
+            b'(' => {
+                tokens.push(Token { kind: TokenKind::LParen, offset: i });
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token { kind: TokenKind::RParen, offset: i });
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token { kind: TokenKind::Comma, offset: i });
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(Token { kind: TokenKind::Equals, offset: i });
+                i += 1;
+            }
+            b';' => {
+                tokens.push(Token { kind: TokenKind::Semicolon, offset: i });
+                i += 1;
+            }
+            b'<' => {
+                tokens.push(Token { kind: TokenKind::Less, offset: i });
+                i += 1;
+            }
+            b'>' => {
+                tokens.push(Token { kind: TokenKind::Greater, offset: i });
+                i += 1;
+            }
+            b'.' if i + 1 < bytes.len() && bytes[i + 1] == b'.' => {
+                tokens.push(Token { kind: TokenKind::DotDot, offset: i });
+                i += 2;
+            }
+            b'0'..=b'9' | b'.' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                // Fractional part — but not `..` (a range).
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && !(i + 1 < bytes.len() && bytes[i + 1] == b'.')
+                {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                // Exponent.
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &source[start..i];
+                let value: f64 = text.parse().map_err(|_| LexError {
+                    offset: start,
+                    message: format!("malformed number `{text}`"),
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Number(value),
+                    offset: start,
+                });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                let kind = match text {
+                    "input" => TokenKind::Input,
+                    "let" => TokenKind::Let,
+                    "out" => TokenKind::Out,
+                    "if" => TokenKind::If,
+                    "then" => TokenKind::Then,
+                    "else" => TokenKind::Else,
+                    _ => TokenKind::Ident(text.to_owned()),
+                };
+                tokens.push(Token { kind, offset: start });
+            }
+            other => {
+                return Err(LexError {
+                    offset: i,
+                    message: format!("unexpected character `{}`", other as char),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_identifiers() {
+        assert_eq!(
+            kinds("input let out foo input2"),
+            vec![
+                TokenKind::Input,
+                TokenKind::Let,
+                TokenKind::Out,
+                TokenKind::Ident("foo".into()),
+                TokenKind::Ident("input2".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("1 2.5 .25 1e3 2.5e-2"),
+            vec![
+                TokenKind::Number(1.0),
+                TokenKind::Number(2.5),
+                TokenKind::Number(0.25),
+                TokenKind::Number(1000.0),
+                TokenKind::Number(0.025),
+            ]
+        );
+    }
+
+    #[test]
+    fn range_vs_fraction() {
+        // `0..1` is number, dotdot, number — not `0.` `.1`.
+        assert_eq!(
+            kinds("0..1 0.5..1.5"),
+            vec![
+                TokenKind::Number(0.0),
+                TokenKind::DotDot,
+                TokenKind::Number(1.0),
+                TokenKind::Number(0.5),
+                TokenKind::DotDot,
+                TokenKind::Number(1.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("1 # a comment + * /\n2"),
+            vec![TokenKind::Number(1.0), TokenKind::Number(2.0)]
+        );
+    }
+
+    #[test]
+    fn operators_and_punctuation() {
+        assert_eq!(
+            kinds("+-*/^(),=;"),
+            vec![
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::Caret,
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::Comma,
+                TokenKind::Equals,
+                TokenKind::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn offsets_track_positions() {
+        let tokens = tokenize("ab + cd").unwrap();
+        assert_eq!(tokens[0].offset, 0);
+        assert_eq!(tokens[1].offset, 3);
+        assert_eq!(tokens[2].offset, 5);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = tokenize("x @ y").unwrap_err();
+        assert_eq!(err.offset, 2);
+        assert!(err.message.contains('@'));
+    }
+}

@@ -1,0 +1,236 @@
+//! A small expression language for significance analysis.
+//!
+//! The original dco/scorpio instruments C++ source via operator
+//! overloading; this crate provides the equivalent *textual* front-end
+//! for quick experiments: a program declares inputs with ranges, named
+//! intermediates and outputs, and [`analyze`] runs the full analysis
+//! pipeline on it.
+//!
+//! # Language
+//!
+//! ```text
+//! input x = -0.5 .. 0.5;          # input with its range (S2)
+//! let t = sin(x) + x;             # registered intermediate
+//! out y = cos(exp(t) - x);        # registered output (S1)
+//! ```
+//!
+//! Expressions support `+ - * / ^` (integer-literal exponents become
+//! `powi`), unary minus, parentheses, numeric literals, and the
+//! elementary functions of the paper's Eq. 2: `sin cos tan exp ln sqrt
+//! abs atan sinh cosh tanh erf cndf`, plus the two-argument `pow`,
+//! `hypot`, `min`, `max`. Comments run from `#` to end of line.
+//!
+//! `let t = x;` *aliases* the existing DynDFG node (it registers a second
+//! name for it) rather than copying — matching how the paper's macros
+//! attach names to already-computed internal variables.
+//!
+//! # Example
+//!
+//! ```
+//! use scorpio_dsl::analyze;
+//!
+//! let report = analyze(
+//!     "input x = 0.2 .. 0.8;
+//!      let u3 = exp(sin(x) + x);    # Listing 2's u3
+//!      out y = cos(u3 - x);",
+//! ).unwrap();
+//! assert!(report.significance_of("u3").unwrap() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod ast;
+mod eval;
+mod lexer;
+mod parser;
+
+pub use ast::{BinOp, Expr, Program, Stmt};
+pub use eval::{evaluate, EvalError};
+pub use lexer::{LexError, Token, TokenKind};
+pub use parser::{parse, ParseError};
+
+use scorpio_core::splitting::{run_with_splitting, SplitReport};
+use scorpio_core::{Analysis, Report};
+
+/// Errors from the end-to-end [`analyze`] pipeline.
+#[derive(Debug)]
+pub enum DslError {
+    /// The program text did not lex/parse.
+    Parse(ParseError),
+    /// The program referenced unknown names or misused a function.
+    Eval(EvalError),
+    /// The significance analysis itself failed (e.g. no outputs).
+    Analysis(scorpio_core::AnalysisError),
+}
+
+impl std::fmt::Display for DslError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DslError::Parse(e) => write!(f, "parse error: {e}"),
+            DslError::Eval(e) => write!(f, "evaluation error: {e}"),
+            DslError::Analysis(e) => write!(f, "analysis error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DslError {}
+
+impl From<ParseError> for DslError {
+    fn from(e: ParseError) -> Self {
+        DslError::Parse(e)
+    }
+}
+
+/// Parses and analyses a program, returning the significance report.
+///
+/// # Errors
+///
+/// Returns [`DslError`] for parse failures, evaluation failures (unknown
+/// identifiers, bad arity) and analysis failures (no `out` statement).
+pub fn analyze(source: &str) -> Result<Report, DslError> {
+    let program = parse(source)?;
+    // Evaluation errors inside the closure are smuggled out through this
+    // slot; the analysis error is returned directly.
+    let mut eval_error: Option<EvalError> = None;
+    let result = Analysis::new().run(|ctx| {
+        match evaluate(&program, ctx) {
+            Ok(()) => Ok(()),
+            Err(EvalError::Analysis(inner)) => Err(inner),
+            Err(other) => {
+                eval_error = Some(other);
+                // Abort the run; the marker error is replaced below.
+                Err(scorpio_core::AnalysisError::NoOutputs)
+            }
+        }
+    });
+    if let Some(e) = eval_error {
+        return Err(DslError::Eval(e));
+    }
+    result.map_err(DslError::Analysis)
+}
+
+/// Like [`analyze`], but bisecting input ranges when an `if` condition
+/// is ambiguous over them (§2.2's splitting remedy), up to `max_depth`
+/// splits per path.
+///
+/// # Errors
+///
+/// As [`analyze`], plus the splitting-specific failures of
+/// [`run_with_splitting`].
+pub fn analyze_with_splitting(
+    source: &str,
+    max_depth: usize,
+) -> Result<SplitReport, DslError> {
+    let program = parse(source)?;
+    let eval_error = std::cell::RefCell::new(None);
+    let result = run_with_splitting(&Analysis::new(), max_depth, |ctx| {
+        match evaluate(&program, ctx) {
+            Ok(()) => Ok(()),
+            Err(EvalError::Analysis(inner)) => Err(inner),
+            Err(other) => {
+                *eval_error.borrow_mut() = Some(other);
+                Err(scorpio_core::AnalysisError::NoOutputs)
+            }
+        }
+    });
+    if let Some(e) = eval_error.into_inner() {
+        return Err(DslError::Eval(e));
+    }
+    result.map_err(DslError::Analysis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listing_example_end_to_end() {
+        let report = analyze(
+            "input x0 = 0.2 .. 0.8;
+             out y = cos(exp(sin(x0) + x0) - x0);",
+        )
+        .unwrap();
+        // Matches the Rust-API analysis of the same function.
+        let direct = Analysis::new()
+            .run(|ctx| {
+                let x = ctx.input("x0", 0.2, 0.8);
+                let y = ((x.sin() + x).exp() - x).cos();
+                ctx.output(&y, "y");
+                Ok(())
+            })
+            .unwrap();
+        let a = report.var("x0").unwrap();
+        let b = direct.var("x0").unwrap();
+        assert_eq!(a.enclosure, b.enclosure);
+        assert_eq!(a.derivative, b.derivative);
+        assert_eq!(a.significance_raw, b.significance_raw);
+    }
+
+    #[test]
+    fn maclaurin_via_dsl() {
+        let report = analyze(
+            "input x = -0.01 .. 0.99;
+             let term1 = x;
+             let term2 = x^2;
+             let term3 = x^3;
+             out result = 1 + term1 + term2 + term3;",
+        )
+        .unwrap();
+        let s1 = report.significance_of("term1").unwrap();
+        let s2 = report.significance_of("term2").unwrap();
+        let s3 = report.significance_of("term3").unwrap();
+        assert!(s1 > s2 && s2 > s3, "{s1} {s2} {s3}");
+    }
+
+    #[test]
+    fn unknown_variable_is_an_eval_error() {
+        let err = analyze("input x = 0 .. 1; out y = x + z;").unwrap_err();
+        assert!(matches!(err, DslError::Eval(EvalError::UnknownVariable { .. })));
+        assert!(err.to_string().contains('z'));
+    }
+
+    #[test]
+    fn missing_output_is_an_analysis_error() {
+        let err = analyze("input x = 0 .. 1; let t = x * 2;").unwrap_err();
+        assert!(matches!(err, DslError::Analysis(_)));
+    }
+
+    #[test]
+    fn ambiguous_branch_surfaces_condition_text() {
+        let err = analyze(
+            "input x = -1 .. 1; out y = if x < 0 then -x else x;",
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("x < 0"), "{msg}");
+    }
+
+    #[test]
+    fn splitting_resolves_abs() {
+        let report = analyze_with_splitting(
+            "input x = -1 .. 1; out y = if x < 0 then -x else x;",
+            8,
+        )
+        .unwrap();
+        assert!(report.subdomains.len() >= 2);
+        let y = report.vars.iter().find(|v| v.name == "y").unwrap();
+        assert!(y.enclosure.encloses(scorpio_interval::Interval::new(0.0, 1.0)));
+    }
+
+    #[test]
+    fn certain_branch_needs_no_splitting() {
+        let report = analyze(
+            "input x = 1 .. 2; out y = if x > 0 then ln(x) else x;",
+        )
+        .unwrap();
+        assert!(report.var("y").unwrap().enclosure.contains(0.5f64.ln().max(0.0)));
+    }
+
+    #[test]
+    fn syntax_error_reports_position() {
+        let err = analyze("input x = 0 .. 1; out y = (x + ;").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("parse error"), "{msg}");
+    }
+}

@@ -1,0 +1,429 @@
+//! Recursive-descent / Pratt parser for the analysis language.
+
+use std::fmt;
+
+use crate::ast::{BinOp, CmpOp, Expr, Program, Stmt};
+use crate::lexer::{tokenize, LexError, Token, TokenKind};
+
+/// A parse failure with source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Byte offset of the problem (source length for unexpected EOF).
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError {
+            offset: e.offset,
+            message: e.message,
+        }
+    }
+}
+
+/// Parses a whole program.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with the byte offset of the first problem.
+pub fn parse(source: &str) -> Result<Program, ParseError> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        source_len: source.len(),
+    };
+    let mut stmts = Vec::new();
+    while !parser.at_end() {
+        stmts.push(parser.statement()?);
+    }
+    Ok(Program { stmts })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    source_len: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn here(&self) -> usize {
+        self.peek().map(|t| t.offset).unwrap_or(self.source_len)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.here(),
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, ParseError> {
+        match self.peek() {
+            Some(t) if &t.kind == kind => Ok(self.advance().expect("peeked")),
+            Some(t) => Err(ParseError {
+                offset: t.offset,
+                message: format!("expected {kind}, found {}", t.kind),
+            }),
+            None => Err(self.error(format!("expected {kind}, found end of input"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().cloned() {
+            Some(Token {
+                kind: TokenKind::Ident(name),
+                ..
+            }) => {
+                self.advance();
+                Ok(name)
+            }
+            Some(t) => Err(ParseError {
+                offset: t.offset,
+                message: format!("expected an identifier, found {}", t.kind),
+            }),
+            None => Err(self.error("expected an identifier, found end of input")),
+        }
+    }
+
+    /// A signed numeric literal (for input ranges).
+    fn signed_number(&mut self) -> Result<f64, ParseError> {
+        let negative = matches!(
+            self.peek(),
+            Some(Token {
+                kind: TokenKind::Minus,
+                ..
+            })
+        );
+        if negative {
+            self.advance();
+        }
+        match self.advance() {
+            Some(Token {
+                kind: TokenKind::Number(v),
+                ..
+            }) => Ok(if negative { -v } else { v }),
+            Some(t) => Err(ParseError {
+                offset: t.offset,
+                message: format!("expected a number, found {}", t.kind),
+            }),
+            None => Err(self.error("expected a number, found end of input")),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt, ParseError> {
+        let stmt = match self.peek().map(|t| t.kind.clone()) {
+            Some(TokenKind::Input) => {
+                self.advance();
+                let name = self.expect_ident()?;
+                self.expect(&TokenKind::Equals)?;
+                let lo = self.signed_number()?;
+                self.expect(&TokenKind::DotDot)?;
+                let hi = self.signed_number()?;
+                if lo > hi {
+                    return Err(self.error(format!(
+                        "input `{name}`: range lower bound {lo} exceeds upper bound {hi}"
+                    )));
+                }
+                Stmt::Input { name, lo, hi }
+            }
+            Some(TokenKind::Let) => {
+                self.advance();
+                let name = self.expect_ident()?;
+                self.expect(&TokenKind::Equals)?;
+                let expr = self.expression(0)?;
+                Stmt::Let { name, expr }
+            }
+            Some(TokenKind::Out) => {
+                self.advance();
+                let name = self.expect_ident()?;
+                self.expect(&TokenKind::Equals)?;
+                let expr = self.expression(0)?;
+                Stmt::Out { name, expr }
+            }
+            Some(other) => {
+                return Err(self.error(format!(
+                    "expected `input`, `let` or `out`, found {other}"
+                )))
+            }
+            None => return Err(self.error("expected a statement, found end of input")),
+        };
+        self.expect(&TokenKind::Semicolon)?;
+        Ok(stmt)
+    }
+
+    /// Pratt expression parser. Binding powers: `+ -` = 10, `* /` = 20,
+    /// `^` = 30 (right associative), unary minus binds at 25.
+    fn expression(&mut self, min_bp: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.prefix()?;
+        loop {
+            let (op, lbp, rbp) = match self.peek().map(|t| &t.kind) {
+                Some(TokenKind::Plus) => (BinOp::Add, 10, 11),
+                Some(TokenKind::Minus) => (BinOp::Sub, 10, 11),
+                Some(TokenKind::Star) => (BinOp::Mul, 20, 21),
+                Some(TokenKind::Slash) => (BinOp::Div, 20, 21),
+                // Right-associative: rbp == lbp.
+                Some(TokenKind::Caret) => (BinOp::Pow, 30, 30),
+                _ => break,
+            };
+            if lbp < min_bp {
+                break;
+            }
+            self.advance();
+            let rhs = self.expression(rbp)?;
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn prefix(&mut self) -> Result<Expr, ParseError> {
+        match self.advance() {
+            Some(Token {
+                kind: TokenKind::If,
+                ..
+            }) => {
+                let cmp_lhs = self.expression(0)?;
+                let cmp_op = match self.advance() {
+                    Some(Token {
+                        kind: TokenKind::Less,
+                        ..
+                    }) => CmpOp::Less,
+                    Some(Token {
+                        kind: TokenKind::Greater,
+                        ..
+                    }) => CmpOp::Greater,
+                    Some(t) => {
+                        return Err(ParseError {
+                            offset: t.offset,
+                            message: format!("expected `<` or `>`, found {}", t.kind),
+                        })
+                    }
+                    None => {
+                        return Err(self.error("expected `<` or `>`, found end of input"))
+                    }
+                };
+                let cmp_rhs = self.expression(0)?;
+                self.expect(&TokenKind::Then)?;
+                let then_branch = self.expression(0)?;
+                self.expect(&TokenKind::Else)?;
+                let else_branch = self.expression(0)?;
+                Ok(Expr::If {
+                    cmp_lhs: Box::new(cmp_lhs),
+                    cmp_op,
+                    cmp_rhs: Box::new(cmp_rhs),
+                    then_branch: Box::new(then_branch),
+                    else_branch: Box::new(else_branch),
+                })
+            }
+            Some(Token {
+                kind: TokenKind::Number(v),
+                ..
+            }) => Ok(Expr::Number(v)),
+            Some(Token {
+                kind: TokenKind::Minus,
+                ..
+            }) => {
+                // Unary minus binds tighter than * but looser than ^ so
+                // that -x^2 = -(x^2), matching mathematical convention.
+                let inner = self.expression(25)?;
+                Ok(Expr::Neg(Box::new(inner)))
+            }
+            Some(Token {
+                kind: TokenKind::LParen,
+                ..
+            }) => {
+                let inner = self.expression(0)?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(inner)
+            }
+            Some(Token {
+                kind: TokenKind::Ident(name),
+                offset,
+            }) => {
+                if matches!(
+                    self.peek(),
+                    Some(Token {
+                        kind: TokenKind::LParen,
+                        ..
+                    })
+                ) {
+                    self.advance(); // (
+                    let mut args = Vec::new();
+                    if !matches!(
+                        self.peek(),
+                        Some(Token {
+                            kind: TokenKind::RParen,
+                            ..
+                        })
+                    ) {
+                        loop {
+                            args.push(self.expression(0)?);
+                            if matches!(
+                                self.peek(),
+                                Some(Token {
+                                    kind: TokenKind::Comma,
+                                    ..
+                                })
+                            ) {
+                                self.advance();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(Expr::Call { name, offset, args })
+                } else {
+                    Ok(Expr::Var { name, offset })
+                }
+            }
+            Some(t) => Err(ParseError {
+                offset: t.offset,
+                message: format!("expected an expression, found {}", t.kind),
+            }),
+            None => Err(self.error("expected an expression, found end of input")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expr(src: &str) -> Expr {
+        let program = parse(&format!("out y = {src};")).unwrap();
+        match &program.stmts[0] {
+            Stmt::Out { expr, .. } => expr.clone(),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn precedence() {
+        // 1 + 2 * 3 parses as 1 + (2 * 3).
+        match expr("1 + 2 * 3") {
+            Expr::Bin { op: BinOp::Add, rhs, .. } => {
+                assert!(matches!(*rhs, Expr::Bin { op: BinOp::Mul, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn power_is_right_associative() {
+        // 2 ^ 3 ^ 2 = 2 ^ (3 ^ 2).
+        match expr("2 ^ 3 ^ 2") {
+            Expr::Bin { op: BinOp::Pow, rhs, .. } => {
+                assert!(matches!(*rhs, Expr::Bin { op: BinOp::Pow, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_minus_vs_power() {
+        // -x^2 = -(x^2).
+        match expr("-x^2") {
+            Expr::Neg(inner) => {
+                assert!(matches!(*inner, Expr::Bin { op: BinOp::Pow, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+        // (-x)^2 stays grouped.
+        match expr("(-x)^2") {
+            Expr::Bin { op: BinOp::Pow, lhs, .. } => {
+                assert!(matches!(*lhs, Expr::Neg(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn calls_with_arities() {
+        match expr("pow(x, 3) + hypot(a, b)") {
+            Expr::Bin { lhs, rhs, .. } => {
+                assert!(matches!(*lhs, Expr::Call { ref name, ref args, .. }
+                    if name == "pow" && args.len() == 2));
+                assert!(matches!(*rhs, Expr::Call { ref name, ref args, .. }
+                    if name == "hypot" && args.len() == 2));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn statements_round_trip() {
+        let p = parse(
+            "input x = -1 .. 2.5;
+             let t = sin(x);
+             out y = t * t;",
+        )
+        .unwrap();
+        assert_eq!(p.stmts.len(), 3);
+        assert_eq!(p.input_names(), vec!["x"]);
+        assert_eq!(p.output_count(), 1);
+        assert!(matches!(p.stmts[0], Stmt::Input { lo, hi, .. } if lo == -1.0 && hi == 2.5));
+    }
+
+    #[test]
+    fn inverted_range_rejected() {
+        let err = parse("input x = 2 .. 1;").unwrap_err();
+        assert!(err.message.contains("exceeds"));
+    }
+
+    #[test]
+    fn missing_semicolon_reported() {
+        let err = parse("out y = 1").unwrap_err();
+        assert!(err.message.contains("`;`"), "{}", err.message);
+    }
+
+    #[test]
+    fn if_expression_parses() {
+        match expr("if x < 0 then -x else x") {
+            Expr::If { cmp_op, .. } => assert_eq!(cmp_op, CmpOp::Less),
+            other => panic!("{other:?}"),
+        }
+        // Nests as an operand.
+        match expr("1 + (if a > b then a else b)") {
+            Expr::Bin { rhs, .. } => assert!(matches!(*rhs, Expr::If { .. })),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_offsets_are_useful() {
+        let src = "out y = (1 + ;";
+        let err = parse(src).unwrap_err();
+        assert_eq!(err.offset, src.find(';').unwrap());
+    }
+}

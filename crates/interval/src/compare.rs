@@ -1,0 +1,210 @@
+//! Three-valued interval comparisons.
+//!
+//! §2.2 of the paper: *"With IA, comparisons between values is no longer
+//! unique: for `c < [x]` with `c ∈ [x]`, the answer is neither true nor
+//! false."* Comparisons therefore return a [`Trichotomy`]; the analysis
+//! layer terminates (or splits the input interval) on
+//! [`Trichotomy::Ambiguous`].
+
+use crate::interval::Interval;
+
+/// The result of comparing two intervals: definitely true, definitely
+/// false, or ambiguous (the operand intervals overlap in a way that makes
+/// both outcomes possible).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Trichotomy {
+    /// The relation holds for every pair of member values.
+    True,
+    /// The relation fails for every pair of member values.
+    False,
+    /// The relation holds for some pairs and fails for others.
+    Ambiguous,
+}
+
+impl Trichotomy {
+    /// `true` iff the relation certainly holds.
+    #[inline]
+    pub fn is_certainly_true(self) -> bool {
+        self == Trichotomy::True
+    }
+
+    /// `true` iff the relation certainly fails.
+    #[inline]
+    pub fn is_certainly_false(self) -> bool {
+        self == Trichotomy::False
+    }
+
+    /// `true` iff neither outcome is certain.
+    #[inline]
+    pub fn is_ambiguous(self) -> bool {
+        self == Trichotomy::Ambiguous
+    }
+
+    /// Converts to `Some(bool)` when certain, `None` when ambiguous.
+    ///
+    /// ```
+    /// use scorpio_interval::{Interval, Trichotomy};
+    /// let a = Interval::new(0.0, 1.0);
+    /// let b = Interval::new(2.0, 3.0);
+    /// assert_eq!(a.certainly_lt(b).to_bool(), Some(true));
+    /// ```
+    #[inline]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Trichotomy::True => Some(true),
+            Trichotomy::False => Some(false),
+            Trichotomy::Ambiguous => None,
+        }
+    }
+
+    /// Logical negation (swaps `True` and `False`, keeps `Ambiguous`).
+    #[inline]
+    pub fn complement(self) -> Trichotomy {
+        match self {
+            Trichotomy::True => Trichotomy::False,
+            Trichotomy::False => Trichotomy::True,
+            Trichotomy::Ambiguous => Trichotomy::Ambiguous,
+        }
+    }
+}
+
+impl From<bool> for Trichotomy {
+    fn from(b: bool) -> Trichotomy {
+        if b {
+            Trichotomy::True
+        } else {
+            Trichotomy::False
+        }
+    }
+}
+
+impl Interval {
+    /// Three-valued `self < other`.
+    ///
+    /// ```
+    /// use scorpio_interval::{Interval, Trichotomy};
+    /// let x = Interval::new(0.0, 2.0);
+    /// assert_eq!(x.certainly_lt(Interval::new(3.0, 4.0)), Trichotomy::True);
+    /// assert_eq!(x.certainly_lt(Interval::new(-1.0, -0.5)), Trichotomy::False);
+    /// assert_eq!(x.certainly_lt(Interval::new(1.0, 5.0)), Trichotomy::Ambiguous);
+    /// ```
+    #[inline]
+    pub fn certainly_lt(self, other: Interval) -> Trichotomy {
+        if self.is_empty() || other.is_empty() {
+            return Trichotomy::Ambiguous;
+        }
+        if self.sup() < other.inf() {
+            Trichotomy::True
+        } else if self.inf() >= other.sup() {
+            Trichotomy::False
+        } else {
+            Trichotomy::Ambiguous
+        }
+    }
+
+    /// Three-valued `self ≤ other`.
+    #[inline]
+    pub fn certainly_le(self, other: Interval) -> Trichotomy {
+        if self.is_empty() || other.is_empty() {
+            return Trichotomy::Ambiguous;
+        }
+        if self.sup() <= other.inf() {
+            Trichotomy::True
+        } else if self.inf() > other.sup() {
+            Trichotomy::False
+        } else {
+            Trichotomy::Ambiguous
+        }
+    }
+
+    /// Three-valued `self > other`.
+    #[inline]
+    pub fn certainly_gt(self, other: Interval) -> Trichotomy {
+        other.certainly_lt(self)
+    }
+
+    /// Three-valued `self ≥ other`.
+    #[inline]
+    pub fn certainly_ge(self, other: Interval) -> Trichotomy {
+        other.certainly_le(self)
+    }
+
+    /// Three-valued equality: `True` only for two identical points,
+    /// `False` when the intervals are disjoint.
+    #[inline]
+    pub fn certainly_eq(self, other: Interval) -> Trichotomy {
+        if self.is_empty() || other.is_empty() {
+            return Trichotomy::Ambiguous;
+        }
+        if self.is_point() && other.is_point() && self.inf() == other.inf() {
+            Trichotomy::True
+        } else if !self.intersects(other) {
+            Trichotomy::False
+        } else {
+            Trichotomy::Ambiguous
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: f64, hi: f64) -> Interval {
+        Interval::new(lo, hi)
+    }
+
+    #[test]
+    fn lt_cases() {
+        assert_eq!(iv(0.0, 1.0).certainly_lt(iv(2.0, 3.0)), Trichotomy::True);
+        assert_eq!(iv(2.0, 3.0).certainly_lt(iv(0.0, 1.0)), Trichotomy::False);
+        assert_eq!(
+            iv(0.0, 2.0).certainly_lt(iv(1.0, 3.0)),
+            Trichotomy::Ambiguous
+        );
+        // Touching endpoints: 1 < 1 is false, so touching is ambiguous for
+        // lt unless strictly separated.
+        assert_eq!(
+            iv(0.0, 1.0).certainly_lt(iv(1.0, 2.0)),
+            Trichotomy::Ambiguous
+        );
+    }
+
+    #[test]
+    fn le_touching_is_true() {
+        assert_eq!(iv(0.0, 1.0).certainly_le(iv(1.0, 2.0)), Trichotomy::True);
+    }
+
+    #[test]
+    fn eq_cases() {
+        assert_eq!(
+            Interval::point(1.0).certainly_eq(Interval::point(1.0)),
+            Trichotomy::True
+        );
+        assert_eq!(iv(0.0, 1.0).certainly_eq(iv(2.0, 3.0)), Trichotomy::False);
+        assert_eq!(
+            iv(0.0, 1.0).certainly_eq(iv(0.5, 2.0)),
+            Trichotomy::Ambiguous
+        );
+    }
+
+    #[test]
+    fn gt_ge_mirror_lt_le() {
+        let a = iv(0.0, 1.0);
+        let b = iv(2.0, 3.0);
+        assert_eq!(b.certainly_gt(a), Trichotomy::True);
+        assert_eq!(b.certainly_ge(a), Trichotomy::True);
+        assert_eq!(a.certainly_gt(b), Trichotomy::False);
+    }
+
+    #[test]
+    fn trichotomy_helpers() {
+        assert!(Trichotomy::True.is_certainly_true());
+        assert!(Trichotomy::False.is_certainly_false());
+        assert!(Trichotomy::Ambiguous.is_ambiguous());
+        assert_eq!(Trichotomy::True.complement(), Trichotomy::False);
+        assert_eq!(Trichotomy::Ambiguous.complement(), Trichotomy::Ambiguous);
+        assert_eq!(Trichotomy::Ambiguous.to_bool(), None);
+        assert_eq!(Trichotomy::from(true), Trichotomy::True);
+    }
+}

@@ -1,0 +1,253 @@
+//! Additional interval functions: accurate near-zero variants, two-arg
+//! trigonometry, step functions and FMA — the long tail of elementary
+//! operations a production analysis front-end meets in real kernels.
+
+use std::f64::consts::PI;
+
+use crate::interval::Interval;
+use crate::rounding::{pad_hi, pad_lo, round_hi, round_lo};
+
+impl Interval {
+    /// `exp(x) − 1`, accurate for small `x` (monotone).
+    ///
+    /// ```
+    /// use scorpio_interval::Interval;
+    /// let r = Interval::new(-1e-12, 1e-12).exp_m1();
+    /// assert!(r.contains(0.0));
+    /// assert!(r.width() < 1e-11);
+    /// ```
+    #[inline]
+    pub fn exp_m1(self) -> Interval {
+        if self.is_empty() {
+            return self;
+        }
+        Interval::make(
+            pad_lo(self.inf().exp_m1()).max(-1.0),
+            pad_hi(self.sup().exp_m1()),
+        )
+    }
+
+    /// `ln(1 + x)`, accurate near zero; domain intersected with
+    /// `(-1, ∞)`.
+    #[inline]
+    pub fn ln_1p(self) -> Interval {
+        if self.is_empty() || self.sup() <= -1.0 {
+            return Interval::EMPTY;
+        }
+        let lo = if self.inf() <= -1.0 {
+            f64::NEG_INFINITY
+        } else {
+            pad_lo(self.inf().ln_1p())
+        };
+        Interval::make(lo, pad_hi(self.sup().ln_1p()))
+    }
+
+    /// Four-quadrant arc-tangent `atan2(self, x)`.
+    ///
+    /// If the `(y, x)` box touches the branch cut (negative x-axis) or
+    /// the origin, the full range `[-π, π]` is returned (the sound
+    /// single-interval enclosure).
+    ///
+    /// ```
+    /// use scorpio_interval::Interval;
+    /// let y = Interval::new(0.9, 1.1);
+    /// let x = Interval::new(0.9, 1.1);
+    /// let a = y.atan2(x);
+    /// assert!(a.contains(std::f64::consts::FRAC_PI_4));
+    /// assert!(a.width() < 0.3);
+    /// ```
+    pub fn atan2(self, x: Interval) -> Interval {
+        if self.is_empty() || x.is_empty() {
+            return Interval::EMPTY;
+        }
+        // Branch cut or origin inside the box → full circle.
+        if x.inf() <= 0.0 && self.contains(0.0) {
+            return Interval::make(-PI, PI);
+        }
+        // The box avoids the cut: atan2 is continuous on it, and its
+        // extrema lie at box corners (it is monotone along each edge for
+        // boxes not crossing an axis; for boxes crossing the positive
+        // x-axis or the y-axis, corner evaluation still bounds because
+        // the partial derivatives -y/(x²+y²), x/(x²+y²) each keep a
+        // constant sign on the sub-edges delimited by the axes, which
+        // corners plus the axis crossings cover).
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        let ys = [self.inf(), self.sup(), 0.0_f64.clamp(self.inf(), self.sup())];
+        let xs = [x.inf(), x.sup(), 0.0_f64.clamp(x.inf(), x.sup())];
+        for &yy in &ys {
+            for &xx in &xs {
+                if yy == 0.0 && xx == 0.0 {
+                    continue;
+                }
+                let a = yy.atan2(xx);
+                lo = lo.min(a);
+                hi = hi.max(a);
+            }
+        }
+        Interval::make(pad_lo(lo).max(-PI), pad_hi(hi).min(PI))
+    }
+
+    /// Componentwise floor — a step function: the enclosure is
+    /// `[⌊inf⌋, ⌊sup⌋]`.
+    ///
+    /// Note that, like all step functions, `floor` is not differentiable;
+    /// the analysis layer must treat it as a constant-derivative-zero
+    /// operation or refuse it.
+    #[inline]
+    pub fn floor(self) -> Interval {
+        if self.is_empty() {
+            return self;
+        }
+        Interval::make(self.inf().floor(), self.sup().floor())
+    }
+
+    /// Componentwise ceiling.
+    #[inline]
+    pub fn ceil(self) -> Interval {
+        if self.is_empty() {
+            return self;
+        }
+        Interval::make(self.inf().ceil(), self.sup().ceil())
+    }
+
+    /// Componentwise round-half-away-from-zero.
+    #[inline]
+    pub fn round_step(self) -> Interval {
+        if self.is_empty() {
+            return self;
+        }
+        Interval::make(self.inf().round(), self.sup().round())
+    }
+
+    /// Fused multiply-add enclosure `self·a + b` (evaluated with the
+    /// hardware FMA per bound combination, then outward-rounded — one
+    /// rounding instead of two).
+    ///
+    /// ```
+    /// use scorpio_interval::Interval;
+    /// let r = Interval::new(1.0, 2.0).mul_add(Interval::new(3.0, 4.0), Interval::new(0.5, 0.5));
+    /// assert!(r.contains(3.5) && r.contains(8.5));
+    /// ```
+    pub fn mul_add(self, a: Interval, b: Interval) -> Interval {
+        if self.is_empty() || a.is_empty() || b.is_empty() {
+            return Interval::EMPTY;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &x in &[self.inf(), self.sup()] {
+            for &y in &[a.inf(), a.sup()] {
+                for &z in &[b.inf(), b.sup()] {
+                    let v = x.mul_add(y, z);
+                    let v = if v.is_nan() { z } else { v };
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+            }
+        }
+        Interval::make(round_lo(lo), round_hi(hi))
+    }
+
+    /// Linear interpolation enclosure `self + t·(other − self)` for
+    /// `t ∈ [t]`, the workhorse of the interpolation kernels.
+    pub fn lerp(self, other: Interval, t: Interval) -> Interval {
+        self + t * (other - self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(a: f64, b: f64) -> Interval {
+        Interval::new(a, b)
+    }
+
+    #[test]
+    fn exp_m1_near_zero_is_tight() {
+        let x = iv(-1e-15, 1e-15);
+        let naive = x.exp() - Interval::ONE;
+        let precise = x.exp_m1();
+        assert!(precise.width() < naive.width() * 10.0);
+        assert!(precise.contains(0.0));
+        // Range bound: exp_m1 ≥ −1.
+        assert!(Interval::new(-100.0, 0.0).exp_m1().inf() >= -1.0);
+    }
+
+    #[test]
+    fn ln_1p_domain() {
+        assert!(iv(-3.0, -1.5).ln_1p().is_empty());
+        let r = iv(-1.0, 0.0).ln_1p();
+        assert_eq!(r.inf(), f64::NEG_INFINITY);
+        assert!(r.contains(0.0));
+        assert!(iv(0.0, 1.0).ln_1p().contains(2.0f64.ln()));
+    }
+
+    #[test]
+    fn atan2_quadrants() {
+        // First quadrant box.
+        let a = iv(1.0, 2.0).atan2(iv(1.0, 2.0));
+        assert!(a.inf() > 0.0 && a.sup() < PI / 2.0);
+        // Second quadrant.
+        let a = iv(1.0, 2.0).atan2(iv(-2.0, -1.0));
+        assert!(a.inf() > PI / 2.0);
+        // Crossing the positive x-axis: enclosure spans negative to
+        // positive angles but stays narrow.
+        let a = iv(-0.5, 0.5).atan2(iv(2.0, 3.0));
+        assert!(a.contains(0.0));
+        assert!(a.width() < 1.0);
+        // Touching the branch cut → full circle.
+        let a = iv(-0.5, 0.5).atan2(iv(-2.0, -1.0));
+        assert_eq!(a, Interval::make(-PI, PI));
+    }
+
+    #[test]
+    fn atan2_encloses_samples() {
+        let ybox = iv(0.3, 1.7);
+        let xbox = iv(-1.2, 2.1);
+        let enc = ybox.atan2(xbox);
+        for i in 0..=10 {
+            for j in 0..=10 {
+                let y = ybox.inf() + ybox.width() * i as f64 / 10.0;
+                let x = xbox.inf() + xbox.width() * j as f64 / 10.0;
+                assert!(enc.contains(y.atan2(x)), "atan2({y},{x})");
+            }
+        }
+    }
+
+    #[test]
+    fn step_functions() {
+        assert_eq!(iv(0.2, 2.7).floor(), iv(0.0, 2.0));
+        assert_eq!(iv(0.2, 2.7).ceil(), iv(1.0, 3.0));
+        assert_eq!(iv(0.4, 2.6).round_step(), iv(0.0, 3.0));
+        assert_eq!(iv(-1.5, -0.2).floor(), iv(-2.0, -1.0));
+    }
+
+    #[test]
+    fn mul_add_encloses() {
+        let x = iv(-1.0, 2.0);
+        let a = iv(0.5, 3.0);
+        let b = iv(-0.25, 0.25);
+        let r = x.mul_add(a, b);
+        for i in 0..=4 {
+            for j in 0..=4 {
+                for k in 0..=4 {
+                    let xx = x.inf() + x.width() * i as f64 / 4.0;
+                    let aa = a.inf() + a.width() * j as f64 / 4.0;
+                    let bb = b.inf() + b.width() * k as f64 / 4.0;
+                    assert!(r.contains(xx.mul_add(aa, bb)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lerp_between_endpoints() {
+        let r = iv(0.0, 1.0).lerp(iv(10.0, 11.0), iv(0.0, 1.0));
+        assert!(r.contains(0.5) && r.contains(10.5));
+        // t = 0.5 point.
+        let mid = Interval::point(2.0).lerp(Interval::point(4.0), Interval::point(0.5));
+        assert!(mid.contains(3.0));
+        assert!(mid.width() < 1e-12);
+    }
+}

@@ -1,0 +1,69 @@
+//! Round-to-nearest arithmetic kernels — the **rounding ablation** baseline.
+//!
+//! These functions perform the same case analysis as the production
+//! operators of [`Interval`] but take computed bounds
+//! verbatim (no outward ULP nudges). The enclosure property is therefore
+//! *not* guaranteed; the only legitimate consumer is the ablation bench that
+//! quantifies how much outward rounding costs in enclosure width and whether
+//! it ever changes a significance ranking.
+
+use crate::interval::Interval;
+use crate::ops::{add_impl, div_impl, mul_impl, sub_impl, Nearest};
+
+/// `a + b` without outward rounding.
+///
+/// ```
+/// use scorpio_interval::{nearest, Interval};
+/// let r = nearest::add(Interval::point(0.1), Interval::point(0.2));
+/// assert!(r.is_point()); // the outward-rounded version is not a point
+/// ```
+#[inline]
+pub fn add(a: Interval, b: Interval) -> Interval {
+    add_impl::<Nearest>(a, b)
+}
+
+/// `a - b` without outward rounding.
+#[inline]
+pub fn sub(a: Interval, b: Interval) -> Interval {
+    sub_impl::<Nearest>(a, b)
+}
+
+/// `a * b` without outward rounding.
+#[inline]
+pub fn mul(a: Interval, b: Interval) -> Interval {
+    mul_impl::<Nearest>(a, b)
+}
+
+/// `a / b` without outward rounding.
+#[inline]
+pub fn div(a: Interval, b: Interval) -> Interval {
+    div_impl::<Nearest>(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_is_never_wider_than_outward() {
+        let cases = [
+            (Interval::new(0.1, 0.3), Interval::new(-0.7, 0.2)),
+            (Interval::new(1e-10, 2e-10), Interval::new(3.0, 4.0)),
+            (Interval::new(-5.5, -1.1), Interval::new(-2.2, 7.7)),
+        ];
+        for (a, b) in cases {
+            assert!((a + b).encloses(add(a, b)));
+            assert!((a - b).encloses(sub(a, b)));
+            assert!((a * b).encloses(mul(a, b)));
+            assert!((a / b).encloses(div(a, b)));
+        }
+    }
+
+    #[test]
+    fn nearest_matches_plain_f64_on_points() {
+        let a = Interval::point(0.1);
+        let b = Interval::point(0.2);
+        assert_eq!(add(a, b), Interval::point(0.1 + 0.2));
+        assert_eq!(mul(a, b), Interval::point(0.1 * 0.2));
+    }
+}

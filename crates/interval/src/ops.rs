@@ -1,0 +1,366 @@
+//! Arithmetic operators for [`Interval`] with outward rounding.
+//!
+//! The binary kernels are written once, generic over a [`Round`] policy, so
+//! that the rounding ablation (`nearest` module) shares the exact same case
+//! analysis as the production outward-rounded operators.
+
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::interval::Interval;
+use crate::rounding::{round_hi, round_lo};
+
+/// Rounding policy for the arithmetic kernels.
+///
+/// This trait is sealed within the crate: the only implementations are
+/// [`Outward`] (production) and [`Nearest`] (ablation baseline).
+pub(crate) trait Round: Copy {
+    /// Adjusts a computed lower bound in the safe direction.
+    fn lo(x: f64) -> f64;
+    /// Adjusts a computed upper bound in the safe direction.
+    fn hi(x: f64) -> f64;
+}
+
+/// Outward rounding: lower bounds are nudged down one ULP, upper bounds up.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Outward;
+
+impl Round for Outward {
+    #[inline]
+    fn lo(x: f64) -> f64 {
+        round_lo(x)
+    }
+    #[inline]
+    fn hi(x: f64) -> f64 {
+        round_hi(x)
+    }
+}
+
+/// Round-to-nearest: bounds taken verbatim (enclosure NOT guaranteed).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Nearest;
+
+impl Round for Nearest {
+    #[inline]
+    fn lo(x: f64) -> f64 {
+        x
+    }
+    #[inline]
+    fn hi(x: f64) -> f64 {
+        x
+    }
+}
+
+#[inline]
+pub(crate) fn add_impl<R: Round>(a: Interval, b: Interval) -> Interval {
+    if a.is_empty() || b.is_empty() {
+        return Interval::EMPTY;
+    }
+    Interval::make(R::lo(a.inf() + b.inf()), R::hi(a.sup() + b.sup()))
+}
+
+#[inline]
+pub(crate) fn sub_impl<R: Round>(a: Interval, b: Interval) -> Interval {
+    if a.is_empty() || b.is_empty() {
+        return Interval::EMPTY;
+    }
+    Interval::make(R::lo(a.inf() - b.sup()), R::hi(a.sup() - b.inf()))
+}
+
+/// Multiplies with the standard 4-product rule, treating `0 * ±∞` (which is
+/// NaN in IEEE arithmetic) as `0` per interval-arithmetic convention.
+#[inline]
+pub(crate) fn mul_impl<R: Round>(a: Interval, b: Interval) -> Interval {
+    if a.is_empty() || b.is_empty() {
+        return Interval::EMPTY;
+    }
+    #[inline]
+    fn prod(x: f64, y: f64) -> f64 {
+        let p = x * y;
+        if p.is_nan() {
+            // One factor was 0 and the other ±∞: by convention 0 · ∞ = 0.
+            0.0
+        } else {
+            p
+        }
+    }
+    let p1 = prod(a.inf(), b.inf());
+    let p2 = prod(a.inf(), b.sup());
+    let p3 = prod(a.sup(), b.inf());
+    let p4 = prod(a.sup(), b.sup());
+    let lo = p1.min(p2).min(p3).min(p4);
+    let hi = p1.max(p2).max(p3).max(p4);
+    Interval::make(R::lo(lo), R::hi(hi))
+}
+
+/// Divides; if the divisor straddles zero the result is the whole line
+/// (the tightest single-interval enclosure of the two-piece true result).
+#[inline]
+pub(crate) fn div_impl<R: Round>(a: Interval, b: Interval) -> Interval {
+    if a.is_empty() || b.is_empty() {
+        return Interval::EMPTY;
+    }
+    if b.inf() <= 0.0 && b.sup() >= 0.0 {
+        if b.inf() == 0.0 && b.sup() == 0.0 {
+            // Division by the point zero: undefined everywhere.
+            return Interval::EMPTY;
+        }
+        if b.inf() == 0.0 {
+            // b ⊆ [0, +], divide by (0, sup].
+            let q1 = a.inf() / b.sup();
+            let q2 = a.sup() / b.sup();
+            let (lo, hi) = if a.sup() <= 0.0 {
+                (f64::NEG_INFINITY, q2.max(q1))
+            } else if a.inf() >= 0.0 {
+                (q1.min(q2), f64::INFINITY)
+            } else {
+                return Interval::ENTIRE;
+            };
+            return Interval::make(R::lo(lo), R::hi(hi));
+        }
+        if b.sup() == 0.0 {
+            let q1 = a.inf() / b.inf();
+            let q2 = a.sup() / b.inf();
+            let (lo, hi) = if a.sup() <= 0.0 {
+                (q1.min(q2), f64::INFINITY)
+            } else if a.inf() >= 0.0 {
+                (f64::NEG_INFINITY, q1.max(q2))
+            } else {
+                return Interval::ENTIRE;
+            };
+            return Interval::make(R::lo(lo), R::hi(hi));
+        }
+        return Interval::ENTIRE;
+    }
+    #[inline]
+    fn quot(x: f64, y: f64) -> f64 {
+        let q = x / y;
+        if q.is_nan() {
+            0.0
+        } else {
+            q
+        }
+    }
+    let q1 = quot(a.inf(), b.inf());
+    let q2 = quot(a.inf(), b.sup());
+    let q3 = quot(a.sup(), b.inf());
+    let q4 = quot(a.sup(), b.sup());
+    let lo = q1.min(q2).min(q3).min(q4);
+    let hi = q1.max(q2).max(q3).max(q4);
+    Interval::make(R::lo(lo), R::hi(hi))
+}
+
+impl Add for Interval {
+    type Output = Interval;
+    #[inline]
+    fn add(self, rhs: Interval) -> Interval {
+        add_impl::<Outward>(self, rhs)
+    }
+}
+
+impl Sub for Interval {
+    type Output = Interval;
+    #[inline]
+    fn sub(self, rhs: Interval) -> Interval {
+        sub_impl::<Outward>(self, rhs)
+    }
+}
+
+impl Mul for Interval {
+    type Output = Interval;
+    #[inline]
+    fn mul(self, rhs: Interval) -> Interval {
+        mul_impl::<Outward>(self, rhs)
+    }
+}
+
+impl Div for Interval {
+    type Output = Interval;
+    #[inline]
+    fn div(self, rhs: Interval) -> Interval {
+        div_impl::<Outward>(self, rhs)
+    }
+}
+
+impl Neg for Interval {
+    type Output = Interval;
+    #[inline]
+    fn neg(self) -> Interval {
+        if self.is_empty() {
+            return Interval::EMPTY;
+        }
+        // Negation is exact: no rounding adjustment needed.
+        Interval::make(-self.sup(), -self.inf())
+    }
+}
+
+macro_rules! scalar_rhs_ops {
+    ($($trait:ident :: $method:ident),* $(,)?) => {
+        $(
+            impl $trait<f64> for Interval {
+                type Output = Interval;
+                #[inline]
+                fn $method(self, rhs: f64) -> Interval {
+                    $trait::$method(self, Interval::point(rhs))
+                }
+            }
+            impl $trait<Interval> for f64 {
+                type Output = Interval;
+                #[inline]
+                fn $method(self, rhs: Interval) -> Interval {
+                    $trait::$method(Interval::point(self), rhs)
+                }
+            }
+        )*
+    };
+}
+
+scalar_rhs_ops!(Add::add, Sub::sub, Mul::mul, Div::div);
+
+macro_rules! assign_ops {
+    ($($trait:ident :: $method:ident => $base:ident),* $(,)?) => {
+        $(
+            impl $trait for Interval {
+                #[inline]
+                fn $method(&mut self, rhs: Interval) {
+                    *self = self.$base(rhs);
+                }
+            }
+            impl $trait<f64> for Interval {
+                #[inline]
+                fn $method(&mut self, rhs: f64) {
+                    *self = self.$base(Interval::point(rhs));
+                }
+            }
+        )*
+    };
+}
+
+assign_ops!(
+    AddAssign::add_assign => add,
+    SubAssign::sub_assign => sub,
+    MulAssign::mul_assign => mul,
+    DivAssign::div_assign => div,
+);
+
+impl std::iter::Sum for Interval {
+    fn sum<I: Iterator<Item = Interval>>(iter: I) -> Interval {
+        iter.fold(Interval::ZERO, |acc, x| acc + x)
+    }
+}
+
+impl std::iter::Product for Interval {
+    fn product<I: Iterator<Item = Interval>>(iter: I) -> Interval {
+        iter.fold(Interval::ONE, |acc, x| acc * x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Interval;
+
+    fn iv(lo: f64, hi: f64) -> Interval {
+        Interval::new(lo, hi)
+    }
+
+    #[test]
+    fn add_basic() {
+        let r = iv(1.0, 2.0) + iv(3.0, 4.0);
+        assert!(r.contains(4.0) && r.contains(6.0));
+        assert!(r.inf() >= 3.999999999 && r.sup() <= 6.000000001);
+    }
+
+    #[test]
+    fn sub_anticommutes() {
+        let r = iv(1.0, 2.0) - iv(0.5, 1.5);
+        assert!(r.contains(-0.5) && r.contains(1.5));
+    }
+
+    #[test]
+    fn mul_sign_cases() {
+        // pos * pos
+        assert!((iv(1.0, 2.0) * iv(3.0, 4.0)).encloses(iv(3.0, 8.0)));
+        // straddle * pos
+        assert!((iv(-1.0, 2.0) * iv(3.0, 4.0)).encloses(iv(-4.0, 8.0)));
+        // straddle * straddle
+        assert!((iv(-2.0, 3.0) * iv(-5.0, 7.0)).encloses(iv(-15.0, 21.0)));
+        // neg * neg
+        assert!((iv(-2.0, -1.0) * iv(-4.0, -3.0)).encloses(iv(3.0, 8.0)));
+    }
+
+    #[test]
+    fn mul_zero_times_entire_is_defined() {
+        let r = Interval::ZERO * Interval::ENTIRE;
+        assert!(!r.is_empty());
+        assert!(r.contains(0.0));
+    }
+
+    #[test]
+    fn div_nonzero() {
+        let r = iv(1.0, 2.0) / iv(4.0, 8.0);
+        assert!(r.encloses(iv(0.125, 0.5)));
+    }
+
+    #[test]
+    fn div_straddling_zero_is_entire() {
+        assert_eq!(iv(1.0, 2.0) / iv(-1.0, 1.0), Interval::ENTIRE);
+    }
+
+    #[test]
+    fn div_zero_endpoint_is_half_line() {
+        let r = iv(1.0, 2.0) / iv(0.0, 4.0);
+        assert_eq!(r.sup(), f64::INFINITY);
+        assert!(r.inf() <= 0.25 && r.inf() > 0.0);
+    }
+
+    #[test]
+    fn div_by_point_zero_is_empty() {
+        assert!((iv(1.0, 2.0) / Interval::ZERO).is_empty());
+    }
+
+    #[test]
+    fn neg_flips() {
+        assert_eq!(-iv(1.0, 2.0), iv(-2.0, -1.0));
+    }
+
+    #[test]
+    fn empty_is_absorbing() {
+        assert!((Interval::EMPTY + iv(1.0, 2.0)).is_empty());
+        assert!((iv(1.0, 2.0) * Interval::EMPTY).is_empty());
+        assert!((-Interval::EMPTY).is_empty());
+    }
+
+    #[test]
+    fn scalar_mixed_ops() {
+        let x = iv(0.0, 1.0);
+        assert!((x + 1.0).contains(2.0));
+        assert!((2.0 * x).contains(2.0));
+        assert!((1.0 - x).contains(0.0));
+        assert!((x / 2.0).contains(0.5));
+    }
+
+    #[test]
+    fn assign_ops_match_binary() {
+        let mut a = iv(1.0, 2.0);
+        a += iv(1.0, 1.0);
+        assert_eq!(a, iv(1.0, 2.0) + iv(1.0, 1.0));
+        a *= 2.0;
+        assert_eq!(a, (iv(1.0, 2.0) + iv(1.0, 1.0)) * 2.0);
+    }
+
+    #[test]
+    fn sum_and_product() {
+        let xs = [iv(0.0, 1.0), iv(1.0, 2.0), iv(2.0, 3.0)];
+        let s: Interval = xs.iter().copied().sum();
+        assert!(s.encloses(iv(3.0, 6.0)));
+        let p: Interval = xs.iter().copied().product();
+        assert!(p.contains(0.0) && p.contains(6.0));
+    }
+
+    #[test]
+    fn outward_rounding_widens() {
+        // 0.1 + 0.2 is inexact; the enclosure must contain the true rational.
+        let r = Interval::point(0.1) + Interval::point(0.2);
+        assert!(r.inf() < r.sup());
+        assert!(r.contains(0.1 + 0.2));
+    }
+}

@@ -1,0 +1,131 @@
+//! Interval bisection utilities.
+//!
+//! These support the interval-splitting extension mentioned as ongoing
+//! research in §2.2 of the paper: when an interval comparison is ambiguous,
+//! the analysis can bisect the offending input range and re-run on each
+//! half until control flow becomes unique.
+
+use crate::interval::Interval;
+
+/// The two halves produced by bisecting an interval at its midpoint.
+///
+/// The halves overlap in the single midpoint, so their union covers the
+/// original interval exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bisection {
+    /// The lower half `[inf, mid]`.
+    pub lower: Interval,
+    /// The upper half `[mid, sup]`.
+    pub upper: Interval,
+}
+
+impl Interval {
+    /// Bisects at the midpoint.
+    ///
+    /// Returns `None` for empty or point intervals, and for intervals so
+    /// narrow that the midpoint equals an endpoint (no further progress
+    /// possible).
+    ///
+    /// ```
+    /// use scorpio_interval::Interval;
+    /// let halves = Interval::new(0.0, 2.0).bisect().unwrap();
+    /// assert_eq!(halves.lower, Interval::new(0.0, 1.0));
+    /// assert_eq!(halves.upper, Interval::new(1.0, 2.0));
+    /// ```
+    pub fn bisect(self) -> Option<Bisection> {
+        if self.is_empty() || self.is_point() {
+            return None;
+        }
+        let m = self.mid();
+        if m <= self.inf() || m >= self.sup() {
+            return None;
+        }
+        Some(Bisection {
+            lower: Interval::new(self.inf(), m),
+            upper: Interval::new(m, self.sup()),
+        })
+    }
+
+    /// Splits the interval into `n` equal-width sub-intervals.
+    ///
+    /// Useful for the wider-input-range sweeps in the paper's future-work
+    /// section. Returns an empty vector for an empty interval, and a single
+    /// copy for a point interval or `n == 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    ///
+    /// ```
+    /// use scorpio_interval::Interval;
+    /// let parts = Interval::new(0.0, 1.0).split(4);
+    /// assert_eq!(parts.len(), 4);
+    /// assert_eq!(parts[0].inf(), 0.0);
+    /// assert_eq!(parts[3].sup(), 1.0);
+    /// ```
+    pub fn split(self, n: usize) -> Vec<Interval> {
+        assert!(n > 0, "Interval::split: n must be positive");
+        if self.is_empty() {
+            return Vec::new();
+        }
+        if self.is_point() || n == 1 {
+            return vec![self];
+        }
+        let mut parts = Vec::with_capacity(n);
+        let w = self.width() / n as f64;
+        let mut lo = self.inf();
+        for i in 0..n {
+            let hi = if i == n - 1 {
+                self.sup()
+            } else {
+                (self.inf() + w * (i + 1) as f64).min(self.sup())
+            };
+            parts.push(Interval::new(lo, hi.max(lo)));
+            lo = hi.max(lo);
+        }
+        parts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_covers_original() {
+        let x = Interval::new(-1.0, 3.0);
+        let b = x.bisect().unwrap();
+        assert_eq!(b.lower.hull(b.upper), x);
+        assert_eq!(b.lower.sup(), b.upper.inf());
+    }
+
+    #[test]
+    fn bisect_degenerate() {
+        assert!(Interval::point(1.0).bisect().is_none());
+        assert!(Interval::EMPTY.bisect().is_none());
+    }
+
+    #[test]
+    fn split_partitions() {
+        let x = Interval::new(0.0, 10.0);
+        let parts = x.split(5);
+        assert_eq!(parts.len(), 5);
+        for pair in parts.windows(2) {
+            assert_eq!(pair[0].sup(), pair[1].inf());
+        }
+        let union = parts.iter().fold(Interval::EMPTY, |acc, p| acc.hull(*p));
+        assert_eq!(union, x);
+    }
+
+    #[test]
+    fn split_point_interval() {
+        let parts = Interval::point(2.0).split(7);
+        assert_eq!(parts, vec![Interval::point(2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "n must be positive")]
+    fn split_zero_panics() {
+        let _ = Interval::new(0.0, 1.0).split(0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Property-based tests for the enclosure (soundness) invariant.
+//!
+//! The fundamental theorem of interval arithmetic — for any `x ∈ [a]`,
+//! `y ∈ [b]`: `f(x, y) ∈ f([a], [b])` — is exactly what makes Eq. 4–6 of
+//! the paper an over-approximation of all reachable values, so we test it
+//! exhaustively with random intervals and random member points.
+
+use proptest::prelude::*;
+
+use crate::Interval;
+
+/// Strategy producing a finite interval plus a member point.
+fn interval_with_member() -> impl Strategy<Value = (Interval, f64)> {
+    (
+        -1.0e6f64..1.0e6,
+        0.0f64..1.0e6,
+        0.0f64..=1.0, // relative position of the member point
+    )
+        .prop_map(|(lo, w, t)| {
+            let iv = Interval::new(lo, lo + w);
+            let x = lo + t * w;
+            (iv, x.clamp(iv.inf(), iv.sup()))
+        })
+}
+
+/// Strategy producing small intervals (|bounds| ≤ 30) for transcendentals.
+fn small_interval_with_member() -> impl Strategy<Value = (Interval, f64)> {
+    (
+        -30.0f64..30.0,
+        0.0f64..10.0,
+        0.0f64..=1.0,
+    )
+        .prop_map(|(lo, w, t)| {
+            let iv = Interval::new(lo, lo + w);
+            let x = lo + t * w;
+            (iv, x.clamp(iv.inf(), iv.sup()))
+        })
+}
+
+proptest! {
+    #[test]
+    fn add_encloses((a, x) in interval_with_member(), (b, y) in interval_with_member()) {
+        prop_assert!((a + b).contains(x + y));
+    }
+
+    #[test]
+    fn sub_encloses((a, x) in interval_with_member(), (b, y) in interval_with_member()) {
+        prop_assert!((a - b).contains(x - y));
+    }
+
+    #[test]
+    fn mul_encloses((a, x) in interval_with_member(), (b, y) in interval_with_member()) {
+        prop_assert!((a * b).contains(x * y));
+    }
+
+    #[test]
+    fn div_encloses((a, x) in interval_with_member(), (b, y) in interval_with_member()) {
+        let q = a / b;
+        if y != 0.0 && !q.is_empty() {
+            prop_assert!(q.contains(x / y), "({a}) / ({b}) = {q} missing {x}/{y} = {}", x / y);
+        }
+    }
+
+    #[test]
+    fn neg_encloses((a, x) in interval_with_member()) {
+        prop_assert!((-a).contains(-x));
+    }
+
+    #[test]
+    fn abs_sqr_sqrt_enclose((a, x) in interval_with_member()) {
+        prop_assert!(a.abs().contains(x.abs()));
+        // sqr may overflow to inf for 1e6 bounds; still must enclose.
+        prop_assert!(a.sqr().contains(x * x));
+        if x >= 0.0 {
+            prop_assert!(a.sqrt().contains(x.sqrt()));
+        }
+    }
+
+    #[test]
+    fn transcendentals_enclose((a, x) in small_interval_with_member()) {
+        prop_assert!(a.sin().contains(x.sin()), "sin {a} {x}");
+        prop_assert!(a.cos().contains(x.cos()), "cos {a} {x}");
+        prop_assert!(a.exp().contains(x.exp()), "exp {a} {x}");
+        prop_assert!(a.atan().contains(x.atan()), "atan {a} {x}");
+        prop_assert!(a.tanh().contains(x.tanh()), "tanh {a} {x}");
+        prop_assert!(a.sinh().contains(x.sinh()), "sinh {a} {x}");
+        prop_assert!(a.cosh().contains(x.cosh()), "cosh {a} {x}");
+        prop_assert!(a.erf().contains(crate::real::erf(x)), "erf {a} {x}");
+        prop_assert!(a.cndf().contains(crate::real::cndf(x)), "cndf {a} {x}");
+        if x > 0.0 {
+            prop_assert!(a.ln().contains(x.ln()), "ln {a} {x}");
+        }
+    }
+
+    #[test]
+    fn powi_encloses((a, x) in small_interval_with_member(), n in -5i32..8) {
+        let p = a.powi(n);
+        let v = x.powi(n);
+        if v.is_finite() && !p.is_empty() {
+            prop_assert!(p.contains(v), "({a})^{n} = {p} missing {x}^{n} = {v}");
+        }
+    }
+
+    #[test]
+    fn powf_encloses((a, x) in small_interval_with_member(), e in -3.0f64..3.0) {
+        if x > 0.0 && a.inf() > 0.0 {
+            let p = a.powf(e);
+            let v = x.powf(e);
+            prop_assert!(p.contains(v), "({a})^{e} = {p} missing {v}");
+        }
+    }
+
+    #[test]
+    fn hypot_encloses((a, x) in interval_with_member(), (b, y) in interval_with_member()) {
+        prop_assert!(a.hypot(b).contains(x.hypot(y)));
+    }
+
+    #[test]
+    fn min_max_enclose((a, x) in interval_with_member(), (b, y) in interval_with_member()) {
+        prop_assert!(a.min(b).contains(x.min(y)));
+        prop_assert!(a.max(b).contains(x.max(y)));
+    }
+
+    #[test]
+    fn hull_contains_both(( a, x) in interval_with_member(), (b, y) in interval_with_member()) {
+        let h = a.hull(b);
+        prop_assert!(h.contains(x) && h.contains(y));
+        prop_assert!(h.encloses(a) && h.encloses(b));
+    }
+
+    #[test]
+    fn intersection_is_subset((a, _x) in interval_with_member(), (b, _y) in interval_with_member()) {
+        let i = a.intersection(b);
+        if !i.is_empty() {
+            prop_assert!(a.encloses(i) && b.encloses(i));
+        }
+    }
+
+    #[test]
+    fn width_is_nonnegative((a, _x) in interval_with_member()) {
+        prop_assert!(a.width() >= 0.0);
+        prop_assert!(a.rad() * 2.0 <= a.width() * (1.0 + 1e-15));
+    }
+
+    #[test]
+    fn mid_is_member((a, _x) in interval_with_member()) {
+        prop_assert!(a.contains(a.mid()));
+    }
+
+    #[test]
+    fn comparisons_sound((a, x) in interval_with_member(), (b, y) in interval_with_member()) {
+        // A certain answer must agree with every sampled pair.
+        if let Some(ans) = a.certainly_lt(b).to_bool() {
+            prop_assert_eq!(ans, x < y);
+        }
+        if let Some(ans) = a.certainly_le(b).to_bool() {
+            prop_assert_eq!(ans, x <= y);
+        }
+    }
+
+    #[test]
+    fn bisect_halves_cover((a, x) in interval_with_member()) {
+        if let Some(h) = a.bisect() {
+            prop_assert!(h.lower.contains(x) || h.upper.contains(x));
+        }
+    }
+
+    #[test]
+    fn split_covers((a, x) in interval_with_member(), n in 1usize..10) {
+        let parts = a.split(n);
+        prop_assert!(parts.iter().any(|p| p.contains(x)));
+    }
+
+    #[test]
+    fn clamp_encloses((a, x) in interval_with_member()) {
+        let c = a.clamp_to(0.0, 255.0);
+        prop_assert!(c.contains(x.clamp(0.0, 255.0)));
+    }
+
+    #[test]
+    fn atan2_encloses((a, y) in small_interval_with_member(), (b, x) in small_interval_with_member()) {
+        if !(y == 0.0 && x == 0.0) {
+            let e = a.atan2(b);
+            prop_assert!(e.contains(y.atan2(x)), "atan2({y},{x}) ∉ {e}");
+        }
+    }
+
+    #[test]
+    fn mul_add_encloses((a, x) in small_interval_with_member(),
+                        (b, y) in small_interval_with_member(),
+                        (c, z) in small_interval_with_member()) {
+        prop_assert!(a.mul_add(b, c).contains(x.mul_add(y, z)));
+    }
+
+    #[test]
+    fn exp_m1_ln_1p_enclose((a, x) in small_interval_with_member()) {
+        prop_assert!(a.exp_m1().contains(x.exp_m1()));
+        if x > -1.0 {
+            prop_assert!(a.ln_1p().contains(x.ln_1p()));
+        }
+    }
+
+    #[test]
+    fn ibox_subdivide_covers_member(
+        (a, x) in interval_with_member(),
+        (b, y) in interval_with_member(),
+        k in 1usize..4,
+    ) {
+        let bx = crate::IBox::new(vec![a, b]);
+        let parts = bx.subdivide(k);
+        prop_assert_eq!(parts.len(), k * k);
+        prop_assert!(parts.iter().any(|p| p.contains(&[x, y])));
+        // Bisection covers too.
+        if let Some((lo, hi)) = bx.bisect_widest() {
+            prop_assert!(lo.contains(&[x, y]) || hi.contains(&[x, y]));
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Codec back-end for the DCT kernel: zig-zag scan, run-length symbol
+//! stream and an entropy-based size estimate.
+//!
+//! §4.1.2 frames DCT as "a module of video compression kernels"; this
+//! module supplies the downstream stages that make approximation's
+//! *second* benefit measurable: dropping low-significance coefficients
+//! not only saves compute, it shrinks the encoded stream. The size
+//! estimate is first-order (symbol entropy), standing in for a Huffman /
+//! arithmetic coder without pulling in a full bitstream implementation.
+
+use super::{BLOCK, QUANT};
+
+/// The zig-zag scan order of an 8×8 block (JPEG's): index `k` gives the
+/// `(u, v)` position of the `k`-th scanned coefficient.
+pub fn zigzag_order() -> [(usize, usize); BLOCK * BLOCK] {
+    let mut order = [(0usize, 0usize); BLOCK * BLOCK];
+    let mut k = 0;
+    for d in 0..(2 * BLOCK - 1) {
+        // Walk each anti-diagonal, alternating direction.
+        let cells: Vec<(usize, usize)> = (0..BLOCK)
+            .flat_map(|v| (0..BLOCK).map(move |u| (u, v)))
+            .filter(|&(u, v)| u + v == d)
+            .collect();
+        let iter: Box<dyn Iterator<Item = &(usize, usize)>> = if d % 2 == 0 {
+            // Even diagonals run bottom-left → top-right.
+            Box::new(cells.iter().rev())
+        } else {
+            Box::new(cells.iter())
+        };
+        for &(u, v) in iter {
+            order[k] = (u, v);
+            k += 1;
+        }
+    }
+    order
+}
+
+/// One run-length symbol: `zero_run` zero coefficients followed by
+/// `level` (a quantised nonzero value), or the end-of-block marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symbol {
+    /// `zero_run` zeros then the nonzero `level`.
+    Run {
+        /// Number of zeros preceding the level.
+        zero_run: u8,
+        /// The quantised coefficient value.
+        level: i32,
+    },
+    /// All remaining coefficients are zero.
+    EndOfBlock,
+}
+
+/// Quantises a coefficient block and run-length encodes its zig-zag
+/// scan.
+pub fn encode_block(coeffs: &[[f64; BLOCK]; BLOCK]) -> Vec<Symbol> {
+    let order = zigzag_order();
+    let mut symbols = Vec::new();
+    let mut zero_run = 0u8;
+    let mut last_nonzero_emitted = true;
+    for &(u, v) in &order {
+        let level = (coeffs[v][u] / QUANT[v][u]).round() as i32;
+        if level == 0 {
+            zero_run = zero_run.saturating_add(1);
+            last_nonzero_emitted = false;
+        } else {
+            symbols.push(Symbol::Run { zero_run, level });
+            zero_run = 0;
+            last_nonzero_emitted = true;
+        }
+    }
+    if !last_nonzero_emitted {
+        symbols.push(Symbol::EndOfBlock);
+    }
+    symbols
+}
+
+/// Decodes a symbol stream back into a (quantised, dequantised)
+/// coefficient block — the round-trip check for the encoder.
+pub fn decode_block(symbols: &[Symbol]) -> [[f64; BLOCK]; BLOCK] {
+    let order = zigzag_order();
+    let mut coeffs = [[0.0; BLOCK]; BLOCK];
+    let mut k = 0usize;
+    for s in symbols {
+        match *s {
+            Symbol::Run { zero_run, level } => {
+                k += zero_run as usize;
+                if k < order.len() {
+                    let (u, v) = order[k];
+                    coeffs[v][u] = level as f64 * QUANT[v][u];
+                    k += 1;
+                }
+            }
+            Symbol::EndOfBlock => break,
+        }
+    }
+    coeffs
+}
+
+/// First-order entropy estimate of a symbol stream in bits: the Shannon
+/// bound a (static) entropy coder would approach. Levels are bucketed by
+/// magnitude category (JPEG-style size classes) joined with the run
+/// length.
+pub fn estimated_bits(symbols: &[Symbol]) -> f64 {
+    if symbols.is_empty() {
+        return 0.0;
+    }
+    use std::collections::HashMap;
+    let mut counts: HashMap<(u8, u32), usize> = HashMap::new();
+    for s in symbols {
+        let key = match *s {
+            Symbol::Run { zero_run, level } => {
+                // Size class = number of bits to represent |level|.
+                let size = 32 - (level.unsigned_abs()).leading_zeros();
+                (zero_run, size)
+            }
+            Symbol::EndOfBlock => (255, 0),
+        };
+        *counts.entry(key).or_insert(0) += 1;
+    }
+    let n = symbols.len() as f64;
+    let symbol_entropy: f64 = counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum();
+    // Each Run symbol also spends `size` raw bits on the level's value
+    // (sign + magnitude), as in JPEG's (runlength, size) + amplitude.
+    let amplitude_bits: f64 = symbols
+        .iter()
+        .map(|s| match *s {
+            Symbol::Run { level, .. } => {
+                (32 - level.unsigned_abs().leading_zeros()) as f64
+            }
+            Symbol::EndOfBlock => 0.0,
+        })
+        .sum();
+    n * symbol_entropy + amplitude_bits
+}
+
+/// Estimated encoded size in bits of a whole image's coefficient blocks.
+pub fn estimate_image_bits(blocks: &[[[f64; BLOCK]; BLOCK]]) -> f64 {
+    // A shared symbol alphabet across blocks, as a real coder would use.
+    let all_symbols: Vec<Symbol> = blocks.iter().flat_map(|b| encode_block(b)).collect();
+    estimated_bits(&all_symbols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dct::{forward_block, natural_test_block};
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let order = zigzag_order();
+        let mut seen = [[false; BLOCK]; BLOCK];
+        for &(u, v) in &order {
+            assert!(!seen[v][u], "duplicate ({u},{v})");
+            seen[v][u] = true;
+        }
+        // Starts at DC, first steps follow the JPEG pattern.
+        assert_eq!(order[0], (0, 0));
+        assert_eq!(order[1], (1, 0));
+        assert_eq!(order[2], (0, 1));
+        assert_eq!(order[3], (0, 2));
+        // Ends at the highest frequency.
+        assert_eq!(order[63], (7, 7));
+    }
+
+    #[test]
+    fn encode_decode_round_trip_is_quantisation() {
+        let block = natural_test_block();
+        let coeffs = forward_block(&block);
+        let symbols = encode_block(&coeffs);
+        let decoded = decode_block(&symbols);
+        // Decoding reproduces exactly the quantise→dequantise values.
+        for v in 0..BLOCK {
+            for u in 0..BLOCK {
+                let want = (coeffs[v][u] / QUANT[v][u]).round() * QUANT[v][u];
+                assert!(
+                    (decoded[v][u] - want).abs() < 1e-9,
+                    "({u},{v}): {} vs {}",
+                    decoded[v][u],
+                    want
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flat_block_compresses_to_almost_nothing() {
+        let flat = [[128.0; BLOCK]; BLOCK];
+        let symbols = encode_block(&forward_block(&flat));
+        // DC + end-of-block only.
+        assert!(symbols.len() <= 2, "{symbols:?}");
+        assert!(estimated_bits(&symbols) < 32.0);
+    }
+
+    #[test]
+    fn busier_content_needs_more_bits() {
+        let flat = [[100.0; BLOCK]; BLOCK];
+        let mut busy = [[0.0; BLOCK]; BLOCK];
+        for (v, row) in busy.iter_mut().enumerate() {
+            for (u, p) in row.iter_mut().enumerate() {
+                *p = if (u + v) % 2 == 0 { 20.0 } else { 235.0 };
+            }
+        }
+        let flat_bits = estimated_bits(&encode_block(&forward_block(&flat)));
+        let busy_bits = estimated_bits(&encode_block(&forward_block(&busy)));
+        assert!(
+            busy_bits > 4.0 * flat_bits.max(1.0),
+            "busy {busy_bits} vs flat {flat_bits}"
+        );
+    }
+
+    #[test]
+    fn dropping_diagonals_shrinks_the_stream() {
+        // The approximation's second payoff: frequency truncation reduces
+        // the encoded size.
+        let block = natural_test_block();
+        let full = forward_block(&block);
+        let mut truncated = full;
+        for v in 0..BLOCK {
+            for u in 0..BLOCK {
+                if u + v >= 4 {
+                    truncated[v][u] = 0.0;
+                }
+            }
+        }
+        let full_bits = estimated_bits(&encode_block(&full));
+        let trunc_bits = estimated_bits(&encode_block(&truncated));
+        assert!(
+            trunc_bits < full_bits,
+            "truncated {trunc_bits} vs full {full_bits}"
+        );
+    }
+
+    #[test]
+    fn image_level_estimate_accumulates() {
+        let b = forward_block(&natural_test_block());
+        let one = estimate_image_bits(&[b]);
+        let four = estimate_image_bits(&[b, b, b, b]);
+        assert!(four > 3.0 * one, "four blocks {four} vs one {one}");
+    }
+}

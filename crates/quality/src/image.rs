@@ -1,0 +1,357 @@
+//! A minimal grayscale image type with PGM I/O.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Error produced by image constructors and PGM parsing.
+#[derive(Debug)]
+pub enum ImageError {
+    /// Pixel buffer length does not match `width * height`.
+    DimensionMismatch {
+        /// Declared width.
+        width: usize,
+        /// Declared height.
+        height: usize,
+        /// Actual buffer length.
+        len: usize,
+    },
+    /// The PGM stream was malformed.
+    Format(String),
+    /// An underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::DimensionMismatch { width, height, len } => write!(
+                f,
+                "pixel buffer of length {len} does not match {width}x{height} image"
+            ),
+            ImageError::Format(msg) => write!(f, "malformed PGM: {msg}"),
+            ImageError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ImageError {
+    fn from(e: io::Error) -> Self {
+        ImageError::Io(e)
+    }
+}
+
+/// A grayscale image with `f64` pixels in `[0, 255]`, stored row-major.
+///
+/// Pixels are `f64` rather than `u8` because the kernels (DCT, bicubic
+/// interpolation, Sobel) compute in floating point and only clip at the
+/// very end; keeping full precision lets quality metrics see the true
+/// degradation introduced by approximation rather than quantisation noise.
+///
+/// # Examples
+///
+/// ```
+/// use scorpio_quality::GrayImage;
+///
+/// let mut img = GrayImage::new(4, 3);
+/// img.set(2, 1, 128.0);
+/// assert_eq!(img.get(2, 1), 128.0);
+/// assert_eq!(img.width(), 4);
+/// assert_eq!(img.height(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrayImage {
+    width: usize,
+    height: usize,
+    pixels: Vec<f64>,
+}
+
+impl GrayImage {
+    /// Creates a black (all-zero) image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> GrayImage {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        GrayImage {
+            width,
+            height,
+            pixels: vec![0.0; width * height],
+        }
+    }
+
+    /// Wraps an existing row-major pixel buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::DimensionMismatch`] if `pixels.len()` is not
+    /// `width * height`.
+    pub fn from_pixels(
+        width: usize,
+        height: usize,
+        pixels: Vec<f64>,
+    ) -> Result<GrayImage, ImageError> {
+        if pixels.len() != width * height {
+            return Err(ImageError::DimensionMismatch {
+                width,
+                height,
+                len: pixels.len(),
+            });
+        }
+        Ok(GrayImage {
+            width,
+            height,
+            pixels,
+        })
+    }
+
+    /// Builds an image by evaluating `f(x, y)` at every pixel.
+    ///
+    /// ```
+    /// use scorpio_quality::GrayImage;
+    /// let img = GrayImage::from_fn(8, 8, |x, y| (x + y) as f64);
+    /// assert_eq!(img.get(3, 4), 7.0);
+    /// ```
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> f64) -> GrayImage {
+        let mut img = GrayImage::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                img.set(x, y, f(x, y));
+            }
+        }
+        img
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> f64 {
+        debug_assert!(x < self.width && y < self.height);
+        self.pixels[y * self.width + x]
+    }
+
+    /// Pixel at `(x, y)` with coordinates clamped into the image — the
+    /// standard border handling of the convolution and interpolation
+    /// kernels.
+    #[inline]
+    pub fn get_clamped(&self, x: isize, y: isize) -> f64 {
+        let cx = x.clamp(0, self.width as isize - 1) as usize;
+        let cy = y.clamp(0, self.height as isize - 1) as usize;
+        self.pixels[cy * self.width + cx]
+    }
+
+    /// Sets pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, value: f64) {
+        debug_assert!(x < self.width && y < self.height);
+        self.pixels[y * self.width + x] = value;
+    }
+
+    /// Row-major pixel slice.
+    #[inline]
+    pub fn pixels(&self) -> &[f64] {
+        &self.pixels
+    }
+
+    /// Mutable row-major pixel slice.
+    #[inline]
+    pub fn pixels_mut(&mut self) -> &mut [f64] {
+        &mut self.pixels
+    }
+
+    /// One image row.
+    #[inline]
+    pub fn row(&self, y: usize) -> &[f64] {
+        &self.pixels[y * self.width..(y + 1) * self.width]
+    }
+
+    /// Clips every pixel into `[0, 255]` (the final stage of Sobel in
+    /// §4.1.1 of the paper).
+    pub fn clip(&mut self) {
+        for p in &mut self.pixels {
+            *p = p.clamp(0.0, 255.0);
+        }
+    }
+
+    /// Writes the image as a binary PGM (P5), rounding pixels to `u8`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_pgm<W: Write>(&self, mut w: W) -> Result<(), ImageError> {
+        writeln!(w, "P5\n{} {}\n255", self.width, self.height)?;
+        let bytes: Vec<u8> = self
+            .pixels
+            .iter()
+            .map(|&p| p.clamp(0.0, 255.0).round() as u8)
+            .collect();
+        w.write_all(&bytes)?;
+        Ok(())
+    }
+
+    /// Reads a binary PGM (P5) image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError::Format`] on malformed headers and
+    /// [`ImageError::Io`] on reader failures.
+    pub fn read_pgm<R: BufRead>(mut r: R) -> Result<GrayImage, ImageError> {
+        let mut header = Vec::new();
+        let mut fields = Vec::new();
+        // Read header fields (magic, width, height, maxval), skipping
+        // comments, then the single whitespace byte before pixel data.
+        let mut byte = [0u8; 1];
+        let mut token = Vec::new();
+        let mut in_comment = false;
+        while fields.len() < 4 {
+            let n = r.read(&mut byte)?;
+            if n == 0 {
+                return Err(ImageError::Format("truncated header".into()));
+            }
+            let b = byte[0];
+            header.push(b);
+            if in_comment {
+                if b == b'\n' {
+                    in_comment = false;
+                }
+                continue;
+            }
+            if b == b'#' {
+                in_comment = true;
+                continue;
+            }
+            if b.is_ascii_whitespace() {
+                if !token.is_empty() {
+                    fields.push(String::from_utf8_lossy(&token).into_owned());
+                    token.clear();
+                }
+            } else {
+                token.push(b);
+            }
+        }
+        if fields[0] != "P5" {
+            return Err(ImageError::Format(format!(
+                "expected magic P5, got {}",
+                fields[0]
+            )));
+        }
+        let width: usize = fields[1]
+            .parse()
+            .map_err(|_| ImageError::Format("bad width".into()))?;
+        let height: usize = fields[2]
+            .parse()
+            .map_err(|_| ImageError::Format("bad height".into()))?;
+        let maxval: usize = fields[3]
+            .parse()
+            .map_err(|_| ImageError::Format("bad maxval".into()))?;
+        if maxval != 255 {
+            return Err(ImageError::Format(format!(
+                "only maxval 255 supported, got {maxval}"
+            )));
+        }
+        if width == 0 || height == 0 {
+            return Err(ImageError::Format("zero dimension".into()));
+        }
+        let mut data = vec![0u8; width * height];
+        r.read_exact(&mut data)?;
+        let pixels = data.into_iter().map(f64::from).collect();
+        GrayImage::from_pixels(width, height, pixels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pixels_validates_length() {
+        assert!(GrayImage::from_pixels(2, 2, vec![0.0; 4]).is_ok());
+        assert!(matches!(
+            GrayImage::from_pixels(2, 2, vec![0.0; 5]),
+            Err(ImageError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn get_clamped_handles_borders() {
+        let img = GrayImage::from_fn(3, 3, |x, y| (y * 3 + x) as f64);
+        assert_eq!(img.get_clamped(-1, -1), 0.0);
+        assert_eq!(img.get_clamped(5, 5), 8.0);
+        assert_eq!(img.get_clamped(1, 1), 4.0);
+    }
+
+    #[test]
+    fn clip_saturates() {
+        let mut img = GrayImage::from_pixels(2, 1, vec![-5.0, 300.0]).unwrap();
+        img.clip();
+        assert_eq!(img.pixels(), &[0.0, 255.0]);
+    }
+
+    #[test]
+    fn pgm_roundtrip() {
+        let img = GrayImage::from_fn(17, 9, |x, y| ((x * 13 + y * 29) % 256) as f64);
+        let mut buf = Vec::new();
+        img.write_pgm(&mut buf).unwrap();
+        let back = GrayImage::read_pgm(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back.width(), 17);
+        assert_eq!(back.height(), 9);
+        assert_eq!(back.pixels(), img.pixels());
+    }
+
+    #[test]
+    fn pgm_with_comment() {
+        let mut buf = Vec::from(&b"P5\n# a comment line\n2 1\n255\n"[..]);
+        buf.extend_from_slice(&[7, 9]);
+        let img = GrayImage::read_pgm(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(img.pixels(), &[7.0, 9.0]);
+    }
+
+    #[test]
+    fn pgm_rejects_bad_magic() {
+        let buf = Vec::from(&b"P2\n2 1\n255\n12"[..]);
+        assert!(matches!(
+            GrayImage::read_pgm(std::io::Cursor::new(buf)),
+            Err(ImageError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn row_access() {
+        let img = GrayImage::from_fn(4, 2, |x, y| (y * 4 + x) as f64);
+        assert_eq!(img.row(1), &[4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_panics() {
+        let _ = GrayImage::new(0, 5);
+    }
+}

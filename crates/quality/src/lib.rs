@@ -1,0 +1,24 @@
+//! Quality metrics and image substrate for the benchmark suite.
+//!
+//! §4.3 of the CGO'16 paper evaluates output quality with **PSNR** (Sobel,
+//! DCT, Fisheye — "higher is better, logarithmic") and **relative error**
+//! (N-Body, BlackScholes — "lower is better"), always with respect to the
+//! fully accurate execution of the same input. This crate provides those
+//! metrics, a minimal grayscale image type the image kernels operate on,
+//! PGM import/export for eyeballing results, and deterministic synthetic
+//! image generators standing in for the image-compression benchmark set
+//! the paper uses (its ref. 5); see DESIGN.md §5 for why synthetic inputs
+//! preserve the evaluation's behaviour.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod image;
+mod metrics;
+mod ssim;
+mod synth;
+
+pub use image::{GrayImage, ImageError};
+pub use metrics::{max_abs_error, mean_relative_error, mse, psnr, psnr_images, relative_error_l2};
+pub use ssim::ssim;
+pub use synth::{checkerboard, gaussian_blobs, gradient, value_noise, SyntheticImage};

@@ -1,0 +1,200 @@
+//! The quality metrics of §4.3: PSNR and relative error, plus helpers.
+
+use crate::image::GrayImage;
+
+/// Mean squared error between two signals.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+///
+/// ```
+/// use scorpio_quality::mse;
+/// assert_eq!(mse(&[0.0, 0.0], &[3.0, 4.0]), 12.5);
+/// ```
+pub fn mse(reference: &[f64], candidate: &[f64]) -> f64 {
+    assert_eq!(
+        reference.len(),
+        candidate.len(),
+        "mse: signal lengths differ"
+    );
+    assert!(!reference.is_empty(), "mse: empty signals");
+    let sum: f64 = reference
+        .iter()
+        .zip(candidate)
+        .map(|(r, c)| (r - c) * (r - c))
+        .sum();
+    sum / reference.len() as f64
+}
+
+/// Peak signal-to-noise ratio in dB for 8-bit-range signals
+/// (`peak = 255`), the image-quality metric of the paper ("higher is
+/// better; note that PSNR is a logarithmic metric").
+///
+/// Returns `f64::INFINITY` when the signals are identical — the paper's
+/// fully-accurate (`ratio = 1`) data point.
+///
+/// ```
+/// use scorpio_quality::psnr;
+/// let reference = [100.0, 150.0, 200.0];
+/// assert_eq!(psnr(&reference, &reference), f64::INFINITY);
+/// let noisy = [101.0, 150.0, 200.0];
+/// assert!(psnr(&reference, &noisy) > 40.0);
+/// ```
+pub fn psnr(reference: &[f64], candidate: &[f64]) -> f64 {
+    let e = mse(reference, candidate);
+    if e == 0.0 {
+        return f64::INFINITY;
+    }
+    10.0 * (255.0 * 255.0 / e).log10()
+}
+
+/// PSNR between two images of identical dimensions.
+///
+/// # Panics
+///
+/// Panics if the image dimensions differ.
+pub fn psnr_images(reference: &GrayImage, candidate: &GrayImage) -> f64 {
+    assert_eq!(reference.width(), candidate.width(), "width mismatch");
+    assert_eq!(reference.height(), candidate.height(), "height mismatch");
+    psnr(reference.pixels(), candidate.pixels())
+}
+
+/// L2 relative error `‖ref − cand‖₂ / ‖ref‖₂` — the "relative error"
+/// metric used for N-Body and BlackScholes (lower is better).
+///
+/// Returns 0 for identical signals. If the reference has zero norm the
+/// candidate norm is returned (absolute error fallback).
+///
+/// ```
+/// use scorpio_quality::relative_error_l2;
+/// assert_eq!(relative_error_l2(&[3.0, 4.0], &[3.0, 4.0]), 0.0);
+/// assert!((relative_error_l2(&[3.0, 4.0], &[3.0, 4.1]) - 0.02).abs() < 1e-12);
+/// ```
+pub fn relative_error_l2(reference: &[f64], candidate: &[f64]) -> f64 {
+    assert_eq!(
+        reference.len(),
+        candidate.len(),
+        "relative_error_l2: signal lengths differ"
+    );
+    let err: f64 = reference
+        .iter()
+        .zip(candidate)
+        .map(|(r, c)| (r - c) * (r - c))
+        .sum::<f64>()
+        .sqrt();
+    let norm: f64 = reference.iter().map(|r| r * r).sum::<f64>().sqrt();
+    if norm == 0.0 {
+        err
+    } else {
+        err / norm
+    }
+}
+
+/// Mean per-element relative error `mean(|ref − cand| / max(|ref|, ε))`,
+/// an alternative scalar-quality metric robust to near-zero entries.
+///
+/// ```
+/// use scorpio_quality::mean_relative_error;
+/// let e = mean_relative_error(&[2.0, 4.0], &[2.2, 4.0]);
+/// assert!((e - 0.05).abs() < 1e-12);
+/// ```
+pub fn mean_relative_error(reference: &[f64], candidate: &[f64]) -> f64 {
+    assert_eq!(
+        reference.len(),
+        candidate.len(),
+        "mean_relative_error: signal lengths differ"
+    );
+    assert!(!reference.is_empty(), "mean_relative_error: empty signals");
+    let eps = 1e-12;
+    let sum: f64 = reference
+        .iter()
+        .zip(candidate)
+        .map(|(r, c)| (r - c).abs() / r.abs().max(eps))
+        .sum();
+    sum / reference.len() as f64
+}
+
+/// Maximum absolute error between two signals.
+///
+/// ```
+/// use scorpio_quality::max_abs_error;
+/// assert_eq!(max_abs_error(&[1.0, 2.0], &[1.5, 2.25]), 0.5);
+/// ```
+pub fn max_abs_error(reference: &[f64], candidate: &[f64]) -> f64 {
+    assert_eq!(
+        reference.len(),
+        candidate.len(),
+        "max_abs_error: signal lengths differ"
+    );
+    reference
+        .iter()
+        .zip(candidate)
+        .map(|(r, c)| (r - c).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_basic() {
+        assert_eq!(mse(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(mse(&[0.0], &[2.0]), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn mse_length_mismatch_panics() {
+        let _ = mse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn psnr_known_value() {
+        // MSE = 1 → PSNR = 10·log10(255²) ≈ 48.13 dB.
+        let reference = [0.0; 100];
+        let candidate = [1.0; 100];
+        let p = psnr(&reference, &candidate);
+        assert!((p - 48.1308).abs() < 1e-3);
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise() {
+        let reference: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let small: Vec<f64> = reference.iter().map(|r| r + 0.5).collect();
+        let large: Vec<f64> = reference.iter().map(|r| r + 5.0).collect();
+        assert!(psnr(&reference, &small) > psnr(&reference, &large));
+    }
+
+    #[test]
+    fn psnr_images_checks_dims() {
+        let a = GrayImage::new(2, 2);
+        let b = GrayImage::new(2, 2);
+        assert_eq!(psnr_images(&a, &b), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn psnr_images_dim_mismatch_panics() {
+        let a = GrayImage::new(2, 2);
+        let b = GrayImage::new(3, 2);
+        let _ = psnr_images(&a, &b);
+    }
+
+    #[test]
+    fn relative_error_zero_reference() {
+        assert_eq!(relative_error_l2(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn mean_relative_error_protects_small_denominators() {
+        let e = mean_relative_error(&[0.0], &[1e-13]);
+        assert!(e.is_finite());
+    }
+
+    #[test]
+    fn max_abs_error_picks_maximum() {
+        assert_eq!(max_abs_error(&[0.0, 0.0, 0.0], &[0.1, -0.7, 0.3]), 0.7);
+    }
+}

@@ -1,0 +1,139 @@
+//! Structural similarity (SSIM) — a perceptual image-quality metric
+//! complementing PSNR.
+//!
+//! PSNR (the paper's metric) weighs all pixel errors equally; SSIM
+//! (Wang et al., IEEE TIP 2004) compares local luminance, contrast and
+//! structure, and is the de-facto second opinion in codec evaluation.
+//! The implementation is the standard windowed form with an 8×8 box
+//! window and the usual stabilisation constants for 8-bit dynamic range.
+
+use crate::image::GrayImage;
+
+const C1: f64 = 6.5025; // (0.01 * 255)²
+const C2: f64 = 58.5225; // (0.03 * 255)²
+const WINDOW: usize = 8;
+
+/// Mean SSIM between two images over non-overlapping 8×8 windows.
+///
+/// Returns a value in `[-1, 1]`; `1.0` for identical images.
+///
+/// # Panics
+///
+/// Panics if the image dimensions differ or are smaller than the 8×8
+/// window.
+///
+/// ```
+/// use scorpio_quality::{gradient, ssim};
+/// let img = gradient(32, 32);
+/// assert_eq!(ssim(&img, &img), 1.0);
+/// ```
+pub fn ssim(reference: &GrayImage, candidate: &GrayImage) -> f64 {
+    assert_eq!(reference.width(), candidate.width(), "width mismatch");
+    assert_eq!(reference.height(), candidate.height(), "height mismatch");
+    assert!(
+        reference.width() >= WINDOW && reference.height() >= WINDOW,
+        "image smaller than the SSIM window"
+    );
+
+    let mut total = 0.0;
+    let mut windows = 0usize;
+    for wy in 0..(reference.height() / WINDOW) {
+        for wx in 0..(reference.width() / WINDOW) {
+            total += window_ssim(reference, candidate, wx * WINDOW, wy * WINDOW);
+            windows += 1;
+        }
+    }
+    total / windows as f64
+}
+
+fn window_ssim(a: &GrayImage, b: &GrayImage, x0: usize, y0: usize) -> f64 {
+    let n = (WINDOW * WINDOW) as f64;
+    let (mut ma, mut mb) = (0.0, 0.0);
+    for y in y0..y0 + WINDOW {
+        for x in x0..x0 + WINDOW {
+            ma += a.get(x, y);
+            mb += b.get(x, y);
+        }
+    }
+    ma /= n;
+    mb /= n;
+
+    let (mut va, mut vb, mut cov) = (0.0, 0.0, 0.0);
+    for y in y0..y0 + WINDOW {
+        for x in x0..x0 + WINDOW {
+            let da = a.get(x, y) - ma;
+            let db = b.get(x, y) - mb;
+            va += da * da;
+            vb += db * db;
+            cov += da * db;
+        }
+    }
+    va /= n - 1.0;
+    vb /= n - 1.0;
+    cov /= n - 1.0;
+
+    ((2.0 * ma * mb + C1) * (2.0 * cov + C2)) / ((ma * ma + mb * mb + C1) * (va + vb + C2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{checkerboard, gradient, value_noise};
+
+    #[test]
+    fn identical_images_score_one() {
+        for img in [gradient(32, 32), checkerboard(32, 32, 8), value_noise(32, 32, 1)] {
+            assert!((ssim(&img, &img) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ssim_decreases_with_distortion() {
+        let reference = value_noise(64, 64, 9);
+        let mut mild = reference.clone();
+        for p in mild.pixels_mut() {
+            *p = (*p + 5.0).min(255.0);
+        }
+        let mut severe = reference.clone();
+        for (i, p) in severe.pixels_mut().iter_mut().enumerate() {
+            *p = if i % 2 == 0 { 0.0 } else { 255.0 };
+        }
+        let s_mild = ssim(&reference, &mild);
+        let s_severe = ssim(&reference, &severe);
+        assert!(s_mild > 0.9, "mild distortion {s_mild}");
+        assert!(s_severe < 0.3, "severe distortion {s_severe}");
+        assert!(s_mild > s_severe);
+    }
+
+    #[test]
+    fn constant_shift_scores_high_structure() {
+        // SSIM forgives uniform luminance shifts far more than PSNR does.
+        let reference = gradient(32, 32);
+        let mut shifted = reference.clone();
+        for p in shifted.pixels_mut() {
+            *p += 10.0;
+        }
+        let s = ssim(&reference, &shifted);
+        assert!(s > 0.85, "shifted {s}");
+    }
+
+    #[test]
+    fn black_vs_white_scores_near_zero() {
+        let black = GrayImage::new(16, 16);
+        let white = GrayImage::from_fn(16, 16, |_, _| 255.0);
+        let s = ssim(&black, &white);
+        assert!(s < 0.05, "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn dimension_mismatch_panics() {
+        let _ = ssim(&GrayImage::new(16, 16), &GrayImage::new(24, 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than the SSIM window")]
+    fn tiny_image_panics() {
+        let _ = ssim(&GrayImage::new(4, 4), &GrayImage::new(4, 4));
+    }
+}

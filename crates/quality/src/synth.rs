@@ -1,0 +1,180 @@
+//! Deterministic synthetic test images.
+//!
+//! The paper runs its image kernels on a published image-compression
+//! benchmark set (the paper's ref. 5); those photos are not redistributable, so we
+//! generate structurally varied synthetic inputs instead: gradients
+//! (smooth regions), checkerboards (hard edges — the Sobel stressor),
+//! Gaussian blobs (soft features) and value noise (broadband texture).
+//! Significance analysis only depends on the declared *input ranges*, and
+//! all quality comparisons are self-relative, so the substitution
+//! preserves the evaluation's behaviour (see DESIGN.md §5).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::image::GrayImage;
+
+/// The synthetic image families available to workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyntheticImage {
+    /// Smooth diagonal gradient.
+    Gradient,
+    /// High-contrast checkerboard with 16-pixel cells.
+    Checkerboard,
+    /// Sum of a few Gaussian intensity blobs.
+    GaussianBlobs,
+    /// Smooth value noise (seeded, deterministic).
+    ValueNoise,
+}
+
+impl SyntheticImage {
+    /// Renders this family at the given dimensions with a deterministic
+    /// seed.
+    pub fn render(self, width: usize, height: usize, seed: u64) -> GrayImage {
+        match self {
+            SyntheticImage::Gradient => gradient(width, height),
+            SyntheticImage::Checkerboard => checkerboard(width, height, 16),
+            SyntheticImage::GaussianBlobs => gaussian_blobs(width, height, seed),
+            SyntheticImage::ValueNoise => value_noise(width, height, seed),
+        }
+    }
+
+    /// All families, for sweeps over the whole set.
+    pub fn all() -> [SyntheticImage; 4] {
+        [
+            SyntheticImage::Gradient,
+            SyntheticImage::Checkerboard,
+            SyntheticImage::GaussianBlobs,
+            SyntheticImage::ValueNoise,
+        ]
+    }
+}
+
+/// Smooth diagonal gradient covering the full `[0, 255]` range.
+///
+/// ```
+/// use scorpio_quality::gradient;
+/// let img = gradient(64, 64);
+/// assert_eq!(img.get(0, 0), 0.0);
+/// assert!(img.get(63, 63) > 250.0);
+/// ```
+pub fn gradient(width: usize, height: usize) -> GrayImage {
+    GrayImage::from_fn(width, height, |x, y| {
+        255.0 * (x + y) as f64 / (width + height - 2).max(1) as f64
+    })
+}
+
+/// Checkerboard with `cell`-pixel squares alternating 16 and 240 — hard
+/// edges in both directions, the worst case for edge-detection
+/// approximation.
+///
+/// # Panics
+///
+/// Panics if `cell == 0`.
+pub fn checkerboard(width: usize, height: usize, cell: usize) -> GrayImage {
+    assert!(cell > 0, "checkerboard: cell size must be positive");
+    GrayImage::from_fn(width, height, |x, y| {
+        if ((x / cell) + (y / cell)).is_multiple_of(2) {
+            16.0
+        } else {
+            240.0
+        }
+    })
+}
+
+/// Sum of eight Gaussian intensity blobs at seeded random positions.
+pub fn gaussian_blobs(width: usize, height: usize, seed: u64) -> GrayImage {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let blobs: Vec<(f64, f64, f64, f64)> = (0..8)
+        .map(|_| {
+            (
+                rng.gen_range(0.0..width as f64),
+                rng.gen_range(0.0..height as f64),
+                rng.gen_range(width as f64 / 16.0..width as f64 / 4.0),
+                rng.gen_range(80.0..255.0),
+            )
+        })
+        .collect();
+    GrayImage::from_fn(width, height, |x, y| {
+        let v: f64 = blobs
+            .iter()
+            .map(|&(cx, cy, sigma, amp)| {
+                let dx = x as f64 - cx;
+                let dy = y as f64 - cy;
+                amp * (-(dx * dx + dy * dy) / (2.0 * sigma * sigma)).exp()
+            })
+            .sum();
+        v.min(255.0)
+    })
+}
+
+/// Smooth value noise: bilinear interpolation of a seeded 17×17 lattice of
+/// random values, rescaled to `[0, 255]`.
+pub fn value_noise(width: usize, height: usize, seed: u64) -> GrayImage {
+    const LATTICE: usize = 17;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let lattice: Vec<f64> = (0..LATTICE * LATTICE)
+        .map(|_| rng.gen_range(0.0..1.0))
+        .collect();
+    let at = |i: usize, j: usize| lattice[j.min(LATTICE - 1) * LATTICE + i.min(LATTICE - 1)];
+    GrayImage::from_fn(width, height, |x, y| {
+        let fx = x as f64 / width as f64 * (LATTICE - 1) as f64;
+        let fy = y as f64 / height as f64 * (LATTICE - 1) as f64;
+        let (i, j) = (fx as usize, fy as usize);
+        let (tx, ty) = (fx - i as f64, fy - j as f64);
+        let v = at(i, j) * (1.0 - tx) * (1.0 - ty)
+            + at(i + 1, j) * tx * (1.0 - ty)
+            + at(i, j + 1) * (1.0 - tx) * ty
+            + at(i + 1, j + 1) * tx * ty;
+        v * 255.0
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradient_is_monotone_diagonal() {
+        let img = gradient(32, 32);
+        for d in 1..32 {
+            assert!(img.get(d, d) >= img.get(d - 1, d - 1));
+        }
+    }
+
+    #[test]
+    fn checkerboard_alternates() {
+        let img = checkerboard(64, 64, 16);
+        assert_eq!(img.get(0, 0), 16.0);
+        assert_eq!(img.get(16, 0), 240.0);
+        assert_eq!(img.get(16, 16), 16.0);
+    }
+
+    #[test]
+    fn blobs_in_range_and_deterministic() {
+        let a = gaussian_blobs(48, 48, 42);
+        let b = gaussian_blobs(48, 48, 42);
+        assert_eq!(a, b);
+        assert!(a.pixels().iter().all(|&p| (0.0..=255.0).contains(&p)));
+        // A different seed produces a different image.
+        let c = gaussian_blobs(48, 48, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn value_noise_in_range_and_deterministic() {
+        let a = value_noise(64, 48, 7);
+        let b = value_noise(64, 48, 7);
+        assert_eq!(a, b);
+        assert!(a.pixels().iter().all(|&p| (0.0..=255.0).contains(&p)));
+    }
+
+    #[test]
+    fn render_dispatch() {
+        for family in SyntheticImage::all() {
+            let img = family.render(16, 16, 1);
+            assert_eq!(img.width(), 16);
+            assert_eq!(img.height(), 16);
+        }
+    }
+}

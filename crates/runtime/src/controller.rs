@@ -1,0 +1,213 @@
+//! Ratio calibration: choosing the knob setting for a quality target.
+//!
+//! §3.2 of the paper: "The ratio serves as a single knob to enforce a
+//! minimum quality in the quality / performance-energy optimization
+//! space." This module automates turning that knob: given a way to
+//! evaluate output quality at a candidate ratio, [`calibrate_ratio`]
+//! finds the smallest ratio meeting a target — i.e. the cheapest
+//! execution with acceptable output — by bisection over the knob.
+//!
+//! Quality is assumed monotone (non-decreasing) in the ratio, which the
+//! significance-ranked schedule guarantees structurally: raising the
+//! ratio only promotes tasks from approximate to accurate.
+
+use std::fmt;
+
+/// What "meeting the target" means for the application's quality metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QualityTarget {
+    /// Quality value must be at least this (e.g. PSNR in dB).
+    AtLeast(f64),
+    /// Quality value must be at most this (e.g. relative error).
+    AtMost(f64),
+}
+
+impl QualityTarget {
+    /// `true` iff `quality` satisfies the target.
+    pub fn met_by(&self, quality: f64) -> bool {
+        match *self {
+            QualityTarget::AtLeast(t) => quality >= t,
+            QualityTarget::AtMost(t) => quality <= t,
+        }
+    }
+}
+
+impl fmt::Display for QualityTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QualityTarget::AtLeast(t) => write!(f, "≥ {t}"),
+            QualityTarget::AtMost(t) => write!(f, "≤ {t}"),
+        }
+    }
+}
+
+/// The outcome of a calibration run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    /// The smallest evaluated ratio meeting the target, if any.
+    pub ratio: Option<f64>,
+    /// Quality measured at [`Calibration::ratio`] (or at 1.0 when the
+    /// target was never met).
+    pub quality: f64,
+    /// Every `(ratio, quality)` pair evaluated, in evaluation order —
+    /// each one is a full approximate execution, so callers care how
+    /// many there were.
+    pub evaluations: Vec<(f64, f64)>,
+}
+
+/// Finds the smallest `ratio ∈ [0, 1]` whose quality meets `target`, to
+/// within `tolerance` on the ratio axis, assuming quality is monotone
+/// non-decreasing in the ratio.
+///
+/// `eval` runs the application at the candidate ratio and returns the
+/// quality value. The search needs `⌈log₂(1/tolerance)⌉ + 2` evaluations.
+///
+/// Returns `Calibration { ratio: None, .. }` when even `ratio = 1.0`
+/// misses the target (the quality metric then isn't achievable by this
+/// approximation scheme at all).
+///
+/// # Panics
+///
+/// Panics unless `0 < tolerance < 1`.
+///
+/// # Examples
+///
+/// ```
+/// use scorpio_runtime::controller::{calibrate_ratio, QualityTarget};
+///
+/// // A synthetic app whose PSNR rises linearly 20 → 60 dB with ratio.
+/// let calibration = calibrate_ratio(
+///     |r| 20.0 + 40.0 * r,
+///     QualityTarget::AtLeast(30.0),
+///     1e-3,
+/// );
+/// let r = calibration.ratio.unwrap();
+/// assert!((r - 0.25).abs() < 2e-3);
+/// ```
+pub fn calibrate_ratio<F>(mut eval: F, target: QualityTarget, tolerance: f64) -> Calibration
+where
+    F: FnMut(f64) -> f64,
+{
+    assert!(
+        tolerance > 0.0 && tolerance < 1.0,
+        "tolerance must be in (0, 1), got {tolerance}"
+    );
+    let mut evaluations = Vec::new();
+    let mut run = |r: f64, evals: &mut Vec<(f64, f64)>| {
+        let q = eval(r);
+        evals.push((r, q));
+        q
+    };
+
+    // Cheapest first: maybe ratio 0 already suffices.
+    let q0 = run(0.0, &mut evaluations);
+    if target.met_by(q0) {
+        return Calibration {
+            ratio: Some(0.0),
+            quality: q0,
+            evaluations,
+        };
+    }
+    // Ceiling check: is the target achievable at all?
+    let q1 = run(1.0, &mut evaluations);
+    if !target.met_by(q1) {
+        return Calibration {
+            ratio: None,
+            quality: q1,
+            evaluations,
+        };
+    }
+
+    // Invariant: target missed at lo, met at hi.
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    let mut hi_quality = q1;
+    while hi - lo > tolerance {
+        let mid = 0.5 * (lo + hi);
+        let q = run(mid, &mut evaluations);
+        if target.met_by(q) {
+            hi = mid;
+            hi_quality = q;
+        } else {
+            lo = mid;
+        }
+    }
+    Calibration {
+        ratio: Some(hi),
+        quality: hi_quality,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_threshold_of_step_function() {
+        // Quality jumps from 0 to 100 at ratio 0.6.
+        let c = calibrate_ratio(
+            |r| if r >= 0.6 { 100.0 } else { 0.0 },
+            QualityTarget::AtLeast(50.0),
+            1e-4,
+        );
+        let r = c.ratio.unwrap();
+        assert!((r - 0.6).abs() < 2e-4, "found {r}");
+    }
+
+    #[test]
+    fn at_most_metric_works() {
+        // Relative error decays exponentially with ratio.
+        let c = calibrate_ratio(
+            |r| 1e-2 * (-5.0 * r).exp(),
+            QualityTarget::AtMost(1e-3),
+            1e-3,
+        );
+        let r = c.ratio.unwrap();
+        let expected = (10.0f64).ln() / 5.0;
+        assert!((r - expected).abs() < 2e-3, "found {r}, want {expected}");
+        assert!(c.quality <= 1e-3);
+    }
+
+    #[test]
+    fn ratio_zero_shortcut() {
+        let mut calls = 0;
+        let c = calibrate_ratio(
+            |_| {
+                calls += 1;
+                99.0
+            },
+            QualityTarget::AtLeast(10.0),
+            1e-3,
+        );
+        assert_eq!(c.ratio, Some(0.0));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn unreachable_target_reports_none() {
+        let c = calibrate_ratio(|r| r * 10.0, QualityTarget::AtLeast(50.0), 1e-3);
+        assert_eq!(c.ratio, None);
+        assert_eq!(c.quality, 10.0);
+        assert_eq!(c.evaluations.len(), 2);
+    }
+
+    #[test]
+    fn evaluation_budget_is_logarithmic() {
+        let c = calibrate_ratio(|r| r, QualityTarget::AtLeast(0.7654321), 1e-4);
+        // 2 endpoint probes + ~14 bisections.
+        assert!(c.evaluations.len() <= 17, "{}", c.evaluations.len());
+        assert!((c.ratio.unwrap() - 0.7654321).abs() < 2e-4);
+    }
+
+    #[test]
+    fn target_display() {
+        assert_eq!(QualityTarget::AtLeast(30.0).to_string(), "≥ 30");
+        assert_eq!(QualityTarget::AtMost(0.01).to_string(), "≤ 0.01");
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance")]
+    fn bad_tolerance_panics() {
+        let _ = calibrate_ratio(|r| r, QualityTarget::AtLeast(0.5), 0.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! The worker-pool executor behind `taskwait`.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::task::{make_ctx, ExecMode, TaskCtx};
+
+/// A prepared job: the chosen mode plus the body to run.
+type Job<'scope> = (ExecMode, Box<dyn FnOnce(&TaskCtx) + Send + 'scope>);
+
+/// A fixed-width thread pool executing the task jobs of a `taskwait`.
+///
+/// The pool is scoped: worker threads are spawned per `taskwait` with
+/// `std::thread::scope`, which lets task bodies borrow stack data (output
+/// buffers, images) without `'static` bounds — the natural translation of
+/// the paper's OpenMP tasks writing to caller-owned arrays.
+pub struct Executor {
+    threads: usize,
+}
+
+impl fmt::Debug for Executor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Executor")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl Executor {
+    /// Creates an executor with exactly `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(threads: usize) -> Executor {
+        assert!(threads > 0, "executor needs at least one thread");
+        Executor { threads }
+    }
+
+    /// Creates an executor sized to the machine
+    /// (`std::thread::available_parallelism`, falling back to 4).
+    pub fn with_available_parallelism() -> Executor {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Executor::new(threads)
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs the prepared jobs to completion, work-stealing via a shared
+    /// atomic cursor. Blocks until every job has finished.
+    pub(crate) fn run<'scope>(
+        &self,
+        jobs: Vec<Job<'scope>>,
+        accurate_ops: &Arc<AtomicU64>,
+        approx_ops: &Arc<AtomicU64>,
+    ) {
+        if jobs.is_empty() {
+            return;
+        }
+        // Wrap each job in an Option so workers can take() them through a
+        // shared slice without moving the vector.
+        let slots: Vec<parking_lot::Mutex<Option<Job<'scope>>>> =
+            jobs.into_iter().map(|j| parking_lot::Mutex::new(Some(j))).collect();
+        let cursor = AtomicUsize::new(0);
+        let n = slots.len();
+        let workers = self.threads.min(n);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let job = slots[i].lock().take();
+                    if let Some((mode, body)) = job {
+                        let ctx = make_ctx(mode, accurate_ops, approx_ops);
+                        body(&ctx);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_all_jobs_in_parallel() {
+        let executor = Executor::new(4);
+        let counter = AtomicUsize::new(0);
+        let acc = Arc::new(AtomicU64::new(0));
+        let apx = Arc::new(AtomicU64::new(0));
+        let jobs: Vec<Job<'_>> = (0..100)
+            .map(|_| {
+                let counter = &counter;
+                (
+                    ExecMode::Accurate,
+                    Box::new(move |ctx: &TaskCtx| {
+                        ctx.count_accurate_ops(2);
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }) as Box<dyn FnOnce(&TaskCtx) + Send>,
+                )
+            })
+            .collect();
+        executor.run(jobs, &acc, &apx);
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(acc.load(Ordering::Relaxed), 200);
+        assert_eq!(apx.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn jobs_can_borrow_stack_data() {
+        let executor = Executor::new(2);
+        let mut out = vec![0u64; 8];
+        let acc = Arc::new(AtomicU64::new(0));
+        let apx = Arc::new(AtomicU64::new(0));
+        {
+            let jobs: Vec<Job<'_>> = out
+                .iter_mut()
+                .enumerate()
+                .map(|(i, slot)| {
+                    (
+                        ExecMode::Accurate,
+                        Box::new(move |_: &TaskCtx| {
+                            *slot = i as u64 * 10;
+                        }) as Box<dyn FnOnce(&TaskCtx) + Send + '_>,
+                    )
+                })
+                .collect();
+            executor.run(jobs, &acc, &apx);
+        }
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let _ = Executor::new(0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Significance-driven task runtime and energy model.
+//!
+//! Reproduces the OpenMP-like programming model of §3.2 of the CGO'16
+//! paper (`#pragma omp task significance(...) approxfun(...) label(...)`
+//! plus `#pragma omp taskwait label(...) ratio(...)`) as an explicit Rust
+//! API:
+//!
+//! * [`TaskGroup`] ≙ a `label()` task group;
+//! * [`TaskGroup::spawn`] ≙ `#pragma omp task significance(s)
+//!   approxfun(f)`;
+//! * [`TaskGroup::taskwait`] ≙ `#pragma omp taskwait ratio(r)` — the
+//!   single knob of the quality/energy trade-off: at least fraction `r`
+//!   of the group's tasks execute their accurate body, most-significant
+//!   first; the rest run the approximate body (or are dropped when none
+//!   was provided); tasks with significance ≥ 1 always run accurately.
+//!
+//! Execution happens on a [`Executor`] thread pool. Every task body
+//! receives a [`TaskCtx`] through which it reports its work in abstract
+//! **work units**; the deterministic [`EnergyModel`] converts the counted
+//! units into Joules (see DESIGN.md §5 for why a model replaces the
+//! paper's RAPL measurements and what it preserves).
+//!
+//! # Example
+//!
+//! The Maclaurin series of Listing 7, one task per term:
+//!
+//! ```
+//! use scorpio_runtime::{Executor, TaskGroup};
+//! use std::sync::Mutex;
+//!
+//! let executor = Executor::new(4);
+//! let n = 8usize;
+//! let temp = Mutex::new(vec![0.0f64; n]);
+//! let x = 0.49f64;
+//!
+//! let mut group = TaskGroup::new("maclaurin");
+//! for i in 1..n {
+//!     let temp = &temp;
+//!     let significance = (n - i + 1) as f64 / (n + 2) as f64;
+//!     group.spawn(
+//!         significance,
+//!         move |ctx| {
+//!             ctx.count_accurate_ops(i as u64);
+//!             temp.lock().unwrap()[i] = x.powi(i as i32);
+//!         },
+//!         Some(move |ctx: &scorpio_runtime::TaskCtx| {
+//!             ctx.count_approx_ops(1);
+//!             temp.lock().unwrap()[i] = 0.0; // drop the contribution
+//!         }),
+//!     );
+//! }
+//! let stats = group.taskwait(&executor, 0.5);
+//! assert_eq!(stats.total(), 7);
+//! assert!(stats.accurate >= 4); // ceil(0.5 · 7)
+//! let result: f64 = 1.0 + temp.lock().unwrap().iter().sum::<f64>();
+//! assert!(result > 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod controller;
+mod energy;
+mod executor;
+pub mod perforation;
+mod task;
+
+pub use energy::EnergyModel;
+pub use executor::Executor;
+pub use task::{ExecMode, ExecutionStats, TaskCtx, TaskGroup};
+
+#[cfg(test)]
+mod tests;

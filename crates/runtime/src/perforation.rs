@@ -1,0 +1,181 @@
+//! Loop-perforation support (§4.2 of the paper — the comparison baseline
+//! of Sidiroglou-Douskos et al., ESEC/FSE'11).
+//!
+//! Perforation skips loop iterations outright. To compare fairly against
+//! the significance-driven runtime, "the same percentage of computations
+//! is skipped as the percentage of computations approximated by our
+//! runtime": a [`Perforator`] selects which iterations to *keep* for a
+//! given keep-fraction with three properties the evaluation relies on:
+//!
+//! 1. **exact count** — exactly `⌊n · f⌋` iterations are kept;
+//! 2. **monotonicity** — raising the fraction only adds kept iterations
+//!    (matching how the ratio knob grows the accurate-task set);
+//! 3. **even spreading** — kept iterations are low-discrepancy over the
+//!    index space (golden-ratio sequence), the behaviour of stride
+//!    perforation without the aliasing artifacts.
+
+/// Precomputed perforation mask for a loop of `n` iterations.
+///
+/// ```
+/// use scorpio_runtime::perforation::Perforator;
+/// let p = Perforator::new(10, 0.5);
+/// assert_eq!((0..10).filter(|&i| p.keep(i)).count(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Perforator {
+    mask: Vec<bool>,
+}
+
+impl Perforator {
+    /// Builds the mask keeping `⌊n · keep_fraction⌋` iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ keep_fraction ≤ 1`.
+    pub fn new(n: usize, keep_fraction: f64) -> Perforator {
+        assert!(
+            (0.0..=1.0).contains(&keep_fraction),
+            "keep_fraction must be in [0, 1], got {keep_fraction}"
+        );
+        let k = (n as f64 * keep_fraction).floor() as usize;
+        let mut order: Vec<usize> = (0..n).collect();
+        // Golden-ratio (Fibonacci) priorities: a fixed low-discrepancy
+        // ordering, so "the first k" is both monotone in k and evenly
+        // spread over [0, n).
+        order.sort_by(|&a, &b| {
+            priority(a)
+                .partial_cmp(&priority(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut mask = vec![false; n];
+        for &i in order.iter().take(k) {
+            mask[i] = true;
+        }
+        Perforator { mask }
+    }
+
+    /// `true` iff iteration `i` is kept (executed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn keep(&self, i: usize) -> bool {
+        self.mask[i]
+    }
+
+    /// Number of loop iterations covered.
+    pub fn len(&self) -> usize {
+        self.mask.len()
+    }
+
+    /// `true` for a zero-iteration loop.
+    pub fn is_empty(&self) -> bool {
+        self.mask.is_empty()
+    }
+
+    /// Number of kept iterations.
+    pub fn kept(&self) -> usize {
+        self.mask.iter().filter(|&&k| k).count()
+    }
+}
+
+/// Per-index golden-ratio priority in `[0, 1)`.
+#[inline]
+fn priority(i: usize) -> f64 {
+    const INV_PHI: f64 = 0.618_033_988_749_894_9;
+    ((i + 1) as f64 * INV_PHI).fract()
+}
+
+/// One-shot form of [`Perforator::keep`] — convenient for single queries
+/// but O(n log n); build a [`Perforator`] for whole loops.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ keep_fraction ≤ 1` and `i < n`.
+///
+/// ```
+/// use scorpio_runtime::perforation::keep_iteration;
+/// let kept = (0..10).filter(|&i| keep_iteration(i, 10, 0.5)).count();
+/// assert_eq!(kept, 5);
+/// ```
+pub fn keep_iteration(i: usize, n: usize, keep_fraction: f64) -> bool {
+    assert!(i < n, "iteration index {i} out of range {n}");
+    Perforator::new(n, keep_fraction).keep(i)
+}
+
+/// The kept-iteration indices for a perforated loop of `n` iterations.
+pub fn kept_indices(n: usize, keep_fraction: f64) -> Vec<usize> {
+    let p = Perforator::new(n, keep_fraction);
+    (0..n).filter(|&i| p.keep(i)).collect()
+}
+
+/// Number of iterations kept: exactly `⌊n · keep_fraction⌋`.
+pub fn kept_count(n: usize, keep_fraction: f64) -> usize {
+    Perforator::new(n, keep_fraction).kept()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kept_fraction_matches_request() {
+        for n in [1usize, 7, 64, 1000] {
+            for f in [0.0, 0.2, 0.5, 0.8, 1.0] {
+                let kept = kept_count(n, f);
+                let want = (n as f64 * f).floor() as usize;
+                assert_eq!(kept, want, "n={n} f={f}");
+            }
+        }
+    }
+
+    #[test]
+    fn keeps_grow_monotonically_with_fraction() {
+        let n = 100;
+        for (lo, hi) in [(0.1, 0.3), (0.3, 0.7), (0.7, 0.9), (0.0, 1.0)] {
+            let low = kept_indices(n, lo);
+            let high = kept_indices(n, hi);
+            for i in &low {
+                assert!(high.contains(i), "iteration {i} lost raising {lo}→{hi}");
+            }
+        }
+    }
+
+    #[test]
+    fn skips_are_spread_not_clustered() {
+        let kept = kept_indices(100, 0.5);
+        // Golden-ratio spreading: no gap between consecutive kept
+        // iterations exceeds 4 at keep fraction 1/2.
+        for w in kept.windows(2) {
+            assert!(w[1] - w[0] <= 4, "cluster at {w:?}");
+        }
+        // Low fractions stay spread too.
+        let kept = kept_indices(1000, 0.1);
+        for w in kept.windows(2) {
+            assert!(w[1] - w[0] <= 25, "cluster at {w:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert!(kept_indices(0, 0.5).is_empty());
+        assert_eq!(kept_indices(5, 1.0).len(), 5);
+        assert!(kept_indices(5, 0.0).is_empty());
+        let p = Perforator::new(0, 0.3);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_panics() {
+        let _ = keep_iteration(5, 5, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn bad_fraction_panics() {
+        let _ = Perforator::new(10, 1.5);
+    }
+}

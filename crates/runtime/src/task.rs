@@ -1,0 +1,252 @@
+//! Tasks, task groups, and per-execution statistics.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::executor::Executor;
+
+/// Whether a task body is running as the accurate or the approximate
+/// version (the runtime's decision at the `taskwait`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecMode {
+    /// The accurate (original) body.
+    Accurate,
+    /// The light-weight approximate body supplied via the `approxfun`
+    /// equivalent.
+    Approximate,
+}
+
+/// Handle given to every running task body for work accounting.
+///
+/// Work units are abstract op counts; kernels report how much accurate
+/// and approximate computation they actually performed, and the
+/// [`EnergyModel`](crate::EnergyModel) prices them. Counting is what makes
+/// the energy evaluation deterministic and testable.
+#[derive(Debug)]
+pub struct TaskCtx {
+    mode: ExecMode,
+    accurate_ops: Arc<AtomicU64>,
+    approx_ops: Arc<AtomicU64>,
+}
+
+impl TaskCtx {
+    /// The mode the runtime chose for this task.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Reports `n` units of accurate work.
+    pub fn count_accurate_ops(&self, n: u64) {
+        self.accurate_ops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Reports `n` units of approximate work.
+    pub fn count_approx_ops(&self, n: u64) {
+        self.approx_ops.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+type TaskFn<'scope> = Box<dyn FnOnce(&TaskCtx) + Send + 'scope>;
+
+pub(crate) struct Task<'scope> {
+    pub significance: f64,
+    pub accurate: TaskFn<'scope>,
+    pub approx: Option<TaskFn<'scope>>,
+    /// Spawn order, used for stable tie-breaking.
+    pub seq: usize,
+}
+
+impl fmt::Debug for Task<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Task")
+            .field("significance", &self.significance)
+            .field("has_approx", &self.approx.is_some())
+            .field("seq", &self.seq)
+            .finish()
+    }
+}
+
+/// Statistics of one `taskwait` execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecutionStats {
+    /// Tasks executed with the accurate body.
+    pub accurate: usize,
+    /// Tasks executed with the approximate body.
+    pub approximate: usize,
+    /// Tasks dropped (chosen for approximation but no approximate body).
+    pub dropped: usize,
+    /// Total accurate work units reported by task bodies.
+    pub accurate_ops: u64,
+    /// Total approximate work units reported by task bodies.
+    pub approx_ops: u64,
+}
+
+impl ExecutionStats {
+    /// Total number of tasks in the group.
+    pub fn total(&self) -> usize {
+        self.accurate + self.approximate + self.dropped
+    }
+
+    /// Merges another group's statistics into this one (used when an
+    /// application runs several task groups per run).
+    pub fn merge(&mut self, other: &ExecutionStats) {
+        self.accurate += other.accurate;
+        self.approximate += other.approximate;
+        self.dropped += other.dropped;
+        self.accurate_ops += other.accurate_ops;
+        self.approx_ops += other.approx_ops;
+    }
+}
+
+/// A labelled group of tasks — the unit over which `taskwait ratio(r)`
+/// synchronises and enforces quality (§3.2, `label()` clause).
+pub struct TaskGroup<'scope> {
+    label: String,
+    tasks: Vec<Task<'scope>>,
+}
+
+impl fmt::Debug for TaskGroup<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TaskGroup")
+            .field("label", &self.label)
+            .field("tasks", &self.tasks.len())
+            .finish()
+    }
+}
+
+impl<'scope> TaskGroup<'scope> {
+    /// Creates an empty group with the given label.
+    pub fn new(label: impl Into<String>) -> TaskGroup<'scope> {
+        TaskGroup {
+            label: label.into(),
+            tasks: Vec::new(),
+        }
+    }
+
+    /// The group's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Number of spawned tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` if no task has been spawned yet.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Spawns a task with the given `significance`, accurate body and
+    /// optional approximate body (`#pragma omp task significance(s)
+    /// approxfun(approx)`).
+    ///
+    /// Significance is clamped to `[0, 1]`; a value of exactly `1.0`
+    /// forces accurate execution regardless of the requested ratio (the
+    /// paper's Sobel kernel uses this for its group-A convolution tasks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `significance` is NaN.
+    pub fn spawn<A, B>(&mut self, significance: f64, accurate: A, approx: Option<B>)
+    where
+        A: FnOnce(&TaskCtx) + Send + 'scope,
+        B: FnOnce(&TaskCtx) + Send + 'scope,
+    {
+        assert!(!significance.is_nan(), "task significance must not be NaN");
+        let seq = self.tasks.len();
+        self.tasks.push(Task {
+            significance: significance.clamp(0.0, 1.0),
+            accurate: Box::new(accurate),
+            approx: approx.map(|b| Box::new(b) as TaskFn<'scope>),
+            seq,
+        });
+    }
+
+    /// Spawns a task that is always executed accurately (no approximate
+    /// body, significance 1).
+    pub fn spawn_accurate<A>(&mut self, accurate: A)
+    where
+        A: FnOnce(&TaskCtx) + Send + 'scope,
+    {
+        self.spawn(1.0, accurate, None::<fn(&TaskCtx)>);
+    }
+
+    /// Executes the group on `executor` with the quality knob `ratio`
+    /// (`#pragma omp taskwait label(...) ratio(r)`), blocking until every
+    /// task has run.
+    ///
+    /// At least `ceil(ratio · n)` tasks execute accurately, chosen in
+    /// order of decreasing significance (spawn order breaks ties); tasks
+    /// with significance ≥ 1 are always accurate on top of that
+    /// guarantee. The rest run their approximate body, or are dropped
+    /// when none exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is not in `[0, 1]` or is NaN.
+    pub fn taskwait(self, executor: &Executor, ratio: f64) -> ExecutionStats {
+        assert!(
+            (0.0..=1.0).contains(&ratio),
+            "taskwait ratio must be within [0, 1], got {ratio}"
+        );
+        let n = self.tasks.len();
+        if n == 0 {
+            return ExecutionStats::default();
+        }
+
+        // Rank by significance (desc), stable in spawn order.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            let ta = &self.tasks[a];
+            let tb = &self.tasks[b];
+            tb.significance
+                .partial_cmp(&ta.significance)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(ta.seq.cmp(&tb.seq))
+        });
+
+        let min_accurate = (ratio * n as f64).ceil() as usize;
+        let mut accurate_flags = vec![false; n];
+        for (rank, &idx) in order.iter().enumerate() {
+            accurate_flags[idx] = rank < min_accurate || self.tasks[idx].significance >= 1.0;
+        }
+
+        let accurate_ops = Arc::new(AtomicU64::new(0));
+        let approx_ops = Arc::new(AtomicU64::new(0));
+
+        let mut stats = ExecutionStats::default();
+        let mut jobs: Vec<(ExecMode, TaskFn<'scope>)> = Vec::with_capacity(n);
+        for (task, is_accurate) in self.tasks.into_iter().zip(&accurate_flags) {
+            if *is_accurate {
+                stats.accurate += 1;
+                jobs.push((ExecMode::Accurate, task.accurate));
+            } else if let Some(approx) = task.approx {
+                stats.approximate += 1;
+                jobs.push((ExecMode::Approximate, approx));
+            } else {
+                stats.dropped += 1;
+            }
+        }
+
+        executor.run(jobs, &accurate_ops, &approx_ops);
+
+        stats.accurate_ops = accurate_ops.load(Ordering::Relaxed);
+        stats.approx_ops = approx_ops.load(Ordering::Relaxed);
+        stats
+    }
+}
+
+pub(crate) fn make_ctx(
+    mode: ExecMode,
+    accurate_ops: &Arc<AtomicU64>,
+    approx_ops: &Arc<AtomicU64>,
+) -> TaskCtx {
+    TaskCtx {
+        mode,
+        accurate_ops: Arc::clone(accurate_ops),
+        approx_ops: Arc::clone(approx_ops),
+    }
+}

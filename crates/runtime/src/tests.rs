@@ -1,0 +1,251 @@
+//! Behavioural tests of the ratio knob and scheduling guarantees.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+
+use crate::{EnergyModel, ExecMode, Executor, TaskGroup};
+
+#[test]
+fn ratio_one_runs_everything_accurately() {
+    let executor = Executor::new(4);
+    let accurate_runs = AtomicUsize::new(0);
+    let mut group = TaskGroup::new("g");
+    for i in 0..10 {
+        let accurate_runs = &accurate_runs;
+        group.spawn(
+            i as f64 / 10.0,
+            move |_| {
+                accurate_runs.fetch_add(1, Ordering::Relaxed);
+            },
+            Some(|_: &crate::TaskCtx| panic!("approx must not run at ratio 1")),
+        );
+    }
+    let stats = group.taskwait(&executor, 1.0);
+    assert_eq!(stats.accurate, 10);
+    assert_eq!(stats.approximate, 0);
+    assert_eq!(accurate_runs.load(Ordering::Relaxed), 10);
+}
+
+#[test]
+fn ratio_zero_approximates_all_unforced_tasks() {
+    let executor = Executor::new(4);
+    let mut group = TaskGroup::new("g");
+    for i in 0..10 {
+        group.spawn(
+            i as f64 / 20.0, // all < 1.0
+            |_| panic!("accurate must not run at ratio 0"),
+            Some(|_: &crate::TaskCtx| {}),
+        );
+    }
+    let stats = group.taskwait(&executor, 0.0);
+    assert_eq!(stats.accurate, 0);
+    assert_eq!(stats.approximate, 10);
+}
+
+#[test]
+fn significance_one_forces_accurate_execution() {
+    // The Sobel pattern: group A at significance 1.0 always accurate,
+    // even at ratio 0 (§4.1.1).
+    let executor = Executor::new(2);
+    let forced = AtomicUsize::new(0);
+    let mut group = TaskGroup::new("sobel");
+    for i in 0..9 {
+        let forced = &forced;
+        let sig = if i % 3 == 0 { 1.0 } else { 0.5 };
+        group.spawn(
+            sig,
+            move |_| {
+                forced.fetch_add(1, Ordering::Relaxed);
+            },
+            Some(|_: &crate::TaskCtx| {}),
+        );
+    }
+    let stats = group.taskwait(&executor, 0.0);
+    assert_eq!(stats.accurate, 3);
+    assert_eq!(forced.load(Ordering::Relaxed), 3);
+}
+
+#[test]
+fn most_significant_tasks_run_accurately_first() {
+    let executor = Executor::new(2);
+    // Declared before the group: the group's task closures borrow it.
+    let accurate_ids = Mutex::new(Vec::new());
+    let mut group = TaskGroup::new("g");
+    for i in 0..10usize {
+        let accurate_ids = &accurate_ids;
+        group.spawn(
+            i as f64 / 10.0, // significance rises with i
+            move |_| accurate_ids.lock().unwrap().push(i),
+            Some(|_: &crate::TaskCtx| {}),
+        );
+    }
+    let stats = group.taskwait(&executor, 0.3);
+    assert_eq!(stats.accurate, 3);
+    let mut ids = accurate_ids.into_inner().unwrap();
+    ids.sort_unstable();
+    // ceil(0.3·10) = 3 accurate slots → the three most significant: 7, 8, 9.
+    assert_eq!(ids, vec![7, 8, 9]);
+}
+
+#[test]
+fn dropped_tasks_have_no_approx_body() {
+    let executor = Executor::new(2);
+    let mut group = TaskGroup::new("g");
+    for _ in 0..4 {
+        group.spawn(0.1, |_| {}, None::<fn(&crate::TaskCtx)>);
+    }
+    let stats = group.taskwait(&executor, 0.5);
+    // ceil(0.5·4) = 2 accurate; the other 2 have no approx body → dropped.
+    assert_eq!(stats.accurate, 2);
+    assert_eq!(stats.approximate, 0);
+    assert_eq!(stats.dropped, 2);
+    assert_eq!(stats.total(), 4);
+}
+
+#[test]
+fn work_units_are_accumulated_per_mode() {
+    let executor = Executor::new(4);
+    let mut group = TaskGroup::new("g");
+    for _ in 0..6 {
+        group.spawn(
+            0.5,
+            |ctx: &crate::TaskCtx| {
+                assert_eq!(ctx.mode(), ExecMode::Accurate);
+                ctx.count_accurate_ops(100);
+            },
+            Some(|ctx: &crate::TaskCtx| {
+                assert_eq!(ctx.mode(), ExecMode::Approximate);
+                ctx.count_approx_ops(10);
+            }),
+        );
+    }
+    let stats = group.taskwait(&executor, 0.5);
+    assert_eq!(stats.accurate, 3);
+    assert_eq!(stats.approximate, 3);
+    assert_eq!(stats.accurate_ops, 300);
+    assert_eq!(stats.approx_ops, 30);
+}
+
+#[test]
+fn empty_group_is_fine() {
+    let executor = Executor::new(2);
+    let group = TaskGroup::new("empty");
+    let stats = group.taskwait(&executor, 0.5);
+    assert_eq!(stats.total(), 0);
+}
+
+#[test]
+fn tasks_can_write_disjoint_borrowed_buffers() {
+    let executor = Executor::new(4);
+    let mut out = vec![0.0f64; 16];
+    {
+        let mut group = TaskGroup::new("g");
+        for (i, chunk) in out.chunks_mut(4).enumerate() {
+            group.spawn_accurate(move |_| {
+                for (j, v) in chunk.iter_mut().enumerate() {
+                    *v = (i * 4 + j) as f64;
+                }
+            });
+        }
+        let stats = group.taskwait(&executor, 1.0);
+        assert_eq!(stats.accurate, 4);
+    }
+    let want: Vec<f64> = (0..16).map(|i| i as f64).collect();
+    assert_eq!(out, want);
+}
+
+#[test]
+fn task_panic_propagates_to_taskwait() {
+    // A panicking task body must not be swallowed: thread::scope re-raises
+    // it at the join, so taskwait (and the whole run) fails loudly rather
+    // than returning corrupt output.
+    let result = std::panic::catch_unwind(|| {
+        let executor = Executor::new(2);
+        let mut group = TaskGroup::new("g");
+        group.spawn_accurate(|_| panic!("task body exploded"));
+        let _ = group.taskwait(&executor, 1.0);
+    });
+    assert!(result.is_err());
+}
+
+#[test]
+fn stats_merge_adds_fields() {
+    let mut a = crate::ExecutionStats {
+        accurate: 1,
+        approximate: 2,
+        dropped: 3,
+        accurate_ops: 10,
+        approx_ops: 20,
+    };
+    let b = a.clone();
+    a.merge(&b);
+    assert_eq!(a.accurate, 2);
+    assert_eq!(a.dropped, 6);
+    assert_eq!(a.approx_ops, 40);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The ratio guarantee: at least ceil(ratio · n) accurate tasks, and
+    /// the accurate set is significance-maximal.
+    #[test]
+    fn ratio_guarantee(n in 1usize..40, ratio in 0.0f64..=1.0, seed in 0u64..1000) {
+        let executor = Executor::new(3);
+        // Deterministic pseudo-random significances < 1.0.
+        let sig = |i: usize| {
+            let h = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed);
+            ((h >> 33) % 1000) as f64 / 1001.0
+        };
+        let executed = Mutex::new(Vec::new());
+        let mut group = TaskGroup::new("g");
+        for i in 0..n {
+            let executed = &executed;
+            group.spawn(
+                sig(i),
+                move |_| executed.lock().unwrap().push(i),
+                Some(|_: &crate::TaskCtx| {}),
+            );
+        }
+        let stats = group.taskwait(&executor, ratio);
+        let min_acc = (ratio * n as f64).ceil() as usize;
+        prop_assert!(stats.accurate >= min_acc);
+        prop_assert_eq!(stats.accurate + stats.approximate, n);
+
+        // Significance-maximality: every accurate task is at least as
+        // significant as every approximated task.
+        let accurate: Vec<usize> = executed.into_inner().unwrap();
+        let min_acc_sig = accurate.iter().map(|&i| sig(i)).fold(f64::INFINITY, f64::min);
+        for i in 0..n {
+            if !accurate.contains(&i) {
+                prop_assert!(sig(i) <= min_acc_sig + 1e-12);
+            }
+        }
+    }
+
+    /// Energy is monotone non-increasing as ratio decreases, whenever
+    /// approximate bodies do less work than accurate ones.
+    #[test]
+    fn energy_monotone_in_ratio(n in 4usize..24) {
+        let executor = Executor::new(2);
+        let model = EnergyModel::xeon_e5_2695v3();
+        let run = |ratio: f64| {
+            let mut group = TaskGroup::new("g");
+            for i in 0..n {
+                group.spawn(
+                    i as f64 / n as f64,
+                    |ctx: &crate::TaskCtx| ctx.count_accurate_ops(1000),
+                    Some(|ctx: &crate::TaskCtx| ctx.count_approx_ops(100)),
+                );
+            }
+            model.energy(&group.taskwait(&executor, ratio))
+        };
+        let e0 = run(0.0);
+        let e5 = run(0.5);
+        let e1 = run(1.0);
+        prop_assert!(e0 <= e5 + 1e-12);
+        prop_assert!(e5 <= e1 + 1e-12);
+    }
+}

@@ -1,0 +1,64 @@
+//! Molecular-dynamics example: the N-Body kernel of §4.1.4 — distance
+//! correlation of significance, then the headline quality/energy result
+//! (significance-driven approximation vs loop perforation).
+//!
+//! ```sh
+//! cargo run --release -p scorpio --example molecular_dynamics
+//! ```
+
+use scorpio::kernels::nbody;
+use scorpio::quality::relative_error_l2;
+use scorpio::runtime::{EnergyModel, Executor};
+
+fn main() {
+    // ── The analysis confirms domain wisdom: significance ~ 1/distance ─
+    println!("=== pair significance vs distance (Lennard-Jones) ===");
+    println!("  {:>8} {:>14}", "r (σ)", "significance");
+    for r0 in [1.2, 1.5, 2.0, 2.5, 3.0, 4.0, 6.0] {
+        let s = nbody::analysis_pair(r0, 0.05).expect("analysis");
+        println!("  {r0:>8.2} {s:>14.6e}");
+    }
+
+    // ── Simulation: sig-driven vs perforated at matched ratios ─────────
+    let params = nbody::Params::evaluation();
+    println!(
+        "\n=== liquid-argon simulation: {} atoms, {} regions, {} steps ===",
+        params.atoms(),
+        params.regions.pow(3),
+        params.steps
+    );
+    let executor = Executor::with_available_parallelism();
+    let model = EnergyModel::xeon_e5_2695v3();
+    let reference_state = nbody::reference(&params);
+    let obs = nbody::observables(&reference_state);
+    println!(
+        "  reference observables: E = {:.3} (KE {:.3} + PE {:.3}), T* = {:.4}, |p| = {:.2e}",
+        obs.total_energy(),
+        obs.kinetic,
+        obs.potential,
+        obs.temperature,
+        obs.momentum
+    );
+    let exact = reference_state.flatten();
+
+    println!(
+        "  {:>6} {:>16} {:>12} | {:>16} {:>12}",
+        "ratio", "sig rel.err", "sig E(J)", "perf rel.err", "perf E(J)"
+    );
+    for ratio in [1.0, 0.8, 0.5, 0.2, 0.0] {
+        let (sig_state, sig_stats) = nbody::tasked(&params, &executor, ratio);
+        let (perf_state, perf_stats) = nbody::perforated(&params, ratio);
+        println!(
+            "  {ratio:>6.1} {:>16.3e} {:>12.1} | {:>16.3e} {:>12.1}",
+            relative_error_l2(&exact, &sig_state.flatten()),
+            model.energy(&sig_stats),
+            relative_error_l2(&exact, &perf_state.flatten()),
+            model.energy(&perf_stats),
+        );
+    }
+    println!(
+        "\nThe significance-driven run stays accurate even fully approximate\n\
+         (far regions collapse to centres of mass), while perforation loses\n\
+         near-neighbour forces — the ~6-orders-of-magnitude gap of Fig. 7."
+    );
+}

@@ -1,0 +1,67 @@
+//! Quickstart: the full significance-analysis workflow on the paper's
+//! Maclaurin running example (§3 of the CGO'16 paper).
+//!
+//! ```sh
+//! cargo run --release -p scorpio --example quickstart
+//! ```
+
+use scorpio::analysis::AnalysisError;
+use scorpio::kernels::maclaurin;
+use scorpio::runtime::{EnergyModel, Executor};
+
+fn main() -> Result<(), AnalysisError> {
+    let x0 = 0.49;
+    let n = 8;
+
+    // ── Step 1: significance analysis (Listings 5–6, Fig. 3) ──────────
+    println!("=== significance analysis of maclaurin(x ∈ {x0} ± 0.5, N = {n}) ===\n");
+    let report = maclaurin::analysis(x0, n)?;
+    print!("{report}");
+
+    // ── Step 2: Algorithm-1 workflow: simplify + variance partition ───
+    let partition = report.partition();
+    println!(
+        "\nAlgorithm 1 cut level: {:?} (task outputs = series terms)",
+        partition.cut_level
+    );
+    for stats in &partition.level_stats {
+        println!(
+            "  level {}: {} nodes, mean significance {:.4}, variance {:.6}",
+            stats.level, stats.count, stats.mean, stats.variance
+        );
+    }
+
+    // The simplified DynDFG of Fig. 3b, ready for graphviz.
+    println!("\nFig. 3b DynDFG (render with `dot -Tpng`):\n");
+    println!("{}", report.graph().simplified().to_dot("maclaurin"));
+
+    // ── Step 3: significance-driven execution (Listing 7) ─────────────
+    println!("=== execution under the ratio knob ===\n");
+    let executor = Executor::new(4);
+    let model = EnergyModel::xeon_e5_2695v3();
+    let exact = maclaurin::reference(x0, n);
+    println!(
+        "{:>6} {:>14} {:>12} {:>10} {:>10}",
+        "ratio", "result", "rel. error", "acc/apx", "energy(J)"
+    );
+    let mut reference_stats = None;
+    for ratio in [1.0, 0.8, 0.5, 0.2, 0.0] {
+        let (value, stats) = maclaurin::tasked(x0, n, &executor, ratio);
+        let rel = (value - exact).abs() / exact.abs();
+        if ratio == 1.0 {
+            reference_stats = Some(stats.clone());
+        }
+        let reduction = reference_stats
+            .as_ref()
+            .map(|r| model.energy_reduction(&stats, r) * 100.0)
+            .unwrap_or(0.0);
+        println!(
+            "{ratio:>6.1} {value:>14.9} {rel:>12.2e} {:>6}/{:<3} {:>8.2e}  (−{reduction:.0}%)",
+            stats.accurate,
+            stats.approximate,
+            model.energy(&stats),
+        );
+    }
+    println!("\nexact value: {exact:.9} (= 1/(1−x) as N → ∞: {:.6})", 1.0 / (1.0 - x0));
+    Ok(())
+}

@@ -1,0 +1,211 @@
+//! Integration tests pinning the paper's per-section claims — each test
+//! names the figure/section it reproduces (see EXPERIMENTS.md for the
+//! quantitative side).
+
+use scorpio::analysis::Analysis;
+use scorpio::kernels::{blackscholes, dct, fisheye, maclaurin, nbody, sobel};
+use scorpio::quality::{psnr_images, relative_error_l2, SyntheticImage};
+use scorpio::runtime::Executor;
+
+#[test]
+fn listing2_elementary_decomposition() {
+    // §2.1 Listings 1–2: the example function records exactly 6 DynDFG
+    // nodes (u0..u5) and its interval gradient encloses the point
+    // gradients.
+    let report = Analysis::new()
+        .run(|ctx| {
+            let x = ctx.input("x0", 0.1, 0.9);
+            let y = ((x.sin() + x).exp() - x).cos();
+            ctx.output(&y, "y");
+            Ok(())
+        })
+        .unwrap();
+    assert_eq!(report.tape_len(), 6);
+    let grad = report.var("x0").unwrap().derivative;
+    for k in 0..=8 {
+        let p = 0.1 + 0.1 * k as f64;
+        let u3 = (p.sin() + p).exp();
+        let g = -(u3 - p).sin() * (u3 * (p.cos() + 1.0) - 1.0);
+        assert!(grad.contains(g), "gradient {g} at {p} outside {grad}");
+    }
+}
+
+#[test]
+fn fig3_maclaurin_significances() {
+    // Fig. 3: term0 = 0; terms 1..4 ≈ (0.259, 0.254, 0.245, 0.241),
+    // gently decreasing; the result normalizes to 1.
+    let report = maclaurin::analysis(0.49, 5).unwrap();
+    assert!(report.significance_of("term0").unwrap() < 1e-12);
+    let paper = [0.259, 0.254, 0.245, 0.241];
+    let mut prev = f64::INFINITY;
+    for (i, want) in paper.iter().enumerate() {
+        let got = report.significance_of(&format!("term{}", i + 1)).unwrap();
+        assert!((got - want).abs() < 0.02, "term{}: {got} vs {want}", i + 1);
+        assert!(got < prev);
+        prev = got;
+    }
+    assert!((report.significance_of("result").unwrap() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn section_4_1_1_sobel_block_ranking() {
+    // §4.1.1: "A is twice as significant as the other two".
+    let report = sobel::analysis().unwrap();
+    let a = sobel::part_significance(&report, sobel::Part::A);
+    let b = sobel::part_significance(&report, sobel::Part::B);
+    let c = sobel::part_significance(&report, sobel::Part::C);
+    assert!((a / b - 2.0).abs() < 1e-6);
+    assert!((a / c - 2.0).abs() < 1e-6);
+}
+
+#[test]
+fn fig4_dct_zigzag() {
+    // Fig. 4: top-left corner has the highest value and drops in a
+    // wave-like pattern towards the opposite corner.
+    let report = dct::analysis_default().unwrap();
+    let map = dct::coefficient_map(&report);
+    assert!(map
+        .iter()
+        .flatten()
+        .all(|&s| s.is_finite() && s <= map[0][0] + 1e-12));
+    assert!(map[0][0] > map[7][7] * 3.0, "DC {} vs corner {}", map[0][0], map[7][7]);
+}
+
+#[test]
+fn fig5_fisheye_radial_sensitivity() {
+    // Fig. 5: border high, centre low — along a half-diagonal the raw
+    // significance grows monotonically.
+    let lens = fisheye::Lens::for_image(128, 96);
+    let (cx, cy) = lens.center();
+    let mut prev = 0.0;
+    for k in 1..=5 {
+        let t = k as f64 / 5.0;
+        let u = cx + t * (cx - 4.0);
+        let v = cy + t * (cy - 4.0);
+        let s = fisheye::analysis_inverse_mapping(&lens, u, v).unwrap();
+        assert!(s > prev, "significance not radially increasing at k={k}: {s} ≤ {prev}");
+        prev = s;
+    }
+}
+
+#[test]
+fn fig6_bicubic_inner_pairs() {
+    // Fig. 6: the inner 2×2 pixel block contains the most significant
+    // pairs, with mirror symmetry.
+    let (_, map) = fisheye::analysis_bicubic().unwrap();
+    let max_inner = (1..3)
+        .flat_map(|j| (1..3).map(move |i| map[j][i]))
+        .fold(0.0f64, f64::max);
+    let max_outer = (0..4)
+        .flat_map(|j| (0..4).map(move |i| (i, j)))
+        .filter(|&(i, j)| !(1..3).contains(&i) || !(1..3).contains(&j))
+        .map(|(i, j)| map[j][i])
+        .fold(0.0f64, f64::max);
+    assert!(max_inner > max_outer);
+}
+
+#[test]
+fn section_4_1_4_nbody_distance_correlation() {
+    // §4.1.4: "the greater the distance between atom A and atom B, the
+    // less the kinematic properties of one affect the other".
+    let near = nbody::analysis_pair(1.3, 0.05).unwrap();
+    let far = nbody::analysis_pair(4.0, 0.05).unwrap();
+    assert!(near > 100.0 * far, "near {near} vs far {far}");
+}
+
+#[test]
+fn section_4_1_5_blackscholes_ordering() {
+    // §4.1.5: sig(A) > sig(B) ≫ sig(C) > sig(D).
+    let report = blackscholes::analysis().unwrap();
+    let (a, b, c, d) = blackscholes::block_significances(&report);
+    assert!(a > b && b > c && c > d, "ordering violated: {a} {b} {c} {d}");
+    assert!(b / c > 2.0, "B ≫ C expected, got B/C = {}", b / c);
+}
+
+#[test]
+fn fig7_quality_advantage_over_perforation() {
+    // Fig. 7 / §4.3: "Our methodology results in better quality for all
+    // benchmarks compared with loop-perforation" at matched accurate
+    // fractions.
+    let executor = Executor::new(4);
+    let img = SyntheticImage::GaussianBlobs.render(64, 64, 77);
+
+    for ratio in [0.2, 0.5, 0.8] {
+        // Sobel.
+        let full = sobel::reference(&img);
+        let (sig, _) = sobel::tasked(&img, &executor, ratio);
+        let (perf, _) = sobel::perforated(&img, ratio);
+        assert!(
+            psnr_images(&full, &sig) > psnr_images(&full, &perf),
+            "sobel at {ratio}"
+        );
+
+        // DCT.
+        let full = dct::reference(&img);
+        let (sig, _) = dct::tasked(&img, &executor, ratio);
+        let (perf, _) = dct::perforated(&img, ratio);
+        assert!(
+            psnr_images(&full, &sig) > psnr_images(&full, &perf),
+            "dct at {ratio}"
+        );
+
+        // Fisheye.
+        let lens = fisheye::Lens::for_image(64, 64);
+        let full = fisheye::reference(&img, &lens);
+        let (sig, _) = fisheye::tasked_with_blocks(&img, &lens, &executor, ratio, 16, 16);
+        let (perf, _) = fisheye::perforated(&img, &lens, ratio);
+        assert!(
+            psnr_images(&full, &sig) > psnr_images(&full, &perf),
+            "fisheye at {ratio}"
+        );
+
+        // N-Body.
+        let params = nbody::Params::small();
+        let exact = nbody::reference(&params).flatten();
+        let (sig, _) = nbody::tasked(&params, &executor, ratio);
+        let (perf, _) = nbody::perforated(&params, ratio);
+        assert!(
+            relative_error_l2(&exact, &sig.flatten())
+                < relative_error_l2(&exact, &perf.flatten()),
+            "nbody at {ratio}"
+        );
+    }
+}
+
+#[test]
+fn fig7_nbody_headline_numbers_shape() {
+    // §4.3: sig-driven N-Body at full approximation reaches a relative
+    // error orders of magnitude below the 80 %-accurate perforated run,
+    // at a fraction of the energy.
+    let executor = Executor::new(4);
+    let params = nbody::Params::small();
+    let exact = nbody::reference(&params).flatten();
+
+    let (sig, sig_stats) = nbody::tasked(&params, &executor, 0.0);
+    let (perf, perf_stats) = nbody::perforated(&params, 0.8);
+    let err_sig = relative_error_l2(&exact, &sig.flatten());
+    let err_perf = relative_error_l2(&exact, &perf.flatten());
+
+    assert!(err_sig < err_perf, "{err_sig} vs {err_perf}");
+    // Much less accurate work executed.
+    assert!(sig_stats.accurate_ops < perf_stats.accurate_ops / 2);
+}
+
+#[test]
+fn section_2_2_ambiguous_comparison_terminates_analysis() {
+    // §2.2: ambiguous interval comparisons terminate the analysis and
+    // report the condition.
+    let err = Analysis::new()
+        .run(|ctx| {
+            let x = ctx.input("x", -1.0, 1.0);
+            let neg = ctx.branch(
+                x.value().certainly_lt(scorpio::interval::Interval::ZERO),
+                "x < 0",
+            )?;
+            let y = if neg { -x } else { x };
+            ctx.output(&y, "y");
+            Ok(())
+        })
+        .unwrap_err();
+    assert!(err.to_string().contains("x < 0"));
+}

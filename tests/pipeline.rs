@@ -1,0 +1,212 @@
+//! End-to-end integration tests: analysis → task structure → approximate
+//! execution → quality, across crates, for every benchmark.
+
+use scorpio::kernels::{blackscholes, dct, fisheye, maclaurin, nbody, sobel};
+use scorpio::quality::{psnr_images, relative_error_l2, SyntheticImage};
+use scorpio::runtime::{EnergyModel, Executor};
+
+const RATIOS: [f64; 5] = [0.0, 0.2, 0.5, 0.8, 1.0];
+
+/// Shared harness: asserts the two Fig. 7 structural properties for a
+/// kernel sweep — quality improves (weakly) with ratio, energy grows
+/// (weakly) with ratio — and that ratio 1 is exact.
+fn assert_fig7_shape(label: &str, qualities: &[f64], energies: &[f64], higher_is_better: bool) {
+    for (i, w) in qualities.windows(2).enumerate() {
+        if higher_is_better {
+            assert!(
+                w[1] >= w[0] - 0.75,
+                "{label}: quality fell {} → {} between ratios {} and {}",
+                w[0],
+                w[1],
+                RATIOS[i],
+                RATIOS[i + 1]
+            );
+        } else {
+            assert!(
+                w[1] <= w[0] * 1.5 + 1e-12,
+                "{label}: error rose {} → {} between ratios {} and {}",
+                w[0],
+                w[1],
+                RATIOS[i],
+                RATIOS[i + 1]
+            );
+        }
+    }
+    for w in energies.windows(2) {
+        assert!(
+            w[1] >= w[0] * 0.999,
+            "{label}: energy fell with rising ratio: {} → {}",
+            w[0],
+            w[1]
+        );
+    }
+}
+
+#[test]
+fn maclaurin_full_pipeline() {
+    let executor = Executor::new(4);
+    let model = EnergyModel::xeon_e5_2695v3();
+
+    // Analysis drives the task ranking…
+    let report = maclaurin::analysis(0.49, 10).unwrap();
+    let partition = report.partition();
+    assert_eq!(partition.cut_level, Some(1));
+
+    // …whose execution behaves per Fig. 7.
+    let exact = maclaurin::reference(0.49, 10);
+    let mut errors = Vec::new();
+    let mut energies = Vec::new();
+    for ratio in RATIOS {
+        let (value, stats) = maclaurin::tasked(0.49, 10, &executor, ratio);
+        errors.push((value - exact).abs() / exact.abs());
+        energies.push(model.energy(&stats));
+    }
+    assert_fig7_shape("maclaurin", &errors, &energies, false);
+    assert_eq!(errors[4], 0.0);
+}
+
+#[test]
+fn sobel_full_pipeline() {
+    let executor = Executor::new(4);
+    let model = EnergyModel::xeon_e5_2695v3();
+    let img = SyntheticImage::ValueNoise.render(64, 64, 31);
+
+    let report = sobel::analysis().unwrap();
+    let a = sobel::part_significance(&report, sobel::Part::A);
+    let b = sobel::part_significance(&report, sobel::Part::B);
+    assert!((a / b - 2.0).abs() < 1e-6);
+
+    let full = sobel::reference(&img);
+    let mut psnrs = Vec::new();
+    let mut energies = Vec::new();
+    for ratio in RATIOS {
+        let (out, stats) = sobel::tasked(&img, &executor, ratio);
+        psnrs.push(psnr_images(&full, &out).min(1e6));
+        energies.push(model.energy(&stats));
+    }
+    assert_fig7_shape("sobel", &psnrs, &energies, true);
+}
+
+#[test]
+fn dct_full_pipeline() {
+    let executor = Executor::new(4);
+    let model = EnergyModel::xeon_e5_2695v3();
+    let img = SyntheticImage::GaussianBlobs.render(48, 48, 5);
+
+    let full = dct::reference(&img);
+    let mut psnrs = Vec::new();
+    let mut energies = Vec::new();
+    for ratio in RATIOS {
+        let (out, stats) = dct::tasked(&img, &executor, ratio);
+        psnrs.push(psnr_images(&full, &out).min(1e6));
+        energies.push(model.energy(&stats));
+    }
+    assert_fig7_shape("dct", &psnrs, &energies, true);
+    // DC forced accurate: even ratio 0 beats an all-black frame by far.
+    assert!(psnrs[0] > 15.0);
+}
+
+#[test]
+fn fisheye_full_pipeline() {
+    let executor = Executor::new(4);
+    let model = EnergyModel::xeon_e5_2695v3();
+    let lens = fisheye::Lens::for_image(96, 64);
+    let img = SyntheticImage::ValueNoise.render(96, 64, 8);
+
+    let full = fisheye::reference(&img, &lens);
+    let mut psnrs = Vec::new();
+    let mut energies = Vec::new();
+    for ratio in RATIOS {
+        let (out, stats) = fisheye::tasked_with_blocks(&img, &lens, &executor, ratio, 24, 16);
+        psnrs.push(psnr_images(&full, &out).min(1e6));
+        energies.push(model.energy(&stats));
+    }
+    assert_fig7_shape("fisheye", &psnrs, &energies, true);
+}
+
+#[test]
+fn nbody_full_pipeline() {
+    let executor = Executor::new(4);
+    let model = EnergyModel::xeon_e5_2695v3();
+    let params = nbody::Params::small();
+
+    let exact = nbody::reference(&params).flatten();
+    let mut errors = Vec::new();
+    let mut energies = Vec::new();
+    for ratio in RATIOS {
+        let (state, stats) = nbody::tasked(&params, &executor, ratio);
+        errors.push(relative_error_l2(&exact, &state.flatten()).max(1e-18));
+        energies.push(model.energy(&stats));
+    }
+    assert_fig7_shape("nbody", &errors, &energies, false);
+    // The headline claim: fully approximate stays well-behaved.
+    assert!(errors[0] < 0.01, "ratio-0 rel err {}", errors[0]);
+}
+
+#[test]
+fn blackscholes_full_pipeline() {
+    let executor = Executor::new(4);
+    let model = EnergyModel::xeon_e5_2695v3();
+    let options = blackscholes::generate_options(512, 13);
+
+    let exact = blackscholes::reference(&options);
+    let mut errors = Vec::new();
+    let mut energies = Vec::new();
+    for ratio in RATIOS {
+        let (prices, stats) = blackscholes::tasked(&options, 32, &executor, ratio);
+        errors.push(relative_error_l2(&exact, &prices).max(1e-18));
+        energies.push(model.energy(&stats));
+    }
+    assert_fig7_shape("blackscholes", &errors, &energies, false);
+    assert!(errors[0] < 1e-2);
+}
+
+#[test]
+fn all_benchmarks_save_energy_when_approximating() {
+    // §4.3: energy reduction between 31 % and 91 % across benchmarks at
+    // aggressive approximation. We assert the direction and a nontrivial
+    // magnitude for every kernel at ratio 0.2 vs 1.0.
+    let executor = Executor::new(4);
+    let model = EnergyModel::xeon_e5_2695v3();
+
+    let mut reductions = Vec::new();
+
+    // A long series: with only a handful of terms the per-task overhead
+    // dominates and there is little energy to win.
+    let (_, full) = maclaurin::tasked(0.49, 512, &executor, 1.0);
+    let (_, approx) = maclaurin::tasked(0.49, 512, &executor, 0.2);
+    reductions.push(("maclaurin", model.energy_reduction(&approx, &full)));
+
+    let img = SyntheticImage::Gradient.render(64, 64, 0);
+    let (_, full) = sobel::tasked(&img, &executor, 1.0);
+    let (_, approx) = sobel::tasked(&img, &executor, 0.2);
+    reductions.push(("sobel", model.energy_reduction(&approx, &full)));
+
+    let (_, full) = dct::tasked(&img, &executor, 1.0);
+    let (_, approx) = dct::tasked(&img, &executor, 0.2);
+    reductions.push(("dct", model.energy_reduction(&approx, &full)));
+
+    let lens = fisheye::Lens::for_image(64, 64);
+    let (_, full) = fisheye::tasked_with_blocks(&img, &lens, &executor, 1.0, 16, 16);
+    let (_, approx) = fisheye::tasked_with_blocks(&img, &lens, &executor, 0.2, 16, 16);
+    reductions.push(("fisheye", model.energy_reduction(&approx, &full)));
+
+    // Coarse regions: compute per task must dominate dispatch overhead
+    // for approximation to pay off (the paper's configuration is coarse).
+    let params = nbody::Params::coarse();
+    let (_, full) = nbody::tasked(&params, &executor, 1.0);
+    let (_, approx) = nbody::tasked(&params, &executor, 0.2);
+    reductions.push(("nbody", model.energy_reduction(&approx, &full)));
+
+    let options = blackscholes::generate_options(512, 1);
+    let (_, full) = blackscholes::tasked(&options, 32, &executor, 1.0);
+    let (_, approx) = blackscholes::tasked(&options, 32, &executor, 0.2);
+    reductions.push(("blackscholes", model.energy_reduction(&approx, &full)));
+
+    for (name, r) in &reductions {
+        assert!(
+            *r > 0.05 && *r < 1.0,
+            "{name}: energy reduction {r} out of the meaningful range"
+        );
+    }
+}
