@@ -59,7 +59,7 @@ pub use dot::{dot_options, DotOptions};
 pub use dual::Dual;
 pub use liveness::LivenessSummary;
 pub use node::{Node, NodeId, Op};
-pub use tape::{Adjoints, Tangents, Tape};
+pub use tape::{Adjoints, OpHistogram, Successors, Tangents, Tape};
 pub use value::Scalar;
 pub use var::Var;
 

@@ -39,24 +39,25 @@ impl<V: Scalar> Tape<V> {
     /// assert!(!live[2]); // the exp node
     /// ```
     pub fn live_nodes(&self, roots: &[NodeId]) -> Vec<bool> {
-        let nodes = self.snapshot();
-        let mut live = vec![false; nodes.len()];
-        let mut stack: Vec<usize> = Vec::new();
-        for r in roots {
-            if !live[r.index()] {
-                live[r.index()] = true;
-                stack.push(r.index());
-            }
-        }
-        while let Some(i) = stack.pop() {
-            for p in nodes[i].preds() {
-                if !live[p.index()] {
-                    live[p.index()] = true;
-                    stack.push(p.index());
+        self.with_nodes(|nodes| {
+            let mut live = vec![false; nodes.len()];
+            let mut stack: Vec<usize> = Vec::new();
+            for r in roots {
+                if !live[r.index()] {
+                    live[r.index()] = true;
+                    stack.push(r.index());
                 }
             }
-        }
-        live
+            while let Some(i) = stack.pop() {
+                for p in nodes[i].preds() {
+                    if !live[p.index()] {
+                        live[p.index()] = true;
+                        stack.push(p.index());
+                    }
+                }
+            }
+            live
+        })
     }
 
     /// Counts live vs dead nodes with respect to the given roots.

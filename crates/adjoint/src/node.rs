@@ -116,6 +116,61 @@ impl Op {
         matches!(self, Op::Add | Op::Sub)
     }
 
+    /// Number of operator classes ([`Op::class_index`] codomain size).
+    pub const CLASS_COUNT: usize = 27;
+
+    /// Dense class index of this operator: parameterised variants
+    /// (`Powi(n)`, `Powf(p)`) collapse onto one class each, so the
+    /// index fits a fixed `[_; Op::CLASS_COUNT]` table with no hashing
+    /// or string comparison on the hot path.
+    #[inline]
+    pub fn class_index(self) -> usize {
+        match self {
+            Op::Input => 0,
+            Op::Const => 1,
+            Op::Add => 2,
+            Op::Sub => 3,
+            Op::Mul => 4,
+            Op::Div => 5,
+            Op::Neg => 6,
+            Op::Sin => 7,
+            Op::Cos => 8,
+            Op::Tan => 9,
+            Op::Exp => 10,
+            Op::Ln => 11,
+            Op::Sqrt => 12,
+            Op::Sqr => 13,
+            Op::Recip => 14,
+            Op::Powi(_) => 15,
+            Op::Powf(_) => 16,
+            Op::Abs => 17,
+            Op::Atan => 18,
+            Op::Tanh => 19,
+            Op::Sinh => 20,
+            Op::Cosh => 21,
+            Op::Erf => 22,
+            Op::Cndf => 23,
+            Op::Hypot => 24,
+            Op::Min => 25,
+            Op::Max => 26,
+        }
+    }
+
+    /// The mnemonic of operator class `index` (inverse of
+    /// [`Op::class_index`] up to operator parameters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= Op::CLASS_COUNT`.
+    pub fn class_mnemonic(index: usize) -> &'static str {
+        const MNEMONICS: [&str; Op::CLASS_COUNT] = [
+            "in", "const", "+", "-", "*", "/", "neg", "sin", "cos", "tan", "exp", "ln", "sqrt",
+            "sqr", "recip", "powi", "powf", "abs", "atan", "tanh", "sinh", "cosh", "erf", "cndf",
+            "hypot", "min", "max",
+        ];
+        MNEMONICS[index]
+    }
+
     /// Short mnemonic used by graph dumps.
     pub fn mnemonic(self) -> &'static str {
         match self {
@@ -228,6 +283,46 @@ mod tests {
         assert_eq!(Op::Add.to_string(), "+");
         assert_eq!(Op::Powi(3).to_string(), "powi(3)");
         assert_eq!(NodeId(7).to_string(), "u7");
+    }
+
+    #[test]
+    fn class_table_agrees_with_mnemonics() {
+        let ops = [
+            Op::Input,
+            Op::Const,
+            Op::Add,
+            Op::Sub,
+            Op::Mul,
+            Op::Div,
+            Op::Neg,
+            Op::Sin,
+            Op::Cos,
+            Op::Tan,
+            Op::Exp,
+            Op::Ln,
+            Op::Sqrt,
+            Op::Sqr,
+            Op::Recip,
+            Op::Powi(3),
+            Op::Powf(0.5),
+            Op::Abs,
+            Op::Atan,
+            Op::Tanh,
+            Op::Sinh,
+            Op::Cosh,
+            Op::Erf,
+            Op::Cndf,
+            Op::Hypot,
+            Op::Min,
+            Op::Max,
+        ];
+        assert_eq!(ops.len(), Op::CLASS_COUNT);
+        let mut seen = [false; Op::CLASS_COUNT];
+        for op in ops {
+            assert_eq!(Op::class_mnemonic(op.class_index()), op.mnemonic());
+            seen[op.class_index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "class indices must be dense");
     }
 
     #[test]

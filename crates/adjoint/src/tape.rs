@@ -54,6 +54,33 @@ impl<V: Scalar> Tape<V> {
         }
     }
 
+    /// Discards all recorded nodes while keeping the arena's allocation,
+    /// so a reused tape records the next trace without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any [`Var`] borrowed from this tape is still alive (the
+    /// arena is internally borrowed during recording).
+    pub fn clear(&self) {
+        self.nodes.borrow_mut().clear();
+    }
+
+    /// Clears the tape and ensures room for at least `capacity` nodes —
+    /// the arena-reuse entry point: one warm tape per worker absorbs
+    /// traces of varying size without per-trace allocation.
+    pub fn reset_with_capacity(&self, capacity: usize) {
+        let mut nodes = self.nodes.borrow_mut();
+        nodes.clear();
+        if nodes.capacity() < capacity {
+            nodes.reserve(capacity);
+        }
+    }
+
+    /// Number of nodes the arena can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.nodes.borrow().capacity()
+    }
+
     /// Registers an independent (input) variable with the given value,
     /// returning the active value to compute with (Eq. 1 / the `INPUT`
     /// macro of the paper).
@@ -140,9 +167,21 @@ impl<V: Scalar> Tape<V> {
         self.nodes.borrow()[id.index()].value
     }
 
-    /// A snapshot of all nodes (cloned out of the arena).
+    /// A snapshot of all nodes (cloned out of the arena). Cold-path
+    /// convenience — hot paths should use [`Tape::with_nodes`], which
+    /// borrows the arena instead of copying it.
     pub fn snapshot(&self) -> Vec<Node<V>> {
         self.nodes.borrow().clone()
+    }
+
+    /// Runs `f` over a borrow of the node arena — zero-copy access to
+    /// the whole trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` re-enters the tape mutably (records new nodes).
+    pub fn with_nodes<R>(&self, f: impl FnOnce(&[Node<V>]) -> R) -> R {
+        f(&self.nodes.borrow())
     }
 
     /// Reverse (adjoint) sweep, Eq. 7–9 of the paper.
@@ -157,8 +196,20 @@ impl<V: Scalar> Tape<V> {
     ///
     /// Panics if a seed id is out of range.
     pub fn adjoints(&self, seeds: &[(NodeId, V)]) -> Adjoints<V> {
+        self.adjoints_in(seeds, Vec::new())
+    }
+
+    /// [`Tape::adjoints`] with a caller-provided scratch buffer.
+    ///
+    /// `buf` is cleared, resized and used as the adjoint vector; pass
+    /// the buffer recovered from a previous sweep via
+    /// [`Adjoints::into_inner`] to run repeated analyses without
+    /// reallocating.
+    pub fn adjoints_in(&self, seeds: &[(NodeId, V)], mut buf: Vec<V>) -> Adjoints<V> {
         let nodes = self.nodes.borrow();
-        let mut adj = vec![V::zero(); nodes.len()];
+        buf.clear();
+        buf.resize(nodes.len(), V::zero());
+        let adj = &mut buf;
         for &(id, seed) in seeds {
             adj[id.index()] = adj[id.index()] + seed;
         }
@@ -176,7 +227,7 @@ impl<V: Scalar> Tape<V> {
                 }
             }
         }
-        Adjoints { values: adj }
+        Adjoints { values: buf }
     }
 
     /// Forward (tangent-linear) sweep.
@@ -186,8 +237,16 @@ impl<V: Scalar> Tape<V> {
     /// seeded direction `ẋ`. Used to cross-check the adjoint sweep via the
     /// dot-product identity `ȳ·(∇f·ẋ) = (ȳ·∇f)·ẋ`.
     pub fn tangents(&self, seeds: &[(NodeId, V)]) -> Tangents<V> {
+        self.tangents_in(seeds, Vec::new())
+    }
+
+    /// [`Tape::tangents`] with a caller-provided scratch buffer (see
+    /// [`Tape::adjoints_in`]).
+    pub fn tangents_in(&self, seeds: &[(NodeId, V)], mut buf: Vec<V>) -> Tangents<V> {
         let nodes = self.nodes.borrow();
-        let mut tan = vec![V::zero(); nodes.len()];
+        buf.clear();
+        buf.resize(nodes.len(), V::zero());
+        let tan = &mut buf;
         for &(id, seed) in seeds {
             tan[id.index()] = tan[id.index()] + seed;
         }
@@ -205,7 +264,7 @@ impl<V: Scalar> Tape<V> {
             }
             tan[j] = acc;
         }
-        Tangents { values: tan }
+        Tangents { values: buf }
     }
 
     /// Ids of all input nodes, in registration order.
@@ -219,28 +278,128 @@ impl<V: Scalar> Tape<V> {
             .collect()
     }
 
-    /// Counts nodes per operator mnemonic — used for work accounting and
-    /// the DynDFG statistics printed by the figure harnesses.
-    pub fn op_histogram(&self) -> Vec<(&'static str, usize)> {
-        let mut counts: std::collections::BTreeMap<&'static str, usize> =
-            std::collections::BTreeMap::new();
+    /// Counts nodes per operator class — used for work accounting and
+    /// the DynDFG statistics printed by the figure harnesses. One pass,
+    /// one fixed-size table indexed by [`Op::class_index`]; mnemonics
+    /// are resolved only when the histogram is printed or iterated.
+    pub fn op_histogram(&self) -> OpHistogram {
+        let mut counts = [0usize; Op::CLASS_COUNT];
         for n in self.nodes.borrow().iter() {
-            *counts.entry(n.op.mnemonic()).or_insert(0) += 1;
+            counts[n.op.class_index()] += 1;
         }
-        counts.into_iter().collect()
+        OpHistogram { counts }
     }
 
-    /// For every node, the ids of nodes that consume it (successor lists —
-    /// the forward edges of the DynDFG).
-    pub fn successors(&self) -> Vec<Vec<NodeId>> {
+    /// For every node, the ids of nodes that consume it (successor lists
+    /// — the forward edges of the DynDFG), in compressed sparse row
+    /// form: one flat target vector plus per-node offsets, built in two
+    /// counting passes with exactly two allocations.
+    pub fn successors(&self) -> Successors {
         let nodes = self.nodes.borrow();
-        let mut succ = vec![Vec::new(); nodes.len()];
-        for (j, node) in nodes.iter().enumerate() {
+        let mut offsets = vec![0u32; nodes.len() + 1];
+        for node in nodes.iter() {
             for p in node.preds() {
-                succ[p.index()].push(NodeId::from_index(j));
+                offsets[p.index() + 1] += 1;
             }
         }
-        succ
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let edges = *offsets.last().unwrap_or(&0) as usize;
+        let mut targets = vec![NodeId::INVALID; edges];
+        let mut cursor: Vec<u32> = offsets[..offsets.len().saturating_sub(1)].to_vec();
+        for (j, node) in nodes.iter().enumerate() {
+            for p in node.preds() {
+                let slot = &mut cursor[p.index()];
+                targets[*slot as usize] = NodeId::from_index(j);
+                *slot += 1;
+            }
+        }
+        Successors { offsets, targets }
+    }
+}
+
+/// Per-operator-class node counts (see [`Tape::op_histogram`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpHistogram {
+    counts: [usize; Op::CLASS_COUNT],
+}
+
+impl OpHistogram {
+    /// Count for one operator (parameterised variants share a class).
+    pub fn count(&self, op: Op) -> usize {
+        self.counts[op.class_index()]
+    }
+
+    /// Total nodes counted.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Iterates `(mnemonic, count)` over the classes that occurred,
+    /// sorted by mnemonic (the order the old map-based histogram
+    /// produced, so printed statistics are unchanged).
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, usize)> {
+        let mut present: Vec<(&'static str, usize)> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (Op::class_mnemonic(i), c))
+            .collect();
+        present.sort_unstable_by_key(|&(m, _)| m);
+        present.into_iter()
+    }
+}
+
+impl IntoIterator for OpHistogram {
+    type Item = (&'static str, usize);
+    type IntoIter = std::vec::IntoIter<(&'static str, usize)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter().collect::<Vec<_>>().into_iter()
+    }
+}
+
+/// Forward edges of the DynDFG in compressed sparse row form: node
+/// `i`'s consumers are `targets[offsets[i]..offsets[i+1]]`. Indexing
+/// yields `&[NodeId]` slices, so call sites read like the old
+/// `Vec<Vec<NodeId>>` without its per-node allocations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Successors {
+    offsets: Vec<u32>,
+    targets: Vec<NodeId>,
+}
+
+impl Successors {
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// `true` if no nodes are covered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of forward edges.
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Iterates per-node successor slices in node order.
+    pub fn iter(&self) -> impl Iterator<Item = &[NodeId]> {
+        (0..self.len()).map(move |i| &self[i])
+    }
+}
+
+impl std::ops::Index<usize> for Successors {
+    type Output = [NodeId];
+
+    fn index(&self, node: usize) -> &[NodeId] {
+        let lo = self.offsets[node] as usize;
+        let hi = self.offsets[node + 1] as usize;
+        &self.targets[lo..hi]
     }
 }
 
@@ -280,6 +439,12 @@ impl<V: Copy> Adjoints<V> {
             .enumerate()
             .map(|(i, &v)| (NodeId::from_index(i), v))
     }
+
+    /// Recovers the underlying buffer for reuse in a later
+    /// [`Tape::adjoints_in`] sweep.
+    pub fn into_inner(self) -> Vec<V> {
+        self.values
+    }
 }
 
 impl<V: Copy> std::ops::Index<NodeId> for Adjoints<V> {
@@ -309,6 +474,12 @@ impl<V: Copy> Tangents<V> {
     /// `true` if the sweep covered no nodes.
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
+    }
+
+    /// Recovers the underlying buffer for reuse in a later
+    /// [`Tape::tangents_in`] sweep.
+    pub fn into_inner(self) -> Vec<V> {
+        self.values
     }
 }
 

@@ -254,4 +254,37 @@ proptest! {
         }
         prop_assert_eq!(tape.inputs(), vec![x.id(), y.id()]);
     }
+
+    #[test]
+    fn cleared_tape_rerecords_identically(x0 in -1.5f64..1.5, y0 in -1.5f64..1.5) {
+        // Recycling a tape via clear() must be observationally identical
+        // to a fresh tape: same structure, same values, same adjoints.
+        let recycled = Tape::<f64>::new();
+        {
+            // A throwaway first recording with a different shape, so the
+            // clear actually has stale state to discard.
+            let a = recycled.var(0.25);
+            let _ = (a.sin() + a.exp()) * a;
+        }
+        recycled.clear();
+        let xr = recycled.var(x0);
+        let yr = recycled.var(y0);
+        let zr = test_fn(xr, yr);
+
+        let fresh = Tape::<f64>::new();
+        let xf = fresh.var(x0);
+        let yf = fresh.var(y0);
+        let zf = test_fn(xf, yf);
+
+        prop_assert_eq!(recycled.len(), fresh.len());
+        prop_assert_eq!(xr.id(), xf.id());
+        prop_assert_eq!(zr.id(), zf.id());
+        prop_assert_eq!(zr.value().to_bits(), zf.value().to_bits());
+        prop_assert_eq!(recycled.inputs(), fresh.inputs());
+
+        let ar = recycled.adjoints(&[(zr.id(), 1.0)]);
+        let af = fresh.adjoints(&[(zf.id(), 1.0)]);
+        prop_assert_eq!(ar[xr.id()].to_bits(), af[xf.id()].to_bits());
+        prop_assert_eq!(ar[yr.id()].to_bits(), af[yf.id()].to_bits());
+    }
 }

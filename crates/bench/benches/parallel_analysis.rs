@@ -1,0 +1,60 @@
+//! Criterion benches for the parallel analysis engine: the Fig. 5
+//! InverseMapping per-pixel batch at 1/2/4/8 workers, and the
+//! tape-reuse ablation (one warm arena vs a fresh tape per analysis)
+//! at a single worker.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use scorpio_core::{AnalysisArena, ParallelAnalysis};
+use scorpio_kernels::fisheye::{
+    analysis_inverse_mapping, analysis_inverse_mapping_grid, analysis_inverse_mapping_in, Lens,
+};
+
+fn bench_grid_scaling(c: &mut Criterion) {
+    let lens = Lens::for_image(1280, 960);
+    let mut group = c.benchmark_group("parallel_grid");
+    for threads in [1usize, 2, 4, 8] {
+        let engine = ParallelAnalysis::new(threads);
+        group.bench_with_input(
+            BenchmarkId::new("fig5_32x24", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    black_box(analysis_inverse_mapping_grid(&lens, 32, 24, &engine).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_tape_reuse(c: &mut Criterion) {
+    let lens = Lens::for_image(1280, 960);
+    let mut group = c.benchmark_group("tape_reuse");
+    // 64 analyses along the image's horizontal midline per iteration.
+    let pixels: Vec<f64> = (0..64).map(|i| 10.0 + i as f64 * 19.0).collect();
+    group.bench_function("fresh_tape", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &u in &pixels {
+                acc += analysis_inverse_mapping(&lens, u, 480.0).unwrap();
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("arena_reuse", |b| {
+        let mut arena = AnalysisArena::new();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &u in &pixels {
+                acc += analysis_inverse_mapping_in(&mut arena, &lens, u, 480.0).unwrap();
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_grid_scaling, bench_tape_reuse);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Parallel-engine benchmark harness: measures analyses/second for the
+//! Fig. 5 InverseMapping per-pixel batch at 1/2/4/8 workers and the
+//! tape-reuse ablation (warm arena vs fresh tape per analysis) at one
+//! worker, then writes the results to `BENCH_parallel.json`.
+//!
+//! ```sh
+//! cargo run --release -p scorpio-bench --bin bench_parallel -- [--small]
+//! ```
+//!
+//! Speedups are relative to the one-worker engine (which runs inline,
+//! without any pool synchronisation). `available_parallelism` is
+//! recorded alongside: on a machine with fewer cores than workers the
+//! extra workers time-slice one core and the speedup saturates at the
+//! core count.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use scorpio_core::{AnalysisArena, ParallelAnalysis};
+use scorpio_kernels::fisheye::{
+    analysis_inverse_mapping, analysis_inverse_mapping_grid, analysis_inverse_mapping_in, Lens,
+};
+
+/// Worker counts the scaling sweep measures.
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Timing repetitions; the minimum is reported (classic best-of-N to
+/// shed scheduler noise).
+const REPS: usize = 5;
+
+fn time_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    // The Fig. 5 sample grid (small: the figure harness' own 32×24;
+    // default: 64×48 for longer, steadier timings).
+    let (gw, gh) = if small { (32usize, 24usize) } else { (64, 48) };
+    let analyses = gw * gh;
+    let lens = Lens::for_image(1280, 960);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    println!(
+        "=== Parallel-engine benchmark: Fig. 5 grid {gw}×{gh} ({analyses} analyses), \
+         {cores} core{} ===\n",
+        if cores == 1 { "" } else { "s" }
+    );
+
+    // ── Scaling sweep ────────────────────────────────────────────────
+    let mut rows = Vec::new();
+    let mut serial_s = f64::NAN;
+    println!("{:>8} {:>12} {:>16} {:>9}", "threads", "time (ms)", "analyses/sec", "speedup");
+    for &threads in &WORKER_COUNTS {
+        let engine = ParallelAnalysis::new(threads);
+        // One warm-up run (first-touch allocation, thread spawn paths).
+        let baseline = analysis_inverse_mapping_grid(&lens, gw, gh, &engine).expect("analysis");
+        let secs = time_best(REPS, || {
+            let out = analysis_inverse_mapping_grid(&lens, gw, gh, &engine).expect("analysis");
+            assert_eq!(out.len(), baseline.len());
+        });
+        if threads == 1 {
+            serial_s = secs;
+        }
+        let speedup = serial_s / secs;
+        let rate = analyses as f64 / secs;
+        println!(
+            "{threads:>8} {:>12.3} {rate:>16.0} {speedup:>8.2}x",
+            secs * 1e3
+        );
+        rows.push((threads, secs, rate, speedup));
+    }
+
+    // ── Tape-reuse ablation (one worker) ─────────────────────────────
+    // The same per-pixel analysis run serially: a fresh tape per call
+    // vs one warm arena reused across all calls.
+    let pixels: Vec<(f64, f64)> = (0..analyses)
+        .map(|i| {
+            let (gx, gy) = (i % gw, i / gw);
+            (
+                (gx as f64 + 0.5) * lens.width as f64 / gw as f64,
+                (gy as f64 + 0.5) * lens.height as f64 / gh as f64,
+            )
+        })
+        .collect();
+    let fresh_s = time_best(REPS, || {
+        for &(u, v) in &pixels {
+            analysis_inverse_mapping(&lens, u, v).expect("analysis");
+        }
+    });
+    let mut arena = AnalysisArena::new();
+    let arena_s = time_best(REPS, || {
+        for &(u, v) in &pixels {
+            analysis_inverse_mapping_in(&mut arena, &lens, u, v).expect("analysis");
+        }
+    });
+    let reuse_speedup = fresh_s / arena_s;
+    println!(
+        "\ntape-reuse ablation (1 worker, {analyses} analyses):\n\
+         {:>14}: {:>9.3} ms\n{:>14}: {:>9.3} ms  ({reuse_speedup:.2}x)",
+        "fresh tape",
+        fresh_s * 1e3,
+        "warm arena",
+        arena_s * 1e3,
+    );
+
+    // ── BENCH_parallel.json ──────────────────────────────────────────
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"fig5_inverse_mapping\",");
+    let _ = writeln!(json, "  \"grid\": [{gw}, {gh}],");
+    let _ = writeln!(json, "  \"analyses\": {analyses},");
+    let _ = writeln!(json, "  \"available_parallelism\": {cores},");
+    let _ = writeln!(json, "  \"reps\": {REPS},");
+    let _ = writeln!(json, "  \"workers\": [");
+    for (i, (threads, secs, rate, speedup)) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"threads\": {threads}, \"seconds\": {secs:.6}, \
+             \"analyses_per_sec\": {rate:.1}, \"speedup_vs_serial\": {speedup:.3}}}{}",
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"tape_reuse\": {{\"fresh_seconds\": {fresh_s:.6}, \
+         \"arena_seconds\": {arena_s:.6}, \"speedup\": {reuse_speedup:.3}}}"
+    );
+    json.push_str("}\n");
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("\nwrote BENCH_parallel.json");
+}

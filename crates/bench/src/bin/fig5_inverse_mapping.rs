@@ -3,33 +3,33 @@
 //! the most sensitive, centre pixels the least.
 //!
 //! ```sh
-//! cargo run --release -p scorpio-bench --bin fig5_inverse_mapping
+//! cargo run --release -p scorpio-bench --bin fig5_inverse_mapping -- [--threads N]
 //! ```
+//!
+//! The per-pixel analyses are independent, so `--threads N` fans them
+//! over the parallel analysis engine (default: serial). The map is
+//! bit-identical at every thread count.
 
-use scorpio_bench::heat_map;
-use scorpio_kernels::fisheye::{analysis_inverse_mapping, Lens};
+use scorpio_bench::{heat_map, threads_arg};
+use scorpio_core::ParallelAnalysis;
+use scorpio_kernels::fisheye::{analysis_inverse_mapping, analysis_inverse_mapping_grid, Lens};
 
 fn main() {
+    let threads = threads_arg().unwrap_or(1);
     let lens = Lens::for_image(1280, 960);
     // Sample a 32×24 grid of output pixels (one analysis run each —
     // 768 profile runs, each a handful of DynDFG nodes).
     let (gw, gh) = (32usize, 24usize);
     println!(
-        "=== Fig. 5: InverseMapping significance over {}×{} (grid {gw}×{gh}) ===\n",
-        lens.width, lens.height
+        "=== Fig. 5: InverseMapping significance over {}×{} (grid {gw}×{gh}, {threads} thread{}) ===\n",
+        lens.width,
+        lens.height,
+        if threads == 1 { "" } else { "s" }
     );
 
-    let mut rows = Vec::with_capacity(gh);
-    for gy in 0..gh {
-        let mut row = Vec::with_capacity(gw);
-        for gx in 0..gw {
-            let u = (gx as f64 + 0.5) * lens.width as f64 / gw as f64;
-            let v = (gy as f64 + 0.5) * lens.height as f64 / gh as f64;
-            let s = analysis_inverse_mapping(&lens, u, v).expect("analysis");
-            row.push(s);
-        }
-        rows.push(row);
-    }
+    let engine = ParallelAnalysis::new(threads);
+    let flat = analysis_inverse_mapping_grid(&lens, gw, gh, &engine).expect("analysis");
+    let rows: Vec<Vec<f64>> = flat.chunks(gw).map(|r| r.to_vec()).collect();
 
     println!("heat map (darker = more significant):");
     print!("{}", heat_map(&rows));

@@ -7,10 +7,13 @@
 //! over perforation).
 //!
 //! ```sh
-//! cargo run --release -p scorpio-bench --bin fig7_sweep [--small]
+//! cargo run --release -p scorpio-bench --bin fig7_sweep [--small] [--threads N]
 //! ```
+//!
+//! `--threads N` sizes the task-execution worker pool (default: one
+//! worker per available core).
 
-use scorpio_bench::{to_csv, SweepRow};
+use scorpio_bench::{threads_arg, to_csv, SweepRow};
 use scorpio_kernels::{blackscholes, dct, fisheye, nbody, sobel};
 use scorpio_quality::{psnr_images, relative_error_l2, GrayImage, SyntheticImage};
 use scorpio_runtime::{EnergyModel, ExecutionStats, Executor};
@@ -125,7 +128,10 @@ fn image_workload(small: bool, seed: u64) -> GrayImage {
 
 fn main() {
     let small = std::env::args().any(|a| a == "--small");
-    let executor = Executor::with_available_parallelism();
+    let executor = match threads_arg() {
+        Some(threads) => Executor::new(threads),
+        None => Executor::with_available_parallelism(),
+    };
     let model = EnergyModel::xeon_e5_2695v3();
     let energy = |s: &ExecutionStats| model.energy(s);
     let mut results = Vec::new();

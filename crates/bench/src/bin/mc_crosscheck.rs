@@ -6,14 +6,22 @@
 //! enclosed by the interval result; both must agree on rankings.
 //!
 //! ```sh
-//! cargo run --release -p scorpio-bench --bin mc_crosscheck
+//! cargo run --release -p scorpio-bench --bin mc_crosscheck -- [--threads N]
 //! ```
+//!
+//! `--threads N` fans the Monte-Carlo samples over N workers (default:
+//! serial); the estimates are bit-identical at every thread count.
 
+use scorpio_bench::threads_arg;
 use scorpio_core::mc;
 use scorpio_kernels::maclaurin;
 
 fn main() {
-    println!("=== Monte-Carlo vs interval-AD significance (maclaurin, N = 6) ===\n");
+    let threads = threads_arg().unwrap_or(1);
+    println!(
+        "=== Monte-Carlo vs interval-AD significance (maclaurin, N = 6, {threads} thread{}) ===\n",
+        if threads == 1 { "" } else { "s" }
+    );
     let (x0, n) = (0.49, 6i32);
     let ia = maclaurin::analysis(x0, n as usize).expect("interval analysis");
 
@@ -39,7 +47,7 @@ fn main() {
 
     let mc_reports: Vec<mc::McReport> = sample_counts
         .iter()
-        .map(|&s| mc::estimate(s, 20_24, closure).expect("mc"))
+        .map(|&s| mc::estimate_threaded(s, 20_24, threads, closure).expect("mc"))
         .collect();
 
     let mut converged_below = true;

@@ -64,6 +64,38 @@ pub fn matrix_table(rows: &[Vec<f64>], precision: usize) -> String {
     out
 }
 
+/// Parses the shared `--threads N` worker-count knob from the process
+/// arguments (accepts both `--threads N` and `--threads=N`). Returns
+/// `None` when the flag is absent so each harness can pick its own
+/// default (serial for the analysis figures, machine-sized for the
+/// execution sweep).
+///
+/// # Panics
+///
+/// Panics on a missing, non-numeric, or zero value so a mistyped knob
+/// fails loudly instead of silently running serially.
+pub fn threads_arg() -> Option<usize> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            let v = args.next().expect("--threads needs a value");
+            return Some(parse_threads(&v));
+        }
+        if let Some(v) = a.strip_prefix("--threads=") {
+            return Some(parse_threads(v));
+        }
+    }
+    None
+}
+
+fn parse_threads(v: &str) -> usize {
+    let n: usize = v
+        .parse()
+        .unwrap_or_else(|_| panic!("invalid --threads value {v:?}"));
+    assert!(n > 0, "--threads must be at least 1");
+    n
+}
+
 /// One row of the Fig. 7 sweep CSV.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepRow {
@@ -199,6 +231,24 @@ fn matching_delim(source: &str, open: usize, od: u8, cd: u8) -> Option<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parse_threads_accepts_positive_counts() {
+        assert_eq!(parse_threads("1"), 1);
+        assert_eq!(parse_threads("16"), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "--threads must be at least 1")]
+    fn parse_threads_rejects_zero() {
+        parse_threads("0");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid --threads value")]
+    fn parse_threads_rejects_garbage() {
+        parse_threads("eight");
+    }
 
     #[test]
     fn heat_map_extremes() {

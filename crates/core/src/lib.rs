@@ -70,6 +70,7 @@ mod graph;
 #[macro_use]
 mod macros;
 pub mod mc;
+pub mod parallel;
 mod report;
 mod session;
 pub mod splitting;
@@ -80,8 +81,9 @@ pub use codegen::{TaskPlan, TaskSuggestion};
 pub use error::AnalysisError;
 pub use export::{NodeRecord, ReportRecord, VarRecord};
 pub use graph::{SigGraph, SigNode};
+pub use parallel::ParallelAnalysis;
 pub use report::{Report, RegisteredVar, VarKind};
-pub use session::{Analysis, Ctx, Ia1s};
+pub use session::{Analysis, AnalysisArena, Ctx, Ia1s};
 pub use workflow::{LevelStats, Partition};
 
 #[cfg(test)]

@@ -169,39 +169,134 @@ where
     F: Fn(&McCtx<'_>) -> Result<(), AnalysisError>,
 {
     assert!(samples > 0, "estimate: need at least one sample");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let sample_seeds = draw_sample_seeds(samples, seed);
+    let tape = Tape::<f64>::new();
+    let mut scratch = Vec::new();
+    let mut per_sample = Vec::with_capacity(samples);
+    for &s in &sample_seeds {
+        per_sample.push(run_sample(&tape, &mut scratch, s, &f)?);
+    }
+    merge_samples(per_sample)
+}
 
+/// [`estimate`] with the samples fanned over `threads` workers, each
+/// worker reusing one tape arena and adjoint scratch buffer across all
+/// the samples it claims.
+///
+/// The estimate is **bit-identical** to the serial [`estimate`] with
+/// the same `seed`: per-sample RNG seeds are pre-drawn from the master
+/// generator in the serial order, every sample's trace and reverse
+/// sweep compute the same floating-point operations wherever they run,
+/// and the per-sample results are merged serially in sample order.
+///
+/// # Errors
+///
+/// Propagates the error of the lowest-indexed failing sample (the one
+/// the serial loop would hit first), independent of scheduling.
+///
+/// # Panics
+///
+/// Panics if `samples == 0` or `threads == 0`.
+pub fn estimate_threaded<F>(
+    samples: usize,
+    seed: u64,
+    threads: usize,
+    f: F,
+) -> Result<McReport, AnalysisError>
+where
+    F: Fn(&McCtx<'_>) -> Result<(), AnalysisError> + Sync,
+{
+    assert!(samples > 0, "estimate: need at least one sample");
+    if threads == 1 {
+        return estimate(samples, seed, f);
+    }
+    let sample_seeds = draw_sample_seeds(samples, seed);
+    let executor = scorpio_runtime::Executor::new(threads);
+    let per_sample = executor.map_with_state(
+        &sample_seeds,
+        || (Tape::<f64>::new(), Vec::new()),
+        |(tape, scratch), _, &s| run_sample(tape, scratch, s, &f),
+    );
+    let per_sample: Vec<Vec<SampleEntry>> =
+        per_sample.into_iter().collect::<Result<_, _>>()?;
+    merge_samples(per_sample)
+}
+
+/// Pre-draws one RNG seed per sample from the master generator —
+/// exactly the sequence the serial loop consumes, so serial and
+/// threaded runs sample identical input points.
+fn draw_sample_seeds(samples: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..samples).map(|_| rng.gen()).collect()
+}
+
+/// One registered variable's contribution from one sample.
+struct SampleEntry {
+    name: String,
+    kind: VarKind,
+    /// The sampled product `u · ∇_u y` (Eq. 11's argument, pointwise).
+    product: f64,
+    /// The sampled value `u` (used for output-width normalization).
+    value: f64,
+}
+
+/// Runs one sample on a (cleared) arena tape and extracts per-variable
+/// products in registration order.
+fn run_sample<F>(
+    tape: &Tape<f64>,
+    scratch: &mut Vec<f64>,
+    sample_seed: u64,
+    f: &F,
+) -> Result<Vec<SampleEntry>, AnalysisError>
+where
+    F: Fn(&McCtx<'_>) -> Result<(), AnalysisError>,
+{
+    tape.clear();
+    let ctx = McCtx::new(tape, StdRng::seed_from_u64(sample_seed));
+    f(&ctx)?;
+    let entries = ctx.entries.into_inner();
+    let outputs: Vec<NodeId> = entries
+        .iter()
+        .filter(|(_, _, k)| *k == VarKind::Output)
+        .map(|(_, id, _)| *id)
+        .collect();
+    if outputs.is_empty() {
+        return Err(AnalysisError::NoOutputs);
+    }
+    let seeds: Vec<(NodeId, f64)> = outputs.iter().map(|&o| (o, 1.0)).collect();
+    let adj = tape.adjoints_in(&seeds, std::mem::take(scratch));
+    let result = entries
+        .into_iter()
+        .map(|(name, id, kind)| SampleEntry {
+            name,
+            kind,
+            product: tape.value(id) * adj.get(id),
+            value: tape.value(id),
+        })
+        .collect();
+    *scratch = adj.into_inner();
+    Ok(result)
+}
+
+/// Folds per-sample entry lists, in sample order, into the report —
+/// the same accumulation the serial loop performs inline.
+fn merge_samples(per_sample: Vec<Vec<SampleEntry>>) -> Result<McReport, AnalysisError> {
     struct Acc {
         kind: VarKind,
         min: f64,
         max: f64,
         order: usize,
     }
+    let samples = per_sample.len();
     let mut acc: HashMap<String, Acc> = HashMap::new();
     let mut order = 0usize;
     let mut output_min_max: HashMap<String, (f64, f64)> = HashMap::new();
 
-    for _ in 0..samples {
-        let tape = Tape::<f64>::new();
-        let sample_rng = StdRng::seed_from_u64(rng.gen());
-        let ctx = McCtx::new(&tape, sample_rng);
-        f(&ctx)?;
-        let entries = ctx.entries.into_inner();
-        let outputs: Vec<NodeId> = entries
-            .iter()
-            .filter(|(_, _, k)| *k == VarKind::Output)
-            .map(|(_, id, _)| *id)
-            .collect();
-        if outputs.is_empty() {
-            return Err(AnalysisError::NoOutputs);
-        }
-        let seeds: Vec<(NodeId, f64)> = outputs.iter().map(|&o| (o, 1.0)).collect();
-        let adj = tape.adjoints(&seeds);
-        for (name, id, kind) in entries {
-            let product = tape.value(id) * adj.get(id);
-            let slot = acc.entry(name.clone()).or_insert_with(|| {
+    for entries in per_sample {
+        for entry in entries {
+            let slot = acc.entry(entry.name.clone()).or_insert_with(|| {
                 let a = Acc {
-                    kind,
+                    kind: entry.kind,
                     min: f64::INFINITY,
                     max: f64::NEG_INFINITY,
                     order,
@@ -209,15 +304,14 @@ where
                 order += 1;
                 a
             });
-            slot.min = slot.min.min(product);
-            slot.max = slot.max.max(product);
-            if kind == VarKind::Output {
+            slot.min = slot.min.min(entry.product);
+            slot.max = slot.max.max(entry.product);
+            if entry.kind == VarKind::Output {
                 let e = output_min_max
-                    .entry(name)
+                    .entry(entry.name)
                     .or_insert((f64::INFINITY, f64::NEG_INFINITY));
-                let y = tape.value(id);
-                e.0 = e.0.min(y);
-                e.1 = e.1.max(y);
+                e.0 = e.0.min(entry.value);
+                e.1 = e.1.max(entry.value);
             }
         }
     }
@@ -316,5 +410,30 @@ mod tests {
     #[should_panic(expected = "at least one sample")]
     fn zero_samples_panics() {
         let _ = estimate(0, 0, |_| Ok(()));
+    }
+
+    #[test]
+    fn threaded_estimate_is_bit_identical_to_serial() {
+        let model = |ctx: &McCtx<'_>| {
+            let x = ctx.input("x", -1.0, 2.0);
+            let z = ctx.input("z", 0.5, 1.5);
+            let t = (x * z).sin();
+            ctx.intermediate(&t, "t");
+            let y = t.exp() + x;
+            ctx.output(&y, "y");
+            Ok(())
+        };
+        let serial = estimate(128, 2024, model).unwrap();
+        for threads in [2, 4, 8] {
+            let par = estimate_threaded(128, 2024, threads, model).unwrap();
+            assert_eq!(par.samples, serial.samples);
+            assert_eq!(par.vars.len(), serial.vars.len());
+            for (a, b) in serial.vars.iter().zip(&par.vars) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.product_min.to_bits(), b.product_min.to_bits());
+                assert_eq!(a.product_max.to_bits(), b.product_max.to_bits());
+                assert_eq!(a.significance.to_bits(), b.significance.to_bits());
+            }
+        }
     }
 }

@@ -152,11 +152,15 @@ impl fmt::Display for Report {
 
 /// Builds the report from a recorded tape: performs the reverse sweep
 /// (with every registered output seeded by 1, per §2.3 for vector
-/// functions) and evaluates Eq. 11 for every node.
-pub(crate) fn build_report(
+/// functions) and evaluates Eq. 11 for every node. The reverse sweep
+/// runs in the caller-provided `scratch` buffer (cleared and resized as
+/// needed), which is handed back on return, so arena-driven repeated
+/// analyses allocate the adjoint vector once instead of per run.
+pub(crate) fn build_report_with(
     tape: &Tape<Interval>,
     regs: Registrations,
     delta: f64,
+    scratch: &mut Vec<Interval>,
 ) -> Result<Report, AnalysisError> {
     let outputs: Vec<NodeId> = regs
         .entries
@@ -170,7 +174,7 @@ pub(crate) fn build_report(
 
     let seeds: Vec<(NodeId, Interval)> =
         outputs.iter().map(|&o| (o, Interval::ONE)).collect();
-    let adjoints = tape.adjoints(&seeds);
+    let adjoints = tape.adjoints_in(&seeds, std::mem::take(scratch));
 
     // Eq. 11, raw. The product uses round-to-nearest: significance is a
     // metric derived from the (already outward-rounded) enclosures, not
@@ -195,27 +199,31 @@ pub(crate) fn build_report(
         }
     };
 
-    let snapshot = tape.snapshot();
-    let mut nodes: Vec<SigNode> = snapshot
-        .iter()
-        .enumerate()
-        .map(|(i, node)| {
-            let id = NodeId::from_index(i);
-            let raw = significance_raw(id, node.value());
-            SigNode {
-                id: i,
-                op: node.op(),
-                preds: node.preds().map(|p| p.index()).collect(),
-                value: node.value(),
-                derivative: adjoints.get(id),
-                significance: normalize(raw),
-                level: None,
-                name: None,
-                is_output: false,
-                removed: false,
-            }
-        })
-        .collect();
+    // Zero-copy graph construction: one borrow of the arena for the
+    // whole loop, rather than cloning the trace (or re-borrowing the
+    // tape per node) just to read it once.
+    let mut nodes: Vec<SigNode> = tape.with_nodes(|nodes| {
+        nodes
+            .iter()
+            .enumerate()
+            .map(|(i, node)| {
+                let id = NodeId::from_index(i);
+                let raw = significance_raw(id, node.value());
+                SigNode {
+                    id: i,
+                    op: node.op(),
+                    preds: node.preds().map(|p| p.index()).collect(),
+                    value: node.value(),
+                    derivative: adjoints.get(id),
+                    significance: normalize(raw),
+                    level: None,
+                    name: None,
+                    is_output: false,
+                    removed: false,
+                }
+            })
+            .collect()
+    });
 
     let mut registered = Vec::with_capacity(regs.entries.len());
     for entry in &regs.entries {
@@ -238,11 +246,13 @@ pub(crate) fn build_report(
     }
 
     let graph = SigGraph::new(nodes, outputs.iter().map(|o| o.index()).collect());
-    Ok(Report {
+    let report = Report {
         registered,
         graph,
         output_significance_raw: total_raw,
         delta,
         tape_len: tape.len(),
-    })
+    };
+    *scratch = adjoints.into_inner();
+    Ok(report)
 }

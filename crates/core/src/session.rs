@@ -6,7 +6,7 @@ use scorpio_adjoint::{NodeId, Tape, Var};
 use scorpio_interval::{Interval, Trichotomy};
 
 use crate::error::AnalysisError;
-use crate::report::{build_report, Report, VarKind};
+use crate::report::{build_report_with, Report, VarKind};
 
 /// The active interval type of the analysis — the Rust spelling of the
 /// paper's `dco::ia1s::type` (interval arithmetic, first-order adjoint,
@@ -204,6 +204,42 @@ impl<'t> Ctx<'t> {
     }
 }
 
+/// Reusable analysis state: a warm [`Tape`] arena plus the adjoint
+/// scratch buffer of the reverse sweep.
+///
+/// Running an analysis allocates a tape for the trace and a vector for
+/// the adjoints; in batch settings (per-pixel kernels, Monte-Carlo
+/// sampling, sweeps) those allocations dominate once the trace is warm.
+/// An arena keeps both between runs — [`Analysis::run_in`] clears the
+/// tape (keeping its allocation) and recycles the scratch buffer, so a
+/// long batch settles into zero steady-state allocation. Each worker of
+/// the parallel engine owns one arena.
+#[derive(Debug, Default)]
+pub struct AnalysisArena {
+    tape: Tape<Interval>,
+    scratch: Vec<Interval>,
+}
+
+impl AnalysisArena {
+    /// An empty arena; the first run sizes it.
+    pub fn new() -> AnalysisArena {
+        AnalysisArena::default()
+    }
+
+    /// An arena pre-sized for traces of about `capacity` nodes.
+    pub fn with_capacity(capacity: usize) -> AnalysisArena {
+        AnalysisArena {
+            tape: Tape::with_capacity(capacity),
+            scratch: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Current node capacity of the warm tape.
+    pub fn tape_capacity(&self) -> usize {
+        self.tape.capacity()
+    }
+}
+
 /// Configuration and driver for one significance analysis
 /// (steps S1–S3 of Algorithm 1; the graph post-processing S4–S5 lives on
 /// the produced [`Report`]'s [`crate::SigGraph`]).
@@ -254,6 +290,17 @@ impl Analysis {
         self.run_with_overrides(f, Vec::new()).map(|(r, _)| r)
     }
 
+    /// Like [`Analysis::run`] but recording into (and recycling the
+    /// allocations of) a caller-owned [`AnalysisArena`]. The produced
+    /// [`Report`] is identical to [`Analysis::run`]'s — the arena only
+    /// changes where the trace and the adjoint scratch live.
+    pub fn run_in<F>(&self, arena: &mut AnalysisArena, f: F) -> Result<Report, AnalysisError>
+    where
+        F: FnOnce(&Ctx<'_>) -> Result<(), AnalysisError>,
+    {
+        self.run_with_overrides_in(arena, f, Vec::new()).map(|(r, _)| r)
+    }
+
     /// Like [`Analysis::run`] but overriding input ranges positionally —
     /// the hook the splitting extension uses. Also returns the declared
     /// (non-overridden) input ranges.
@@ -265,13 +312,27 @@ impl Analysis {
     where
         F: FnOnce(&Ctx<'_>) -> Result<(), AnalysisError>,
     {
-        let tape = Tape::<Interval>::with_capacity(1024);
-        let ctx = Ctx::new(&tape, overrides);
+        let mut arena = AnalysisArena::with_capacity(1024);
+        self.run_with_overrides_in(&mut arena, f, overrides)
+    }
+
+    /// [`Analysis::run_with_overrides`] against a reusable arena.
+    pub(crate) fn run_with_overrides_in<F>(
+        &self,
+        arena: &mut AnalysisArena,
+        f: F,
+        overrides: Vec<Interval>,
+    ) -> Result<(Report, Vec<Interval>), AnalysisError>
+    where
+        F: FnOnce(&Ctx<'_>) -> Result<(), AnalysisError>,
+    {
+        arena.tape.clear();
+        let ctx = Ctx::new(&arena.tape, overrides);
         let closure_result = f(&ctx);
         let declared = ctx.declared_inputs();
         closure_result?;
         let regs = ctx.into_registrations()?;
-        let report = build_report(&tape, regs, self.delta)?;
+        let report = build_report_with(&arena.tape, regs, self.delta, &mut arena.scratch)?;
         Ok((report, declared))
     }
 }

@@ -132,17 +132,67 @@ where
 {
     // Learn the declared ranges from a probe run.
     let declared = analysis.probe_inputs(&f)?;
+    let mut arena = crate::AnalysisArena::new();
     let mut points = Vec::with_capacity(scales.len());
     for &scale in scales {
         assert!(scale >= 0.0, "sweep_input_scale: negative scale {scale}");
-        let overrides: Vec<Interval> = declared
-            .iter()
-            .map(|iv| Interval::centered(iv.mid(), iv.rad() * scale))
-            .collect();
-        let (report, _) = analysis.run_with_overrides(&f, overrides)?;
+        let overrides = scaled_overrides(&declared, scale);
+        let (report, _) = analysis.run_with_overrides_in(&mut arena, &f, overrides)?;
         points.push(SweepPoint { scale, report });
     }
     Ok(RangeSweep { points })
+}
+
+/// [`sweep_input_scale`] with the sweep points fanned over `threads`
+/// workers, one reusable tape arena per worker. Reports are identical
+/// to the serial sweep's (each point records and differentiates the
+/// same trace wherever it runs) and come back in scale order.
+///
+/// # Errors
+///
+/// Propagates the error of the lowest-indexed failing scale.
+///
+/// # Panics
+///
+/// Panics if any scale is negative or `threads == 0`.
+pub fn sweep_input_scale_threaded<F>(
+    analysis: &Analysis,
+    scales: &[f64],
+    threads: usize,
+    f: F,
+) -> Result<RangeSweep, AnalysisError>
+where
+    F: Fn(&crate::Ctx<'_>) -> Result<(), AnalysisError> + Sync,
+{
+    if threads == 1 {
+        return sweep_input_scale(analysis, scales, f);
+    }
+    let declared = analysis.probe_inputs(&f)?;
+    for &scale in scales {
+        assert!(scale >= 0.0, "sweep_input_scale: negative scale {scale}");
+    }
+    let executor = scorpio_runtime::Executor::new(threads);
+    let points = executor.map_with_state(
+        scales,
+        crate::AnalysisArena::new,
+        |arena, _, &scale| {
+            let overrides = scaled_overrides(&declared, scale);
+            analysis
+                .run_with_overrides_in(arena, &f, overrides)
+                .map(|(report, _)| SweepPoint { scale, report })
+        },
+    );
+    let points = points.into_iter().collect::<Result<_, _>>()?;
+    Ok(RangeSweep { points })
+}
+
+/// Override ranges for one sweep point: every declared input width
+/// multiplied by `scale` around its midpoint.
+fn scaled_overrides(declared: &[Interval], scale: f64) -> Vec<Interval> {
+    declared
+        .iter()
+        .map(|iv| Interval::centered(iv.mid(), iv.rad() * scale))
+        .collect()
 }
 
 #[cfg(test)]
@@ -204,6 +254,34 @@ mod tests {
         let x = sweep.points[0].report.var("x").unwrap();
         assert!(x.enclosure.is_point());
         assert!(x.significance_raw < 1e-12);
+    }
+
+    #[test]
+    fn threaded_sweep_matches_serial() {
+        let model = |ctx: &crate::Ctx<'_>| {
+            let x = ctx.input("x", 0.0, 1.0);
+            let a = x.sqr();
+            ctx.intermediate(&a, "a");
+            let b = x.powi(4);
+            ctx.intermediate(&b, "b");
+            let y = a + b;
+            ctx.output(&y, "y");
+            Ok(())
+        };
+        let scales: Vec<f64> = (1..=12).map(|i| i as f64 / 12.0).collect();
+        let serial = sweep_input_scale(&Analysis::new(), &scales, model).unwrap();
+        for threads in [2, 8] {
+            let par =
+                sweep_input_scale_threaded(&Analysis::new(), &scales, threads, model).unwrap();
+            for (ps, pp) in serial.points.iter().zip(&par.points) {
+                assert_eq!(ps.scale, pp.scale);
+                for name in ["x", "a", "b", "y"] {
+                    let a = ps.report.significance_of(name).unwrap();
+                    let b = pp.report.significance_of(name).unwrap();
+                    assert_eq!(a.to_bits(), b.to_bits(), "{name} diverged");
+                }
+            }
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@
 
 pub mod codec;
 
-use scorpio_core::{Analysis, AnalysisError, Report};
+use scorpio_core::{Analysis, AnalysisArena, AnalysisError, Ctx, ParallelAnalysis, Report};
 use scorpio_quality::GrayImage;
 use scorpio_runtime::perforation::Perforator;
 use scorpio_runtime::{ExecutionStats, Executor, TaskGroup};
@@ -304,51 +304,104 @@ pub fn perforated(img: &GrayImage, keep_fraction: f64) -> (GrayImage, ExecutionS
 /// Panics if `radius` is negative.
 pub fn analysis(block: &[[f64; BLOCK]; BLOCK], radius: f64) -> Result<Report, AnalysisError> {
     assert!(radius >= 0.0, "analysis: negative pixel radius");
-    Analysis::new().run(|ctx| {
-        let mut pixels = Vec::with_capacity(BLOCK * BLOCK);
-        for (y, row) in block.iter().enumerate() {
-            for (x, &p0) in row.iter().enumerate() {
-                let lo = (p0 - radius).max(0.0);
-                let hi = (p0 + radius).min(255.0);
-                pixels.push(ctx.input(format!("p{y}_{x}"), lo, hi.max(lo)));
-            }
-        }
+    Analysis::new().run(|ctx| register_block(ctx, block, radius))
+}
 
-        // Forward DCT, registering every coefficient.
-        let mut coeffs = Vec::with_capacity(BLOCK * BLOCK);
-        for v in 0..BLOCK {
-            for u in 0..BLOCK {
-                let mut acc = ctx.constant(0.0);
-                for y in 0..BLOCK {
-                    for x in 0..BLOCK {
-                        acc = acc + pixels[y * BLOCK + x] * (basis(v, y) * basis(u, x));
-                    }
-                }
-                // Quant/dequant surrogate: scale down and back up.
-                let c = (acc / QUANT[v][u]) * QUANT[v][u];
-                ctx.intermediate(&c, format!("c{v}_{u}"));
-                coeffs.push(c);
-            }
-        }
+/// [`analysis`] recording into a reusable arena — the per-block body
+/// the multi-block batch is built from. Produces exactly the same
+/// report as the fresh-tape variant.
+///
+/// # Errors
+///
+/// Propagates framework errors (none expected).
+///
+/// # Panics
+///
+/// Panics if `radius` is negative.
+pub fn analysis_in(
+    arena: &mut AnalysisArena,
+    block: &[[f64; BLOCK]; BLOCK],
+    radius: f64,
+) -> Result<Report, AnalysisError> {
+    assert!(radius >= 0.0, "analysis: negative pixel radius");
+    Analysis::new().run_in(arena, |ctx| register_block(ctx, block, radius))
+}
 
-        // Inverse DCT + clip; all pixels registered as outputs (§2.3
-        // vector-function treatment).
-        let lo = ctx.constant(0.0);
-        let hi = ctx.constant(255.0);
-        for y in 0..BLOCK {
-            for x in 0..BLOCK {
-                let mut acc = ctx.constant(0.0);
-                for v in 0..BLOCK {
-                    for u in 0..BLOCK {
-                        acc = acc + coeffs[v * BLOCK + u] * (basis(v, y) * basis(u, x));
-                    }
-                }
-                let px = acc.min(hi).max(lo);
-                ctx.output(&px, format!("out{y}_{x}"));
-            }
-        }
-        Ok(())
+/// Multi-block batch analysis: one full-pipeline analysis per image
+/// block, fanned over `engine`'s workers with one reusable tape arena
+/// per worker (a DCT block records ~100k tape nodes, so arena reuse
+/// matters here). Returns the Fig. 4 coefficient maps in block order,
+/// bit-identical to a serial per-block loop.
+///
+/// # Errors
+///
+/// Propagates the error of the lowest-indexed failing block.
+///
+/// # Panics
+///
+/// Panics if `radius` is negative.
+pub fn analysis_blocks(
+    blocks: &[[[f64; BLOCK]; BLOCK]],
+    radius: f64,
+    engine: &ParallelAnalysis,
+) -> Result<Vec<[[f64; BLOCK]; BLOCK]>, AnalysisError> {
+    assert!(radius >= 0.0, "analysis: negative pixel radius");
+    engine.run_batch_map(blocks, |arena, analysis, _, block| {
+        let report = analysis.run_in(arena, |ctx| register_block(ctx, block, radius))?;
+        Ok(coefficient_map(&report))
     })
+}
+
+/// Registers the full per-block pipeline (see [`analysis`] for the
+/// modelling rationale).
+fn register_block(
+    ctx: &Ctx<'_>,
+    block: &[[f64; BLOCK]; BLOCK],
+    radius: f64,
+) -> Result<(), AnalysisError> {
+    let mut pixels = Vec::with_capacity(BLOCK * BLOCK);
+    for (y, row) in block.iter().enumerate() {
+        for (x, &p0) in row.iter().enumerate() {
+            let lo = (p0 - radius).max(0.0);
+            let hi = (p0 + radius).min(255.0);
+            pixels.push(ctx.input(format!("p{y}_{x}"), lo, hi.max(lo)));
+        }
+    }
+
+    // Forward DCT, registering every coefficient.
+    let mut coeffs = Vec::with_capacity(BLOCK * BLOCK);
+    for v in 0..BLOCK {
+        for u in 0..BLOCK {
+            let mut acc = ctx.constant(0.0);
+            for y in 0..BLOCK {
+                for x in 0..BLOCK {
+                    acc = acc + pixels[y * BLOCK + x] * (basis(v, y) * basis(u, x));
+                }
+            }
+            // Quant/dequant surrogate: scale down and back up.
+            let c = (acc / QUANT[v][u]) * QUANT[v][u];
+            ctx.intermediate(&c, format!("c{v}_{u}"));
+            coeffs.push(c);
+        }
+    }
+
+    // Inverse DCT + clip; all pixels registered as outputs (§2.3
+    // vector-function treatment).
+    let lo = ctx.constant(0.0);
+    let hi = ctx.constant(255.0);
+    for y in 0..BLOCK {
+        for x in 0..BLOCK {
+            let mut acc = ctx.constant(0.0);
+            for v in 0..BLOCK {
+                for u in 0..BLOCK {
+                    acc = acc + coeffs[v * BLOCK + u] * (basis(v, y) * basis(u, x));
+                }
+            }
+            let px = acc.min(hi).max(lo);
+            ctx.output(&px, format!("out{y}_{x}"));
+        }
+    }
+    Ok(())
 }
 
 /// A natural-image-like test block (smooth diagonal shading with a soft

@@ -21,7 +21,7 @@
 //! with 2×2 bilinear interpolation — the transitive-significance argument
 //! of §4.1.3.
 
-use scorpio_core::{Analysis, AnalysisError, Report};
+use scorpio_core::{Analysis, AnalysisArena, AnalysisError, Ctx, ParallelAnalysis, Report};
 use scorpio_quality::GrayImage;
 use scorpio_runtime::perforation::Perforator;
 use scorpio_runtime::{ExecutionStats, Executor, TaskGroup};
@@ -367,36 +367,96 @@ pub fn perforated(img: &GrayImage, lens: &Lens, keep_fraction: f64) -> (GrayImag
 /// Propagates framework errors (the series form is branch-free and
 /// total).
 pub fn analysis_inverse_mapping(lens: &Lens, u: f64, v: f64) -> Result<f64, AnalysisError> {
+    let report = Analysis::new().run(|ctx| register_inverse_mapping(ctx, lens, u, v))?;
+    Ok(summed_input_significance(&report))
+}
+
+/// [`analysis_inverse_mapping`] recording into a reusable arena — the
+/// per-item body the parallel per-pixel map is built from. Produces
+/// exactly the same value as the fresh-tape variant.
+///
+/// # Errors
+///
+/// Propagates framework errors, as [`analysis_inverse_mapping`].
+pub fn analysis_inverse_mapping_in(
+    arena: &mut AnalysisArena,
+    lens: &Lens,
+    u: f64,
+    v: f64,
+) -> Result<f64, AnalysisError> {
+    let report = Analysis::new().run_in(arena, |ctx| register_inverse_mapping(ctx, lens, u, v))?;
+    Ok(summed_input_significance(&report))
+}
+
+/// The Fig. 5 per-pixel significance map: one InverseMapping analysis
+/// per cell of a `grid_w × grid_h` grid of pixel centres, fanned over
+/// `engine`'s workers. Returns raw summed significances in row-major
+/// order; the values are bit-identical to a serial per-pixel loop.
+///
+/// # Errors
+///
+/// Propagates the error of the lowest-indexed failing pixel.
+pub fn analysis_inverse_mapping_grid(
+    lens: &Lens,
+    grid_w: usize,
+    grid_h: usize,
+    engine: &ParallelAnalysis,
+) -> Result<Vec<f64>, AnalysisError> {
+    let cell_w = lens.width as f64 / grid_w as f64;
+    let cell_h = lens.height as f64 / grid_h as f64;
+    let pixels: Vec<(f64, f64)> = (0..grid_h)
+        .flat_map(|gy| {
+            (0..grid_w).map(move |gx| {
+                ((gx as f64 + 0.5) * cell_w, (gy as f64 + 0.5) * cell_h)
+            })
+        })
+        .collect();
+    engine.run_batch_map(&pixels, |arena, analysis, _, &(u, v)| {
+        let report = analysis.run_in(arena, |ctx| register_inverse_mapping(ctx, lens, u, v))?;
+        Ok(summed_input_significance(&report))
+    })
+}
+
+/// Registers the InverseMapping computation at pixel `(u, v)` (see
+/// [`analysis_inverse_mapping`] for the modelling rationale).
+fn register_inverse_mapping(
+    ctx: &Ctx<'_>,
+    lens: &Lens,
+    u: f64,
+    v: f64,
+) -> Result<(), AnalysisError> {
     let (cx, cy) = lens.center();
     let focal = lens.focal;
-    let report = Analysis::new().run(move |ctx| {
-        // Inputs are the pixel coordinates measured from the image
-        // centre (`u − cx ± 0.5`): Eq. 11 weighs a variable's magnitude,
-        // so an arbitrary top-left origin would skew the map towards
-        // large absolute coordinates instead of the radial pattern.
-        let dx = ctx.input_centered("u", u - cx, 0.5);
-        let dy = ctx.input_centered("v", v - cy, 0.5);
-        let q2 = (dx.sqr() + dy.sqr()) * (1.0 / (focal * focal));
-        let q4 = q2.sqr();
-        let q6 = q4 * q2;
-        let q8 = q4.sqr();
-        let s = 1.0 + q2 * (1.0 / 3.0)
-            + q4 * (2.0 / 15.0)
-            + q6 * (17.0 / 315.0)
-            + q8 * (62.0 / 2835.0);
-        // Outputs are the *centred* distorted coordinates: the +centre
-        // translation is an exact constant whose inclusion would skew
-        // Eq. 11's magnitude product towards large absolute coordinates
-        // (bottom-right of the image) and mask the radial symmetry.
-        let xd = dx * s;
-        let yd = dy * s;
-        ctx.output(&xd, "xd");
-        ctx.output(&yd, "yd");
-        Ok(())
-    })?;
+    // Inputs are the pixel coordinates measured from the image
+    // centre (`u − cx ± 0.5`): Eq. 11 weighs a variable's magnitude,
+    // so an arbitrary top-left origin would skew the map towards
+    // large absolute coordinates instead of the radial pattern.
+    let dx = ctx.input_centered("u", u - cx, 0.5);
+    let dy = ctx.input_centered("v", v - cy, 0.5);
+    let q2 = (dx.sqr() + dy.sqr()) * (1.0 / (focal * focal));
+    let q4 = q2.sqr();
+    let q6 = q4 * q2;
+    let q8 = q4.sqr();
+    let s = 1.0 + q2 * (1.0 / 3.0)
+        + q4 * (2.0 / 15.0)
+        + q6 * (17.0 / 315.0)
+        + q8 * (62.0 / 2835.0);
+    // Outputs are the *centred* distorted coordinates: the +centre
+    // translation is an exact constant whose inclusion would skew
+    // Eq. 11's magnitude product towards large absolute coordinates
+    // (bottom-right of the image) and mask the radial symmetry.
+    let xd = dx * s;
+    let yd = dy * s;
+    ctx.output(&xd, "xd");
+    ctx.output(&yd, "yd");
+    Ok(())
+}
+
+/// Raw summed significance of the two coordinate inputs.
+fn summed_input_significance(report: &Report) -> f64 {
     let sx = report.var("u").map(|r| r.significance_raw).unwrap_or(0.0);
     let sy = report.var("v").map(|r| r.significance_raw).unwrap_or(0.0);
-    Ok(sx + sy)
+    sx + sy
 }
 
 /// Significance analysis of BicubicInterp (Fig. 6): 16 window pixels in

@@ -17,7 +17,7 @@
 //! second task group combines the partial sums (`t = √(tx² + ty²)`,
 //! clipped to `[0, 255]`) and always runs accurately.
 
-use scorpio_core::{Analysis, AnalysisError, Report};
+use scorpio_core::{Analysis, AnalysisError, ParallelAnalysis, Report};
 use scorpio_quality::GrayImage;
 use scorpio_runtime::perforation::Perforator;
 use scorpio_runtime::{ExecutionStats, Executor, TaskGroup};
@@ -267,14 +267,35 @@ pub fn analysis() -> Result<Report, AnalysisError> {
 ///
 /// Propagates framework errors (branch-free via min/max clipping).
 pub fn analysis_combine(k: usize) -> Result<Vec<(f64, f64)>, AnalysisError> {
+    analysis_combine_threaded(k, 1)
+}
+
+/// [`analysis_combine`] with the `k` operating points fanned over
+/// `threads` workers of a [`ParallelAnalysis`] engine, one reusable
+/// tape arena per worker. Results are in operating-point order and
+/// bit-identical to the serial variant.
+///
+/// # Errors
+///
+/// Propagates the error of the lowest-indexed failing operating point.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `threads == 0`.
+pub fn analysis_combine_threaded(
+    k: usize,
+    threads: usize,
+) -> Result<Vec<(f64, f64)>, AnalysisError> {
     assert!(k > 0, "need at least one operating range");
-    let mut out = Vec::with_capacity(k);
-    for i in 0..k {
-        // Slide a half-width window across the full ±1020 gradient range.
-        let span = 2040.0;
-        let width = span / 2.0;
-        let lo = -1020.0 + (i as f64 / k.max(2) as f64) * (span - width);
-        let report = Analysis::new().run(move |ctx| {
+    // Slide a half-width window across the full ±1020 gradient range.
+    let span = 2040.0;
+    let width = span / 2.0;
+    let lows: Vec<f64> = (0..k)
+        .map(|i| -1020.0 + (i as f64 / k.max(2) as f64) * (span - width))
+        .collect();
+    let engine = ParallelAnalysis::new(threads);
+    engine.run_batch_map(&lows, |arena, analysis, _, &lo| {
+        let report = analysis.run_in(arena, |ctx| {
             let tx = ctx.input("tx", lo, lo + width);
             let ty = ctx.input("ty", lo, lo + width);
             let t = tx.hypot(ty);
@@ -284,12 +305,11 @@ pub fn analysis_combine(k: usize) -> Result<Vec<(f64, f64)>, AnalysisError> {
             ctx.output(&pixel, "pixel");
             Ok(())
         })?;
-        out.push((
+        Ok((
             report.var("tx").unwrap().significance_raw,
             report.var("ty").unwrap().significance_raw,
-        ));
-    }
-    Ok(out)
+        ))
+    })
 }
 
 /// Per-part significance: the summed significances of the part's

@@ -52,6 +52,65 @@ impl Executor {
         self.threads
     }
 
+    /// Maps `work` over `items` on the worker pool, each worker carrying
+    /// private mutable state built once by `init` — the hook the
+    /// parallel analysis engine uses to give every worker its own
+    /// reusable tape arena.
+    ///
+    /// Items are claimed through a shared atomic cursor (the same
+    /// self-scheduling the task pool uses), `work` receives the worker
+    /// state, the item index and the item, and results come back in
+    /// item order regardless of which worker produced them. With one
+    /// thread the pool is bypassed entirely: items run inline on the
+    /// caller's thread, so `threads == 1` has zero synchronisation
+    /// overhead and serves as the serial baseline.
+    pub fn map_with_state<T, S, R, I, W>(&self, items: &[T], init: I, work: W) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        I: Fn() -> S + Sync,
+        W: Fn(&mut S, usize, &T) -> R + Sync,
+    {
+        if self.threads == 1 || items.len() <= 1 {
+            let mut state = init();
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| work(&mut state, i, item))
+                .collect();
+        }
+
+        let slots: Vec<parking_lot::Mutex<Option<R>>> =
+            items.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let n = items.len();
+        let workers = self.threads.min(n);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut state = init();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let r = work(&mut state, i, &items[i]);
+                        *slots[i].lock() = Some(r);
+                    }
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("worker pool completed without filling every result slot")
+            })
+            .collect()
+    }
+
     /// Runs the prepared jobs to completion, work-stealing via a shared
     /// atomic cursor. Blocks until every job has finished.
     pub(crate) fn run<'scope>(
@@ -145,5 +204,44 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_panics() {
         let _ = Executor::new(0);
+    }
+
+    #[test]
+    fn map_with_state_keeps_item_order() {
+        let executor = Executor::new(4);
+        let items: Vec<usize> = (0..64).collect();
+        let out = executor.map_with_state(
+            &items,
+            || 0usize,
+            |used, i, &item| {
+                *used += 1;
+                item * 2 + i
+            },
+        );
+        assert_eq!(out, (0..64).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_with_state_single_thread_runs_inline() {
+        let executor = Executor::new(1);
+        let items = [1, 2, 3, 4];
+        // One thread means one state shared across all items, in order.
+        let out = executor.map_with_state(
+            &items,
+            || 0i32,
+            |acc, _, &x| {
+                *acc += x;
+                *acc
+            },
+        );
+        assert_eq!(out, vec![1, 3, 6, 10]);
+    }
+
+    #[test]
+    fn map_with_state_empty_items() {
+        let executor = Executor::new(4);
+        let items: [u8; 0] = [];
+        let out = executor.map_with_state(&items, || (), |_, i, _| i);
+        assert!(out.is_empty());
     }
 }

@@ -1,0 +1,154 @@
+//! Offline shim for the subset of `criterion` the workspace's benches
+//! use.
+//!
+//! The build environment has no crate-registry access, so this in-repo
+//! stand-in keeps the bench sources compiling and producing useful
+//! numbers: each benchmark is warmed up, then timed over enough
+//! iterations to fill a short measurement window, and the median
+//! per-iteration time across samples is printed. There are no HTML
+//! reports, statistics beyond the median, or CLI filters.
+
+use std::time::{Duration, Instant};
+
+/// Identifier combining a function name and an input parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    /// Median per-iteration time of the last `iter` call.
+    measured: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median per-iteration duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until ~20ms elapsed (at least once) to reach
+        // steady state and estimate the per-call cost.
+        let warmup_start = Instant::now();
+        let mut warmup_calls = 0u64;
+        loop {
+            std::hint::black_box(routine());
+            warmup_calls += 1;
+            if warmup_start.elapsed() >= Duration::from_millis(20) {
+                break;
+            }
+        }
+        let per_call = warmup_start.elapsed().as_secs_f64() / warmup_calls as f64;
+
+        // Aim each sample at ~2ms of work, bounded to keep fast and
+        // slow benchmarks alike within a sane budget.
+        let iters_per_sample = ((0.002 / per_call.max(1e-9)) as u64).clamp(1, 1_000_000);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            samples.push(start.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.measured = Some(Duration::from_secs_f64(samples[samples.len() / 2]));
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timing samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    fn run_named(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measured: None,
+        };
+        f(&mut bencher);
+        match bencher.measured {
+            Some(t) => println!("{}/{:<40} {:>12.1?}/iter", self.name, id, t),
+            None => println!("{}/{:<40} (no measurement)", self.name, id),
+        }
+    }
+
+    /// Runs the benchmark closure under `id`.
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        self.run_named(id, f);
+        self
+    }
+
+    /// Runs the benchmark closure with an input value under `id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = id.id.clone();
+        self.run_named(&name, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream finalises reports here; the shim's
+    /// output is already printed per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("-- bench group: {name} --");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+}
+
+/// Bundles benchmark functions into one named runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running each group (CLI arguments from `cargo bench`
+/// are ignored).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,39 @@
+//! Offline shim for the subset of `crossbeam` the workspace declares.
+//!
+//! The build environment has no crate-registry access. Since Rust 1.63,
+//! `std::thread::scope` provides the scoped-thread functionality the
+//! runtime's worker pool needs, so this shim simply re-exports it under
+//! crossbeam-compatible names.
+
+/// Scoped threads (std-backed).
+pub mod thread {
+    pub use std::thread::{Scope, ScopedJoinHandle};
+
+    /// Runs `f` with a [`Scope`] allowing borrowing spawns; joins every
+    /// spawned thread before returning. Unlike `crossbeam::thread::scope`
+    /// this never returns `Err` — panics propagate as panics — but the
+    /// `Result` wrapper keeps call sites source-compatible.
+    pub fn scope<'env, F, T>(f: F) -> std::thread::Result<T>
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> T,
+    {
+        Ok(std::thread::scope(f))
+    }
+}
+
+/// Re-export mirroring `crossbeam::scope`.
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = vec![1u64, 2, 3];
+        let sum = super::scope(|s| {
+            let h = s.spawn(|| data.iter().sum::<u64>());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 6);
+    }
+}

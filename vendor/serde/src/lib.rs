@@ -1,0 +1,276 @@
+//! Offline shim for the serialization half of `serde`'s data model.
+//!
+//! The build environment has no crate-registry access. The workspace's
+//! only serde consumer is `scorpio-core`'s JSON exporter, which derives
+//! [`Serialize`] on three plain-old-data records and implements
+//! [`ser::Serializer`] by hand; this shim provides exactly that trait
+//! surface — same method names, signatures and associated types as
+//! upstream serde 1.x — plus `Serialize` impls for the primitive and
+//! container types the records contain.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+/// A value serialisable through serde's data model.
+pub trait Serialize {
+    /// Feeds this value into `serializer`.
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// The serializer side of the data model.
+pub mod ser {
+    pub use super::Serialize;
+
+    /// Errors a serializer may produce.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error carrying an arbitrary message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    /// Compound serializer for sequences.
+    pub trait SerializeSeq {
+        type Ok;
+        type Error: Error;
+        fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T)
+            -> Result<(), Self::Error>;
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Compound serializer for tuples.
+    pub trait SerializeTuple {
+        type Ok;
+        type Error: Error;
+        fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T)
+            -> Result<(), Self::Error>;
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Compound serializer for tuple structs.
+    pub trait SerializeTupleStruct {
+        type Ok;
+        type Error: Error;
+        fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T)
+            -> Result<(), Self::Error>;
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Compound serializer for tuple enum variants.
+    pub trait SerializeTupleVariant {
+        type Ok;
+        type Error: Error;
+        fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T)
+            -> Result<(), Self::Error>;
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Compound serializer for maps.
+    pub trait SerializeMap {
+        type Ok;
+        type Error: Error;
+        fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), Self::Error>;
+        fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T)
+            -> Result<(), Self::Error>;
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Compound serializer for structs with named fields.
+    pub trait SerializeStruct {
+        type Ok;
+        type Error: Error;
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Compound serializer for struct enum variants.
+    pub trait SerializeStructVariant {
+        type Ok;
+        type Error: Error;
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// A sink for serde's data model. All methods are required — the
+    /// shim declares only the surface the workspace implements.
+    pub trait Serializer: Sized {
+        type Ok;
+        type Error: Error;
+        type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+        type SerializeTuple: SerializeTuple<Ok = Self::Ok, Error = Self::Error>;
+        type SerializeTupleStruct: SerializeTupleStruct<Ok = Self::Ok, Error = Self::Error>;
+        type SerializeTupleVariant: SerializeTupleVariant<Ok = Self::Ok, Error = Self::Error>;
+        type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+        type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+        type SerializeStructVariant: SerializeStructVariant<Ok = Self::Ok, Error = Self::Error>;
+
+        fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+        fn serialize_i8(self, v: i8) -> Result<Self::Ok, Self::Error>;
+        fn serialize_i16(self, v: i16) -> Result<Self::Ok, Self::Error>;
+        fn serialize_i32(self, v: i32) -> Result<Self::Ok, Self::Error>;
+        fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+        fn serialize_u8(self, v: u8) -> Result<Self::Ok, Self::Error>;
+        fn serialize_u16(self, v: u16) -> Result<Self::Ok, Self::Error>;
+        fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error>;
+        fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+        fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error>;
+        fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+        fn serialize_char(self, v: char) -> Result<Self::Ok, Self::Error>;
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+        fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+        fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+        fn serialize_some<T: Serialize + ?Sized>(self, value: &T)
+            -> Result<Self::Ok, Self::Error>;
+        fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+        fn serialize_unit_struct(self, name: &'static str) -> Result<Self::Ok, Self::Error>;
+        fn serialize_unit_variant(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+        ) -> Result<Self::Ok, Self::Error>;
+        fn serialize_newtype_struct<T: Serialize + ?Sized>(
+            self,
+            name: &'static str,
+            value: &T,
+        ) -> Result<Self::Ok, Self::Error>;
+        fn serialize_newtype_variant<T: Serialize + ?Sized>(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+            value: &T,
+        ) -> Result<Self::Ok, Self::Error>;
+        fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+        fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, Self::Error>;
+        fn serialize_tuple_struct(
+            self,
+            name: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeTupleStruct, Self::Error>;
+        fn serialize_tuple_variant(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeTupleVariant, Self::Error>;
+        fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+        fn serialize_struct(
+            self,
+            name: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeStruct, Self::Error>;
+        fn serialize_struct_variant(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeStructVariant, Self::Error>;
+    }
+}
+
+macro_rules! primitive_impls {
+    ($($t:ty => $method:ident),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$method(*self)
+            }
+        }
+    )*};
+}
+primitive_impls! {
+    bool => serialize_bool,
+    i8 => serialize_i8, i16 => serialize_i16, i32 => serialize_i32, i64 => serialize_i64,
+    u8 => serialize_u8, u16 => serialize_u16, u32 => serialize_u32, u64 => serialize_u64,
+    f32 => serialize_f32, f64 => serialize_f64,
+    char => serialize_char,
+}
+
+impl Serialize for usize {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self as u64)
+    }
+}
+
+impl Serialize for isize {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_i64(*self as i64)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &mut T {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+fn serialize_slice<T: Serialize, S: ser::Serializer>(
+    slice: &[T],
+    serializer: S,
+) -> Result<S::Ok, S::Error> {
+    use ser::SerializeSeq as _;
+    let mut seq = serializer.serialize_seq(Some(slice.len()))?;
+    for item in slice {
+        seq.serialize_element(item)?;
+    }
+    seq.end()
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_slice(self, serializer)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_slice(self, serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_slice(self, serializer)
+    }
+}

@@ -1,0 +1,128 @@
+//! Offline shim for `serde_derive`'s `#[derive(Serialize)]`.
+//!
+//! The build environment has no crate-registry access, so syn/quote are
+//! unavailable; this macro hand-parses the token stream instead. It
+//! supports exactly what the workspace derives on: plain structs with
+//! named fields and no generics. Anything else panics at expansion time
+//! with a clear message rather than emitting wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a non-generic named-field struct by
+/// emitting `serialize_struct` / `serialize_field` calls per field.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    let mut name = None;
+    let mut body = None;
+    let mut iter = tokens.iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("derive(Serialize): expected struct name, got {other:?}"),
+                }
+                // Scan forward to the brace-delimited field block. A `<`
+                // right after the name would mean generics, which the
+                // shim does not support.
+                for tt2 in iter.by_ref() {
+                    match tt2 {
+                        TokenTree::Punct(p) if p.as_char() == '<' => {
+                            panic!("derive(Serialize) shim: generic structs are unsupported")
+                        }
+                        TokenTree::Punct(p) if p.as_char() == ';' => {
+                            panic!("derive(Serialize) shim: tuple/unit structs are unsupported")
+                        }
+                        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                            body = Some(g.stream());
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" || id.to_string() == "union" => {
+                panic!("derive(Serialize) shim: only structs are supported")
+            }
+            _ => {}
+        }
+    }
+
+    let name = name.expect("derive(Serialize): no struct found in input");
+    let body = body.expect("derive(Serialize): no named-field block found");
+    let fields = field_names(body);
+    assert!(
+        !fields.is_empty(),
+        "derive(Serialize) shim: struct {name} has no named fields"
+    );
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S)\n\
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+         let mut __st = ::serde::ser::Serializer::serialize_struct(\
+         __serializer, \"{name}\", {n})?;\n",
+        n = fields.len()
+    ));
+    for f in &fields {
+        out.push_str(&format!(
+            "::serde::ser::SerializeStruct::serialize_field(&mut __st, \"{f}\", &self.{f})?;\n"
+        ));
+    }
+    out.push_str("::serde::ser::SerializeStruct::end(__st)\n}\n}\n");
+    out.parse()
+        .expect("derive(Serialize) shim: generated impl failed to parse")
+}
+
+/// Extracts field names from the token stream inside a struct's braces.
+///
+/// Grammar handled per field: optional `#[...]` attributes, optional
+/// `pub` / `pub(...)` visibility, then `name : Type`, fields separated
+/// by top-level commas (commas inside `<...>` belong to the type).
+fn field_names(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut pending: Option<String> = None;
+    let mut saw_colon = false;
+    let mut angle_depth = 0i32;
+    let mut iter = body.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' && !saw_colon => {
+                // Attribute: consume the following [...] group.
+                iter.next();
+            }
+            TokenTree::Ident(id) if !saw_colon => {
+                let s = id.to_string();
+                if s == "pub" {
+                    // Skip a visibility scope group like `pub(crate)`.
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                } else {
+                    pending = Some(s);
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' && !saw_colon => {
+                // A lone `:` ends the field name; `::` never appears
+                // before the colon in a named-field declaration.
+                saw_colon = true;
+                if let Some(name) = pending.take() {
+                    fields.push(name);
+                }
+            }
+            TokenTree::Punct(p) if saw_colon && p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if saw_colon && p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if saw_colon && p.as_char() == ',' && angle_depth == 0 => {
+                saw_colon = false;
+            }
+            _ => {}
+        }
+    }
+    fields
+}
