@@ -1,0 +1,584 @@
+//! Record-once / replay-many: the [`CompiledTape`] structure-of-arrays
+//! bytecode.
+//!
+//! Recording a trace through [`Tape`] pays for generality: every
+//! elementary operation borrows the arena's `RefCell`, grows the node
+//! vector, and boxes its operands behind the [`crate::Var`] overloads.
+//! For data-parallel workloads (a per-pixel kernel analysis, a
+//! Monte-Carlo sample, one point of a range sweep) the trace *structure*
+//! is identical across items — only the input values differ — so all of
+//! that bookkeeping is pure overhead after the first item.
+//!
+//! [`CompiledTape::compile`] flattens a recorded trace into parallel
+//! arrays (one op, one predecessor pair and one recorded value per
+//! node, with the input nodes indexed up front). [`CompiledTape::replay`]
+//! then re-evaluates the whole trace for fresh input values in a single
+//! tight forward loop — zero `RefCell` borrows, zero node pushes, zero
+//! allocation in the steady state — recomputing node values *and* local
+//! partials with exactly the formulas the [`crate::Var`] overloads use,
+//! so a replayed sweep is bit-identical to a fresh recording of the
+//! same trace. [`CompiledTape::adjoints_into`] runs the reverse sweep
+//! over the replayed buffers, mirroring [`Tape::adjoints_in`].
+//!
+//! Replay is only sound while the trace shape is actually fixed:
+//! recording is value-dependent (a branch can send different inputs
+//! down different traces), which a replayer cannot detect because it
+//! never re-runs the user closure. [`CompiledTape::replay`] validates
+//! input arity; detecting control-flow divergence is the caller's
+//! responsibility (the `scorpio-core` `ReplayOrRecord` driver refuses
+//! to replay traces that executed a branch and falls back to full
+//! re-recording).
+
+use std::fmt;
+
+use crate::node::{NodeId, Op};
+use crate::tape::{OpHistogram, Successors, Tape};
+use crate::value::Scalar;
+
+/// A recorded trace compiled into structure-of-arrays form for repeated
+/// replay (see the [module docs](self)).
+///
+/// # Example
+///
+/// ```
+/// use scorpio_adjoint::{CompiledTape, ReplayBuffers, Tape};
+///
+/// // Record y = x·sin(x) once…
+/// let tape = Tape::<f64>::new();
+/// let x = tape.var(0.3);
+/// let y = x * x.sin();
+/// let y_id = y.id();
+/// let compiled = CompiledTape::compile(&tape);
+///
+/// // …then replay it for a different input without re-recording.
+/// let mut buf = ReplayBuffers::new();
+/// compiled.replay(&[0.7], &mut buf).unwrap();
+/// assert_eq!(buf.value(y_id), 0.7 * 0.7f64.sin());
+/// compiled.adjoints_into(&[(y_id, 1.0)], &mut buf);
+/// let want = 0.7f64.sin() + 0.7 * 0.7f64.cos();
+/// assert!((buf.adjoint(x.id()) - want).abs() < 1e-15);
+/// ```
+pub struct CompiledTape<V> {
+    ops: Vec<Op>,
+    preds: Vec<[NodeId; 2]>,
+    /// Values captured at compile time. Replay only reads the `Const`
+    /// slots (constants are part of the trace, not of the per-item
+    /// input), but keeping the full vector lets callers inspect the
+    /// recorded trace without holding the original tape alive.
+    recorded: Vec<V>,
+    /// Input node ids in registration order — the positional slots
+    /// [`CompiledTape::replay`] binds fresh values to.
+    inputs: Vec<NodeId>,
+    successors: Successors,
+    histogram: OpHistogram,
+}
+
+impl<V: Scalar> CompiledTape<V> {
+    /// Compiles the recorded trace of `tape` into replayable form.
+    ///
+    /// One pass over a borrow of the arena; the tape itself is left
+    /// untouched and can keep recording afterwards.
+    pub fn compile(tape: &Tape<V>) -> CompiledTape<V> {
+        let (ops, preds, recorded, inputs) = tape.with_nodes(|nodes| {
+            let mut ops = Vec::with_capacity(nodes.len());
+            let mut preds = Vec::with_capacity(nodes.len());
+            let mut recorded = Vec::with_capacity(nodes.len());
+            let mut inputs = Vec::new();
+            for (j, node) in nodes.iter().enumerate() {
+                ops.push(node.op);
+                preds.push(node.preds);
+                recorded.push(node.value);
+                if node.op == Op::Input {
+                    inputs.push(NodeId::from_index(j));
+                }
+            }
+            (ops, preds, recorded, inputs)
+        });
+        CompiledTape {
+            ops,
+            preds,
+            recorded,
+            inputs,
+            successors: tape.successors(),
+            histogram: tape.op_histogram(),
+        }
+    }
+
+    /// Number of compiled nodes.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` if the compiled trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of input slots a replay must bind.
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Input node ids in registration order.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Operator of node `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn op(&self, index: usize) -> Op {
+        self.ops[index]
+    }
+
+    /// Predecessors of node `index` (valid slots only), in operand
+    /// order — the compiled equivalent of [`crate::Node::preds`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn preds_of(&self, index: usize) -> impl Iterator<Item = NodeId> + '_ {
+        self.preds[index]
+            .into_iter()
+            .filter(|&p| p != NodeId::INVALID)
+    }
+
+    /// Value of node `index` as captured at compile time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn recorded_value(&self, index: usize) -> V {
+        self.recorded[index]
+    }
+
+    /// The forward-edge CSR of the trace, built once at compile time —
+    /// repeated report generation over a compiled trace shares this
+    /// instead of rebuilding the CSR per call ([`Tape::successors`]).
+    pub fn successors(&self) -> &Successors {
+        &self.successors
+    }
+
+    /// Per-operator-class node counts, computed once at compile time
+    /// (the compiled analogue of [`Tape::op_histogram`]).
+    pub fn op_histogram(&self) -> OpHistogram {
+        self.histogram
+    }
+
+    /// Replays the trace with fresh input values: a single forward loop
+    /// over the fixed node sequence re-evaluating every node value and
+    /// local partial into `buf`, using exactly the formulas the
+    /// [`crate::Var`] overloads record — a replayed trace is
+    /// bit-identical to re-recording it with the same inputs.
+    ///
+    /// `inputs` binds the input nodes positionally, in registration
+    /// order. The buffers are resized on first use and reused
+    /// afterwards; the steady state allocates nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeMismatch`] (leaving `buf` unspecified) when
+    /// `inputs` does not provide exactly one value per input slot.
+    pub fn replay(&self, inputs: &[V], buf: &mut ReplayBuffers<V>) -> Result<(), ShapeMismatch> {
+        if inputs.len() != self.inputs.len() {
+            return Err(ShapeMismatch {
+                expected: self.inputs.len(),
+                got: inputs.len(),
+            });
+        }
+        let n = self.ops.len();
+        buf.resize(n);
+        let mut next_input = 0usize;
+        for j in 0..n {
+            // Operand values: predecessor slots are always earlier in
+            // the sequence, so reading them back out of `values` is the
+            // forward sweep's data flow.
+            let a = |buf: &ReplayBuffers<V>| buf.values[self.preds[j][0].index()];
+            let b = |buf: &ReplayBuffers<V>| buf.values[self.preds[j][1].index()];
+            // Each arm mirrors the corresponding `Var` method / operator
+            // overload in `var.rs` — keep the two in lockstep, the
+            // replay-identity suite enforces bit-equality.
+            let (v, pa, pb) = match self.ops[j] {
+                Op::Input => {
+                    let x = inputs[next_input];
+                    next_input += 1;
+                    (x, V::zero(), V::zero())
+                }
+                Op::Const => (self.recorded[j], V::zero(), V::zero()),
+                Op::Add => (a(buf) + b(buf), V::one(), V::one()),
+                Op::Sub => (a(buf) - b(buf), V::one(), -V::one()),
+                Op::Mul => {
+                    let (a, b) = (a(buf), b(buf));
+                    (a * b, b, a)
+                }
+                Op::Div => {
+                    let (a, b) = (a(buf), b(buf));
+                    let inv = b.recip();
+                    (a * inv, inv, -a * inv.sqr())
+                }
+                Op::Neg => (-a(buf), -V::one(), V::zero()),
+                Op::Sin => {
+                    let a = a(buf);
+                    (a.sin(), a.cos(), V::zero())
+                }
+                Op::Cos => {
+                    let a = a(buf);
+                    (a.cos(), -a.sin(), V::zero())
+                }
+                Op::Tan => {
+                    let t = a(buf).tan();
+                    (t, V::one() + t.sqr(), V::zero())
+                }
+                Op::Exp => {
+                    let e = a(buf).exp();
+                    (e, e, V::zero())
+                }
+                Op::Ln => {
+                    let a = a(buf);
+                    (a.ln(), a.recip(), V::zero())
+                }
+                Op::Sqrt => {
+                    let r = a(buf).sqrt();
+                    (r, (V::from_f64(2.0) * r).recip(), V::zero())
+                }
+                Op::Sqr => {
+                    let a = a(buf);
+                    (a.sqr(), V::from_f64(2.0) * a, V::zero())
+                }
+                Op::Recip => {
+                    let a = a(buf);
+                    (a.recip(), -a.sqr().recip(), V::zero())
+                }
+                Op::Powi(m) => {
+                    let a = a(buf);
+                    let partial = if m == 0 {
+                        V::zero()
+                    } else {
+                        V::from_f64(m as f64) * a.powi(m - 1)
+                    };
+                    (a.powi(m), partial, V::zero())
+                }
+                Op::Powf(p) => {
+                    let a = a(buf);
+                    let partial = if p == 0.0 {
+                        V::zero()
+                    } else {
+                        V::from_f64(p) * a.powf(p - 1.0)
+                    };
+                    (a.powf(p), partial, V::zero())
+                }
+                Op::Abs => {
+                    let a = a(buf);
+                    (a.abs(), a.abs_deriv(), V::zero())
+                }
+                Op::Atan => {
+                    let a = a(buf);
+                    (a.atan(), (V::one() + a.sqr()).recip(), V::zero())
+                }
+                Op::Tanh => {
+                    let t = a(buf).tanh();
+                    (t, V::one() - t.sqr(), V::zero())
+                }
+                Op::Sinh => {
+                    let a = a(buf);
+                    (a.sinh(), a.cosh(), V::zero())
+                }
+                Op::Cosh => {
+                    let a = a(buf);
+                    (a.cosh(), a.sinh(), V::zero())
+                }
+                Op::Erf => {
+                    let a = a(buf);
+                    let two_over_sqrt_pi = V::from_f64(2.0 / std::f64::consts::PI.sqrt());
+                    (a.erf(), two_over_sqrt_pi * (-a.sqr()).exp(), V::zero())
+                }
+                Op::Cndf => {
+                    let a = a(buf);
+                    let inv_sqrt_2pi =
+                        V::from_f64(1.0 / (2.0 * std::f64::consts::PI).sqrt());
+                    (
+                        a.cndf(),
+                        inv_sqrt_2pi * (-a.sqr() / V::from_f64(2.0)).exp(),
+                        V::zero(),
+                    )
+                }
+                Op::Hypot => {
+                    let (a, b) = (a(buf), b(buf));
+                    let v = a.hypot(b);
+                    let (pa, pb) = a.hypot_partials(b, v);
+                    (v, pa, pb)
+                }
+                Op::Min => {
+                    let (a, b) = (a(buf), b(buf));
+                    let (pa, pb) = a.min_partials(b);
+                    (a.min_val(b), pa, pb)
+                }
+                Op::Max => {
+                    let (a, b) = (a(buf), b(buf));
+                    let (pa, pb) = a.max_partials(b);
+                    (a.max_val(b), pa, pb)
+                }
+            };
+            buf.values[j] = v;
+            buf.pa[j] = pa;
+            buf.pb[j] = pb;
+        }
+        Ok(())
+    }
+
+    /// Reverse (adjoint) sweep over the replayed buffers, mirroring
+    /// [`Tape::adjoints_in`] operation for operation: after this call
+    /// `buf.adjoint(id)` is bit-identical to what a fresh recording's
+    /// reverse sweep would produce for the same inputs and seeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a seed id is out of range, or if `buf` has not been
+    /// filled by a [`CompiledTape::replay`] of this trace.
+    pub fn adjoints_into(&self, seeds: &[(NodeId, V)], buf: &mut ReplayBuffers<V>) {
+        let n = self.ops.len();
+        assert_eq!(
+            buf.values.len(),
+            n,
+            "adjoints_into: buffers were not replayed for this trace"
+        );
+        buf.adj.clear();
+        buf.adj.resize(n, V::zero());
+        for &(id, seed) in seeds {
+            buf.adj[id.index()] = buf.adj[id.index()] + seed;
+        }
+        for j in (0..n).rev() {
+            let a = buf.adj[j];
+            if a.is_zero() {
+                continue;
+            }
+            for k in 0..self.ops[j].arity() {
+                let p = self.preds[j][k];
+                if p != NodeId::INVALID {
+                    let partial = if k == 0 { buf.pa[j] } else { buf.pb[j] };
+                    let contribution = partial * a;
+                    buf.adj[p.index()] = buf.adj[p.index()] + contribution;
+                }
+            }
+        }
+    }
+}
+
+impl<V: Scalar> fmt::Debug for CompiledTape<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompiledTape")
+            .field("len", &self.len())
+            .field("inputs", &self.inputs.len())
+            .finish()
+    }
+}
+
+/// Reusable value/partial/adjoint buffers for replaying one
+/// [`CompiledTape`] — the replay-mode analogue of the tape arena plus
+/// adjoint scratch vector. One set per worker; sized on first replay,
+/// zero allocation afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayBuffers<V> {
+    values: Vec<V>,
+    /// Local partial with respect to the first operand, per node.
+    pa: Vec<V>,
+    /// Local partial with respect to the second operand, per node.
+    pb: Vec<V>,
+    adj: Vec<V>,
+}
+
+impl<V: Scalar> ReplayBuffers<V> {
+    /// Empty buffers; the first replay sizes them.
+    pub fn new() -> ReplayBuffers<V> {
+        ReplayBuffers {
+            values: Vec::new(),
+            pa: Vec::new(),
+            pb: Vec::new(),
+            adj: Vec::new(),
+        }
+    }
+
+    fn resize(&mut self, n: usize) {
+        // resize() both shrinks and grows; the fill value is only used
+        // for growth and every slot is overwritten by the forward loop.
+        self.values.resize(n, V::zero());
+        self.pa.resize(n, V::zero());
+        self.pb.resize(n, V::zero());
+    }
+
+    /// The replayed value `[u_j]` of node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for the last replayed trace.
+    pub fn value(&self, id: NodeId) -> V {
+        self.values[id.index()]
+    }
+
+    /// The adjoint `∇_{u_j} y` of node `id` from the last
+    /// [`CompiledTape::adjoints_into`] sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or no sweep has run.
+    pub fn adjoint(&self, id: NodeId) -> V {
+        self.adj[id.index()]
+    }
+
+    /// All replayed node values in execution order.
+    pub fn values(&self) -> &[V] {
+        &self.values
+    }
+
+    /// All adjoints in execution order (empty before the first sweep).
+    pub fn adjoints(&self) -> &[V] {
+        &self.adj
+    }
+}
+
+/// Replay was handed a different number of input values than the
+/// compiled trace has input slots — the structural guard of
+/// [`CompiledTape::replay`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShapeMismatch {
+    /// Input slots the compiled trace expects.
+    pub expected: usize,
+    /// Input values the replay provided.
+    pub got: usize,
+}
+
+impl fmt::Display for ShapeMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "replay shape mismatch: compiled trace has {} input slot(s), got {} value(s)",
+            self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for ShapeMismatch {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scorpio_interval::Interval;
+
+    /// Records a trace exercising every operator class.
+    fn record_all_ops(tape: &Tape<f64>, x0: f64, y0: f64) -> NodeId {
+        let x = tape.var(x0);
+        let y = tape.var(y0);
+        let c = tape.constant(0.75);
+        let mut acc = x + y - c;
+        acc = acc * x / (y + 2.5);
+        acc = acc + (-x);
+        acc = acc + x.sin() + x.cos() + (x * 0.3).tan();
+        acc = acc + (x * 0.2).exp() + (y + 3.0).ln() + (y + 4.0).sqrt();
+        acc = acc + x.sqr() + (y + 2.0).recip();
+        acc = acc + x.powi(3) + (y + 5.0).powf(1.3) + x.powi(0);
+        acc = acc + x.abs() + x.atan() + x.tanh() + (x * 0.5).sinh() + (x * 0.5).cosh();
+        acc = acc + x.erf() + x.cndf();
+        acc = acc + x.hypot(y) + x.min(y) + x.max(y);
+        acc.id()
+    }
+
+    #[test]
+    fn replay_is_bit_identical_to_rerecording_f64() {
+        let tape = Tape::<f64>::new();
+        let out = record_all_ops(&tape, 0.4, 1.1);
+        let compiled = CompiledTape::compile(&tape);
+        let mut buf = ReplayBuffers::new();
+
+        for &(x0, y0) in &[(0.4, 1.1), (-0.8, 0.2), (1.7, -0.4), (0.01, 9.5)] {
+            compiled.replay(&[x0, y0], &mut buf).unwrap();
+            compiled.adjoints_into(&[(out, 1.0)], &mut buf);
+
+            let fresh = Tape::<f64>::new();
+            let fresh_out = record_all_ops(&fresh, x0, y0);
+            assert_eq!(fresh_out, out, "trace shape must not depend on inputs");
+            let adj = fresh.adjoints(&[(fresh_out, 1.0)]);
+            fresh.with_nodes(|nodes| {
+                for (j, node) in nodes.iter().enumerate() {
+                    let id = NodeId::from_index(j);
+                    assert_eq!(
+                        buf.value(id).to_bits(),
+                        node.value().to_bits(),
+                        "value diverged at node {j} ({:?})",
+                        node.op()
+                    );
+                    assert_eq!(
+                        buf.adjoint(id).to_bits(),
+                        adj.get(id).to_bits(),
+                        "adjoint diverged at node {j} ({:?})",
+                        node.op()
+                    );
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn replay_is_bit_identical_to_rerecording_interval() {
+        let record = |tape: &Tape<Interval>, r: f64| -> NodeId {
+            let x = tape.var(Interval::centered(0.5, r));
+            let y = tape.var(Interval::centered(-0.25, r));
+            let s = (x.sqr() + y.sqr()) * 0.7;
+            let z = (s.sin() + x.hypot(y)).exp() + x.min(y).max(x * 0.1);
+            z.id()
+        };
+        let tape = Tape::<Interval>::new();
+        let out = record(&tape, 0.125);
+        let compiled = CompiledTape::compile(&tape);
+        let mut buf = ReplayBuffers::new();
+
+        for &r in &[0.125, 0.5, 0.03125] {
+            let inputs = [Interval::centered(0.5, r), Interval::centered(-0.25, r)];
+            compiled.replay(&inputs, &mut buf).unwrap();
+            compiled.adjoints_into(&[(out, Interval::ONE)], &mut buf);
+
+            let fresh = Tape::<Interval>::new();
+            let fresh_out = record(&fresh, r);
+            let adj = fresh.adjoints(&[(fresh_out, Interval::ONE)]);
+            fresh.with_nodes(|nodes| {
+                for (j, node) in nodes.iter().enumerate() {
+                    let id = NodeId::from_index(j);
+                    let (v, w) = (buf.value(id), node.value());
+                    assert_eq!(v.inf().to_bits(), w.inf().to_bits(), "node {j} inf");
+                    assert_eq!(v.sup().to_bits(), w.sup().to_bits(), "node {j} sup");
+                    let (a, b) = (buf.adjoint(id), adj.get(id));
+                    assert_eq!(a.inf().to_bits(), b.inf().to_bits(), "adj {j} inf");
+                    assert_eq!(a.sup().to_bits(), b.sup().to_bits(), "adj {j} sup");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn replay_rejects_wrong_input_arity() {
+        let tape = Tape::<f64>::new();
+        let x = tape.var(1.0);
+        let _ = x.exp();
+        let compiled = CompiledTape::compile(&tape);
+        let mut buf = ReplayBuffers::new();
+        let err = compiled.replay(&[1.0, 2.0], &mut buf).unwrap_err();
+        assert_eq!(err, ShapeMismatch { expected: 1, got: 2 });
+        assert!(err.to_string().contains("1 input slot"));
+    }
+
+    #[test]
+    fn compile_caches_csr_and_histogram() {
+        let tape = Tape::<f64>::new();
+        let x = tape.var(2.0);
+        let y = x.sin() * x;
+        let compiled = CompiledTape::compile(&tape);
+        assert_eq!(compiled.successors(), &tape.successors());
+        assert_eq!(compiled.op_histogram(), tape.op_histogram());
+        assert_eq!(compiled.len(), tape.len());
+        assert_eq!(compiled.input_count(), 1);
+        assert_eq!(compiled.op(y.id().index()), Op::Mul);
+        let preds: Vec<NodeId> = compiled.preds_of(y.id().index()).collect();
+        assert_eq!(preds.len(), 2);
+    }
+}

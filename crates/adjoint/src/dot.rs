@@ -46,39 +46,41 @@ impl<V: Scalar> Tape<V> {
     /// assert!(dot.contains("sin"));
     /// ```
     pub fn to_dot(&self, options: &DotOptions) -> String {
-        let nodes = self.snapshot();
-        let mut out = String::new();
-        let _ = writeln!(out, "digraph {} {{", options.name);
-        let _ = writeln!(out, "  rankdir=TB;");
-        for (i, node) in nodes.iter().enumerate() {
-            let id = NodeId::from_index(i);
-            let shape = match node.op() {
-                Op::Input => "box",
-                Op::Const => "diamond",
-                _ => "ellipse",
-            };
-            let mut label = format!("{id}: {}", node.op());
-            if options.show_values {
-                let _ = write!(label, "\\n{:?}", node.value());
+        // One zero-copy borrow of the arena for the whole render.
+        self.with_nodes(|nodes| {
+            let mut out = String::new();
+            let _ = writeln!(out, "digraph {} {{", options.name);
+            let _ = writeln!(out, "  rankdir=TB;");
+            for (i, node) in nodes.iter().enumerate() {
+                let id = NodeId::from_index(i);
+                let shape = match node.op() {
+                    Op::Input => "box",
+                    Op::Const => "diamond",
+                    _ => "ellipse",
+                };
+                let mut label = format!("{id}: {}", node.op());
+                if options.show_values {
+                    let _ = write!(label, "\\n{:?}", node.value());
+                }
+                let _ = writeln!(out, "  n{i} [shape={shape}, label=\"{label}\"];");
             }
-            let _ = writeln!(out, "  n{i} [shape={shape}, label=\"{label}\"];");
-        }
-        for (i, node) in nodes.iter().enumerate() {
-            for (pred, partial) in node.pred_partials() {
-                if options.show_partials {
-                    let _ = writeln!(
-                        out,
-                        "  n{} -> n{i} [label=\"{:?}\"];",
-                        pred.index(),
-                        partial
-                    );
-                } else {
-                    let _ = writeln!(out, "  n{} -> n{i};", pred.index());
+            for (i, node) in nodes.iter().enumerate() {
+                for (pred, partial) in node.pred_partials() {
+                    if options.show_partials {
+                        let _ = writeln!(
+                            out,
+                            "  n{} -> n{i} [label=\"{:?}\"];",
+                            pred.index(),
+                            partial
+                        );
+                    } else {
+                        let _ = writeln!(out, "  n{} -> n{i};", pred.index());
+                    }
                 }
             }
-        }
-        let _ = writeln!(out, "}}");
-        out
+            let _ = writeln!(out, "}}");
+            out
+        })
     }
 }
 

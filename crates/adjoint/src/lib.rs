@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod compiled;
 mod dot;
 mod dual;
 mod liveness;
@@ -55,6 +56,7 @@ mod tape;
 mod value;
 mod var;
 
+pub use compiled::{CompiledTape, ReplayBuffers, ShapeMismatch};
 pub use dot::{dot_options, DotOptions};
 pub use dual::Dual;
 pub use liveness::LivenessSummary;

@@ -167,9 +167,10 @@ impl<V: Scalar> Tape<V> {
         self.nodes.borrow()[id.index()].value
     }
 
-    /// A snapshot of all nodes (cloned out of the arena). Cold-path
-    /// convenience — hot paths should use [`Tape::with_nodes`], which
-    /// borrows the arena instead of copying it.
+    /// A snapshot of all nodes (cloned out of the arena).
+    #[deprecated(
+        note = "clones the whole arena; borrow it zero-copy with `Tape::with_nodes` instead"
+    )]
     pub fn snapshot(&self) -> Vec<Node<V>> {
         self.nodes.borrow().clone()
     }

@@ -236,8 +236,8 @@ proptest! {
         let z = test_fn(x, y);
 
         // Predecessors always precede successors (i ≺ j ⇒ i < j).
-        for node in tape.snapshot().iter() {
-            for p in node.preds() {
+        for j in 0..tape.len() {
+            for p in tape.node(NodeId::from_index(j)).preds() {
                 prop_assert!(p.index() < tape.len());
             }
         }

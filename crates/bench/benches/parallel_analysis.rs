@@ -1,14 +1,16 @@
 //! Criterion benches for the parallel analysis engine: the Fig. 5
-//! InverseMapping per-pixel batch at 1/2/4/8 workers, and the
-//! tape-reuse ablation (one warm arena vs a fresh tape per analysis)
+//! InverseMapping per-pixel batch at 1/2/4/8 workers, the tape-reuse
+//! ablation (one warm arena vs a fresh tape per analysis) and the
+//! compiled-replay ablation (record-once / replay-many vs re-recording)
 //! at a single worker.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use scorpio_core::{AnalysisArena, ParallelAnalysis};
+use scorpio_core::{Analysis, AnalysisArena, ParallelAnalysis, ReplayOrRecord};
 use scorpio_kernels::fisheye::{
-    analysis_inverse_mapping, analysis_inverse_mapping_grid, analysis_inverse_mapping_in, Lens,
+    analysis_inverse_mapping, analysis_inverse_mapping_grid, analysis_inverse_mapping_in,
+    analysis_inverse_mapping_replay_in, Lens,
 };
 
 fn bench_grid_scaling(c: &mut Criterion) {
@@ -56,5 +58,36 @@ fn bench_tape_reuse(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_grid_scaling, bench_tape_reuse);
+fn bench_compiled_replay(c: &mut Criterion) {
+    let lens = Lens::for_image(1280, 960);
+    let mut group = c.benchmark_group("compiled_replay");
+    // Same 64-analysis midline batch as `tape_reuse`, so the three
+    // recording strategies are directly comparable across groups.
+    let pixels: Vec<f64> = (0..64).map(|i| 10.0 + i as f64 * 19.0).collect();
+    group.bench_function("rerecord", |b| {
+        let mut arena = AnalysisArena::new();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &u in &pixels {
+                acc += analysis_inverse_mapping_in(&mut arena, &lens, u, 480.0).unwrap();
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("replay", |b| {
+        let mut arena = AnalysisArena::new();
+        let mut driver = ReplayOrRecord::new(Analysis::new());
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &u in &pixels {
+                acc += analysis_inverse_mapping_replay_in(&mut driver, &mut arena, &lens, u, 480.0)
+                    .unwrap();
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_grid_scaling, bench_tape_reuse, bench_compiled_replay);
 criterion_main!(benches);

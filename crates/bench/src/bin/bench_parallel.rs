@@ -1,6 +1,7 @@
 //! Parallel-engine benchmark harness: measures analyses/second for the
-//! Fig. 5 InverseMapping per-pixel batch at 1/2/4/8 workers and the
-//! tape-reuse ablation (warm arena vs fresh tape per analysis) at one
+//! Fig. 5 InverseMapping per-pixel batch at 1/2/4/8 workers, the
+//! tape-reuse ablation (warm arena vs fresh tape per analysis) and the
+//! replay ablation (compiled-trace replay vs re-recording) at one
 //! worker, then writes the results to `BENCH_parallel.json`.
 //!
 //! ```sh
@@ -16,9 +17,10 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use scorpio_core::{AnalysisArena, ParallelAnalysis};
+use scorpio_core::{Analysis, AnalysisArena, ParallelAnalysis, ReplayOrRecord};
 use scorpio_kernels::fisheye::{
-    analysis_inverse_mapping, analysis_inverse_mapping_grid, analysis_inverse_mapping_in, Lens,
+    analysis_inverse_mapping, analysis_inverse_mapping_grid, analysis_inverse_mapping_in,
+    analysis_inverse_mapping_replay_in, Lens,
 };
 
 /// Worker counts the scaling sweep measures.
@@ -110,6 +112,39 @@ fn main() {
         arena_s * 1e3,
     );
 
+    // ── Replay ablation (one worker) ─────────────────────────────────
+    // The same per-pixel batch once more, through the record-once /
+    // replay-many driver: the first pixel records + compiles, every
+    // further pixel replays the compiled trace with its own input
+    // boxes. Compared against the fresh-recording and warm-arena
+    // re-recording loops above; results are bit-identical throughout.
+    let mut replay_arena = AnalysisArena::new();
+    let mut replay_driver = ReplayOrRecord::new(Analysis::new());
+    let replay_s = time_best(REPS, || {
+        for &(u, v) in &pixels {
+            analysis_inverse_mapping_replay_in(&mut replay_driver, &mut replay_arena, &lens, u, v)
+                .expect("analysis");
+        }
+    });
+    let replay_vs_fresh = fresh_s / replay_s;
+    let replay_vs_arena = arena_s / replay_s;
+    println!(
+        "\nreplay ablation (1 worker, {analyses} analyses):\n\
+         {:>14}: {:>9.3} ms\n{:>14}: {:>9.3} ms\n\
+         {:>14}: {:>9.3} ms  ({replay_vs_fresh:.2}x vs fresh, {replay_vs_arena:.2}x vs arena)",
+        "fresh record",
+        fresh_s * 1e3,
+        "arena record",
+        arena_s * 1e3,
+        "replay",
+        replay_s * 1e3,
+    );
+    let stats = replay_driver.stats();
+    println!(
+        "replay stats: {} records, {} replays, {} fallbacks",
+        stats.records, stats.replays, stats.fallbacks
+    );
+
     // ── BENCH_parallel.json ──────────────────────────────────────────
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"benchmark\": \"fig5_inverse_mapping\",");
@@ -130,7 +165,16 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"tape_reuse\": {{\"fresh_seconds\": {fresh_s:.6}, \
-         \"arena_seconds\": {arena_s:.6}, \"speedup\": {reuse_speedup:.3}}}"
+         \"arena_seconds\": {arena_s:.6}, \"speedup\": {reuse_speedup:.3}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"compiled_replay\": {{\"fresh_seconds\": {fresh_s:.6}, \
+         \"arena_seconds\": {arena_s:.6}, \"replay_seconds\": {replay_s:.6}, \
+         \"speedup_vs_fresh\": {replay_vs_fresh:.3}, \
+         \"speedup_vs_arena\": {replay_vs_arena:.3}, \
+         \"records\": {}, \"replays\": {}, \"fallbacks\": {}}}",
+        stats.records, stats.replays, stats.fallbacks
     );
     json.push_str("}\n");
     std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");

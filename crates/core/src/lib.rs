@@ -71,6 +71,7 @@ mod graph;
 mod macros;
 pub mod mc;
 pub mod parallel;
+mod replay;
 mod report;
 mod session;
 pub mod splitting;
@@ -82,7 +83,8 @@ pub use error::AnalysisError;
 pub use export::{NodeRecord, ReportRecord, VarRecord};
 pub use graph::{SigGraph, SigNode};
 pub use parallel::ParallelAnalysis;
-pub use report::{Report, RegisteredVar, VarKind};
+pub use replay::{ReplayOrRecord, ReplayStats};
+pub use report::{Report, RegisteredVar, VarKind, VarSignificances};
 pub use session::{Analysis, AnalysisArena, Ctx, Ia1s};
 pub use workflow::{LevelStats, Partition};
 

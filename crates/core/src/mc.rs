@@ -12,13 +12,26 @@
 //!
 //! Unlike the interval analysis, sampling tolerates data-dependent control
 //! flow without splitting: each sample follows its own concrete trace.
+//!
+//! # Record once, replay many
+//!
+//! Samples of a branch-free model all share one trace shape, so the
+//! estimators record and [compile](CompiledTape) the *first* sample's
+//! trace, then **replay** it for the remaining samples — drawing each
+//! sample's input values by replaying the recorded input ranges through
+//! the sample's own RNG — instead of re-recording the DynDFG every
+//! time. Replay is guarded twice: a trace that resolved any
+//! [`McCtx::branch`] is never replayed (its shape is value-dependent),
+//! and the second sample is both re-recorded *and* replayed, with the
+//! estimator falling back to full re-recording unless the two agree
+//! bit-for-bit. [`McReport::replayed_samples`] reports which path ran.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use scorpio_adjoint::{NodeId, Tape, Var};
+use scorpio_adjoint::{CompiledTape, NodeId, ReplayBuffers, Tape, Var};
 
 use crate::error::AnalysisError;
 use crate::report::VarKind;
@@ -32,6 +45,12 @@ pub struct McCtx<'t> {
     tape: &'t Tape<f64>,
     entries: RefCell<Vec<(String, NodeId, VarKind)>>,
     rng: RefCell<StdRng>,
+    /// Declared input ranges in call order — the recipe the replay path
+    /// uses to re-draw input values for later samples.
+    ranges: RefCell<Vec<(f64, f64)>>,
+    /// Set when the closure resolved any branch: the trace shape is then
+    /// value-dependent and must not be replayed for other samples.
+    branched: Cell<bool>,
 }
 
 impl<'t> McCtx<'t> {
@@ -40,6 +59,8 @@ impl<'t> McCtx<'t> {
             tape,
             entries: RefCell::new(Vec::new()),
             rng: RefCell::new(rng),
+            ranges: RefCell::new(Vec::new()),
+            branched: Cell::new(false),
         }
     }
 
@@ -51,6 +72,7 @@ impl<'t> McCtx<'t> {
     /// Panics if `lo > hi`.
     pub fn input(&self, name: impl Into<String>, lo: f64, hi: f64) -> McVarValue<'t> {
         assert!(lo <= hi, "McCtx::input: inverted range");
+        self.ranges.borrow_mut().push((lo, hi));
         let x = if lo == hi {
             lo
         } else {
@@ -89,6 +111,7 @@ impl<'t> McCtx<'t> {
     /// Never fails; the `Result` mirrors [`crate::Ctx::branch`] so the
     /// same closure shape works for both analyses.
     pub fn branch(&self, condition: bool, _description: &str) -> Result<bool, AnalysisError> {
+        self.branched.set(true);
         Ok(condition)
     }
 }
@@ -118,6 +141,10 @@ pub struct McReport {
     pub vars: Vec<McVar>,
     /// Number of samples drawn.
     pub samples: usize,
+    /// How many samples were served by replaying the compiled trace
+    /// instead of re-recording (0 when the model branched or the
+    /// verification sample disagreed; see the [module docs](self)).
+    pub replayed_samples: usize,
 }
 
 impl McReport {
@@ -173,10 +200,39 @@ where
     let tape = Tape::<f64>::new();
     let mut scratch = Vec::new();
     let mut per_sample = Vec::with_capacity(samples);
-    for &s in &sample_seeds {
+
+    let (first, trace) = record_sample(&tape, &mut scratch, sample_seeds[0], &f)?;
+    per_sample.push(first);
+
+    let mut replayed = 0usize;
+    let mut rest = &sample_seeds[1..];
+    if !rest.is_empty() {
+        if let Some(compiled) = verified_compile(&tape, &trace, &mut scratch, rest[0], &f)? {
+            // Sample 1 was recorded inside verified_compile and matched
+            // its replay bitwise; push the recorded copy and replay on.
+            per_sample.push(compiled.verify_entries);
+            rest = &rest[1..];
+            let mut buf = ReplayBuffers::new();
+            let mut values = Vec::new();
+            for &s in rest {
+                per_sample.push(replay_sample(
+                    &compiled.tape,
+                    &trace,
+                    &mut buf,
+                    &mut values,
+                    s,
+                ));
+            }
+            replayed = rest.len();
+            rest = &[];
+        }
+    }
+    for &s in rest {
         per_sample.push(run_sample(&tape, &mut scratch, s, &f)?);
     }
-    merge_samples(per_sample)
+    let mut report = merge_samples(per_sample)?;
+    report.replayed_samples = replayed;
+    Ok(report)
 }
 
 /// [`estimate`] with the samples fanned over `threads` workers, each
@@ -212,6 +268,37 @@ where
     }
     let sample_seeds = draw_sample_seeds(samples, seed);
     let executor = scorpio_runtime::Executor::new(threads);
+
+    // Serial probe: record sample 0, compile, verify against sample 1.
+    // The replay decision is made from exactly the same data as in the
+    // serial estimator, so both take the same path and stay
+    // bit-identical.
+    if samples > 1 {
+        let tape = Tape::<f64>::new();
+        let mut scratch = Vec::new();
+        let (first, trace) = record_sample(&tape, &mut scratch, sample_seeds[0], &f)?;
+        if let Some(compiled) = verified_compile(&tape, &trace, &mut scratch, sample_seeds[1], &f)?
+        {
+            let mut per_sample = Vec::with_capacity(samples);
+            per_sample.push(first);
+            per_sample.push(compiled.verify_entries);
+            // Replay is infallible and identical wherever it runs: fan
+            // the remaining samples over per-worker replay buffers.
+            let replayed = executor.map_with_state(
+                &sample_seeds[2..],
+                || (ReplayBuffers::new(), Vec::new()),
+                |(buf, values), _, &s| replay_sample(&compiled.tape, &trace, buf, values, s),
+            );
+            let replayed_count = replayed.len();
+            per_sample.extend(replayed);
+            let mut report = merge_samples(per_sample)?;
+            report.replayed_samples = replayed_count;
+            return Ok(report);
+        }
+    }
+
+    // Branchy or shape-divergent model: record every sample in the pool
+    // (samples 0/1 re-record identically to the probe above).
     let per_sample = executor.map_with_state(
         &sample_seeds,
         || (Tape::<f64>::new(), Vec::new()),
@@ -240,6 +327,17 @@ struct SampleEntry {
     value: f64,
 }
 
+/// Shape metadata captured while recording one sample: everything the
+/// replay path needs to run later samples without the closure.
+struct RecordedTrace {
+    /// Registrations in order: name, trace node, role.
+    entries: Vec<(String, NodeId, VarKind)>,
+    /// Declared input ranges in input-call order (the RNG replay recipe).
+    ranges: Vec<(f64, f64)>,
+    /// The closure resolved a branch — the trace is value-dependent.
+    branched: bool,
+}
+
 /// Runs one sample on a (cleared) arena tape and extracts per-variable
 /// products in registration order.
 fn run_sample<F>(
@@ -251,11 +349,29 @@ fn run_sample<F>(
 where
     F: Fn(&McCtx<'_>) -> Result<(), AnalysisError>,
 {
+    record_sample(tape, scratch, sample_seed, f).map(|(entries, _)| entries)
+}
+
+/// [`run_sample`] that also returns the recorded trace shape.
+fn record_sample<F>(
+    tape: &Tape<f64>,
+    scratch: &mut Vec<f64>,
+    sample_seed: u64,
+    f: &F,
+) -> Result<(Vec<SampleEntry>, RecordedTrace), AnalysisError>
+where
+    F: Fn(&McCtx<'_>) -> Result<(), AnalysisError>,
+{
     tape.clear();
     let ctx = McCtx::new(tape, StdRng::seed_from_u64(sample_seed));
     f(&ctx)?;
-    let entries = ctx.entries.into_inner();
-    let outputs: Vec<NodeId> = entries
+    let trace = RecordedTrace {
+        entries: ctx.entries.into_inner(),
+        ranges: ctx.ranges.into_inner(),
+        branched: ctx.branched.get(),
+    };
+    let outputs: Vec<NodeId> = trace
+        .entries
         .iter()
         .filter(|(_, _, k)| *k == VarKind::Output)
         .map(|(_, id, _)| *id)
@@ -265,17 +381,112 @@ where
     }
     let seeds: Vec<(NodeId, f64)> = outputs.iter().map(|&o| (o, 1.0)).collect();
     let adj = tape.adjoints_in(&seeds, std::mem::take(scratch));
-    let result = entries
-        .into_iter()
+    let result = trace
+        .entries
+        .iter()
         .map(|(name, id, kind)| SampleEntry {
-            name,
-            kind,
-            product: tape.value(id) * adj.get(id),
-            value: tape.value(id),
+            name: name.clone(),
+            kind: *kind,
+            product: tape.value(*id) * adj.get(*id),
+            value: tape.value(*id),
         })
         .collect();
     *scratch = adj.into_inner();
-    Ok(result)
+    Ok((result, trace))
+}
+
+/// A compiled trace that survived the verification sample, plus that
+/// sample's (recorded) entries for reuse.
+struct VerifiedCompile {
+    tape: CompiledTape<f64>,
+    verify_entries: Vec<SampleEntry>,
+}
+
+/// Compiles the just-recorded trace on `tape` and verifies it on the
+/// next sample: the sample is recorded from scratch *and* replayed, and
+/// the compile is kept only if both agree bit-for-bit. Returns `None`
+/// (without recording anything) for branchy traces, or on divergence —
+/// the caller then re-records every remaining sample.
+fn verified_compile<F>(
+    tape: &Tape<f64>,
+    trace: &RecordedTrace,
+    scratch: &mut Vec<f64>,
+    verify_seed: u64,
+    f: &F,
+) -> Result<Option<VerifiedCompile>, AnalysisError>
+where
+    F: Fn(&McCtx<'_>) -> Result<(), AnalysisError>,
+{
+    if trace.branched {
+        return Ok(None);
+    }
+    let compiled = CompiledTape::compile(tape);
+    // Recording clears the tape, but `compiled` is an owned snapshot.
+    let (recorded, _) = record_sample(tape, scratch, verify_seed, f)?;
+    let mut buf = ReplayBuffers::new();
+    let mut values = Vec::new();
+    let replayed = replay_sample(&compiled, trace, &mut buf, &mut values, verify_seed);
+    if entries_bit_equal(&recorded, &replayed) {
+        Ok(Some(VerifiedCompile {
+            tape: compiled,
+            verify_entries: recorded,
+        }))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Replays one sample through the compiled trace: re-draws the input
+/// values from the recorded ranges with the sample's own RNG (exactly
+/// the sequence [`McCtx::input`] would consume), then runs the compiled
+/// forward and reverse sweeps.
+fn replay_sample(
+    compiled: &CompiledTape<f64>,
+    trace: &RecordedTrace,
+    buf: &mut ReplayBuffers<f64>,
+    values: &mut Vec<f64>,
+    sample_seed: u64,
+) -> Vec<SampleEntry> {
+    let mut rng = StdRng::seed_from_u64(sample_seed);
+    values.clear();
+    for &(lo, hi) in &trace.ranges {
+        values.push(if lo == hi {
+            lo
+        } else {
+            rng.gen_range(lo..=hi)
+        });
+    }
+    compiled
+        .replay(values, buf)
+        .expect("input arity is fixed by the recorded ranges");
+    let seeds: Vec<(NodeId, f64)> = trace
+        .entries
+        .iter()
+        .filter(|(_, _, k)| *k == VarKind::Output)
+        .map(|(_, id, _)| (*id, 1.0))
+        .collect();
+    compiled.adjoints_into(&seeds, buf);
+    trace
+        .entries
+        .iter()
+        .map(|(name, id, kind)| SampleEntry {
+            name: name.clone(),
+            kind: *kind,
+            product: buf.value(*id) * buf.adjoint(*id),
+            value: buf.value(*id),
+        })
+        .collect()
+}
+
+/// Bitwise comparison of two samples' entry lists.
+fn entries_bit_equal(a: &[SampleEntry], b: &[SampleEntry]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.name == y.name
+                && x.kind == y.kind
+                && x.product.to_bits() == y.product.to_bits()
+                && x.value.to_bits() == y.value.to_bits()
+        })
 }
 
 /// Folds per-sample entry lists, in sample order, into the report —
@@ -340,6 +551,7 @@ fn merge_samples(per_sample: Vec<Vec<SampleEntry>>) -> Result<McReport, Analysis
     Ok(McReport {
         vars: vars.into_iter().map(|(_, v)| v).collect(),
         samples,
+        replayed_samples: 0,
     })
 }
 
@@ -410,6 +622,63 @@ mod tests {
     #[should_panic(expected = "at least one sample")]
     fn zero_samples_panics() {
         let _ = estimate(0, 0, |_| Ok(()));
+    }
+
+    #[test]
+    fn replayed_estimate_matches_pure_recording_bitwise() {
+        let model = |ctx: &McCtx<'_>| {
+            let x = ctx.input("x", -1.0, 2.0);
+            let z = ctx.input("z", 0.5, 1.5);
+            let t = (x * z).sin();
+            ctx.intermediate(&t, "t");
+            let y = t.exp() + x.sqr();
+            ctx.output(&y, "y");
+            Ok(())
+        };
+        // Reference: the pre-replay behaviour — record every sample.
+        let seeds = draw_sample_seeds(64, 5);
+        let tape = Tape::<f64>::new();
+        let mut scratch = Vec::new();
+        let per_sample: Vec<Vec<SampleEntry>> = seeds
+            .iter()
+            .map(|&s| run_sample(&tape, &mut scratch, s, &model).unwrap())
+            .collect();
+        let reference = merge_samples(per_sample).unwrap();
+
+        let replayed = estimate(64, 5, model).unwrap();
+        assert_eq!(replayed.replayed_samples, 62, "samples 2.. must replay");
+        assert_eq!(replayed.vars.len(), reference.vars.len());
+        for (a, b) in replayed.vars.iter().zip(&reference.vars) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.product_min.to_bits(), b.product_min.to_bits());
+            assert_eq!(a.product_max.to_bits(), b.product_max.to_bits());
+            assert_eq!(a.significance.to_bits(), b.significance.to_bits());
+        }
+    }
+
+    #[test]
+    fn branchy_model_never_replays() {
+        let mc = estimate(32, 11, |ctx| {
+            let x = ctx.input("x", -1.0, 1.0);
+            let neg = ctx.branch(x.value() < 0.0, "x < 0")?;
+            let y = if neg { -x } else { x };
+            ctx.output(&y, "y");
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(mc.replayed_samples, 0);
+        let threaded = estimate_threaded(32, 11, 2, |ctx| {
+            let x = ctx.input("x", -1.0, 1.0);
+            let neg = ctx.branch(x.value() < 0.0, "x < 0")?;
+            let y = if neg { -x } else { x };
+            ctx.output(&y, "y");
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(threaded.replayed_samples, 0);
+        for (a, b) in mc.vars.iter().zip(&threaded.vars) {
+            assert_eq!(a.significance.to_bits(), b.significance.to_bits());
+        }
     }
 
     #[test]

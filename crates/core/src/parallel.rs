@@ -32,10 +32,12 @@
 //! assert_eq!(reports[0].significance_of("y"), Some(1.0));
 //! ```
 
+use scorpio_interval::Interval;
 use scorpio_runtime::Executor;
 
 use crate::error::AnalysisError;
-use crate::report::Report;
+use crate::replay::{ReplayOrRecord, ReplayStats};
+use crate::report::{Report, VarSignificances};
 use crate::session::{Analysis, AnalysisArena, Ctx};
 
 /// Default node capacity each worker's arena is warmed to.
@@ -136,6 +138,125 @@ impl ParallelAnalysis {
         // at the first failing index — matching the serial loop.
         results.into_iter().collect()
     }
+
+    /// [`ParallelAnalysis::run_batch`] in record-once / replay-many mode:
+    /// each worker records and [compiles](scorpio_adjoint::CompiledTape)
+    /// its first item's trace, then *replays* it for every further item
+    /// with that item's input intervals — no re-recording, no `RefCell`
+    /// traffic, no allocation — yielding bit-identical reports (see
+    /// [`ReplayOrRecord`]).
+    ///
+    /// `inputs_of` must return the per-item input boxes **in
+    /// registration order**, and the closure's trace shape must not
+    /// otherwise depend on the item (a [`Ctx::branch`] in `f`
+    /// automatically disables replay for safety). The returned
+    /// [`ReplayStats`] aggregate all workers; a high
+    /// [`fallback_rate`](ReplayStats::fallback_rate) means the batch is
+    /// not actually shape-uniform and plain [`ParallelAnalysis::run_batch`]
+    /// would be just as fast.
+    ///
+    /// # Errors
+    ///
+    /// As [`ParallelAnalysis::run_batch`].
+    pub fn run_batch_replay<T, I, F>(
+        &self,
+        items: &[T],
+        inputs_of: I,
+        f: F,
+    ) -> Result<(Vec<Report>, ReplayStats), AnalysisError>
+    where
+        T: Sync,
+        I: Fn(&T) -> Vec<Interval> + Sync,
+        F: Fn(&Ctx<'_>, &T) -> Result<(), AnalysisError> + Sync,
+    {
+        self.run_batch_replay_map(items, |arena, driver, _, item| {
+            driver.run_in(arena, &inputs_of(item), |ctx| f(ctx, item))
+        })
+    }
+
+    /// Variable-rows-only variant of [`ParallelAnalysis::run_batch_replay`]:
+    /// returns one [`VarSignificances`] per item instead of a full
+    /// [`Report`], skipping significance-graph construction entirely —
+    /// the fast path for kernels that only read registered rows.
+    ///
+    /// # Errors
+    ///
+    /// As [`ParallelAnalysis::run_batch`].
+    pub fn run_batch_replay_vars<T, I, F>(
+        &self,
+        items: &[T],
+        inputs_of: I,
+        f: F,
+    ) -> Result<(Vec<VarSignificances>, ReplayStats), AnalysisError>
+    where
+        T: Sync,
+        I: Fn(&T) -> Vec<Interval> + Sync,
+        F: Fn(&Ctx<'_>, &T) -> Result<(), AnalysisError> + Sync,
+    {
+        self.run_batch_replay_map(items, |arena, driver, _, item| {
+            driver.run_vars_in(arena, &inputs_of(item), |ctx| f(ctx, item))
+        })
+    }
+
+    /// General form of the replay modes: `f` receives the worker's arena,
+    /// the worker's [`ReplayOrRecord`] driver, the item index and the
+    /// item, and drives the replay itself (e.g. via
+    /// [`ReplayOrRecord::run_keyed_in`] when the trace shape depends on
+    /// non-input data). Returns per-item results in item order plus the
+    /// replay/record/fallback counters aggregated over all workers.
+    ///
+    /// # Errors
+    ///
+    /// As [`ParallelAnalysis::run_batch`].
+    pub fn run_batch_replay_map<T, R, F>(
+        &self,
+        items: &[T],
+        f: F,
+    ) -> Result<(Vec<R>, ReplayStats), AnalysisError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&mut AnalysisArena, &mut ReplayOrRecord, usize, &T) -> Result<R, AnalysisError>
+            + Sync,
+    {
+        let results = self.executor.map_with_state(
+            items,
+            || {
+                (
+                    AnalysisArena::with_capacity(self.arena_capacity),
+                    ReplayOrRecord::new(self.analysis.clone()),
+                )
+            },
+            |(arena, driver), i, item| {
+                // Snapshot the worker's counters around the item so the
+                // per-item delta can ride back with the result (worker
+                // state itself is dropped inside the pool).
+                let before = driver.stats();
+                let result = f(arena, driver, i, item);
+                let after = driver.stats();
+                result.map(|r| {
+                    (
+                        r,
+                        ReplayStats {
+                            replays: after.replays - before.replays,
+                            records: after.records - before.records,
+                            fallbacks: after.fallbacks - before.fallbacks,
+                        },
+                    )
+                })
+            },
+        );
+        let mut stats = ReplayStats::default();
+        let mut out = Vec::with_capacity(items.len());
+        for result in results {
+            let (r, delta) = result?;
+            stats.replays += delta.replays;
+            stats.records += delta.records;
+            stats.fallbacks += delta.fallbacks;
+            out.push(r);
+        }
+        Ok((out, stats))
+    }
 }
 
 #[cfg(test)]
@@ -213,6 +334,44 @@ mod tests {
         // Wider input intervals can only grow the raw significance.
         for w in sigs.windows(2) {
             assert!(w[1] >= w[0], "significance must grow with radius: {sigs:?}");
+        }
+    }
+
+    #[test]
+    fn replay_batch_matches_recording_batch_bitwise() {
+        let items: Vec<f64> = (0..32).map(|i| 0.05 + 0.01 * i as f64).collect();
+        let closure = |ctx: &Ctx<'_>, &r: &f64| {
+            let x = ctx.input_centered("x", 0.5, r);
+            let t = x.sin();
+            ctx.intermediate(&t, "t");
+            let y = t + x.sqr();
+            ctx.output(&y, "y");
+            Ok(())
+        };
+        let inputs_of = |&r: &f64| vec![Interval::centered(0.5, r)];
+        let engine = ParallelAnalysis::new(1);
+        let recorded = engine.run_batch(&items, closure).unwrap();
+        let (replayed, stats) = engine.run_batch_replay(&items, inputs_of, closure).unwrap();
+        assert_eq!(stats.records, 1, "only the first item may record");
+        assert_eq!(stats.replays, items.len() as u64 - 1);
+        assert_eq!(stats.fallbacks, 0);
+        for (a, b) in replayed.iter().zip(&recorded) {
+            assert_eq!(a.tape_len(), b.tape_len());
+            for (va, vb) in a.registered().iter().zip(b.registered()) {
+                assert_eq!(va.name, vb.name);
+                assert_eq!(va.significance.to_bits(), vb.significance.to_bits());
+                assert_eq!(va.significance_raw.to_bits(), vb.significance_raw.to_bits());
+            }
+        }
+
+        // The rows-only fast path agrees too.
+        let (vars, _) = engine
+            .run_batch_replay_vars(&items, inputs_of, closure)
+            .unwrap();
+        for (v, b) in vars.iter().zip(&recorded) {
+            for (va, vb) in v.registered().iter().zip(b.registered()) {
+                assert_eq!(va.significance.to_bits(), vb.significance.to_bits());
+            }
         }
     }
 

@@ -1,0 +1,477 @@
+//! Record-once / replay-many driving of batch analyses.
+//!
+//! The paper's workflow re-records the DynDFG from scratch for every
+//! analysed item, yet for data-parallel batches (per-pixel kernels,
+//! per-option pricing, per-block DCT, sweep points) the trace structure
+//! is identical across items — only input values differ. The
+//! [`ReplayOrRecord`] driver exploits that: the first item records and
+//! [compiles](CompiledTape::compile) its trace; every following item
+//! *replays* the compiled trace with fresh input intervals — a tight
+//! forward loop plus the reverse sweep, with no `RefCell` traffic, no
+//! node pushes and no allocation — and still produces bit-identical
+//! reports (the replay interpreter recomputes values and partials with
+//! exactly the recording formulas).
+//!
+//! Recording is value-dependent: a closure that resolves a branch can
+//! trace differently for different inputs, which a replayer cannot
+//! detect because it never runs the closure again. The driver is
+//! therefore guarded:
+//!
+//! * a trace that executed any [`Ctx::branch`] is never replayed — every
+//!   subsequent item re-records (and counts as a fallback);
+//! * a replay must bind exactly the compiled input arity; a different
+//!   input count forces re-recording;
+//! * callers whose trace shape depends on non-input data (e.g. a series
+//!   length) signal it via [`ReplayOrRecord::run_keyed_in`] — a changed
+//!   key invalidates the compiled trace.
+//!
+//! [`ReplayOrRecord::stats`] exposes how often each path ran, so a
+//! workload whose shape churns (high fallback rate) is visible instead
+//! of silently slow.
+
+use scorpio_adjoint::CompiledTape;
+use scorpio_interval::Interval;
+
+use crate::error::AnalysisError;
+use crate::report::{
+    build_report_replayed, build_report_with, build_vars_replayed, build_vars_with, Report,
+    VarSignificances,
+};
+use crate::session::{Analysis, AnalysisArena, Ctx, Registrations};
+
+/// Counters for the replay/record decision of a [`ReplayOrRecord`]
+/// driver: how many runs replayed the compiled trace, how many recorded
+/// from scratch, and how many of those recordings were *fallbacks*
+/// (a compiled trace existed but could not be trusted — branchy trace,
+/// changed shape key, or changed input arity).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Runs served by replaying the compiled trace.
+    pub replays: u64,
+    /// Runs that recorded the closure from scratch (includes the first).
+    pub records: u64,
+    /// Recordings forced while a compiled trace existed — the
+    /// shape-churn signal.
+    pub fallbacks: u64,
+}
+
+impl ReplayStats {
+    /// Fraction of runs that fell back to re-recording despite a
+    /// compiled trace being available (0.0 when nothing has run).
+    pub fn fallback_rate(&self) -> f64 {
+        let total = self.replays + self.records;
+        if total == 0 {
+            0.0
+        } else {
+            self.fallbacks as f64 / total as f64
+        }
+    }
+}
+
+/// A compiled trace plus the registration snapshot it was recorded with.
+struct CompiledAnalysis {
+    tape: CompiledTape<Interval>,
+    regs: Registrations,
+    /// The recording resolved a branch: the trace is value-dependent
+    /// and must never be replayed.
+    branched: bool,
+}
+
+/// Record-once / replay-many driver for one analysis closure family
+/// (see the [module docs](self)).
+///
+/// Per-item input intervals are passed positionally and override the
+/// closure's declared ranges on the recording run too, so record and
+/// replay see exactly the same input values.
+///
+/// ```
+/// use scorpio_core::{Analysis, AnalysisArena, ReplayOrRecord};
+/// use scorpio_interval::Interval;
+///
+/// let mut driver = ReplayOrRecord::new(Analysis::new());
+/// let mut arena = AnalysisArena::new();
+/// for radius in [0.1, 0.2, 0.3] {
+///     let inputs = [Interval::centered(1.0, radius)];
+///     let report = driver
+///         .run_in(&mut arena, &inputs, |ctx| {
+///             let x = ctx.input("x", 0.9, 1.1); // overridden per item
+///             let y = x.sqr() + x;
+///             ctx.output(&y, "y");
+///             Ok(())
+///         })
+///         .unwrap();
+///     assert_eq!(report.significance_of("y"), Some(1.0));
+/// }
+/// // First item recorded, the other two replayed the compiled trace.
+/// assert_eq!(driver.stats().records, 1);
+/// assert_eq!(driver.stats().replays, 2);
+/// ```
+pub struct ReplayOrRecord {
+    analysis: Analysis,
+    compiled: Option<CompiledAnalysis>,
+    key: Option<u64>,
+    stats: ReplayStats,
+}
+
+impl std::fmt::Debug for ReplayOrRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplayOrRecord")
+            .field("compiled", &self.compiled.is_some())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl ReplayOrRecord {
+    /// A driver running `analysis`-configured runs with no compiled
+    /// trace yet (the first run records).
+    pub fn new(analysis: Analysis) -> ReplayOrRecord {
+        ReplayOrRecord {
+            analysis,
+            compiled: None,
+            key: None,
+            stats: ReplayStats::default(),
+        }
+    }
+
+    /// The underlying analysis configuration.
+    pub fn analysis(&self) -> &Analysis {
+        &self.analysis
+    }
+
+    /// Replay/record/fallback counters so far.
+    pub fn stats(&self) -> ReplayStats {
+        self.stats
+    }
+
+    /// `true` if a replayable compiled trace is currently held.
+    pub fn has_compiled(&self) -> bool {
+        self.compiled.as_ref().is_some_and(|c| !c.branched)
+    }
+
+    /// Runs one item: replays the compiled trace when its shape is
+    /// trustworthy for `inputs`, records (and re-compiles) otherwise.
+    /// `inputs` positionally override the closure's declared input
+    /// ranges — on the recording run as well, so both paths analyse
+    /// identical input boxes and the produced [`Report`] is
+    /// bit-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates closure and report-building errors on the record
+    /// path; replay itself cannot fail once a trace is compiled.
+    pub fn run_in<F>(
+        &mut self,
+        arena: &mut AnalysisArena,
+        inputs: &[Interval],
+        f: F,
+    ) -> Result<Report, AnalysisError>
+    where
+        F: FnOnce(&Ctx<'_>) -> Result<(), AnalysisError>,
+    {
+        self.run_report(None, arena, inputs, f)
+    }
+
+    /// [`ReplayOrRecord::run_in`] with a caller-supplied **shape key**:
+    /// pass anything that determines the trace structure beyond the
+    /// inputs (a loop trip count, a model variant, …). A key different
+    /// from the compiled trace's invalidates it and re-records.
+    ///
+    /// # Errors
+    ///
+    /// As [`ReplayOrRecord::run_in`].
+    pub fn run_keyed_in<F>(
+        &mut self,
+        key: u64,
+        arena: &mut AnalysisArena,
+        inputs: &[Interval],
+        f: F,
+    ) -> Result<Report, AnalysisError>
+    where
+        F: FnOnce(&Ctx<'_>) -> Result<(), AnalysisError>,
+    {
+        self.run_report(Some(key), arena, inputs, f)
+    }
+
+    /// Like [`ReplayOrRecord::run_in`] but returning only the
+    /// registered-variable rows ([`VarSignificances`]) — the hot path
+    /// for batch kernels that never touch the node graph. Rows are
+    /// bit-identical to the corresponding full-report rows.
+    ///
+    /// # Errors
+    ///
+    /// As [`ReplayOrRecord::run_in`].
+    pub fn run_vars_in<F>(
+        &mut self,
+        arena: &mut AnalysisArena,
+        inputs: &[Interval],
+        f: F,
+    ) -> Result<VarSignificances, AnalysisError>
+    where
+        F: FnOnce(&Ctx<'_>) -> Result<(), AnalysisError>,
+    {
+        self.run_vars(None, arena, inputs, f)
+    }
+
+    /// [`ReplayOrRecord::run_vars_in`] with a shape key (see
+    /// [`ReplayOrRecord::run_keyed_in`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`ReplayOrRecord::run_in`].
+    pub fn run_keyed_vars_in<F>(
+        &mut self,
+        key: u64,
+        arena: &mut AnalysisArena,
+        inputs: &[Interval],
+        f: F,
+    ) -> Result<VarSignificances, AnalysisError>
+    where
+        F: FnOnce(&Ctx<'_>) -> Result<(), AnalysisError>,
+    {
+        self.run_vars(Some(key), arena, inputs, f)
+    }
+
+    /// `true` when the held compiled trace may be replayed for this
+    /// `(key, inputs)` combination.
+    fn replay_ready(&self, key: Option<u64>, inputs: &[Interval]) -> bool {
+        match &self.compiled {
+            Some(c) => !c.branched && self.key == key && c.tape.input_count() == inputs.len(),
+            None => false,
+        }
+    }
+
+    fn run_report<F>(
+        &mut self,
+        key: Option<u64>,
+        arena: &mut AnalysisArena,
+        inputs: &[Interval],
+        f: F,
+    ) -> Result<Report, AnalysisError>
+    where
+        F: FnOnce(&Ctx<'_>) -> Result<(), AnalysisError>,
+    {
+        if self.replay_ready(key, inputs) {
+            let c = self.compiled.as_ref().expect("replay_ready checked");
+            c.tape
+                .replay(inputs, &mut arena.replay)
+                .expect("replay_ready validated input arity");
+            self.stats.replays += 1;
+            return build_report_replayed(&c.tape, &c.regs, self.analysis.delta(), &mut arena.replay);
+        }
+        let regs = self.record(key, arena, inputs, f)?;
+        build_report_with(&arena.tape, regs, self.analysis.delta(), &mut arena.scratch)
+    }
+
+    fn run_vars<F>(
+        &mut self,
+        key: Option<u64>,
+        arena: &mut AnalysisArena,
+        inputs: &[Interval],
+        f: F,
+    ) -> Result<VarSignificances, AnalysisError>
+    where
+        F: FnOnce(&Ctx<'_>) -> Result<(), AnalysisError>,
+    {
+        if self.replay_ready(key, inputs) {
+            let c = self.compiled.as_ref().expect("replay_ready checked");
+            c.tape
+                .replay(inputs, &mut arena.replay)
+                .expect("replay_ready validated input arity");
+            self.stats.replays += 1;
+            return build_vars_replayed(&c.tape, &c.regs, &mut arena.replay);
+        }
+        let regs = self.record(key, arena, inputs, f)?;
+        build_vars_with(&arena.tape, &regs, &mut arena.scratch)
+    }
+
+    /// Records `f` into the arena tape (inputs overriding declared
+    /// ranges), compiles and stores the trace for future replays, and
+    /// returns the registrations for report assembly.
+    fn record<F>(
+        &mut self,
+        key: Option<u64>,
+        arena: &mut AnalysisArena,
+        inputs: &[Interval],
+        f: F,
+    ) -> Result<Registrations, AnalysisError>
+    where
+        F: FnOnce(&Ctx<'_>) -> Result<(), AnalysisError>,
+    {
+        if self.compiled.is_some() {
+            self.stats.fallbacks += 1;
+        }
+        self.compiled = None;
+        self.key = key;
+
+        arena.tape.clear();
+        let ctx = Ctx::new(&arena.tape, inputs.to_vec());
+        let closure_result = f(&ctx);
+        let branched = ctx.branched();
+        closure_result?;
+        let regs = ctx.into_registrations()?;
+        self.stats.records += 1;
+
+        // Only a trace whose inputs are fully bound by the positional
+        // overrides can be replayed: an uncovered input would keep its
+        // *declared* range on replayed items, silently diverging from a
+        // re-recording. Such traces simply re-record every item.
+        if regs
+            .entries
+            .iter()
+            .filter(|e| e.kind == crate::report::VarKind::Input)
+            .count()
+            == inputs.len()
+        {
+            self.compiled = Some(CompiledAnalysis {
+                tape: CompiledTape::compile(&arena.tape),
+                regs: Registrations {
+                    entries: regs.entries.clone(),
+                },
+                branched,
+            });
+        }
+        Ok(regs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poly(ctx: &Ctx<'_>) -> Result<(), AnalysisError> {
+        let x = ctx.input("x", -1.0, 1.0);
+        let t = x.sqr();
+        ctx.intermediate(&t, "t");
+        let y = t + x.sin();
+        ctx.output(&y, "y");
+        Ok(())
+    }
+
+    #[test]
+    fn replay_matches_rerecording_bitwise() {
+        let mut driver = ReplayOrRecord::new(Analysis::new());
+        let mut arena = AnalysisArena::new();
+        for i in 0..8 {
+            let r = 0.05 + 0.1 * i as f64;
+            let inputs = [Interval::centered(0.3, r)];
+            let replayed = driver.run_in(&mut arena, &inputs, poly).unwrap();
+            let (recorded, _) = Analysis::new()
+                .run_with_overrides(poly, inputs.to_vec())
+                .unwrap();
+            assert_eq!(replayed.tape_len(), recorded.tape_len());
+            for (a, b) in replayed.registered().iter().zip(recorded.registered()) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.significance.to_bits(), b.significance.to_bits());
+                assert_eq!(a.significance_raw.to_bits(), b.significance_raw.to_bits());
+                assert_eq!(a.enclosure.inf().to_bits(), b.enclosure.inf().to_bits());
+                assert_eq!(a.derivative.sup().to_bits(), b.derivative.sup().to_bits());
+            }
+        }
+        assert_eq!(driver.stats().records, 1);
+        assert_eq!(driver.stats().replays, 7);
+        assert_eq!(driver.stats().fallbacks, 0);
+    }
+
+    #[test]
+    fn vars_rows_match_full_report_rows() {
+        let mut driver = ReplayOrRecord::new(Analysis::new());
+        let mut arena = AnalysisArena::new();
+        for r in [0.1, 0.4] {
+            let inputs = [Interval::centered(0.3, r)];
+            let vars = driver.run_vars_in(&mut arena, &inputs, poly).unwrap();
+            let (full, _) = Analysis::new()
+                .run_with_overrides(poly, inputs.to_vec())
+                .unwrap();
+            assert_eq!(vars.registered().len(), full.registered().len());
+            assert_eq!(
+                vars.output_significance_raw().to_bits(),
+                full.output_significance_raw().to_bits()
+            );
+            for (a, b) in vars.registered().iter().zip(full.registered()) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(a.significance.to_bits(), b.significance.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn branchy_trace_is_never_replayed() {
+        let mut driver = ReplayOrRecord::new(Analysis::new());
+        let mut arena = AnalysisArena::new();
+        let branchy = |ctx: &Ctx<'_>| {
+            let x = ctx.input("x", 2.0, 3.0);
+            // Decidable over every box we pass, but still a branch:
+            // replaying it for other inputs could be wrong.
+            let pos = ctx.branch(x.value().certainly_gt(0.0.into()), "x > 0")?;
+            let y = if pos { x.sqr() } else { -x };
+            ctx.output(&y, "y");
+            Ok(())
+        };
+        for _ in 0..3 {
+            let inputs = [Interval::new(2.0, 3.0)];
+            driver.run_in(&mut arena, &inputs, branchy).unwrap();
+        }
+        assert_eq!(driver.stats().replays, 0);
+        assert_eq!(driver.stats().records, 3);
+        // The first run compiles (then distrusts) a trace; later runs
+        // see it and count as fallbacks.
+        assert_eq!(driver.stats().fallbacks, 2);
+        assert!(driver.stats().fallback_rate() > 0.6);
+        assert!(!driver.has_compiled());
+    }
+
+    #[test]
+    fn changed_shape_key_forces_rerecord() {
+        let mut driver = ReplayOrRecord::new(Analysis::new());
+        let mut arena = AnalysisArena::new();
+        let run = |driver: &mut ReplayOrRecord, arena: &mut AnalysisArena, n: usize| {
+            driver
+                .run_keyed_in(n as u64, arena, &[Interval::new(0.2, 0.4)], |ctx| {
+                    let x = ctx.input("x", 0.0, 1.0);
+                    let mut acc = ctx.constant(0.0);
+                    for i in 0..n {
+                        acc = acc + x.powi(i as i32);
+                    }
+                    ctx.output(&acc, "y");
+                    Ok(())
+                })
+                .unwrap()
+        };
+        let a = run(&mut driver, &mut arena, 3);
+        let b = run(&mut driver, &mut arena, 3); // same shape: replay
+        assert_eq!(a.tape_len(), b.tape_len());
+        let c = run(&mut driver, &mut arena, 5); // new shape: re-record
+        assert!(c.tape_len() > b.tape_len(), "trace must have grown");
+        assert_eq!(driver.stats().replays, 1);
+        assert_eq!(driver.stats().records, 2);
+        assert_eq!(driver.stats().fallbacks, 1);
+    }
+
+    #[test]
+    fn input_arity_change_falls_back() {
+        let mut driver = ReplayOrRecord::new(Analysis::new());
+        let mut arena = AnalysisArena::new();
+        let one = [Interval::new(0.0, 1.0)];
+        let two = [Interval::new(0.0, 1.0), Interval::new(1.0, 2.0)];
+        driver
+            .run_in(&mut arena, &one, |ctx| {
+                let x = ctx.input("x", 0.0, 1.0);
+                ctx.output(&x, "y");
+                Ok(())
+            })
+            .unwrap();
+        // Different arity: must re-record, not replay a wrong trace.
+        let report = driver
+            .run_in(&mut arena, &two, |ctx| {
+                let x = ctx.input("x", 0.0, 1.0);
+                let z = ctx.input("z", 1.0, 2.0);
+                let y = x + z;
+                ctx.output(&y, "y");
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(report.registered().len(), 3);
+        assert_eq!(driver.stats().fallbacks, 1);
+    }
+}

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use scorpio_adjoint::{NodeId, Tape};
+use scorpio_adjoint::{CompiledTape, NodeId, ReplayBuffers, Tape};
 use scorpio_interval::Interval;
 
 use crate::error::AnalysisError;
@@ -162,36 +162,25 @@ pub(crate) fn build_report_with(
     delta: f64,
     scratch: &mut Vec<Interval>,
 ) -> Result<Report, AnalysisError> {
-    let outputs: Vec<NodeId> = regs
-        .entries
-        .iter()
-        .filter(|e| e.kind == VarKind::Output)
-        .map(|e| e.node)
-        .collect();
-    if outputs.is_empty() {
-        return Err(AnalysisError::NoOutputs);
-    }
+    let outputs = output_nodes(&regs)?;
 
     let seeds: Vec<(NodeId, Interval)> =
         outputs.iter().map(|&o| (o, Interval::ONE)).collect();
     let adjoints = tape.adjoints_in(&seeds, std::mem::take(scratch));
 
-    // Eq. 11, raw. The product uses round-to-nearest: significance is a
-    // metric derived from the (already outward-rounded) enclosures, not
-    // itself an enclosure, and outward rounding here would turn exact
-    // zeros (constant values, zero derivatives) into ±1-ULP noise.
+    // Rows + normalization denominator via the shared assembly (Eq. 11
+    // with the round-to-nearest product; see `registered_rows`).
+    let (registered, total_raw) = registered_rows(
+        &regs,
+        &outputs,
+        |node| tape.value(node),
+        |node| adjoints.get(node),
+    );
     let significance_raw = |node: NodeId, value: Interval| -> f64 {
         let d = adjoints.get(node);
         scorpio_interval::nearest::mul(value, d).width()
     };
-
-    // Normalization: total output significance (so the final result of an
-    // accumulation reads 1.0, as in Fig. 3a).
-    let total_raw: f64 = outputs
-        .iter()
-        .map(|&o| significance_raw(o, tape.value(o)))
-        .sum();
-    let normalize = move |raw: f64| {
+    let normalize = |raw: f64| {
         if total_raw > 0.0 && total_raw.is_finite() {
             raw / total_raw
         } else {
@@ -225,24 +214,12 @@ pub(crate) fn build_report_with(
             .collect()
     });
 
-    let mut registered = Vec::with_capacity(regs.entries.len());
     for entry in &regs.entries {
         let idx = entry.node.index();
         nodes[idx].name = Some(entry.name.clone());
         if entry.kind == VarKind::Output {
             nodes[idx].is_output = true;
         }
-        let value = tape.value(entry.node);
-        let raw = significance_raw(entry.node, value);
-        registered.push(RegisteredVar {
-            name: entry.name.clone(),
-            kind: entry.kind,
-            node: entry.node,
-            enclosure: value,
-            derivative: adjoints.get(entry.node),
-            significance_raw: raw,
-            significance: normalize(raw),
-        });
     }
 
     let graph = SigGraph::new(nodes, outputs.iter().map(|o| o.index()).collect());
@@ -255,4 +232,225 @@ pub(crate) fn build_report_with(
     };
     *scratch = adjoints.into_inner();
     Ok(report)
+}
+
+/// The registered-variable rows of a report without the node-level
+/// [`SigGraph`] — the light extraction the batch replay entry points
+/// use when only named significances are consumed. Every field is
+/// computed by the same floating-point operations as the corresponding
+/// [`Report`] row, so the rows are bit-identical to a full report's.
+#[derive(Debug, Clone)]
+pub struct VarSignificances {
+    vars: Vec<RegisteredVar>,
+    output_significance_raw: f64,
+    tape_len: usize,
+}
+
+impl VarSignificances {
+    /// All registered variables in registration order.
+    pub fn registered(&self) -> &[RegisteredVar] {
+        &self.vars
+    }
+
+    /// Looks up a registered variable by name.
+    pub fn var(&self, name: &str) -> Option<&RegisteredVar> {
+        self.vars.iter().find(|v| v.name == name)
+    }
+
+    /// Normalized significance of a registered variable, if present.
+    pub fn significance_of(&self, name: &str) -> Option<f64> {
+        self.var(name).map(|v| v.significance)
+    }
+
+    /// Raw total output significance (the normalization denominator).
+    pub fn output_significance_raw(&self) -> f64 {
+        self.output_significance_raw
+    }
+
+    /// Number of DynDFG nodes the run recorded (or replayed).
+    pub fn tape_len(&self) -> usize {
+        self.tape_len
+    }
+}
+
+/// Output node ids of `regs`, or the [`AnalysisError::NoOutputs`] error.
+fn output_nodes(regs: &Registrations) -> Result<Vec<NodeId>, AnalysisError> {
+    let outputs: Vec<NodeId> = regs
+        .entries
+        .iter()
+        .filter(|e| e.kind == VarKind::Output)
+        .map(|e| e.node)
+        .collect();
+    if outputs.is_empty() {
+        return Err(AnalysisError::NoOutputs);
+    }
+    Ok(outputs)
+}
+
+/// Assembles the per-registration rows shared by every report flavour.
+///
+/// `value_of` / `adjoint_of` look up the forward and reverse sweep
+/// results per node; the arithmetic (Eq. 11 + normalization) is exactly
+/// [`build_report_with`]'s, so recorded and replayed rows agree bit for
+/// bit.
+fn registered_rows(
+    regs: &Registrations,
+    outputs: &[NodeId],
+    value_of: impl Fn(NodeId) -> Interval,
+    adjoint_of: impl Fn(NodeId) -> Interval,
+) -> (Vec<RegisteredVar>, f64) {
+    let significance_raw = |node: NodeId| -> f64 {
+        scorpio_interval::nearest::mul(value_of(node), adjoint_of(node)).width()
+    };
+    let total_raw: f64 = outputs.iter().map(|&o| significance_raw(o)).sum();
+    let normalize = |raw: f64| {
+        if total_raw > 0.0 && total_raw.is_finite() {
+            raw / total_raw
+        } else {
+            raw
+        }
+    };
+    let rows = regs
+        .entries
+        .iter()
+        .map(|entry| {
+            let raw = significance_raw(entry.node);
+            RegisteredVar {
+                name: entry.name.clone(),
+                kind: entry.kind,
+                node: entry.node,
+                enclosure: value_of(entry.node),
+                derivative: adjoint_of(entry.node),
+                significance_raw: raw,
+                significance: normalize(raw),
+            }
+        })
+        .collect();
+    (rows, total_raw)
+}
+
+/// [`build_report_with`]'s registered rows from a *recorded* tape,
+/// without building the node graph.
+pub(crate) fn build_vars_with(
+    tape: &Tape<Interval>,
+    regs: &Registrations,
+    scratch: &mut Vec<Interval>,
+) -> Result<VarSignificances, AnalysisError> {
+    let outputs = output_nodes(regs)?;
+    let seeds: Vec<(NodeId, Interval)> =
+        outputs.iter().map(|&o| (o, Interval::ONE)).collect();
+    let adjoints = tape.adjoints_in(&seeds, std::mem::take(scratch));
+    let (vars, total_raw) = registered_rows(
+        regs,
+        &outputs,
+        |node| tape.value(node),
+        |node| adjoints.get(node),
+    );
+    let result = VarSignificances {
+        vars,
+        output_significance_raw: total_raw,
+        tape_len: tape.len(),
+    };
+    *scratch = adjoints.into_inner();
+    Ok(result)
+}
+
+/// Runs the reverse sweep over already-replayed buffers (every output
+/// seeded with 1, as in [`build_report_with`]).
+fn replayed_adjoints(
+    compiled: &CompiledTape<Interval>,
+    outputs: &[NodeId],
+    buf: &mut ReplayBuffers<Interval>,
+) {
+    let seeds: Vec<(NodeId, Interval)> =
+        outputs.iter().map(|&o| (o, Interval::ONE)).collect();
+    compiled.adjoints_into(&seeds, buf);
+}
+
+/// Full report from a compiled trace whose buffers have been filled by
+/// [`CompiledTape::replay`] — the replay-mode twin of
+/// [`build_report_with`], producing bit-identical contents (values and
+/// partials are recomputed with the recording formulas, the reverse
+/// sweep mirrors [`Tape::adjoints_in`], and the assembly below runs the
+/// same row/graph arithmetic).
+pub(crate) fn build_report_replayed(
+    compiled: &CompiledTape<Interval>,
+    regs: &Registrations,
+    delta: f64,
+    buf: &mut ReplayBuffers<Interval>,
+) -> Result<Report, AnalysisError> {
+    let outputs = output_nodes(regs)?;
+    replayed_adjoints(compiled, &outputs, buf);
+    let (registered, total_raw) = registered_rows(
+        regs,
+        &outputs,
+        |node| buf.value(node),
+        |node| buf.adjoint(node),
+    );
+
+    let significance_raw = |id: NodeId| -> f64 {
+        scorpio_interval::nearest::mul(buf.value(id), buf.adjoint(id)).width()
+    };
+    let normalize = |raw: f64| {
+        if total_raw > 0.0 && total_raw.is_finite() {
+            raw / total_raw
+        } else {
+            raw
+        }
+    };
+    let mut nodes: Vec<SigNode> = (0..compiled.len())
+        .map(|i| {
+            let id = NodeId::from_index(i);
+            SigNode {
+                id: i,
+                op: compiled.op(i),
+                preds: compiled.preds_of(i).map(|p| p.index()).collect(),
+                value: buf.value(id),
+                derivative: buf.adjoint(id),
+                significance: normalize(significance_raw(id)),
+                level: None,
+                name: None,
+                is_output: false,
+                removed: false,
+            }
+        })
+        .collect();
+    for entry in &regs.entries {
+        let idx = entry.node.index();
+        nodes[idx].name = Some(entry.name.clone());
+        if entry.kind == VarKind::Output {
+            nodes[idx].is_output = true;
+        }
+    }
+
+    let graph = SigGraph::new(nodes, outputs.iter().map(|o| o.index()).collect());
+    Ok(Report {
+        registered,
+        graph,
+        output_significance_raw: total_raw,
+        delta,
+        tape_len: compiled.len(),
+    })
+}
+
+/// Registered rows only, from replayed buffers — the hot path of the
+/// batch kernels (skips the whole per-node graph construction).
+pub(crate) fn build_vars_replayed(
+    compiled: &CompiledTape<Interval>,
+    regs: &Registrations,
+    buf: &mut ReplayBuffers<Interval>,
+) -> Result<VarSignificances, AnalysisError> {
+    let outputs = output_nodes(regs)?;
+    replayed_adjoints(compiled, &outputs, buf);
+    let (vars, total_raw) = registered_rows(
+        regs,
+        &outputs,
+        |node| buf.value(node),
+        |node| buf.adjoint(node),
+    );
+    Ok(VarSignificances {
+        vars,
+        output_significance_raw: total_raw,
+        tape_len: compiled.len(),
+    })
 }

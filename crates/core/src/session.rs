@@ -1,8 +1,8 @@
 //! The analysis session: registration context and driver.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 
-use scorpio_adjoint::{NodeId, Tape, Var};
+use scorpio_adjoint::{NodeId, ReplayBuffers, Tape, Var};
 use scorpio_interval::{Interval, Trichotomy};
 
 use crate::error::AnalysisError;
@@ -58,6 +58,10 @@ pub struct Ctx<'t> {
     /// methods that cannot return `Result` (none currently; kept for the
     /// macros which `?` on the methods' results).
     errors: RefCell<Option<AnalysisError>>,
+    /// Set when the closure resolves any branch: the trace shape is then
+    /// value-dependent, so the replay engine must not reuse it for other
+    /// inputs (see [`crate::ReplayOrRecord`]).
+    branched: Cell<bool>,
 }
 
 impl<'t> Ctx<'t> {
@@ -67,6 +71,7 @@ impl<'t> Ctx<'t> {
             regs: RefCell::new(Registrations::default()),
             overrides,
             errors: RefCell::new(None),
+            branched: Cell::new(false),
         }
     }
 
@@ -180,9 +185,16 @@ impl<'t> Ctx<'t> {
     /// assert!(result.is_err());
     /// ```
     pub fn branch(&self, tri: Trichotomy, condition: &str) -> Result<bool, AnalysisError> {
+        self.branched.set(true);
         tri.to_bool().ok_or_else(|| AnalysisError::AmbiguousBranch {
             condition: condition.to_owned(),
         })
+    }
+
+    /// `true` once the closure has resolved any branch — such a trace is
+    /// value-dependent and must not be replayed for other inputs.
+    pub(crate) fn branched(&self) -> bool {
+        self.branched.get()
     }
 
     pub(crate) fn into_registrations(self) -> Result<Registrations, AnalysisError> {
@@ -216,8 +228,12 @@ impl<'t> Ctx<'t> {
 /// the parallel engine owns one arena.
 #[derive(Debug, Default)]
 pub struct AnalysisArena {
-    tape: Tape<Interval>,
-    scratch: Vec<Interval>,
+    pub(crate) tape: Tape<Interval>,
+    pub(crate) scratch: Vec<Interval>,
+    /// Compiled-replay buffers (values, local partials, adjoints) for
+    /// the arena's [`crate::ReplayOrRecord`] mode; empty until the
+    /// first replay, reused afterwards.
+    pub(crate) replay: ReplayBuffers<Interval>,
 }
 
 impl AnalysisArena {
@@ -231,6 +247,7 @@ impl AnalysisArena {
         AnalysisArena {
             tape: Tape::with_capacity(capacity),
             scratch: Vec::with_capacity(capacity),
+            replay: ReplayBuffers::new(),
         }
     }
 

@@ -133,11 +133,15 @@ where
     // Learn the declared ranges from a probe run.
     let declared = analysis.probe_inputs(&f)?;
     let mut arena = crate::AnalysisArena::new();
+    // Sweep points share one trace shape (only the input boxes differ),
+    // so the first point records + compiles and the rest replay; the
+    // driver falls back to re-recording per point for branchy closures.
+    let mut driver = crate::ReplayOrRecord::new(analysis.clone());
     let mut points = Vec::with_capacity(scales.len());
     for &scale in scales {
         assert!(scale >= 0.0, "sweep_input_scale: negative scale {scale}");
         let overrides = scaled_overrides(&declared, scale);
-        let (report, _) = analysis.run_with_overrides_in(&mut arena, &f, overrides)?;
+        let report = driver.run_in(&mut arena, &overrides, &f)?;
         points.push(SweepPoint { scale, report });
     }
     Ok(RangeSweep { points })
@@ -174,12 +178,17 @@ where
     let executor = scorpio_runtime::Executor::new(threads);
     let points = executor.map_with_state(
         scales,
-        crate::AnalysisArena::new,
-        |arena, _, &scale| {
+        || {
+            (
+                crate::AnalysisArena::new(),
+                crate::ReplayOrRecord::new(analysis.clone()),
+            )
+        },
+        |(arena, driver), _, &scale| {
             let overrides = scaled_overrides(&declared, scale);
-            analysis
-                .run_with_overrides_in(arena, &f, overrides)
-                .map(|(report, _)| SweepPoint { scale, report })
+            driver
+                .run_in(arena, &overrides, &f)
+                .map(|report| SweepPoint { scale, report })
         },
     );
     let points = points.into_iter().collect::<Result<_, _>>()?;
@@ -280,6 +289,40 @@ mod tests {
                     let b = pp.report.significance_of(name).unwrap();
                     assert_eq!(a.to_bits(), b.to_bits(), "{name} diverged");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn replayed_sweep_matches_rerecorded_sweep_bitwise() {
+        let model = |ctx: &crate::Ctx<'_>| {
+            let x = ctx.input("x", 1.0, 2.0);
+            let z = ctx.input("z", -1.0, 1.0);
+            let t = x.exp() * z.sin();
+            ctx.intermediate(&t, "t");
+            let y = t + x;
+            ctx.output(&y, "y");
+            Ok(())
+        };
+        let analysis = Analysis::new();
+        let scales: Vec<f64> = (0..10).map(|i| 0.1 + 0.1 * i as f64).collect();
+        let sweep = sweep_input_scale(&analysis, &scales, model).unwrap();
+        // Reference: re-record every point through the pre-replay API.
+        let declared = analysis.probe_inputs(&model).unwrap();
+        let mut arena = crate::AnalysisArena::new();
+        for point in &sweep.points {
+            let overrides = scaled_overrides(&declared, point.scale);
+            let (reference, _) = analysis
+                .run_with_overrides_in(&mut arena, model, overrides)
+                .unwrap();
+            assert_eq!(point.report.tape_len(), reference.tape_len());
+            for name in ["x", "z", "t", "y"] {
+                assert_eq!(
+                    point.report.significance_of(name).unwrap().to_bits(),
+                    reference.significance_of(name).unwrap().to_bits(),
+                    "{name} diverged at scale {}",
+                    point.scale
+                );
             }
         }
     }

@@ -21,9 +21,12 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use scorpio_core::{Analysis, AnalysisArena, AnalysisError, Ctx, ParallelAnalysis, Report};
+use scorpio_core::{
+    Analysis, AnalysisArena, AnalysisError, Ctx, ParallelAnalysis, Report, VarSignificances,
+};
 use scorpio_fastmath::{fast_cndf, fast_exp, fast_ln, fast_sqrt};
 use scorpio_interval::real::cndf;
+use scorpio_interval::Interval;
 use scorpio_runtime::{ExecutionStats, Executor, TaskGroup};
 
 /// One option contract.
@@ -242,9 +245,11 @@ pub fn analysis_option_in(
 }
 
 /// Per-option batch analysis (§4.1.5 at scale): one tight-box analysis
-/// per option, fanned over `engine`'s workers with one reusable tape
-/// arena per worker. Returns `(A, B, C, D)` block significances in
-/// option order, bit-identical to a serial per-option loop.
+/// per option, fanned over `engine`'s workers in record-once /
+/// replay-many mode — each worker records and compiles the (branch-free,
+/// option-independent) pricing trace once, then replays it with every
+/// option's input boxes. Returns `(A, B, C, D)` block significances in
+/// option order, bit-identical to a serial per-option re-recording loop.
 ///
 /// # Errors
 ///
@@ -253,10 +258,32 @@ pub fn analysis_options(
     options: &[Option_],
     engine: &ParallelAnalysis,
 ) -> Result<Vec<(f64, f64, f64, f64)>, AnalysisError> {
-    engine.run_batch_map(options, |arena, analysis, _, o| {
-        let report = analysis.run_in(arena, |ctx| register_option(ctx, o))?;
-        Ok(block_significances(&report))
-    })
+    engine
+        .run_batch_replay_map(options, |arena, driver, _, o| {
+            let vars = driver.run_vars_in(arena, &option_inputs(o), |ctx| register_option(ctx, o))?;
+            Ok(block_significances_vars(&vars))
+        })
+        .map(|(sigs, _stats)| sigs)
+}
+
+/// Per-option input boxes of [`register_option`], in registration order
+/// (mirroring its `input_centered` calls exactly, as the replay driver
+/// binds them positionally).
+fn option_inputs(o: &Option_) -> Vec<Interval> {
+    let boxed = |v: f64| Interval::centered(v, v.abs() * OPTION_BOX_FRACTION);
+    vec![
+        boxed(o.spot),
+        boxed(o.strike),
+        boxed(o.rate),
+        boxed(o.volatility),
+        boxed(o.time),
+    ]
+}
+
+/// [`block_significances`] over replay-mode rows.
+fn block_significances_vars(vars: &VarSignificances) -> (f64, f64, f64, f64) {
+    let s = |n: &str| vars.significance_of(n).unwrap_or(0.0);
+    (s("A"), s("B"), s("C1") + s("C2"), s("D"))
 }
 
 /// Registers the block-structured pricing computation with every input
@@ -362,6 +389,21 @@ mod tests {
         assert!(c > d, "C = {c} must exceed D = {d}");
         // The "≫" between B and C: at least 2×.
         assert!(b / c > 2.0, "B/C = {}", b / c);
+    }
+
+    #[test]
+    fn replayed_batch_matches_rerecorded_options_bitwise() {
+        let opts = generate_options(24, 13);
+        let engine = ParallelAnalysis::new(1);
+        let replayed = analysis_options(&opts, &engine).unwrap();
+        let mut arena = AnalysisArena::new();
+        for (o, r) in opts.iter().zip(&replayed) {
+            let fresh = analysis_option_in(&mut arena, o).unwrap();
+            assert_eq!(r.0.to_bits(), fresh.0.to_bits(), "A diverged for {o:?}");
+            assert_eq!(r.1.to_bits(), fresh.1.to_bits(), "B diverged for {o:?}");
+            assert_eq!(r.2.to_bits(), fresh.2.to_bits(), "C diverged for {o:?}");
+            assert_eq!(r.3.to_bits(), fresh.3.to_bits(), "D diverged for {o:?}");
+        }
     }
 
     #[test]

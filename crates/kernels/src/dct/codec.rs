@@ -142,7 +142,7 @@ pub fn estimated_bits(symbols: &[Symbol]) -> f64 {
 /// Estimated encoded size in bits of a whole image's coefficient blocks.
 pub fn estimate_image_bits(blocks: &[[[f64; BLOCK]; BLOCK]]) -> f64 {
     // A shared symbol alphabet across blocks, as a real coder would use.
-    let all_symbols: Vec<Symbol> = blocks.iter().flat_map(|b| encode_block(b)).collect();
+    let all_symbols: Vec<Symbol> = blocks.iter().flat_map(encode_block).collect();
     estimated_bits(&all_symbols)
 }
 

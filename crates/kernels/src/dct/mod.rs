@@ -20,6 +20,7 @@
 pub mod codec;
 
 use scorpio_core::{Analysis, AnalysisArena, AnalysisError, Ctx, ParallelAnalysis, Report};
+use scorpio_interval::Interval;
 use scorpio_quality::GrayImage;
 use scorpio_runtime::perforation::Perforator;
 use scorpio_runtime::{ExecutionStats, Executor, TaskGroup};
@@ -328,10 +329,12 @@ pub fn analysis_in(
 }
 
 /// Multi-block batch analysis: one full-pipeline analysis per image
-/// block, fanned over `engine`'s workers with one reusable tape arena
-/// per worker (a DCT block records ~100k tape nodes, so arena reuse
-/// matters here). Returns the Fig. 4 coefficient maps in block order,
-/// bit-identical to a serial per-block loop.
+/// block, fanned over `engine`'s workers in record-once / replay-many
+/// mode — a DCT block records ~100k tape nodes whose structure is
+/// block-independent, so each worker compiles the trace from its first
+/// block and replays it with every further block's pixel boxes. Returns
+/// the Fig. 4 coefficient maps in block order, bit-identical to a
+/// serial per-block re-recording loop.
 ///
 /// # Errors
 ///
@@ -346,10 +349,29 @@ pub fn analysis_blocks(
     engine: &ParallelAnalysis,
 ) -> Result<Vec<[[f64; BLOCK]; BLOCK]>, AnalysisError> {
     assert!(radius >= 0.0, "analysis: negative pixel radius");
-    engine.run_batch_map(blocks, |arena, analysis, _, block| {
-        let report = analysis.run_in(arena, |ctx| register_block(ctx, block, radius))?;
-        Ok(coefficient_map(&report))
-    })
+    engine
+        .run_batch_replay_map(blocks, |arena, driver, _, block| {
+            let vars = driver.run_vars_in(arena, &block_inputs(block, radius), |ctx| {
+                register_block(ctx, block, radius)
+            })?;
+            Ok(coefficient_map_with(|name| vars.significance_of(name)))
+        })
+        .map(|(maps, _stats)| maps)
+}
+
+/// Per-block input boxes of [`register_block`], in registration order
+/// (row-major pixels, mirroring its `input` calls exactly — the replay
+/// driver binds them positionally).
+fn block_inputs(block: &[[f64; BLOCK]; BLOCK], radius: f64) -> Vec<Interval> {
+    let mut inputs = Vec::with_capacity(BLOCK * BLOCK);
+    for row in block {
+        for &p0 in row {
+            let lo = (p0 - radius).max(0.0);
+            let hi = (p0 + radius).min(255.0);
+            inputs.push(Interval::new(lo, hi.max(lo)));
+        }
+    }
+    inputs
 }
 
 /// Registers the full per-block pipeline (see [`analysis`] for the
@@ -432,12 +454,16 @@ pub fn analysis_default() -> Result<Report, AnalysisError> {
 /// Reshapes an [`analysis`] report into the 8×8 coefficient-significance
 /// map of Fig. 4 (`map[v][u]`).
 pub fn coefficient_map(report: &Report) -> [[f64; BLOCK]; BLOCK] {
+    coefficient_map_with(|name| report.significance_of(name))
+}
+
+/// [`coefficient_map`] over any named-significance lookup — shared by
+/// the full-report and replay-mode (rows-only) paths.
+fn coefficient_map_with(significance_of: impl Fn(&str) -> Option<f64>) -> [[f64; BLOCK]; BLOCK] {
     let mut map = [[0.0; BLOCK]; BLOCK];
     for (v, row) in map.iter_mut().enumerate() {
         for (u, s) in row.iter_mut().enumerate() {
-            *s = report
-                .significance_of(&format!("c{v}_{u}"))
-                .unwrap_or(f64::NAN);
+            *s = significance_of(&format!("c{v}_{u}")).unwrap_or(f64::NAN);
         }
     }
     map

@@ -21,7 +21,11 @@
 //! with 2×2 bilinear interpolation — the transitive-significance argument
 //! of §4.1.3.
 
-use scorpio_core::{Analysis, AnalysisArena, AnalysisError, Ctx, ParallelAnalysis, Report};
+use scorpio_core::{
+    Analysis, AnalysisArena, AnalysisError, Ctx, ParallelAnalysis, ReplayOrRecord, Report,
+    VarSignificances,
+};
+use scorpio_interval::Interval;
 use scorpio_quality::GrayImage;
 use scorpio_runtime::perforation::Perforator;
 use scorpio_runtime::{ExecutionStats, Executor, TaskGroup};
@@ -388,10 +392,34 @@ pub fn analysis_inverse_mapping_in(
     Ok(summed_input_significance(&report))
 }
 
+/// [`analysis_inverse_mapping`] through a record-once / replay-many
+/// driver: the first pixel records and compiles the (branch-free,
+/// pixel-independent) trace, every further pixel replays it with that
+/// pixel's coordinate boxes. Values are bit-identical to the recording
+/// variants.
+///
+/// # Errors
+///
+/// Propagates framework errors, as [`analysis_inverse_mapping`].
+pub fn analysis_inverse_mapping_replay_in(
+    driver: &mut ReplayOrRecord,
+    arena: &mut AnalysisArena,
+    lens: &Lens,
+    u: f64,
+    v: f64,
+) -> Result<f64, AnalysisError> {
+    let vars = driver.run_vars_in(arena, &inverse_mapping_inputs(lens, u, v), |ctx| {
+        register_inverse_mapping(ctx, lens, u, v)
+    })?;
+    Ok(summed_input_significance_vars(&vars))
+}
+
 /// The Fig. 5 per-pixel significance map: one InverseMapping analysis
 /// per cell of a `grid_w × grid_h` grid of pixel centres, fanned over
-/// `engine`'s workers. Returns raw summed significances in row-major
-/// order; the values are bit-identical to a serial per-pixel loop.
+/// `engine`'s workers in record-once / replay-many mode (each worker
+/// records the trace once, then replays it per pixel). Returns raw
+/// summed significances in row-major order; the values are
+/// bit-identical to a serial per-pixel re-recording loop.
 ///
 /// # Errors
 ///
@@ -411,10 +439,11 @@ pub fn analysis_inverse_mapping_grid(
             })
         })
         .collect();
-    engine.run_batch_map(&pixels, |arena, analysis, _, &(u, v)| {
-        let report = analysis.run_in(arena, |ctx| register_inverse_mapping(ctx, lens, u, v))?;
-        Ok(summed_input_significance(&report))
-    })
+    engine
+        .run_batch_replay_map(&pixels, |arena, driver, _, &(u, v)| {
+            analysis_inverse_mapping_replay_in(driver, arena, lens, u, v)
+        })
+        .map(|(sigs, _stats)| sigs)
 }
 
 /// Registers the InverseMapping computation at pixel `(u, v)` (see
@@ -457,6 +486,24 @@ fn summed_input_significance(report: &Report) -> f64 {
     let sx = report.var("u").map(|r| r.significance_raw).unwrap_or(0.0);
     let sy = report.var("v").map(|r| r.significance_raw).unwrap_or(0.0);
     sx + sy
+}
+
+/// [`summed_input_significance`] over replay-mode rows.
+fn summed_input_significance_vars(vars: &VarSignificances) -> f64 {
+    let sx = vars.var("u").map(|r| r.significance_raw).unwrap_or(0.0);
+    let sy = vars.var("v").map(|r| r.significance_raw).unwrap_or(0.0);
+    sx + sy
+}
+
+/// Per-pixel input boxes of [`register_inverse_mapping`], in
+/// registration order — the replay driver binds these positionally, so
+/// they must mirror the `input_centered` calls exactly.
+fn inverse_mapping_inputs(lens: &Lens, u: f64, v: f64) -> Vec<Interval> {
+    let (cx, cy) = lens.center();
+    vec![
+        Interval::centered(u - cx, 0.5),
+        Interval::centered(v - cy, 0.5),
+    ]
 }
 
 /// Significance analysis of BicubicInterp (Fig. 6): 16 window pixels in
@@ -647,6 +694,23 @@ mod tests {
         );
         // Symmetry of the pairs (Fig. 6 groups mirrored pixels).
         assert!((map[1][1] - map[1][2]).abs() / map[1][1] < 0.05);
+    }
+
+    #[test]
+    fn replayed_grid_matches_fresh_recording_bitwise() {
+        let lens = lens();
+        let (grid_w, grid_h) = (6, 4);
+        let engine = ParallelAnalysis::new(1);
+        let sigs = analysis_inverse_mapping_grid(&lens, grid_w, grid_h, &engine).unwrap();
+        assert_eq!(sigs.len(), grid_w * grid_h);
+        let cell_w = lens.width as f64 / grid_w as f64;
+        let cell_h = lens.height as f64 / grid_h as f64;
+        for (k, &s) in sigs.iter().enumerate() {
+            let u = ((k % grid_w) as f64 + 0.5) * cell_w;
+            let v = ((k / grid_w) as f64 + 0.5) * cell_h;
+            let fresh = analysis_inverse_mapping(&lens, u, v).unwrap();
+            assert_eq!(s.to_bits(), fresh.to_bits(), "pixel ({u}, {v}) diverged");
+        }
     }
 
     #[test]

@@ -271,9 +271,11 @@ pub fn analysis_combine(k: usize) -> Result<Vec<(f64, f64)>, AnalysisError> {
 }
 
 /// [`analysis_combine`] with the `k` operating points fanned over
-/// `threads` workers of a [`ParallelAnalysis`] engine, one reusable
-/// tape arena per worker. Results are in operating-point order and
-/// bit-identical to the serial variant.
+/// `threads` workers of a [`ParallelAnalysis`] engine in record-once /
+/// replay-many mode: each worker records and compiles the combine trace
+/// at its first operating point, then replays it with every further
+/// point's gradient sub-range. Results are in operating-point order and
+/// bit-identical to a serial re-recording loop.
 ///
 /// # Errors
 ///
@@ -294,22 +296,26 @@ pub fn analysis_combine_threaded(
         .map(|i| -1020.0 + (i as f64 / k.max(2) as f64) * (span - width))
         .collect();
     let engine = ParallelAnalysis::new(threads);
-    engine.run_batch_map(&lows, |arena, analysis, _, &lo| {
-        let report = analysis.run_in(arena, |ctx| {
-            let tx = ctx.input("tx", lo, lo + width);
-            let ty = ctx.input("ty", lo, lo + width);
-            let t = tx.hypot(ty);
-            let hi = ctx.constant(255.0);
-            let zero = ctx.constant(0.0);
-            let pixel = t.min(hi).max(zero);
-            ctx.output(&pixel, "pixel");
-            Ok(())
-        })?;
-        Ok((
-            report.var("tx").unwrap().significance_raw,
-            report.var("ty").unwrap().significance_raw,
-        ))
-    })
+    engine
+        .run_batch_replay_map(&lows, |arena, driver, _, &lo| {
+            // Both inputs range over the window, in registration order.
+            let window = scorpio_interval::Interval::new(lo, lo + width);
+            let vars = driver.run_vars_in(arena, &[window, window], |ctx| {
+                let tx = ctx.input("tx", lo, lo + width);
+                let ty = ctx.input("ty", lo, lo + width);
+                let t = tx.hypot(ty);
+                let hi = ctx.constant(255.0);
+                let zero = ctx.constant(0.0);
+                let pixel = t.min(hi).max(zero);
+                ctx.output(&pixel, "pixel");
+                Ok(())
+            })?;
+            Ok((
+                vars.var("tx").unwrap().significance_raw,
+                vars.var("ty").unwrap().significance_raw,
+            ))
+        })
+        .map(|(points, _stats)| points)
 }
 
 /// Per-part significance: the summed significances of the part's

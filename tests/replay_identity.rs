@@ -1,0 +1,261 @@
+//! Bit-identity contract of the record-once / replay-many engine:
+//! replaying a compiled trace with fresh input boxes must produce the
+//! **same bits** as re-recording the trace from scratch — for every
+//! kernel, at any operating point. Replay is a pure latency
+//! optimisation, never a semantic knob; comparisons go through
+//! `f64::to_bits`, not approximate equality.
+//!
+//! Also pins the guard rails: a trace whose shape diverges (changed
+//! shape key, changed input arity, resolved branch) must *fall back to
+//! re-recording* — visible in [`ReplayStats`] — rather than replay a
+//! wrong trace.
+
+use proptest::prelude::*;
+use scorpio::analysis::{
+    Analysis, AnalysisArena, AnalysisError, Ctx, ParallelAnalysis, ReplayOrRecord,
+};
+use scorpio::interval::Interval;
+use scorpio::kernels::{blackscholes, dct, fisheye, maclaurin, sobel};
+
+/// Asserts two reports carry identical registered rows, bit for bit
+/// (enclosures, interval adjoints, raw and normalized significances).
+fn assert_reports_bit_equal(
+    replayed: &scorpio::analysis::Report,
+    recorded: &scorpio::analysis::Report,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(replayed.tape_len(), recorded.tape_len());
+    prop_assert_eq!(replayed.registered().len(), recorded.registered().len());
+    for (a, b) in replayed.registered().iter().zip(recorded.registered()) {
+        prop_assert_eq!(&a.name, &b.name);
+        prop_assert_eq!(a.enclosure.inf().to_bits(), b.enclosure.inf().to_bits());
+        prop_assert_eq!(a.enclosure.sup().to_bits(), b.enclosure.sup().to_bits());
+        prop_assert_eq!(a.derivative.inf().to_bits(), b.derivative.inf().to_bits());
+        prop_assert_eq!(a.derivative.sup().to_bits(), b.derivative.sup().to_bits());
+        prop_assert_eq!(a.significance_raw.to_bits(), b.significance_raw.to_bits());
+        prop_assert_eq!(a.significance.to_bits(), b.significance.to_bits());
+    }
+    Ok(())
+}
+
+/// The Listing-6 Maclaurin closure (shape keyed by the term count).
+fn maclaurin_closure(n: usize) -> impl Fn(&Ctx<'_>) -> Result<(), AnalysisError> {
+    move |ctx| {
+        let x = ctx.input_centered("x", 0.0, 0.5); // overridden per item
+        let mut result = ctx.constant(0.0);
+        for i in 0..n {
+            let term = x.powi(i as i32);
+            ctx.intermediate(&term, format!("term{i}"));
+            result = result + term;
+        }
+        ctx.output(&result, "result");
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Maclaurin: a replay driver fed a stream of input boxes agrees
+    /// bitwise with fresh per-item recordings.
+    #[test]
+    fn maclaurin_replay_bit_identity(
+        x0 in -0.35f64..0.35,
+        dx in 0.005f64..0.03,
+        n in 2usize..10,
+    ) {
+        let x0s = [x0, x0 + dx, x0 - dx, x0 + 2.0 * dx];
+        let mut driver = ReplayOrRecord::new(Analysis::new());
+        let mut arena = AnalysisArena::new();
+        for &x0 in &x0s {
+            let inputs = [Interval::centered(x0, 0.5)];
+            let replayed = driver
+                .run_keyed_in(n as u64, &mut arena, &inputs, maclaurin_closure(n))
+                .unwrap();
+            let recorded = maclaurin::analysis(x0, n).unwrap();
+            assert_reports_bit_equal(&replayed, &recorded)?;
+        }
+        prop_assert_eq!(driver.stats().records, 1);
+        prop_assert_eq!(driver.stats().replays, x0s.len() as u64 - 1);
+    }
+
+    /// Fisheye InverseMapping: the replay entry point agrees bitwise
+    /// with the fresh-recording entry point at every pixel.
+    #[test]
+    fn fisheye_replay_bit_identity(
+        u0 in 0.0f64..128.0,
+        v0 in 0.0f64..96.0,
+        du in 1.0f64..40.0,
+    ) {
+        let pixels = [
+            (u0, v0),
+            ((u0 + du) % 128.0, (v0 + 0.5 * du) % 96.0),
+            ((u0 + 2.0 * du) % 128.0, (v0 + du) % 96.0),
+            ((u0 + 3.0 * du) % 128.0, (v0 + 1.5 * du) % 96.0),
+        ];
+        let lens = fisheye::Lens::for_image(128, 96);
+        let mut driver = ReplayOrRecord::new(Analysis::new());
+        let mut arena = AnalysisArena::new();
+        for &(u, v) in &pixels {
+            let replayed =
+                fisheye::analysis_inverse_mapping_replay_in(&mut driver, &mut arena, &lens, u, v)
+                    .unwrap();
+            let recorded = fisheye::analysis_inverse_mapping(&lens, u, v).unwrap();
+            prop_assert_eq!(replayed.to_bits(), recorded.to_bits(), "pixel ({}, {})", u, v);
+        }
+        prop_assert_eq!(driver.stats().records, 1);
+        prop_assert_eq!(driver.stats().fallbacks, 0);
+    }
+
+    /// Sobel combine: the batch entry point (replay inside) agrees
+    /// bitwise with fresh recordings of the same operating points.
+    #[test]
+    fn sobel_replay_bit_identity(k in 2usize..14) {
+        let points = sobel::analysis_combine(k).unwrap();
+        let span = 2040.0;
+        let width = span / 2.0;
+        for (i, &(sx, sy)) in points.iter().enumerate() {
+            let lo = -1020.0 + (i as f64 / k.max(2) as f64) * (span - width);
+            let report = Analysis::new()
+                .run(|ctx| {
+                    let tx = ctx.input("tx", lo, lo + width);
+                    let ty = ctx.input("ty", lo, lo + width);
+                    let t = tx.hypot(ty);
+                    let hi = ctx.constant(255.0);
+                    let zero = ctx.constant(0.0);
+                    let pixel = t.min(hi).max(zero);
+                    ctx.output(&pixel, "pixel");
+                    Ok(())
+                })
+                .unwrap();
+            prop_assert_eq!(
+                sx.to_bits(),
+                report.var("tx").unwrap().significance_raw.to_bits(),
+                "tx diverged at point {}", i
+            );
+            prop_assert_eq!(
+                sy.to_bits(),
+                report.var("ty").unwrap().significance_raw.to_bits(),
+                "ty diverged at point {}", i
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// BlackScholes: the replayed option batch agrees bitwise with
+    /// per-option arena re-recordings.
+    #[test]
+    fn blackscholes_replay_bit_identity(seed in 0u64..1000, n in 2usize..12) {
+        let options = blackscholes::generate_options(n, seed);
+        let engine = ParallelAnalysis::new(1);
+        let replayed = blackscholes::analysis_options(&options, &engine).unwrap();
+        let mut arena = AnalysisArena::new();
+        for (o, r) in options.iter().zip(&replayed) {
+            let fresh = blackscholes::analysis_option_in(&mut arena, o).unwrap();
+            for (block, (a, b)) in ["A", "B", "C", "D"]
+                .iter()
+                .zip([r.0, r.1, r.2, r.3].iter().zip([fresh.0, fresh.1, fresh.2, fresh.3]))
+            {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "block {} diverged for {:?}", block, o);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// DCT: the replayed multi-block batch agrees bitwise with
+    /// per-block arena re-recordings (the heaviest trace: ~10⁴ nodes).
+    #[test]
+    fn dct_replay_bit_identity(seed in 0u64..100, radius in 1.0f64..16.0) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let blocks: Vec<[[f64; dct::BLOCK]; dct::BLOCK]> = (0..2)
+            .map(|_| {
+                let mut b = [[0.0; dct::BLOCK]; dct::BLOCK];
+                for row in &mut b {
+                    for p in row.iter_mut() {
+                        *p = rng.gen_range(0.0..=255.0);
+                    }
+                }
+                b
+            })
+            .collect();
+        let engine = ParallelAnalysis::new(1);
+        let replayed = dct::analysis_blocks(&blocks, radius, &engine).unwrap();
+        let mut arena = AnalysisArena::new();
+        for (block, map) in blocks.iter().zip(&replayed) {
+            let report = dct::analysis_in(&mut arena, block, radius).unwrap();
+            let reference = dct::coefficient_map(&report);
+            for v in 0..dct::BLOCK {
+                for u in 0..dct::BLOCK {
+                    prop_assert_eq!(
+                        map[v][u].to_bits(),
+                        reference[v][u].to_bits(),
+                        "c{}_{} diverged", v, u
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A shape-divergent trace (the Maclaurin term count changes between
+/// items) must re-record — counted as a fallback — and still produce
+/// the exact recorded answer, never a replay of the stale trace.
+#[test]
+fn shape_divergence_falls_back_to_rerecording() {
+    let mut driver = ReplayOrRecord::new(Analysis::new());
+    let mut arena = AnalysisArena::new();
+    let inputs = [Interval::centered(0.3, 0.5)];
+
+    let a = driver
+        .run_keyed_in(4, &mut arena, &inputs, maclaurin_closure(4))
+        .unwrap();
+    let b = driver
+        .run_keyed_in(4, &mut arena, &inputs, maclaurin_closure(4))
+        .unwrap();
+    assert_eq!(a.tape_len(), b.tape_len());
+    assert_eq!(driver.stats().replays, 1);
+
+    // New shape key: the compiled 4-term trace must not be replayed.
+    let c = driver
+        .run_keyed_in(7, &mut arena, &inputs, maclaurin_closure(7))
+        .unwrap();
+    assert!(c.tape_len() > b.tape_len(), "7-term trace must be larger");
+    let recorded = maclaurin::analysis(0.3, 7).unwrap();
+    assert_eq!(
+        c.significance_of("term6").unwrap().to_bits(),
+        recorded.significance_of("term6").unwrap().to_bits()
+    );
+    assert_eq!(driver.stats().records, 2);
+    assert_eq!(driver.stats().fallbacks, 1);
+    assert!(driver.stats().fallback_rate() > 0.0);
+}
+
+/// A trace that resolved a branch is value-dependent: the driver must
+/// re-record every item (replays stay at zero) because the compiled
+/// trace cannot be trusted for other inputs.
+#[test]
+fn branched_trace_disables_replay() {
+    let mut driver = ReplayOrRecord::new(Analysis::new());
+    let mut arena = AnalysisArena::new();
+    let branchy = |ctx: &Ctx<'_>| {
+        let x = ctx.input("x", 1.0, 2.0);
+        let pos = ctx.branch(x.value().certainly_gt(0.0.into()), "x > 0")?;
+        let y = if pos { x.sqr() } else { -x };
+        ctx.output(&y, "y");
+        Ok(())
+    };
+    for _ in 0..4 {
+        driver
+            .run_in(&mut arena, &[Interval::new(1.0, 2.0)], branchy)
+            .unwrap();
+    }
+    assert_eq!(driver.stats().replays, 0);
+    assert_eq!(driver.stats().records, 4);
+    assert_eq!(driver.stats().fallbacks, 3);
+}

@@ -28,7 +28,7 @@ pub use thread::scope;
 mod tests {
     #[test]
     fn scope_joins_and_borrows() {
-        let data = vec![1u64, 2, 3];
+        let data = [1u64, 2, 3];
         let sum = super::scope(|s| {
             let h = s.spawn(|| data.iter().sum::<u64>());
             h.join().unwrap()

@@ -280,7 +280,11 @@ macro_rules! prop_assert_eq {
 #[macro_export]
 macro_rules! prop_assume {
     ($cond:expr $(,)?) => {
-        if !($cond) {
+        // `if c {} else { .. }` rather than `if !c { .. }`: `c` may be a
+        // partial-ord comparison, where the negated form changes meaning
+        // for NaN (and trips clippy::neg_cmp_op_on_partial_ord).
+        if $cond {
+        } else {
             return ::core::result::Result::Ok(());
         }
     };
