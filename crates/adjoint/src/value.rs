@@ -365,7 +365,11 @@ impl Scalar for Interval {
 
     #[inline]
     fn abs_deriv(self) -> Self {
-        if self.inf() > 0.0 {
+        // EMPTY must stay absorbing: the NaN comparisons below would
+        // otherwise both fail and leak the straddling case `[-1, 1]`.
+        if self.is_empty() {
+            Interval::EMPTY
+        } else if self.inf() > 0.0 {
             Interval::ONE
         } else if self.sup() < 0.0 {
             -Interval::ONE
@@ -376,6 +380,9 @@ impl Scalar for Interval {
 
     #[inline]
     fn min_partials(self, other: Self) -> (Self, Self) {
+        if self.is_empty() || other.is_empty() {
+            return (Interval::EMPTY, Interval::EMPTY);
+        }
         match self.certainly_le(other) {
             Trichotomy::True => (Interval::ONE, Interval::ZERO),
             Trichotomy::False => (Interval::ZERO, Interval::ONE),
@@ -385,6 +392,9 @@ impl Scalar for Interval {
 
     #[inline]
     fn max_partials(self, other: Self) -> (Self, Self) {
+        if self.is_empty() || other.is_empty() {
+            return (Interval::EMPTY, Interval::EMPTY);
+        }
         match self.certainly_ge(other) {
             Trichotomy::True => (Interval::ONE, Interval::ZERO),
             Trichotomy::False => (Interval::ZERO, Interval::ONE),
@@ -394,6 +404,9 @@ impl Scalar for Interval {
 
     #[inline]
     fn hypot_partials(self, other: Self, value: Self) -> (Self, Self) {
+        if self.is_empty() || other.is_empty() || value.is_empty() {
+            return (Interval::EMPTY, Interval::EMPTY);
+        }
         // ∂h/∂a = a/h ∈ [-1, 1] always; intersect to avoid the blow-up when
         // the result interval touches zero.
         let unit = Interval::new(-1.0, 1.0);
@@ -446,6 +459,33 @@ mod tests {
         let (pa, pb) = Interval::new(0.0, 3.0).min_partials(Interval::new(2.0, 4.0));
         assert_eq!(pa, Interval::new(0.0, 1.0));
         assert_eq!(pb, Interval::new(0.0, 1.0));
+    }
+
+    /// Regression: the derivative helpers must absorb EMPTY. Before the
+    /// fix, NaN bound comparisons fell through to the "straddling" /
+    /// "ambiguous" branches and an empty enclosure silently acquired the
+    /// non-empty partials `[-1, 1]` / `[0, 1]`, letting a downstream
+    /// adjoint pretend a value existed where interval arithmetic had
+    /// proven none does.
+    #[test]
+    fn empty_is_absorbing_through_derivative_helpers() {
+        let e = Interval::EMPTY;
+        let x = Interval::new(-1.0, 2.0);
+
+        assert!(Scalar::abs_deriv(e).is_empty());
+
+        let (pa, pb) = e.min_partials(x);
+        assert!(pa.is_empty() && pb.is_empty());
+        let (pa, pb) = x.min_partials(e);
+        assert!(pa.is_empty() && pb.is_empty());
+
+        let (pa, pb) = e.max_partials(x);
+        assert!(pa.is_empty() && pb.is_empty());
+        let (pa, pb) = x.max_partials(e);
+        assert!(pa.is_empty() && pb.is_empty());
+
+        let (pa, pb) = Scalar::hypot_partials(e, x, Scalar::hypot(e, x));
+        assert!(pa.is_empty() && pb.is_empty());
     }
 
     #[test]

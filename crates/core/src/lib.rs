@@ -63,6 +63,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod audit;
 mod codegen;
 mod error;
 mod export;

@@ -63,6 +63,7 @@ pub struct Report {
     output_significance_raw: f64,
     delta: f64,
     tape_len: usize,
+    empty_nodes: Vec<usize>,
 }
 
 impl Report {
@@ -120,6 +121,17 @@ impl Report {
     pub fn tape_len(&self) -> usize {
         self.tape_len
     }
+
+    /// DynDFG node ids whose forward enclosure is the EMPTY interval.
+    ///
+    /// An empty enclosure means the recorded operation has no result
+    /// for *any* point of the input box (e.g. division by an exact
+    /// zero interval), so Eq. 11 is undefined there: those nodes carry
+    /// `NaN` significance instead of silently ranking last, and the
+    /// analysis surfaces them here for diagnosis.
+    pub fn empty_enclosures(&self) -> &[usize] {
+        &self.empty_nodes
+    }
 }
 
 impl fmt::Display for Report {
@@ -146,7 +158,30 @@ impl fmt::Display for Report {
                 v.derivative.to_string()
             )?;
         }
+        if !self.empty_nodes.is_empty() {
+            writeln!(
+                f,
+                "warning: {} node(s) with EMPTY enclosure (NaN significance): {:?}",
+                self.empty_nodes.len(),
+                self.empty_nodes
+            )?;
+        }
         Ok(())
+    }
+}
+
+/// Eq. 11 significance with the EMPTY-enclosure policy: a node whose
+/// value or adjoint enclosure is empty has no defined significance —
+/// Eq. 11 computes the width of a product over a set with no members —
+/// so it reports `NaN` explicitly rather than relying on how
+/// `nearest::mul` happens to treat empty operands. Callers that rank
+/// or aggregate must treat the NaN as "undefined", not "zero"; the
+/// report surfaces the affected nodes via [`Report::empty_enclosures`].
+fn significance_raw_from(value: Interval, adjoint: Interval) -> f64 {
+    if value.is_empty() || adjoint.is_empty() {
+        f64::NAN
+    } else {
+        scorpio_interval::nearest::mul(value, adjoint).width()
     }
 }
 
@@ -177,8 +212,7 @@ pub(crate) fn build_report_with(
         |node| adjoints.get(node),
     );
     let significance_raw = |node: NodeId, value: Interval| -> f64 {
-        let d = adjoints.get(node);
-        scorpio_interval::nearest::mul(value, d).width()
+        significance_raw_from(value, adjoints.get(node))
     };
     let normalize = |raw: f64| {
         if total_raw > 0.0 && total_raw.is_finite() {
@@ -222,6 +256,11 @@ pub(crate) fn build_report_with(
         }
     }
 
+    let empty_nodes: Vec<usize> = nodes
+        .iter()
+        .filter(|n| n.value.is_empty())
+        .map(|n| n.id)
+        .collect();
     let graph = SigGraph::new(nodes, outputs.iter().map(|o| o.index()).collect());
     let report = Report {
         registered,
@@ -229,6 +268,7 @@ pub(crate) fn build_report_with(
         output_significance_raw: total_raw,
         delta,
         tape_len: tape.len(),
+        empty_nodes,
     };
     *scratch = adjoints.into_inner();
     Ok(report)
@@ -299,9 +339,8 @@ fn registered_rows(
     value_of: impl Fn(NodeId) -> Interval,
     adjoint_of: impl Fn(NodeId) -> Interval,
 ) -> (Vec<RegisteredVar>, f64) {
-    let significance_raw = |node: NodeId| -> f64 {
-        scorpio_interval::nearest::mul(value_of(node), adjoint_of(node)).width()
-    };
+    let significance_raw =
+        |node: NodeId| -> f64 { significance_raw_from(value_of(node), adjoint_of(node)) };
     let total_raw: f64 = outputs.iter().map(|&o| significance_raw(o)).sum();
     let normalize = |raw: f64| {
         if total_raw > 0.0 && total_raw.is_finite() {
@@ -388,9 +427,8 @@ pub(crate) fn build_report_replayed(
         |node| buf.adjoint(node),
     );
 
-    let significance_raw = |id: NodeId| -> f64 {
-        scorpio_interval::nearest::mul(buf.value(id), buf.adjoint(id)).width()
-    };
+    let significance_raw =
+        |id: NodeId| -> f64 { significance_raw_from(buf.value(id), buf.adjoint(id)) };
     let normalize = |raw: f64| {
         if total_raw > 0.0 && total_raw.is_finite() {
             raw / total_raw
@@ -423,6 +461,11 @@ pub(crate) fn build_report_replayed(
         }
     }
 
+    let empty_nodes: Vec<usize> = nodes
+        .iter()
+        .filter(|n| n.value.is_empty())
+        .map(|n| n.id)
+        .collect();
     let graph = SigGraph::new(nodes, outputs.iter().map(|o| o.index()).collect());
     Ok(Report {
         registered,
@@ -430,6 +473,7 @@ pub(crate) fn build_report_replayed(
         output_significance_raw: total_raw,
         delta,
         tape_len: compiled.len(),
+        empty_nodes,
     })
 }
 

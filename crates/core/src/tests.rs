@@ -147,6 +147,37 @@ fn insignificant_variable_scores_zero() {
 }
 
 #[test]
+fn empty_enclosure_nodes_are_flagged_with_nan_significance() {
+    // x / [0,0] has no real result for any point of the box, so its
+    // enclosure is EMPTY and Eq. 11 is undefined there. Regression:
+    // empty-valued nodes used to flow through ranking as ordinary rows
+    // with nothing calling them out; they must carry an explicit NaN
+    // significance and be listed by `empty_enclosures()`.
+    let report = Analysis::new()
+        .run(|ctx| {
+            let x = ctx.input("x", 1.0, 2.0);
+            let zero = ctx.constant(0.0);
+            let dead = x / zero;
+            ctx.intermediate(&dead, "dead");
+            let y = x.sqr();
+            ctx.output(&y, "y");
+            Ok(())
+        })
+        .unwrap();
+    let dead = report.var("dead").unwrap();
+    assert!(dead.enclosure.is_empty());
+    assert!(
+        dead.significance_raw.is_nan() && dead.significance.is_nan(),
+        "empty node must report NaN significance, got {}",
+        dead.significance
+    );
+    assert!(report.empty_enclosures().contains(&dead.node.index()));
+    // The healthy output is unaffected by the dead empty node.
+    assert_eq!(report.significance_of("y"), Some(1.0));
+    assert!(report.to_string().contains("EMPTY enclosure"));
+}
+
+#[test]
 fn constant_output_has_zero_total_significance() {
     let report = Analysis::new()
         .run(|ctx| {

@@ -10,10 +10,27 @@ pub struct LevelStats {
     pub level: usize,
     /// Number of live nodes at the level.
     pub count: usize,
-    /// Mean normalized significance.
+    /// Number of live nodes whose significance is non-finite (NaN or
+    /// infinite — e.g. nodes with an EMPTY enclosure, whose Eq.-11
+    /// width is NaN). These are excluded from `mean`/`variance`.
+    pub non_finite: usize,
+    /// Mean normalized significance over the finite entries; NaN when
+    /// the level is [degenerate](LevelStats::is_degenerate).
     pub mean: f64,
-    /// Population variance of the normalized significances.
+    /// Population variance of the finite normalized significances; NaN
+    /// when the level is [degenerate](LevelStats::is_degenerate).
     pub variance: f64,
+}
+
+impl LevelStats {
+    /// `true` when every live node at this level has a non-finite
+    /// significance, so the level's statistics carry no information.
+    /// Such a level reports NaN mean/variance — a hard diagnostic —
+    /// rather than `(0, 0)`, which would read as "perfectly uniform"
+    /// and silently suppress the δ cut.
+    pub fn is_degenerate(&self) -> bool {
+        self.count > 0 && self.non_finite == self.count
+    }
 }
 
 /// The result of the `findSgnfVariance` walk (Algorithm 1, step S5).
@@ -30,6 +47,21 @@ pub struct Partition {
     pub graph: SigGraph,
     /// Statistics for every level that was examined.
     pub level_stats: Vec<LevelStats>,
+}
+
+impl Partition {
+    /// Levels whose statistics are degenerate (every live node
+    /// non-finite; see [`LevelStats::is_degenerate`]). A non-empty
+    /// result means the δ cut skipped those levels for lack of any
+    /// finite significance — inspect the analysis report's flagged
+    /// empty enclosures before trusting the partition.
+    pub fn degenerate_levels(&self) -> Vec<usize> {
+        self.level_stats
+            .iter()
+            .filter(|s| s.is_degenerate())
+            .map(|s| s.level)
+            .collect()
+    }
 }
 
 impl SigGraph {
@@ -62,19 +94,40 @@ impl SigGraph {
             .collect();
 
         // Rewire: every kept node expands interior predecessors into
-        // their own predecessors, transitively.
+        // their own predecessors, transitively. The walk is guarded: a
+        // well-formed DynDFG is a DAG, so one expansion can neither
+        // revisit an interior node nor reach the expanding node itself.
+        // A malformed (cyclic) graph trips one of the two asserts and
+        // fails loudly instead of silently wiring a node to itself.
+        let mut visited = vec![false; g.nodes.len()];
         for id in 0..g.nodes.len() {
             if g.nodes[id].removed || interior[id] {
                 continue;
             }
             let mut new_preds = Vec::new();
+            let mut touched: Vec<usize> = Vec::new();
             let mut stack: Vec<usize> = g.nodes[id].preds.clone();
             while let Some(p) = stack.pop() {
+                assert!(
+                    p != id,
+                    "SigGraph::simplified: cycle detected — node {id} is its own \
+                     transitive predecessor"
+                );
                 if interior[p] {
+                    assert!(
+                        !visited[p],
+                        "SigGraph::simplified: cycle detected through node {p} \
+                         while rewiring node {id}"
+                    );
+                    visited[p] = true;
+                    touched.push(p);
                     stack.extend(g.nodes[p].preds.iter().copied());
                 } else {
                     new_preds.push(p);
                 }
+            }
+            for t in touched {
+                visited[t] = false;
             }
             new_preds.sort_unstable();
             new_preds.dedup();
@@ -104,17 +157,27 @@ impl SigGraph {
         let mut cut_level = None;
         let height = self.height();
         for level in 1..height {
-            let sig: Vec<f64> = self
-                .level_nodes(level)
+            let nodes = self.level_nodes(level);
+            let count = nodes.len();
+            let sig: Vec<f64> = nodes
                 .iter()
                 .map(|n| n.significance)
                 .filter(|s| s.is_finite())
                 .collect();
-            let count = sig.len();
-            let (mean, variance) = mean_variance(&sig);
+            let non_finite = count - sig.len();
+            // An all-non-finite live level carries no usable statistics:
+            // report NaN (a hard diagnostic, surfaced via
+            // `LevelStats::is_degenerate`) instead of the pre-fix (0, 0),
+            // which masqueraded as a perfectly uniform level.
+            let (mean, variance) = if count > 0 && non_finite == count {
+                (f64::NAN, f64::NAN)
+            } else {
+                mean_variance(&sig)
+            };
             level_stats.push(LevelStats {
                 level,
                 count,
+                non_finite,
                 mean,
                 variance,
             });
@@ -290,6 +353,68 @@ mod tests {
         assert_eq!(p.cut_level, Some(2));
         // Input at level 3 survives (cut + 1); nothing above it exists.
         assert!(p.graph.live_nodes().any(|n| n.id == 0));
+    }
+
+    /// Regression: a cyclic (malformed) graph must fail loudly in the
+    /// rewire walk. Pre-fix, this graph silently rewired the output to
+    /// be its own predecessor.
+    #[test]
+    #[should_panic(expected = "cycle detected")]
+    fn simplify_panics_on_cyclic_graph() {
+        // Output Add node 1 consumes node 0; node 0 (additive, single
+        // consumer) consumes node 1 back — a two-node cycle.
+        let mut nodes = vec![
+            mk(0, Op::Add, vec![1], 0.5),
+            mk(1, Op::Add, vec![0], 1.0),
+        ];
+        nodes[1].is_output = true;
+        let g = SigGraph::new(nodes, vec![1]);
+        let _ = g.simplified();
+    }
+
+    /// Regression: a level whose significances are all non-finite used
+    /// to report `(mean, variance) = (0, 0)` — "perfectly uniform" —
+    /// because the finite filter emptied the slice. It must now be a
+    /// hard diagnostic: NaN statistics, full live count, and the level
+    /// listed as degenerate.
+    #[test]
+    fn partition_flags_all_non_finite_level_as_degenerate() {
+        let mut nodes = vec![
+            mk(0, Op::Input, vec![], f64::NAN),
+            mk(1, Op::Input, vec![], f64::NAN),
+            mk(2, Op::Add, vec![0, 1], 1.0),
+        ];
+        nodes[2].is_output = true;
+        let g = SigGraph::new(nodes, vec![2]);
+        let p = g.partition(1e-3);
+        assert_eq!(p.cut_level, None, "NaN variance must never fire the cut");
+        let stats = &p.level_stats[0];
+        assert_eq!(stats.level, 1);
+        assert_eq!(stats.count, 2, "count reports live nodes, not finite ones");
+        assert_eq!(stats.non_finite, 2);
+        assert!(stats.mean.is_nan() && stats.variance.is_nan());
+        assert!(stats.is_degenerate());
+        assert_eq!(p.degenerate_levels(), vec![1]);
+    }
+
+    /// A partially non-finite level keeps finite statistics but counts
+    /// the non-finite members.
+    #[test]
+    fn partition_counts_non_finite_members() {
+        let mut nodes = vec![
+            mk(0, Op::Input, vec![], 0.2),
+            mk(1, Op::Input, vec![], f64::NAN),
+            mk(2, Op::Input, vec![], 0.4),
+            mk(3, Op::Add, vec![0, 1, 2], 1.0),
+        ];
+        nodes[3].is_output = true;
+        let g = SigGraph::new(nodes, vec![3]);
+        let p = g.partition(10.0);
+        let stats = &p.level_stats[0];
+        assert_eq!((stats.count, stats.non_finite), (3, 1));
+        assert!((stats.mean - 0.3).abs() < 1e-12);
+        assert!(!stats.is_degenerate());
+        assert!(p.degenerate_levels().is_empty());
     }
 
     #[test]

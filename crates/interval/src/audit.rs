@@ -1,0 +1,104 @@
+//! Debug-only invariant checks for the arithmetic operators
+//! (`audit-invariants` feature).
+//!
+//! Every production (outward-rounded) operator result is checked
+//! against three invariants:
+//!
+//! 1. **Canonical representation** — `lo ≤ hi` with no NaN bound, or
+//!    the canonical [`Interval::EMPTY`] with *both* bounds NaN. A
+//!    half-NaN interval would silently poison every comparison
+//!    downstream.
+//! 2. **EMPTY absorption** — if either operand is empty the result must
+//!    be empty (the empty set has no members to operate on).
+//! 3. **Outward-rounding monotonicity** — the outward-rounded result
+//!    must enclose the round-to-nearest result of the *same* case
+//!    analysis: nudging bounds outward may only ever widen.
+//!
+//! The checks panic with the operator name and the operands, so a
+//! violation surfaced by the fuzzer is immediately attributable. They
+//! are compiled out entirely unless the `audit-invariants` feature is
+//! enabled (the feature is off by default; see DESIGN.md "Soundness
+//! audit").
+
+use crate::interval::Interval;
+
+/// Panics unless `r` is canonically represented.
+#[inline]
+pub(crate) fn check_canonical(op: &str, r: Interval) {
+    let (lo, hi) = (r.inf(), r.sup());
+    if lo.is_nan() || hi.is_nan() {
+        assert!(
+            lo.is_nan() && hi.is_nan(),
+            "audit-invariants: {op} produced a half-NaN interval [{lo}, {hi}]"
+        );
+    } else {
+        assert!(
+            lo <= hi,
+            "audit-invariants: {op} produced inverted bounds [{lo}, {hi}]"
+        );
+    }
+}
+
+/// Full differential check for a binary operator: canonical form,
+/// EMPTY absorption, and `outward ⊇ nearest`.
+#[inline]
+pub(crate) fn check_binary(op: &str, a: Interval, b: Interval, outward: Interval, nearest: Interval) {
+    check_canonical(op, outward);
+    if a.is_empty() || b.is_empty() {
+        assert!(
+            outward.is_empty(),
+            "audit-invariants: {op}({a:?}, {b:?}) must absorb EMPTY, got {outward:?}"
+        );
+        return;
+    }
+    assert!(
+        outward.encloses(nearest),
+        "audit-invariants: outward {op}({a:?}, {b:?}) = {outward:?} \
+         does not enclose the unrounded result {nearest:?}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_accepts_normal_and_empty() {
+        check_canonical("add", Interval::new(1.0, 2.0));
+        check_canonical("add", Interval::EMPTY);
+        check_canonical("add", Interval::ENTIRE);
+    }
+
+    #[test]
+    #[should_panic(expected = "half-NaN")]
+    fn canonical_rejects_half_nan() {
+        // Only constructible by bypassing the public constructors; the
+        // check exists exactly to catch such an internal bug.
+        let broken = Interval::from_bounds_unchecked(f64::NAN, 1.0);
+        check_canonical("test", broken);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not enclose")]
+    fn monotonicity_rejects_narrower_outward() {
+        check_binary(
+            "test",
+            Interval::new(0.0, 1.0),
+            Interval::new(0.0, 1.0),
+            Interval::new(0.25, 0.75),
+            Interval::new(0.0, 1.0),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "absorb EMPTY")]
+    fn absorption_rejects_non_empty_result() {
+        check_binary(
+            "test",
+            Interval::EMPTY,
+            Interval::new(0.0, 1.0),
+            Interval::new(0.0, 1.0),
+            Interval::new(0.0, 1.0),
+        );
+    }
+}

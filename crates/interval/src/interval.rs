@@ -172,6 +172,14 @@ impl Interval {
         }
     }
 
+    /// Raw constructor bypassing canonicalisation — exists only so the
+    /// `audit-invariants` tests can manufacture the malformed values the
+    /// checks must reject.
+    #[cfg(feature = "audit-invariants")]
+    pub(crate) const fn from_bounds_unchecked(lo: f64, hi: f64) -> Interval {
+        Interval { lo, hi }
+    }
+
     /// Internal constructor that maps NaN bounds to the empty set.
     #[inline]
     pub(crate) fn make(lo: f64, hi: f64) -> Interval {

@@ -39,6 +39,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+#[cfg(feature = "audit-invariants")]
+mod audit;
 mod boxes;
 mod compare;
 mod extra;

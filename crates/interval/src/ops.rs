@@ -149,11 +149,30 @@ pub(crate) fn div_impl<R: Round>(a: Interval, b: Interval) -> Interval {
     Interval::make(R::lo(lo), R::hi(hi))
 }
 
+/// Applies the differential invariant checks to a binary-operator
+/// result when `audit-invariants` is on; a no-op (and fully compiled
+/// out) otherwise. The `$nearest` expression is only evaluated under
+/// the feature, so the production operators pay nothing.
+macro_rules! audited {
+    ($name:literal, $a:expr, $b:expr, $outward:expr, $nearest:expr) => {{
+        let r = $outward;
+        #[cfg(feature = "audit-invariants")]
+        crate::audit::check_binary($name, $a, $b, r, $nearest);
+        r
+    }};
+}
+
 impl Add for Interval {
     type Output = Interval;
     #[inline]
     fn add(self, rhs: Interval) -> Interval {
-        add_impl::<Outward>(self, rhs)
+        audited!(
+            "add",
+            self,
+            rhs,
+            add_impl::<Outward>(self, rhs),
+            add_impl::<Nearest>(self, rhs)
+        )
     }
 }
 
@@ -161,7 +180,13 @@ impl Sub for Interval {
     type Output = Interval;
     #[inline]
     fn sub(self, rhs: Interval) -> Interval {
-        sub_impl::<Outward>(self, rhs)
+        audited!(
+            "sub",
+            self,
+            rhs,
+            sub_impl::<Outward>(self, rhs),
+            sub_impl::<Nearest>(self, rhs)
+        )
     }
 }
 
@@ -169,7 +194,13 @@ impl Mul for Interval {
     type Output = Interval;
     #[inline]
     fn mul(self, rhs: Interval) -> Interval {
-        mul_impl::<Outward>(self, rhs)
+        audited!(
+            "mul",
+            self,
+            rhs,
+            mul_impl::<Outward>(self, rhs),
+            mul_impl::<Nearest>(self, rhs)
+        )
     }
 }
 
@@ -177,7 +208,13 @@ impl Div for Interval {
     type Output = Interval;
     #[inline]
     fn div(self, rhs: Interval) -> Interval {
-        div_impl::<Outward>(self, rhs)
+        audited!(
+            "div",
+            self,
+            rhs,
+            div_impl::<Outward>(self, rhs),
+            div_impl::<Nearest>(self, rhs)
+        )
     }
 }
 
@@ -189,7 +226,10 @@ impl Neg for Interval {
             return Interval::EMPTY;
         }
         // Negation is exact: no rounding adjustment needed.
-        Interval::make(-self.sup(), -self.inf())
+        let r = Interval::make(-self.sup(), -self.inf());
+        #[cfg(feature = "audit-invariants")]
+        crate::audit::check_canonical("neg", r);
+        r
     }
 }
 

@@ -371,8 +371,23 @@ pub fn perforated(img: &GrayImage, lens: &Lens, keep_fraction: f64) -> (GrayImag
 /// Propagates framework errors (the series form is branch-free and
 /// total).
 pub fn analysis_inverse_mapping(lens: &Lens, u: f64, v: f64) -> Result<f64, AnalysisError> {
-    let report = Analysis::new().run(|ctx| register_inverse_mapping(ctx, lens, u, v))?;
+    let report = analysis_inverse_mapping_report(lens, u, v)?;
     Ok(summed_input_significance(&report))
+}
+
+/// The full [`Report`] behind [`analysis_inverse_mapping`] — the entry
+/// point the soundness-audit battery (and any other node-level
+/// consumer) uses.
+///
+/// # Errors
+///
+/// Propagates framework errors, as [`analysis_inverse_mapping`].
+pub fn analysis_inverse_mapping_report(
+    lens: &Lens,
+    u: f64,
+    v: f64,
+) -> Result<Report, AnalysisError> {
+    Analysis::new().run(|ctx| register_inverse_mapping(ctx, lens, u, v))
 }
 
 /// [`analysis_inverse_mapping`] recording into a reusable arena — the

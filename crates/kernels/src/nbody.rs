@@ -17,7 +17,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use scorpio_core::{Analysis, AnalysisError};
+use scorpio_core::{Analysis, AnalysisError, Report};
 use scorpio_runtime::perforation::Perforator;
 use scorpio_runtime::{ExecutionStats, Executor, TaskGroup};
 
@@ -541,7 +541,21 @@ pub fn perforated(params: &Params, keep_fraction: f64) -> (State, ExecutionStats
 ///
 /// Propagates framework errors (the kernel is branch-free).
 pub fn analysis_pair(r0: f64, radius: f64) -> Result<f64, AnalysisError> {
-    let report = Analysis::new().run(move |ctx| {
+    let report = analysis_pair_report(r0, radius)?;
+    Ok(["bx", "by", "bz"]
+        .iter()
+        .map(|n| report.var(n).map(|v| v.significance_raw).unwrap_or(0.0))
+        .sum())
+}
+
+/// The full [`Report`] behind [`analysis_pair`] — the entry point the
+/// soundness-audit battery (and any other node-level consumer) uses.
+///
+/// # Errors
+///
+/// Propagates framework errors, as [`analysis_pair`].
+pub fn analysis_pair_report(r0: f64, radius: f64) -> Result<Report, AnalysisError> {
+    Analysis::new().run(move |ctx| {
         // A at the origin (point inputs), B at distance r0 along x.
         let ax = ctx.input("ax", 0.0, 0.0);
         let ay = ctx.input("ay", 0.0, 0.0);
@@ -564,11 +578,7 @@ pub fn analysis_pair(r0: f64, radius: f64) -> Result<f64, AnalysisError> {
         ctx.output(&fy, "fy");
         ctx.output(&fz, "fz");
         Ok(())
-    })?;
-    Ok(["bx", "by", "bz"]
-        .iter()
-        .map(|n| report.var(n).map(|v| v.significance_raw).unwrap_or(0.0))
-        .sum())
+    })
 }
 
 #[cfg(test)]

@@ -225,6 +225,45 @@ proptest! {
         }
     }
 
+    /// Ties break deterministically by spawn order: among equal
+    /// significances, the earliest-spawned tasks win the accurate slots.
+    /// With ALL significances equal the accurate set must be exactly the
+    /// spawn-order prefix {0, …, ceil(ratio·n)−1}, identically on every run.
+    #[test]
+    fn tie_break_is_deterministic_by_spawn_order(
+        n in 2usize..30,
+        ratio in 0.05f64..0.95,
+        sig in 0.0f64..1.0,
+    ) {
+        let executor = Executor::new(3);
+        let run = || {
+            let executed = Mutex::new(Vec::new());
+            let mut group = TaskGroup::new("g");
+            for i in 0..n {
+                let executed = &executed;
+                group.spawn(
+                    sig,
+                    move |_| executed.lock().unwrap().push(i),
+                    Some(|_: &crate::TaskCtx| {}),
+                );
+            }
+            let stats = group.taskwait(&executor, ratio);
+            let mut accurate = executed.into_inner().unwrap();
+            accurate.sort_unstable();
+            (stats.accurate, accurate)
+        };
+        let min_acc = (ratio * n as f64).ceil() as usize;
+        let (count_a, set_a) = run();
+        let (count_b, set_b) = run();
+        prop_assert_eq!(count_a, min_acc);
+        // The winners are the first ceil(ratio·n) spawned, nothing else.
+        let want: Vec<usize> = (0..min_acc).collect();
+        prop_assert_eq!(&set_a, &want);
+        // And a second identical run selects the identical set.
+        prop_assert_eq!(count_b, count_a);
+        prop_assert_eq!(set_b, set_a);
+    }
+
     /// Energy is monotone non-increasing as ratio decreases, whenever
     /// approximate bodies do less work than accurate ones.
     #[test]

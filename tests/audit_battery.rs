@@ -1,0 +1,143 @@
+//! Differential soundness-audit battery, integration-level.
+//!
+//! Exercises the three oracle families of `scorpio::analysis::audit`
+//! end-to-end through the facade crate:
+//!
+//! * **containment** — concrete forward values and finite-difference /
+//!   dual-number derivatives of randomly sampled points must lie inside
+//!   the interval enclosures and interval adjoints of every node;
+//! * **cross-mode** — a replayed (`ReplayOrRecord`) analysis must agree
+//!   bitwise with a fresh recording;
+//! * **fuzz** — random expression DAGs over every operator family
+//!   (including the div/pow edge cases that produce EMPTY or half-line
+//!   enclosures) stay sound, and a seeded violation shrinks to a
+//!   minimal repro.
+//!
+//! The full-size sweep (1 000 cases per family, as in the release
+//! `scorpio_audit` binary) runs in release; debug builds scale down so
+//! `cargo test -q` stays fast on one core.
+
+use scorpio::analysis::audit::{
+    audit_containment, audit_cross_mode, minimal_repro, AuditConfig, AuditOutcome, DagSpec,
+    OpFamily, SplitMix64,
+};
+use scorpio::analysis::Report;
+use scorpio::kernels::{blackscholes, maclaurin, sobel};
+
+/// Cases per operator family: the acceptance-sized sweep in release,
+/// a proportional smoke sweep under debug assertions.
+fn fuzz_cases() -> usize {
+    if cfg!(debug_assertions) {
+        150
+    } else {
+        1_000
+    }
+}
+
+fn audit_report(report: &Report, points: usize, seed: u64) -> AuditOutcome {
+    let cfg = AuditConfig {
+        points,
+        seed,
+        max_violations: 8,
+    };
+    audit_containment(report, &cfg)
+}
+
+#[test]
+fn kernel_containment_holds_on_spot_checks() {
+    let points = if cfg!(debug_assertions) { 500 } else { 5_000 };
+
+    let maclaurin = maclaurin::analysis(0.49, 8).expect("maclaurin analysis");
+    let out = audit_report(&maclaurin, points, 0xBA77_0001);
+    assert!(out.is_sound(), "maclaurin violations: {:?}", out.violations);
+    assert!(out.checks > 0);
+
+    let sobel = sobel::analysis().expect("sobel analysis");
+    let out = audit_report(&sobel, points, 0xBA77_0002);
+    assert!(out.is_sound(), "sobel violations: {:?}", out.violations);
+
+    let bs = blackscholes::analysis().expect("blackscholes analysis");
+    let out = audit_report(&bs, points, 0xBA77_0003);
+    assert!(out.is_sound(), "blackscholes violations: {:?}", out.violations);
+}
+
+#[test]
+fn cross_mode_bit_identity_on_kernel_and_random_dags() {
+    let cross = audit_cross_mode(|ctx| {
+        let x = ctx.input_centered("x", 0.49, 0.5);
+        let mut acc = ctx.constant(0.0);
+        for i in 0..8 {
+            acc = acc + x.powi(i);
+        }
+        ctx.output(&acc, "result");
+        Ok(())
+    })
+    .expect("cross-mode maclaurin");
+    assert!(cross.replayed, "compiled tape failed to replay");
+    assert!(cross.is_clean(), "mismatches: {:?}", cross.mismatches);
+
+    let mut rng = SplitMix64::new(0x0C6A_77E5);
+    for family in OpFamily::ALL {
+        let spec = DagSpec::random(family, &mut rng);
+        let out = audit_cross_mode(|ctx| spec.register(ctx)).expect("cross-mode dag");
+        assert!(out.replayed, "{} dag failed to replay:\n{spec}", family.name());
+        assert!(
+            out.is_clean(),
+            "{} dag cross-mode mismatches: {:?}\n{spec}",
+            family.name(),
+            out.mismatches
+        );
+    }
+}
+
+#[test]
+fn dag_fuzz_sweep_is_sound_for_every_op_family() {
+    let cases = fuzz_cases();
+    let points = if cfg!(debug_assertions) { 20 } else { 40 };
+    for family in OpFamily::ALL {
+        let mut rng = SplitMix64::new(0xF0_5Eu64 ^ family as u64);
+        let mut checks = 0u64;
+        for case in 0..cases {
+            let spec = DagSpec::random(family, &mut rng);
+            let cfg = AuditConfig {
+                points,
+                seed: 0xBEE_0000 + case as u64,
+                max_violations: 4,
+            };
+            let out = spec.audit(&cfg).expect("dag analysis");
+            checks += out.checks;
+            assert!(
+                out.is_sound(),
+                "{} case {case}: {} violation(s) {:?}\n{spec}",
+                family.name(),
+                out.violation_count,
+                out.violations
+            );
+        }
+        assert!(checks > 0, "{} family audited nothing", family.name());
+    }
+}
+
+#[test]
+fn minimal_repro_finds_short_witness_for_seeded_failure() {
+    // Seed an artificial "failure": any spec whose last op reads node
+    // index >= 2. The shrinker must return a spec that still fails but
+    // whose strict prefixes all pass — i.e. a shortest failing prefix.
+    let mut rng = SplitMix64::new(0x51AB_5EED);
+    for _ in 0..50 {
+        let spec = DagSpec::random(OpFamily::Arithmetic, &mut rng);
+        let fails = |s: &DagSpec| s.ops.last().is_some_and(|op| op.a >= 2 || op.b >= 2);
+        if !fails(&spec) {
+            continue;
+        }
+        let small = minimal_repro(&spec, &fails);
+        assert!(fails(&small), "shrunk spec no longer fails:\n{small}");
+        assert!(small.ops.len() <= spec.ops.len());
+        for len in 1..small.ops.len() {
+            assert!(
+                !fails(&small.prefix(len)),
+                "prefix of length {len} already fails — not minimal:\n{small}"
+            );
+        }
+    }
+}
