@@ -36,7 +36,7 @@ use crate::tape::{OpHistogram, Successors, Tape};
 use crate::value::Scalar;
 
 /// A recorded trace compiled into structure-of-arrays form for repeated
-/// replay (see the [module docs](self)).
+/// replay (the module docs above explain when replay is sound).
 ///
 /// # Example
 ///
@@ -79,6 +79,8 @@ impl<V: Scalar> CompiledTape<V> {
     /// One pass over a borrow of the arena; the tape itself is left
     /// untouched and can keep recording afterwards.
     pub fn compile(tape: &Tape<V>) -> CompiledTape<V> {
+        let _span = scorpio_obs::span("compile");
+        scorpio_obs::count("compiled.nodes", tape.len() as u64);
         let (ops, preds, recorded, inputs) = tape.with_nodes(|nodes| {
             let mut ops = Vec::with_capacity(nodes.len());
             let mut preds = Vec::with_capacity(nodes.len());
@@ -182,6 +184,7 @@ impl<V: Scalar> CompiledTape<V> {
     /// Returns [`ShapeMismatch`] (leaving `buf` unspecified) when
     /// `inputs` does not provide exactly one value per input slot.
     pub fn replay(&self, inputs: &[V], buf: &mut ReplayBuffers<V>) -> Result<(), ShapeMismatch> {
+        let _span = scorpio_obs::span("forward");
         if inputs.len() != self.inputs.len() {
             return Err(ShapeMismatch {
                 expected: self.inputs.len(),

@@ -1,8 +1,10 @@
 //! Criterion benches for the parallel analysis engine: the Fig. 5
 //! InverseMapping per-pixel batch at 1/2/4/8 workers, the tape-reuse
-//! ablation (one warm arena vs a fresh tape per analysis) and the
+//! ablation (one warm arena vs a fresh tape per analysis), the
 //! compiled-replay ablation (record-once / replay-many vs re-recording)
-//! at a single worker.
+//! at a single worker, and the scorpio-obs overhead check (the same
+//! analysis batch with tracing disabled vs enabled — disabled must be
+//! within noise of the pre-instrumentation baseline).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -89,5 +91,51 @@ fn bench_compiled_replay(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_grid_scaling, bench_tape_reuse, bench_compiled_replay);
+/// Observability overhead: the identical 64-analysis batch with the
+/// `scorpio-obs` layer off (the default — every instrumentation site
+/// is a single relaxed atomic load) and on (spans + counters recorded
+/// into the global sink). The `obs_disabled` case is the acceptance
+/// gate: it must sit within ~2% of the pre-instrumentation baseline.
+fn bench_obs_overhead(c: &mut Criterion) {
+    let lens = Lens::for_image(1280, 960);
+    let mut group = c.benchmark_group("obs_overhead");
+    let pixels: Vec<f64> = (0..64).map(|i| 10.0 + i as f64 * 19.0).collect();
+    scorpio_obs::disable();
+    scorpio_obs::reset();
+    group.bench_function("obs_disabled", |b| {
+        let mut arena = AnalysisArena::new();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &u in &pixels {
+                acc += analysis_inverse_mapping_in(&mut arena, &lens, u, 480.0).unwrap();
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("obs_enabled", |b| {
+        let mut arena = AnalysisArena::new();
+        scorpio_obs::enable();
+        b.iter(|| {
+            // Keep the sink bounded: drain the recorded events each
+            // iteration so the bench measures recording, not Vec growth.
+            scorpio_obs::take_events();
+            let mut acc = 0.0;
+            for &u in &pixels {
+                acc += analysis_inverse_mapping_in(&mut arena, &lens, u, 480.0).unwrap();
+            }
+            black_box(acc)
+        });
+        scorpio_obs::disable();
+        scorpio_obs::reset();
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_grid_scaling,
+    bench_tape_reuse,
+    bench_compiled_replay,
+    bench_obs_overhead
+);
 criterion_main!(benches);

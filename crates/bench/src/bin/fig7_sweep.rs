@@ -7,13 +7,16 @@
 //! over perforation).
 //!
 //! ```sh
-//! cargo run --release -p scorpio-bench --bin fig7_sweep [--small] [--threads N]
+//! cargo run --release -p scorpio-bench --bin fig7_sweep [--small] [--threads N] [--trace trace.json]
 //! ```
 //!
 //! `--threads N` sizes the task-execution worker pool (default: one
-//! worker per available core).
+//! worker per available core). `--trace <path>` enables scorpio-obs
+//! instrumentation: the run writes a Chrome-trace file to `<path>`
+//! (open it in `about:tracing` / Perfetto) and a `RUN_fig7_sweep.json`
+//! run manifest with per-phase timings and counters.
 
-use scorpio_bench::{threads_arg, to_csv, SweepRow};
+use scorpio_bench::{finish_trace, threads_arg, to_csv, trace_arg, SweepRow};
 use scorpio_kernels::{blackscholes, dct, fisheye, nbody, sobel};
 use scorpio_quality::{psnr_images, relative_error_l2, GrayImage, SyntheticImage};
 use scorpio_runtime::{EnergyModel, ExecutionStats, Executor};
@@ -128,6 +131,10 @@ fn image_workload(small: bool, seed: u64) -> GrayImage {
 
 fn main() {
     let small = std::env::args().any(|a| a == "--small");
+    let trace_path = trace_arg();
+    let session = trace_path
+        .as_ref()
+        .map(|_| scorpio_obs::RunSession::start("fig7_sweep"));
     let executor = match threads_arg() {
         Some(threads) => Executor::new(threads),
         None => Executor::with_available_parallelism(),
@@ -138,6 +145,7 @@ fn main() {
 
     // ── Sobel ────────────────────────────────────────────────────────
     {
+        let _span = scorpio_obs::span("sobel");
         let img = image_workload(small, 101);
         eprintln!("[sobel] {}×{}", img.width(), img.height());
         let full = sobel::reference(&img);
@@ -164,6 +172,7 @@ fn main() {
 
     // ── DCT ──────────────────────────────────────────────────────────
     {
+        let _span = scorpio_obs::span("dct");
         let img = if small {
             image_workload(true, 202)
         } else {
@@ -194,6 +203,7 @@ fn main() {
 
     // ── Fisheye ──────────────────────────────────────────────────────
     {
+        let _span = scorpio_obs::span("fisheye");
         let (w, h, bw, bh) = if small {
             (160, 120, 32, 24)
         } else {
@@ -227,6 +237,7 @@ fn main() {
 
     // ── N-Body ───────────────────────────────────────────────────────
     {
+        let _span = scorpio_obs::span("nbody");
         let params = if small {
             nbody::Params::small()
         } else {
@@ -262,6 +273,7 @@ fn main() {
 
     // ── BlackScholes (perforation not applicable, §4.2) ─────────────
     {
+        let _span = scorpio_obs::span("blackscholes");
         let n = if small { 4096 } else { 65_536 };
         let options = blackscholes::generate_options(n, 404);
         eprintln!("[blackscholes] {n} options");
@@ -326,4 +338,12 @@ fn main() {
         "\nmean energy reduction across benchmarks: {:.0}% (paper: 56% mean, 31–91% range)",
         mean * 100.0
     );
+
+    if let Some(session) = session {
+        let config = vec![
+            ("small".to_owned(), small.to_string()),
+            ("threads".to_owned(), executor.threads().to_string()),
+        ];
+        finish_trace(session, executor.threads(), &config, trace_path.as_deref());
+    }
 }

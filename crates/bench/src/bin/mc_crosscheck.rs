@@ -11,19 +11,28 @@
 //!
 //! `--threads N` fans the Monte-Carlo samples over N workers (default:
 //! serial); the estimates are bit-identical at every thread count.
+//! `--trace <path>` writes a Chrome trace and a `RUN_mc_crosscheck.json`
+//! run manifest.
 
-use scorpio_bench::threads_arg;
+use scorpio_bench::{finish_trace, threads_arg, trace_arg};
 use scorpio_core::mc;
 use scorpio_kernels::maclaurin;
 
 fn main() {
     let threads = threads_arg().unwrap_or(1);
+    let trace_path = trace_arg();
+    let session = trace_path
+        .as_ref()
+        .map(|_| scorpio_obs::RunSession::start("mc_crosscheck"));
     println!(
         "=== Monte-Carlo vs interval-AD significance (maclaurin, N = 6, {threads} thread{}) ===\n",
         if threads == 1 { "" } else { "s" }
     );
     let (x0, n) = (0.49, 6i32);
-    let ia = maclaurin::analysis(x0, n as usize).expect("interval analysis");
+    let ia = {
+        let _span = scorpio_obs::span("interval_analysis");
+        maclaurin::analysis(x0, n as usize).expect("interval analysis")
+    };
 
     let closure = move |ctx: &mc::McCtx<'_>| {
         let x = ctx.input("x", x0 - 0.5, x0 + 0.5);
@@ -45,10 +54,13 @@ fn main() {
     }
     println!();
 
-    let mc_reports: Vec<mc::McReport> = sample_counts
-        .iter()
-        .map(|&s| mc::estimate_threaded(s, 20_24, threads, closure).expect("mc"))
-        .collect();
+    let mc_reports: Vec<mc::McReport> = {
+        let _span = scorpio_obs::span("mc_estimation");
+        sample_counts
+            .iter()
+            .map(|&s| mc::estimate_threaded(s, 20_24, threads, closure).expect("mc"))
+            .collect()
+    };
 
     let mut converged_below = true;
     for i in 0..n {
@@ -100,4 +112,9 @@ fn main() {
          upper envelope. A hybrid (MC for branchy code, IA elsewhere) is\n\
          exactly the future work the paper sketches."
     );
+
+    if let Some(session) = session {
+        let config = vec![("threads".to_owned(), threads.to_string())];
+        finish_trace(session, threads, &config, trace_path.as_deref());
+    }
 }

@@ -12,11 +12,13 @@
 //!
 //! Full mode samples ≥ 100 000 concrete points per kernel; `--quick`
 //! drops to 2 000 points and a smaller fuzz sweep (seconds, suitable
-//! for the verify recipe).
+//! for the verify recipe). `--trace <path>` writes a Chrome trace and
+//! a `RUN_scorpio_audit.json` run manifest.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use scorpio_bench::{finish_trace, trace_arg};
 use scorpio_core::audit::{
     audit_containment, audit_cross_mode, minimal_repro, AuditConfig, AuditOutcome, DagSpec,
     OpFamily, SplitMix64,
@@ -64,6 +66,10 @@ fn audit_kernel(
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let trace_path = trace_arg();
+    let session = trace_path
+        .as_ref()
+        .map(|_| scorpio_obs::RunSession::start("scorpio_audit"));
     let points_per_kernel: usize = if quick { 2_000 } else { 100_000 };
     let fuzz_cases_per_family: usize = if quick { 60 } else { 1_000 };
     let fuzz_points: usize = if quick { 30 } else { 60 };
@@ -78,33 +84,36 @@ fn main() {
     // Small-trace kernels spread their point budget over several
     // operating points; the large-trace ones (Sobel, DCT, the full
     // BlackScholes chain) use a single report.
-    let maclaurin_reports: Vec<Report> = [0.2, 0.49, 0.8, 1.2]
-        .iter()
-        .map(|&x0| maclaurin::analysis(x0, 8).expect("maclaurin analysis"))
-        .collect();
-    let sobel_reports = vec![sobel::analysis().expect("sobel analysis")];
-    let dct_reports = vec![dct::analysis_default().expect("dct analysis")];
-    let bs_reports = vec![blackscholes::analysis().expect("blackscholes analysis")];
-    let lens = fisheye::Lens::for_image(1280, 960);
-    let fisheye_reports: Vec<Report> = [(640.0, 480.0), (200.0, 150.0), (1100.0, 900.0)]
-        .iter()
-        .map(|&(u, v)| {
-            fisheye::analysis_inverse_mapping_report(&lens, u, v).expect("fisheye analysis")
-        })
-        .collect();
-    let nbody_reports: Vec<Report> = [(1.0, 0.05), (1.5, 0.1), (2.5, 0.2)]
-        .iter()
-        .map(|&(r0, rad)| nbody::analysis_pair_report(r0, rad).expect("nbody analysis"))
-        .collect();
+    let kernels = {
+        let _span = scorpio_obs::span("kernel_batteries");
+        let maclaurin_reports: Vec<Report> = [0.2, 0.49, 0.8, 1.2]
+            .iter()
+            .map(|&x0| maclaurin::analysis(x0, 8).expect("maclaurin analysis"))
+            .collect();
+        let sobel_reports = vec![sobel::analysis().expect("sobel analysis")];
+        let dct_reports = vec![dct::analysis_default().expect("dct analysis")];
+        let bs_reports = vec![blackscholes::analysis().expect("blackscholes analysis")];
+        let lens = fisheye::Lens::for_image(1280, 960);
+        let fisheye_reports: Vec<Report> = [(640.0, 480.0), (200.0, 150.0), (1100.0, 900.0)]
+            .iter()
+            .map(|&(u, v)| {
+                fisheye::analysis_inverse_mapping_report(&lens, u, v).expect("fisheye analysis")
+            })
+            .collect();
+        let nbody_reports: Vec<Report> = [(1.0, 0.05), (1.5, 0.1), (2.5, 0.2)]
+            .iter()
+            .map(|&(r0, rad)| nbody::analysis_pair_report(r0, rad).expect("nbody analysis"))
+            .collect();
 
-    let kernels = [
-        audit_kernel("maclaurin", &maclaurin_reports, points_per_kernel, 0xA11D_0001),
-        audit_kernel("sobel", &sobel_reports, points_per_kernel, 0xA11D_0002),
-        audit_kernel("dct", &dct_reports, points_per_kernel, 0xA11D_0003),
-        audit_kernel("blackscholes", &bs_reports, points_per_kernel, 0xA11D_0004),
-        audit_kernel("fisheye", &fisheye_reports, points_per_kernel, 0xA11D_0005),
-        audit_kernel("nbody", &nbody_reports, points_per_kernel, 0xA11D_0006),
-    ];
+        [
+            audit_kernel("maclaurin", &maclaurin_reports, points_per_kernel, 0xA11D_0001),
+            audit_kernel("sobel", &sobel_reports, points_per_kernel, 0xA11D_0002),
+            audit_kernel("dct", &dct_reports, points_per_kernel, 0xA11D_0003),
+            audit_kernel("blackscholes", &bs_reports, points_per_kernel, 0xA11D_0004),
+            audit_kernel("fisheye", &fisheye_reports, points_per_kernel, 0xA11D_0005),
+            audit_kernel("nbody", &nbody_reports, points_per_kernel, 0xA11D_0006),
+        ]
+    };
 
     let mut total_violations = 0u64;
     for k in &kernels {
@@ -128,22 +137,25 @@ fn main() {
     // ── Cross-mode bit-identity ──────────────────────────────────────
     println!("\ncross-mode bit-identity:");
     let mut cross_results: Vec<(&'static str, usize, bool, usize)> = Vec::new();
-    let cross = audit_cross_mode(|ctx| {
-        let x = ctx.input_centered("x", 0.49, 0.5);
-        let mut acc = ctx.constant(0.0);
-        for i in 0..8 {
-            acc = acc + x.powi(i);
+    {
+        let _span = scorpio_obs::span("cross_mode");
+        let cross = audit_cross_mode(|ctx| {
+            let x = ctx.input_centered("x", 0.49, 0.5);
+            let mut acc = ctx.constant(0.0);
+            for i in 0..8 {
+                acc = acc + x.powi(i);
+            }
+            ctx.output(&acc, "result");
+            Ok(())
+        })
+        .expect("cross-mode maclaurin");
+        cross_results.push(("maclaurin", cross.nodes, cross.replayed, cross.mismatches.len()));
+        let mut fuzz_rng = SplitMix64::new(0xC105_5AFE);
+        for family in OpFamily::ALL {
+            let spec = DagSpec::random(family, &mut fuzz_rng);
+            let out = audit_cross_mode(|ctx| spec.register(ctx)).expect("cross-mode dag");
+            cross_results.push((family.name(), out.nodes, out.replayed, out.mismatches.len()));
         }
-        ctx.output(&acc, "result");
-        Ok(())
-    })
-    .expect("cross-mode maclaurin");
-    cross_results.push(("maclaurin", cross.nodes, cross.replayed, cross.mismatches.len()));
-    let mut fuzz_rng = SplitMix64::new(0xC105_5AFE);
-    for family in OpFamily::ALL {
-        let spec = DagSpec::random(family, &mut fuzz_rng);
-        let out = audit_cross_mode(|ctx| spec.register(ctx)).expect("cross-mode dag");
-        cross_results.push((family.name(), out.nodes, out.replayed, out.mismatches.len()));
     }
     let mut cross_mismatches = 0usize;
     for (name, nodes, replayed, mismatches) in &cross_results {
@@ -158,6 +170,7 @@ fn main() {
     println!("\nDAG fuzz sweep ({fuzz_cases_per_family} cases/family):");
     let mut fuzz_violations = 0u64;
     let mut fuzz_summaries: Vec<(&'static str, u64, u64)> = Vec::new();
+    let _fuzz_span = scorpio_obs::span("dag_fuzz");
     for family in OpFamily::ALL {
         let mut rng = SplitMix64::new(0xDA6_0000 + family as u64);
         let mut checks = 0u64;
@@ -196,6 +209,7 @@ fn main() {
             fam_violations
         );
     }
+    drop(_fuzz_span);
 
     // ── Aggregate coverage ───────────────────────────────────────────
     let mut total = AuditOutcome::empty();
@@ -272,6 +286,14 @@ fn main() {
         "\nwrote AUDIT.json — {} ({wall:.1}s)",
         if sound { "SOUND" } else { "VIOLATIONS FOUND" }
     );
+
+    if let Some(session) = session {
+        let config = vec![
+            ("quick".to_owned(), quick.to_string()),
+            ("points_per_kernel".to_owned(), points_per_kernel.to_string()),
+        ];
+        finish_trace(session, 1, &config, trace_path.as_deref());
+    }
     if !sound {
         std::process::exit(1);
     }

@@ -96,6 +96,68 @@ fn parse_threads(v: &str) -> usize {
     n
 }
 
+/// Parses the shared `--trace <path>` observability knob from the
+/// process arguments (accepts both `--trace path` and `--trace=path`).
+/// When present, the harness enables `scorpio-obs` instrumentation for
+/// the run and writes a Chrome-trace-format file to the given path
+/// (viewable in `about:tracing` / Perfetto) next to the
+/// `RUN_<name>.json` run manifest.
+///
+/// # Panics
+///
+/// Panics if the flag is given without a value.
+pub fn trace_arg() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            let v = args.next().expect("--trace needs a path");
+            return Some(v.into());
+        }
+        if let Some(v) = a.strip_prefix("--trace=") {
+            assert!(!v.is_empty(), "--trace needs a path");
+            return Some(v.into());
+        }
+    }
+    None
+}
+
+/// Standard end-of-run observability hook for the harness binaries:
+/// when `trace_path` is `Some`, finishes `session` (writing the Chrome
+/// trace there plus `RUN_<name>.json` in the working directory) and
+/// prints a one-line summary of where the artifacts went and how much
+/// of the wall clock the instrumented phases covered.
+///
+/// The session must have been started with [`scorpio_obs::RunSession::start`]
+/// before the measured work; `config` records the harness knobs in the
+/// manifest.
+pub fn finish_trace(
+    session: scorpio_obs::RunSession,
+    threads: usize,
+    config: &[(String, String)],
+    trace_path: Option<&std::path::Path>,
+) {
+    let name = session.name().to_owned();
+    match session.finish(threads, config, trace_path) {
+        Ok(manifest) => {
+            let coverage = if manifest.wall_clock_ns > 0 {
+                100.0 * manifest.phase_total_ns as f64 / manifest.wall_clock_ns as f64
+            } else {
+                0.0
+            };
+            match trace_path {
+                Some(p) => println!(
+                    "trace: wrote {} and RUN_{name}.json ({coverage:.1}% of wall clock in phases)",
+                    p.display()
+                ),
+                None => println!(
+                    "trace: wrote RUN_{name}.json ({coverage:.1}% of wall clock in phases)"
+                ),
+            }
+        }
+        Err(e) => eprintln!("trace: failed to write run artifacts: {e}"),
+    }
+}
+
 /// One row of the Fig. 7 sweep CSV.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepRow {

@@ -91,9 +91,9 @@ impl Report {
 
     /// Serialises the report as a JSON object.
     ///
-    /// The encoder is a small self-contained one (serde's data model via
-    /// a hand-rolled JSON backend) so the workspace needs no extra
-    /// serialisation crate.
+    /// The encoder is the workspace's own dependency-free one
+    /// ([`scorpio_obs::json`]: serde's data model through a hand-rolled
+    /// JSON backend), shared with the observability run manifests.
     ///
     /// ```
     /// use scorpio_core::Analysis;
@@ -108,7 +108,7 @@ impl Report {
     /// assert!(json.contains("\"name\":\"x\""));
     /// ```
     pub fn to_json(&self) -> String {
-        json::to_string(&self.to_record())
+        scorpio_obs::json::to_string(&self.to_record())
     }
 
     /// Serialises the registered variables as CSV
@@ -147,330 +147,6 @@ fn graph_records(graph: &SigGraph) -> Vec<NodeRecord> {
             is_output: n.is_output,
         })
         .collect()
-}
-
-/// A minimal JSON serializer over serde's data model — enough for the
-/// plain-old-data records above (no external JSON crate required).
-mod json {
-    use serde::ser::{self, Serialize};
-    use std::fmt::Write as _;
-
-    /// Serialises any `Serialize` value to a JSON string.
-    ///
-    /// # Panics
-    ///
-    /// Panics on types outside the subset the records use (maps with
-    /// non-string keys, bytes); the record types above stay inside it.
-    pub fn to_string<T: Serialize>(value: &T) -> String {
-        let mut out = String::new();
-        value
-            .serialize(&mut Ser { out: &mut out })
-            .expect("record serialisation cannot fail");
-        out
-    }
-
-    #[derive(Debug)]
-    pub struct Error(String);
-
-    impl std::fmt::Display for Error {
-        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-            f.write_str(&self.0)
-        }
-    }
-    impl std::error::Error for Error {}
-    impl ser::Error for Error {
-        fn custom<T: std::fmt::Display>(msg: T) -> Self {
-            Error(msg.to_string())
-        }
-    }
-
-    #[derive(Debug)]
-    pub struct Ser<'a> {
-        out: &'a mut String,
-    }
-
-    fn escape(out: &mut String, s: &str) {
-        out.push('"');
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\t' => out.push_str("\\t"),
-                '\r' => out.push_str("\\r"),
-                c if (c as u32) < 0x20 => {
-                    let _ = write!(out, "\\u{:04x}", c as u32);
-                }
-                c => out.push(c),
-            }
-        }
-        out.push('"');
-    }
-
-    fn fmt_f64(out: &mut String, v: f64) {
-        if v.is_finite() {
-            let _ = write!(out, "{v}");
-        } else if v.is_nan() {
-            out.push_str("null");
-        } else if v > 0.0 {
-            out.push_str("1e999"); // renders as Infinity in lenient parsers
-        } else {
-            out.push_str("-1e999");
-        }
-    }
-
-    impl<'a, 'b> ser::Serializer for &'b mut Ser<'a> {
-        type Ok = ();
-        type Error = Error;
-        type SerializeSeq = Seq<'a, 'b>;
-        type SerializeTuple = Seq<'a, 'b>;
-        type SerializeTupleStruct = Seq<'a, 'b>;
-        type SerializeTupleVariant = Seq<'a, 'b>;
-        type SerializeMap = Map<'a, 'b>;
-        type SerializeStruct = Map<'a, 'b>;
-        type SerializeStructVariant = Map<'a, 'b>;
-
-        fn serialize_bool(self, v: bool) -> Result<(), Error> {
-            self.out.push_str(if v { "true" } else { "false" });
-            Ok(())
-        }
-        fn serialize_i8(self, v: i8) -> Result<(), Error> {
-            self.serialize_i64(v as i64)
-        }
-        fn serialize_i16(self, v: i16) -> Result<(), Error> {
-            self.serialize_i64(v as i64)
-        }
-        fn serialize_i32(self, v: i32) -> Result<(), Error> {
-            self.serialize_i64(v as i64)
-        }
-        fn serialize_i64(self, v: i64) -> Result<(), Error> {
-            let _ = write!(self.out, "{v}");
-            Ok(())
-        }
-        fn serialize_u8(self, v: u8) -> Result<(), Error> {
-            self.serialize_u64(v as u64)
-        }
-        fn serialize_u16(self, v: u16) -> Result<(), Error> {
-            self.serialize_u64(v as u64)
-        }
-        fn serialize_u32(self, v: u32) -> Result<(), Error> {
-            self.serialize_u64(v as u64)
-        }
-        fn serialize_u64(self, v: u64) -> Result<(), Error> {
-            let _ = write!(self.out, "{v}");
-            Ok(())
-        }
-        fn serialize_f32(self, v: f32) -> Result<(), Error> {
-            fmt_f64(self.out, v as f64);
-            Ok(())
-        }
-        fn serialize_f64(self, v: f64) -> Result<(), Error> {
-            fmt_f64(self.out, v);
-            Ok(())
-        }
-        fn serialize_char(self, v: char) -> Result<(), Error> {
-            escape(self.out, &v.to_string());
-            Ok(())
-        }
-        fn serialize_str(self, v: &str) -> Result<(), Error> {
-            escape(self.out, v);
-            Ok(())
-        }
-        fn serialize_bytes(self, _: &[u8]) -> Result<(), Error> {
-            Err(ser::Error::custom("bytes unsupported"))
-        }
-        fn serialize_none(self) -> Result<(), Error> {
-            self.out.push_str("null");
-            Ok(())
-        }
-        fn serialize_some<T: Serialize + ?Sized>(self, v: &T) -> Result<(), Error> {
-            v.serialize(self)
-        }
-        fn serialize_unit(self) -> Result<(), Error> {
-            self.out.push_str("null");
-            Ok(())
-        }
-        fn serialize_unit_struct(self, _: &'static str) -> Result<(), Error> {
-            self.serialize_unit()
-        }
-        fn serialize_unit_variant(
-            self,
-            _: &'static str,
-            _: u32,
-            variant: &'static str,
-        ) -> Result<(), Error> {
-            escape(self.out, variant);
-            Ok(())
-        }
-        fn serialize_newtype_struct<T: Serialize + ?Sized>(
-            self,
-            _: &'static str,
-            v: &T,
-        ) -> Result<(), Error> {
-            v.serialize(self)
-        }
-        fn serialize_newtype_variant<T: Serialize + ?Sized>(
-            self,
-            _: &'static str,
-            _: u32,
-            variant: &'static str,
-            v: &T,
-        ) -> Result<(), Error> {
-            self.out.push('{');
-            escape(self.out, variant);
-            self.out.push(':');
-            v.serialize(&mut *self)?;
-            self.out.push('}');
-            Ok(())
-        }
-        fn serialize_seq(self, _: Option<usize>) -> Result<Seq<'a, 'b>, Error> {
-            self.out.push('[');
-            Ok(Seq {
-                ser: self,
-                first: true,
-            })
-        }
-        fn serialize_tuple(self, len: usize) -> Result<Seq<'a, 'b>, Error> {
-            self.serialize_seq(Some(len))
-        }
-        fn serialize_tuple_struct(
-            self,
-            _: &'static str,
-            len: usize,
-        ) -> Result<Seq<'a, 'b>, Error> {
-            self.serialize_seq(Some(len))
-        }
-        fn serialize_tuple_variant(
-            self,
-            _: &'static str,
-            _: u32,
-            _: &'static str,
-            len: usize,
-        ) -> Result<Seq<'a, 'b>, Error> {
-            self.serialize_seq(Some(len))
-        }
-        fn serialize_map(self, _: Option<usize>) -> Result<Map<'a, 'b>, Error> {
-            self.out.push('{');
-            Ok(Map {
-                ser: self,
-                first: true,
-            })
-        }
-        fn serialize_struct(
-            self,
-            _: &'static str,
-            _: usize,
-        ) -> Result<Map<'a, 'b>, Error> {
-            self.serialize_map(None)
-        }
-        fn serialize_struct_variant(
-            self,
-            _: &'static str,
-            _: u32,
-            _: &'static str,
-            _: usize,
-        ) -> Result<Map<'a, 'b>, Error> {
-            self.serialize_map(None)
-        }
-    }
-
-    #[derive(Debug)]
-    pub struct Seq<'a, 'b> {
-        ser: &'b mut Ser<'a>,
-        first: bool,
-    }
-
-    impl ser::SerializeSeq for Seq<'_, '_> {
-        type Ok = ();
-        type Error = Error;
-        fn serialize_element<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
-            if !self.first {
-                self.ser.out.push(',');
-            }
-            self.first = false;
-            v.serialize(&mut *self.ser)
-        }
-        fn end(self) -> Result<(), Error> {
-            self.ser.out.push(']');
-            Ok(())
-        }
-    }
-
-    macro_rules! seq_like {
-        ($trait:ident, $method:ident) => {
-            impl ser::$trait for Seq<'_, '_> {
-                type Ok = ();
-                type Error = Error;
-                fn $method<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
-                    ser::SerializeSeq::serialize_element(self, v)
-                }
-                fn end(self) -> Result<(), Error> {
-                    ser::SerializeSeq::end(self)
-                }
-            }
-        };
-    }
-    seq_like!(SerializeTuple, serialize_element);
-    seq_like!(SerializeTupleStruct, serialize_field);
-    seq_like!(SerializeTupleVariant, serialize_field);
-
-    #[derive(Debug)]
-    pub struct Map<'a, 'b> {
-        ser: &'b mut Ser<'a>,
-        first: bool,
-    }
-
-    impl ser::SerializeMap for Map<'_, '_> {
-        type Ok = ();
-        type Error = Error;
-        fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), Error> {
-            if !self.first {
-                self.ser.out.push(',');
-            }
-            self.first = false;
-            key.serialize(&mut *self.ser)
-        }
-        fn serialize_value<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), Error> {
-            self.ser.out.push(':');
-            v.serialize(&mut *self.ser)
-        }
-        fn end(self) -> Result<(), Error> {
-            self.ser.out.push('}');
-            Ok(())
-        }
-    }
-
-    impl ser::SerializeStruct for Map<'_, '_> {
-        type Ok = ();
-        type Error = Error;
-        fn serialize_field<T: Serialize + ?Sized>(
-            &mut self,
-            key: &'static str,
-            v: &T,
-        ) -> Result<(), Error> {
-            ser::SerializeMap::serialize_key(self, key)?;
-            ser::SerializeMap::serialize_value(self, v)
-        }
-        fn end(self) -> Result<(), Error> {
-            ser::SerializeMap::end(self)
-        }
-    }
-
-    impl ser::SerializeStructVariant for Map<'_, '_> {
-        type Ok = ();
-        type Error = Error;
-        fn serialize_field<T: Serialize + ?Sized>(
-            &mut self,
-            key: &'static str,
-            v: &T,
-        ) -> Result<(), Error> {
-            ser::SerializeStruct::serialize_field(self, key, v)
-        }
-        fn end(self) -> Result<(), Error> {
-            self.ser.out.push('}');
-            Ok(())
-        }
-    }
 }
 
 #[cfg(test)]

@@ -129,9 +129,14 @@ impl ParallelAnalysis {
         R: Send,
         F: Fn(&mut AnalysisArena, &Analysis, usize, &T) -> Result<R, AnalysisError> + Sync,
     {
+        let _span = scorpio_obs::span("parallel_batch");
+        scorpio_obs::count("parallel.items", items.len() as u64);
         let results = self.executor.map_with_state(
             items,
-            || AnalysisArena::with_capacity(self.arena_capacity),
+            || {
+                scorpio_obs::count("parallel.arena_init", 1);
+                AnalysisArena::with_capacity(self.arena_capacity)
+            },
             |arena, i, item| f(arena, &self.analysis, i, item),
         );
         // Item order is preserved by map_with_state, so collect() stops
@@ -219,9 +224,12 @@ impl ParallelAnalysis {
         F: Fn(&mut AnalysisArena, &mut ReplayOrRecord, usize, &T) -> Result<R, AnalysisError>
             + Sync,
     {
+        let _span = scorpio_obs::span("parallel_batch");
+        scorpio_obs::count("parallel.items", items.len() as u64);
         let results = self.executor.map_with_state(
             items,
             || {
+                scorpio_obs::count("parallel.arena_init", 1);
                 (
                     AnalysisArena::with_capacity(self.arena_capacity),
                     ReplayOrRecord::new(self.analysis.clone()),

@@ -78,7 +78,7 @@ struct CompiledAnalysis {
 }
 
 /// Record-once / replay-many driver for one analysis closure family
-/// (see the [module docs](self)).
+/// (the module docs above describe the replay guards in detail).
 ///
 /// Per-item input intervals are passed positionally and override the
 /// closure's declared ranges on the recording run too, so record and
@@ -241,6 +241,21 @@ impl ReplayOrRecord {
         }
     }
 
+    /// Observability counter name for *why* a held compiled trace could
+    /// not serve this `(key, inputs)` combination; `None` when no trace
+    /// was held (a first recording is not a fallback).
+    fn fallback_counter(&self, key: Option<u64>, inputs: &[Interval]) -> Option<&'static str> {
+        let c = self.compiled.as_ref()?;
+        Some(if c.branched {
+            "replay.fallback.branched"
+        } else if self.key != key {
+            "replay.fallback.shape_key"
+        } else {
+            debug_assert_ne!(c.tape.input_count(), inputs.len());
+            "replay.fallback.input_arity"
+        })
+    }
+
     fn run_report<F>(
         &mut self,
         key: Option<u64>,
@@ -252,6 +267,8 @@ impl ReplayOrRecord {
         F: FnOnce(&Ctx<'_>) -> Result<(), AnalysisError>,
     {
         if self.replay_ready(key, inputs) {
+            let _span = scorpio_obs::span("replay");
+            scorpio_obs::count("replay.replays", 1);
             let c = self.compiled.as_ref().expect("replay_ready checked");
             c.tape
                 .replay(inputs, &mut arena.replay)
@@ -274,6 +291,8 @@ impl ReplayOrRecord {
         F: FnOnce(&Ctx<'_>) -> Result<(), AnalysisError>,
     {
         if self.replay_ready(key, inputs) {
+            let _span = scorpio_obs::span("replay");
+            scorpio_obs::count("replay.replays", 1);
             let c = self.compiled.as_ref().expect("replay_ready checked");
             c.tape
                 .replay(inputs, &mut arena.replay)
@@ -298,6 +317,11 @@ impl ReplayOrRecord {
     where
         F: FnOnce(&Ctx<'_>) -> Result<(), AnalysisError>,
     {
+        let _span = scorpio_obs::span("record");
+        scorpio_obs::count("replay.records", 1);
+        if let Some(reason) = self.fallback_counter(key, inputs) {
+            scorpio_obs::count(reason, 1);
+        }
         if self.compiled.is_some() {
             self.stats.fallbacks += 1;
         }
@@ -311,6 +335,7 @@ impl ReplayOrRecord {
         closure_result?;
         let regs = ctx.into_registrations()?;
         self.stats.records += 1;
+        scorpio_obs::count("analysis.nodes_recorded", arena.tape.len() as u64);
 
         // Only a trace whose inputs are fully bound by the positional
         // overrides can be replayed: an uncovered input would keep its
@@ -330,6 +355,8 @@ impl ReplayOrRecord {
                 },
                 branched,
             });
+        } else {
+            scorpio_obs::count("replay.uncompilable", 1);
         }
         Ok(regs)
     }

@@ -201,8 +201,12 @@ pub(crate) fn build_report_with(
 
     let seeds: Vec<(NodeId, Interval)> =
         outputs.iter().map(|&o| (o, Interval::ONE)).collect();
-    let adjoints = tape.adjoints_in(&seeds, std::mem::take(scratch));
+    let adjoints = {
+        let _span = scorpio_obs::span("reverse");
+        tape.adjoints_in(&seeds, std::mem::take(scratch))
+    };
 
+    let _span = scorpio_obs::span("significance");
     // Rows + normalization denominator via the shared assembly (Eq. 11
     // with the round-to-nearest product; see `registered_rows`).
     let (registered, total_raw) = registered_rows(
@@ -261,6 +265,7 @@ pub(crate) fn build_report_with(
         .filter(|n| n.value.is_empty())
         .map(|n| n.id)
         .collect();
+    scorpio_obs::count("analysis.empty_enclosures", empty_nodes.len() as u64);
     let graph = SigGraph::new(nodes, outputs.iter().map(|o| o.index()).collect());
     let report = Report {
         registered,
@@ -378,7 +383,11 @@ pub(crate) fn build_vars_with(
     let outputs = output_nodes(regs)?;
     let seeds: Vec<(NodeId, Interval)> =
         outputs.iter().map(|&o| (o, Interval::ONE)).collect();
-    let adjoints = tape.adjoints_in(&seeds, std::mem::take(scratch));
+    let adjoints = {
+        let _span = scorpio_obs::span("reverse");
+        tape.adjoints_in(&seeds, std::mem::take(scratch))
+    };
+    let _span = scorpio_obs::span("significance");
     let (vars, total_raw) = registered_rows(
         regs,
         &outputs,
@@ -401,6 +410,7 @@ fn replayed_adjoints(
     outputs: &[NodeId],
     buf: &mut ReplayBuffers<Interval>,
 ) {
+    let _span = scorpio_obs::span("reverse");
     let seeds: Vec<(NodeId, Interval)> =
         outputs.iter().map(|&o| (o, Interval::ONE)).collect();
     compiled.adjoints_into(&seeds, buf);
@@ -420,6 +430,7 @@ pub(crate) fn build_report_replayed(
 ) -> Result<Report, AnalysisError> {
     let outputs = output_nodes(regs)?;
     replayed_adjoints(compiled, &outputs, buf);
+    let _span = scorpio_obs::span("significance");
     let (registered, total_raw) = registered_rows(
         regs,
         &outputs,
@@ -466,6 +477,7 @@ pub(crate) fn build_report_replayed(
         .filter(|n| n.value.is_empty())
         .map(|n| n.id)
         .collect();
+    scorpio_obs::count("analysis.empty_enclosures", empty_nodes.len() as u64);
     let graph = SigGraph::new(nodes, outputs.iter().map(|o| o.index()).collect());
     Ok(Report {
         registered,
@@ -486,6 +498,7 @@ pub(crate) fn build_vars_replayed(
 ) -> Result<VarSignificances, AnalysisError> {
     let outputs = output_nodes(regs)?;
     replayed_adjoints(compiled, &outputs, buf);
+    let _span = scorpio_obs::span("significance");
     let (vars, total_raw) = registered_rows(
         regs,
         &outputs,

@@ -345,10 +345,14 @@ impl Analysis {
     {
         arena.tape.clear();
         let ctx = Ctx::new(&arena.tape, overrides);
-        let closure_result = f(&ctx);
+        let closure_result = {
+            let _span = scorpio_obs::span("record");
+            f(&ctx)
+        };
         let declared = ctx.declared_inputs();
         closure_result?;
         let regs = ctx.into_registrations()?;
+        scorpio_obs::count("analysis.nodes_recorded", arena.tape.len() as u64);
         let report = build_report_with(&arena.tape, regs, self.delta, &mut arena.scratch)?;
         Ok((report, declared))
     }

@@ -76,6 +76,7 @@ impl SigGraph {
     /// the Maclaurin DynDFG of Fig. 3a becomes exactly Fig. 3b: every
     /// `term_i` feeding the final `result` directly.
     pub fn simplified(&self) -> SigGraph {
+        let _span = scorpio_obs::span("simplify");
         let mut g = self.clone();
         let succ = g.successors();
 
@@ -153,6 +154,7 @@ impl SigGraph {
     /// benches do) but aggregation nodes may then mask the variance.
     pub fn partition(&self, delta: f64) -> Partition {
         assert!(delta >= 0.0, "partition: delta must be non-negative");
+        let _span = scorpio_obs::span("partition");
         let mut level_stats = Vec::new();
         let mut cut_level = None;
         let height = self.height();
@@ -174,6 +176,10 @@ impl SigGraph {
             } else {
                 mean_variance(&sig)
             };
+            scorpio_obs::observe("partition.level_variance", variance);
+            if count > 0 && non_finite == count {
+                scorpio_obs::count("partition.degenerate_levels", 1);
+            }
             level_stats.push(LevelStats {
                 level,
                 count,

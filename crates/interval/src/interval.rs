@@ -57,6 +57,14 @@ pub struct Interval {
 
 impl Interval {
     /// The empty set. All arithmetic on it yields the empty set.
+    ///
+    /// Downstream significance analysis treats a node whose value or
+    /// adjoint enclosure is empty as having *no defined significance*
+    /// (NaN) rather than zero: the empty set is the result of a domain
+    /// violation (e.g. `sqrt` of a wholly negative interval), so
+    /// ranking it among real significances would be unsound. The
+    /// analysis layer surfaces such nodes separately
+    /// (`scorpio-core`'s `Report::empty_enclosures`).
     pub const EMPTY: Interval = Interval {
         lo: f64::NAN,
         hi: f64::NAN,

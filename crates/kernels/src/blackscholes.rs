@@ -114,6 +114,7 @@ pub fn price_approx(opt: &Option_) -> f64 {
 
 /// Sequential accurate pricing of a batch.
 pub fn reference(options: &[Option_]) -> Vec<f64> {
+    let _span = scorpio_obs::span("kernel.blackscholes.reference");
     options.iter().map(price).collect()
 }
 
@@ -127,6 +128,7 @@ pub fn tasked(
     executor: &Executor,
     ratio: f64,
 ) -> (Vec<f64>, ExecutionStats) {
+    let _span = scorpio_obs::span("kernel.blackscholes.tasked");
     assert!(chunk > 0, "chunk size must be positive");
     let mut prices = vec![0.0f64; options.len()];
     let stats = {
@@ -183,6 +185,7 @@ unsafe impl Send for SendSlice {}
 ///
 /// Propagates framework errors (the call-price path is branch-free).
 pub fn analysis() -> Result<Report, AnalysisError> {
+    let _span = scorpio_obs::span("kernel.blackscholes.analysis");
     Analysis::new().run(|ctx| {
         let spot = ctx.input("spot", 80.0, 120.0);
         let strike = ctx.input("strike", 90.0, 110.0);
@@ -258,6 +261,7 @@ pub fn analysis_options(
     options: &[Option_],
     engine: &ParallelAnalysis,
 ) -> Result<Vec<(f64, f64, f64, f64)>, AnalysisError> {
+    let _span = scorpio_obs::span("kernel.blackscholes.analysis_options");
     engine
         .run_batch_replay_map(options, |arena, driver, _, o| {
             let vars = driver.run_vars_in(arena, &option_inputs(o), |ctx| register_option(ctx, o))?;

@@ -141,6 +141,7 @@ fn store_block(img: &mut GrayImage, bx: usize, by: usize, block: &[[f64; BLOCK];
 /// assert!(psnr_images(&img, &recon) > 35.0);
 /// ```
 pub fn reference(img: &GrayImage) -> GrayImage {
+    let _span = scorpio_obs::span("kernel.dct.reference");
     let (w, h) = (img.width(), img.height());
     let mut out = GrayImage::new(w, h);
     for by in 0..h.div_ceil(BLOCK) {
@@ -172,6 +173,7 @@ pub fn diagonal_significance(d: usize) -> f64 {
 /// diagonal. Quantisation, dequantisation and the inverse transform run
 /// accurately afterwards.
 pub fn tasked(img: &GrayImage, executor: &Executor, ratio: f64) -> (GrayImage, ExecutionStats) {
+    let _span = scorpio_obs::span("kernel.dct.tasked");
     let (w, h) = (img.width(), img.height());
     let blocks_x = w.div_ceil(BLOCK);
     let blocks_y = h.div_ceil(BLOCK);
@@ -247,6 +249,7 @@ pub fn tasked(img: &GrayImage, executor: &Executor, ratio: f64) -> (GrayImage, E
 /// (in raster order — perforation is structure-blind, which is exactly
 /// why it loses to the significance-ranked diagonals).
 pub fn perforated(img: &GrayImage, keep_fraction: f64) -> (GrayImage, ExecutionStats) {
+    let _span = scorpio_obs::span("kernel.dct.perforated");
     let (w, h) = (img.width(), img.height());
     let perf = Perforator::new(BLOCK * BLOCK, keep_fraction);
     let mut out = GrayImage::new(w, h);
@@ -304,6 +307,7 @@ pub fn perforated(img: &GrayImage, keep_fraction: f64) -> (GrayImage, ExecutionS
 ///
 /// Panics if `radius` is negative.
 pub fn analysis(block: &[[f64; BLOCK]; BLOCK], radius: f64) -> Result<Report, AnalysisError> {
+    let _span = scorpio_obs::span("kernel.dct.analysis");
     assert!(radius >= 0.0, "analysis: negative pixel radius");
     Analysis::new().run(|ctx| register_block(ctx, block, radius))
 }
@@ -348,6 +352,7 @@ pub fn analysis_blocks(
     radius: f64,
     engine: &ParallelAnalysis,
 ) -> Result<Vec<[[f64; BLOCK]; BLOCK]>, AnalysisError> {
+    let _span = scorpio_obs::span("kernel.dct.analysis_blocks");
     assert!(radius >= 0.0, "analysis: negative pixel radius");
     engine
         .run_batch_replay_map(blocks, |arena, driver, _, block| {

@@ -177,6 +177,7 @@ pub fn bilinear(img: &GrayImage, x: f64, y: f64) -> f64 {
 /// Sequential accurate correction: per output pixel, InverseMapping then
 /// BicubicInterp.
 pub fn reference(img: &GrayImage, lens: &Lens) -> GrayImage {
+    let _span = scorpio_obs::span("kernel.fisheye.reference");
     GrayImage::from_fn(lens.width, lens.height, |x, y| {
         let (xd, yd) = inverse_mapping(lens, x as f64, y as f64);
         bicubic(img, xd, yd)
@@ -202,6 +203,7 @@ pub fn tasked(
     executor: &Executor,
     ratio: f64,
 ) -> (GrayImage, ExecutionStats) {
+    let _span = scorpio_obs::span("kernel.fisheye.tasked");
     tasked_with_blocks(img, lens, executor, ratio, 128, 64)
 }
 
@@ -329,6 +331,7 @@ unsafe impl Sync for SharedRows<'_> {}
 /// Loop-perforated version (§4.2): drops a fraction of the output rows,
 /// "similarly to Sobel".
 pub fn perforated(img: &GrayImage, lens: &Lens, keep_fraction: f64) -> (GrayImage, ExecutionStats) {
+    let _span = scorpio_obs::span("kernel.fisheye.perforated");
     let (w, h) = (lens.width, lens.height);
     let perf = Perforator::new(h, keep_fraction);
     let mut out = GrayImage::new(w, h);
@@ -445,6 +448,7 @@ pub fn analysis_inverse_mapping_grid(
     grid_h: usize,
     engine: &ParallelAnalysis,
 ) -> Result<Vec<f64>, AnalysisError> {
+    let _span = scorpio_obs::span("kernel.fisheye.analysis_grid");
     let cell_w = lens.width as f64 / grid_w as f64;
     let cell_h = lens.height as f64 / grid_h as f64;
     let pixels: Vec<(f64, f64)> = (0..grid_h)

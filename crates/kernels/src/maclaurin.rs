@@ -37,6 +37,7 @@ pub fn task_significance(i: usize, n: usize) -> f64 {
 /// Propagates [`AnalysisError`]s from the framework (none expected for
 /// this branch-free kernel).
 pub fn analysis(x0: f64, n: usize) -> Result<Report, AnalysisError> {
+    let _span = scorpio_obs::span("kernel.maclaurin.analysis");
     Analysis::new().run(|ctx| {
         let x = ctx.input_centered("x", x0, 0.5);
         let mut result = ctx.constant(0.0);
@@ -57,6 +58,7 @@ pub fn analysis(x0: f64, n: usize) -> Result<Report, AnalysisError> {
 /// Work accounting: an accurate term costs `i` units (the multiply chain
 /// of `powi`), the approximate `fast_pow` a flat 2.
 pub fn tasked(x: f64, n: usize, executor: &Executor, ratio: f64) -> (f64, ExecutionStats) {
+    let _span = scorpio_obs::span("kernel.maclaurin.tasked");
     let mut temp = vec![0.0f64; n];
     if n == 0 {
         return (0.0, ExecutionStats::default());
@@ -92,6 +94,7 @@ pub fn tasked(x: f64, n: usize, executor: &Executor, ratio: f64) -> (f64, Execut
 /// Loop-perforated version (§4.2): skips `1 − keep_fraction` of the term
 /// loop iterations outright.
 pub fn perforated(x: f64, n: usize, keep_fraction: f64) -> (f64, ExecutionStats) {
+    let _span = scorpio_obs::span("kernel.maclaurin.perforated");
     let perf = scorpio_runtime::perforation::Perforator::new(n, keep_fraction);
     let mut result = 0.0;
     let mut ops = 0u64;

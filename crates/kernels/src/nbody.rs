@@ -271,6 +271,7 @@ fn verlet_step(
 
 /// Sequential accurate simulation.
 pub fn reference(params: &Params) -> State {
+    let _span = scorpio_obs::span("kernel.nbody.reference");
     let mut state = initial_state(params);
     let mut f = forces_all_pairs(&state.pos);
     for _ in 0..params.steps {
@@ -325,6 +326,7 @@ pub fn pair_significance(atom_pos: [f64; 3], region: usize, params: &Params) -> 
 /// (atom, region); the approximate body uses the region's centre of
 /// mass.
 pub fn tasked(params: &Params, executor: &Executor, ratio: f64) -> (State, ExecutionStats) {
+    let _span = scorpio_obs::span("kernel.nbody.tasked");
     let mut state = initial_state(params);
     let n = params.atoms();
     let n_regions = params.regions.pow(3);
@@ -500,6 +502,7 @@ unsafe impl Send for SendSlot {}
 /// Loop-perforated simulation (§4.2): the per-atom force loop over all
 /// other atoms skips a fraction of its iterations.
 pub fn perforated(params: &Params, keep_fraction: f64) -> (State, ExecutionStats) {
+    let _span = scorpio_obs::span("kernel.nbody.perforated");
     let n = params.atoms();
     let perf = Perforator::new(n, keep_fraction);
     let mut ops = 0u64;

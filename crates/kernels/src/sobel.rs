@@ -92,6 +92,7 @@ fn combine(tx: f64, ty: f64) -> f64 {
 /// assert!(edges.get(8, 4) > 100.0);
 /// ```
 pub fn reference(img: &GrayImage) -> GrayImage {
+    let _span = scorpio_obs::span("kernel.sobel.reference");
     let (w, h) = (img.width(), img.height());
     GrayImage::from_fn(w, h, |x, y| {
         let mut tx = 0.0;
@@ -114,6 +115,7 @@ pub fn tasked(
     executor: &Executor,
     ratio: f64,
 ) -> (GrayImage, ExecutionStats) {
+    let _span = scorpio_obs::span("kernel.sobel.tasked");
     let (w, h) = (img.width(), img.height());
     // Partial sums per part: (tx, ty) interleaved per pixel.
     let mut parts: Vec<Vec<f64>> = vec![vec![0.0; w * h * 2]; 3];
@@ -173,6 +175,7 @@ pub fn tasked(
 /// Loop-perforated Sobel (§4.2): skips whole output rows; skipped rows
 /// keep their zero initialisation.
 pub fn perforated(img: &GrayImage, keep_fraction: f64) -> (GrayImage, ExecutionStats) {
+    let _span = scorpio_obs::span("kernel.sobel.perforated");
     let (w, h) = (img.width(), img.height());
     let perf = Perforator::new(h, keep_fraction);
     let mut out = GrayImage::new(w, h);
@@ -217,6 +220,7 @@ pub fn perforated(img: &GrayImage, keep_fraction: f64) -> (GrayImage, ExecutionS
 /// Propagates framework errors (none expected: branch-free via min/max
 /// clipping).
 pub fn analysis() -> Result<Report, AnalysisError> {
+    let _span = scorpio_obs::span("kernel.sobel.analysis");
     Analysis::new().run(|ctx| {
         // The 3×3 neighbourhood as 9 independent inputs.
         let mut p = Vec::with_capacity(9);

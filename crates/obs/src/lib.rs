@@ -1,0 +1,147 @@
+//! Zero-cost-when-disabled observability for the scorpio pipeline.
+//!
+//! The analysis pipeline (record DynDFG → interval forward sweep →
+//! interval-adjoint reverse sweep → Eq. 11 significance → Algorithm 1
+//! simplify/partition → ratio-driven task runtime) is instrumented with
+//! three complementary facilities, all living in this dependency-free
+//! crate (vendor-style, like the offline shims under `vendor/`):
+//!
+//! * **Structured spans** — [`span`] returns an RAII guard that records
+//!   a named, nested timing into a process-global trace sink. Guards
+//!   nest per thread (a span opened while another is active becomes its
+//!   child), and the collected events can be exported as a
+//!   Chrome-trace-format JSON file viewable in `about:tracing` or
+//!   [Perfetto](https://ui.perfetto.dev) via [`chrome_trace_json`].
+//! * **A metrics registry** — monotonic [`Counter`]s and log₂-bucketed
+//!   [`Histogram`]s, created on first use through [`count`] /
+//!   [`observe`] (or ahead of time through [`registry`]), aggregated
+//!   atomically across threads.
+//! * **Run manifests** — [`RunSession`] snapshots the spans and metrics
+//!   of one instrumented run into a machine-readable [`RunManifest`]
+//!   (`RUN_<name>.json`: config, timings tree, counters, git describe,
+//!   thread count) next to the Chrome trace.
+//!
+//! # Zero cost when disabled
+//!
+//! Instrumentation is **off by default**. Every entry point checks one
+//! relaxed atomic load ([`enabled`]) and returns immediately when
+//! tracing is off: no clock reads, no allocation, no locking. Binaries
+//! opt in with [`enable`] (the bench harnesses do so behind their
+//! `--trace <path>` flag).
+//!
+//! # Example
+//!
+//! ```
+//! scorpio_obs::enable();
+//! {
+//!     let _outer = scorpio_obs::span("phase");
+//!     let _inner = scorpio_obs::span("step");       // nests under "phase"
+//!     scorpio_obs::count("items", 3);
+//!     scorpio_obs::observe("variance", 0.25);
+//! }
+//! let events = scorpio_obs::events_snapshot();
+//! assert!(events.iter().any(|e| e.path == "phase/step"));
+//! assert_eq!(scorpio_obs::registry().counter("items").get(), 3);
+//! # scorpio_obs::disable();
+//! # scorpio_obs::reset();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod json;
+mod manifest;
+mod metrics;
+mod span;
+
+pub use manifest::{
+    ConfigEntry, CounterSnapshot, HistogramSnapshot, PhaseNode, RunManifest, RunSession,
+};
+pub use metrics::{registry, Counter, Histogram, Registry, HISTOGRAM_BUCKETS};
+pub use span::{chrome_trace_json, events_snapshot, take_events, SpanGuard, TraceEvent};
+
+#[cfg(test)]
+mod tests;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// `true` while instrumentation is collecting. One relaxed atomic load:
+/// this is the *only* cost every instrumented call site pays when
+/// tracing is off.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns instrumentation on (idempotent). The first call fixes the
+/// trace epoch all span timestamps are relative to.
+pub fn enable() {
+    epoch();
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turns instrumentation off. Already-open spans still record when
+/// their guards drop; new call sites become no-ops.
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Clears the trace sink and zeroes every registered counter and
+/// histogram (handles stay valid). The epoch is kept so timestamps
+/// stay monotonic within the process.
+pub fn reset() {
+    span::reset();
+    metrics::reset();
+}
+
+/// The process-wide trace epoch: all span timestamps are nanoseconds
+/// since this instant.
+pub(crate) fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Opens a named span. Returns a guard that records the elapsed time
+/// (nested under the thread's currently open span, if any) when
+/// dropped. A no-op returning an inert guard when tracing is
+/// [disabled](enabled).
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if enabled() {
+        SpanGuard::open(name.to_owned())
+    } else {
+        SpanGuard::noop()
+    }
+}
+
+/// [`span`] with a runtime-built name (e.g. a per-benchmark label).
+#[inline]
+pub fn span_owned(name: String) -> SpanGuard {
+    if enabled() {
+        SpanGuard::open(name)
+    } else {
+        SpanGuard::noop()
+    }
+}
+
+/// Adds `n` to the monotonic counter `name`, creating it on first use.
+/// A no-op when tracing is [disabled](enabled).
+#[inline]
+pub fn count(name: &'static str, n: u64) {
+    if enabled() {
+        registry().counter(name).add(n);
+    }
+}
+
+/// Records `value` into the histogram `name`, creating it on first
+/// use. A no-op when tracing is [disabled](enabled).
+#[inline]
+pub fn observe(name: &'static str, value: f64) {
+    if enabled() {
+        registry().histogram(name).record(value);
+    }
+}

@@ -1,0 +1,270 @@
+//! Run manifests: a machine-readable record of one instrumented run.
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use serde::Serialize;
+
+use crate::span::{self, TraceEvent};
+use crate::{chrome_trace_json, events_snapshot, json, registry};
+
+/// One `key = value` configuration entry of a run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ConfigEntry {
+    /// Configuration key (e.g. `"threads"`).
+    pub key: String,
+    /// Stringified value.
+    pub value: String,
+}
+
+/// One node of the aggregated phase-timing tree: every span path
+/// becomes a node whose `total_ns`/`count` aggregate all events with
+/// that path (across threads), with child paths nested beneath it.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PhaseNode {
+    /// The phase (span) name — one path segment.
+    pub name: String,
+    /// Total nanoseconds across all events at this path.
+    pub total_ns: u64,
+    /// Number of events at this path.
+    pub count: u64,
+    /// Child phases, sorted by name.
+    pub children: Vec<PhaseNode>,
+}
+
+impl PhaseNode {
+    fn new(name: &str) -> PhaseNode {
+        PhaseNode {
+            name: name.to_owned(),
+            total_ns: 0,
+            count: 0,
+            children: Vec::new(),
+        }
+    }
+
+    fn child_mut(&mut self, name: &str) -> &mut PhaseNode {
+        match self.children.binary_search_by(|c| c.name.as_str().cmp(name)) {
+            Ok(i) => &mut self.children[i],
+            Err(i) => {
+                self.children.insert(i, PhaseNode::new(name));
+                &mut self.children[i]
+            }
+        }
+    }
+
+    /// Depth-first iteration over this node and every descendant.
+    pub fn walk(&self, f: &mut impl FnMut(&PhaseNode)) {
+        f(self);
+        for c in &self.children {
+            c.walk(f);
+        }
+    }
+}
+
+/// Snapshot of one counter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct CounterSnapshot {
+    /// Registry name.
+    pub name: String,
+    /// Total at snapshot time.
+    pub value: u64,
+}
+
+/// Snapshot of one histogram (summary statistics of the positive
+/// finite samples; see [`crate::Histogram`]).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct HistogramSnapshot {
+    /// Registry name.
+    pub name: String,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Samples that were zero, negative or non-finite.
+    pub non_positive: u64,
+    /// Sum of positive finite samples.
+    pub sum: f64,
+    /// Smallest positive finite sample (+∞ when none).
+    pub min: f64,
+    /// Largest positive finite sample (−∞ when none).
+    pub max: f64,
+}
+
+/// The machine-readable record of one instrumented run, serialisable
+/// to `RUN_<name>.json` via [`RunManifest::to_json`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RunManifest {
+    /// Run name (the `<name>` of `RUN_<name>.json`).
+    pub name: String,
+    /// `git describe --always --dirty` of the working tree, or
+    /// `"unknown"` outside a repository.
+    pub git: String,
+    /// Worker-thread count the run was configured with.
+    pub threads: usize,
+    /// Arbitrary run configuration (flags, sizes, seeds).
+    pub config: Vec<ConfigEntry>,
+    /// Wall-clock nanoseconds from session start to capture.
+    pub wall_clock_ns: u64,
+    /// Sum of the root-level phase durations *on the session's own
+    /// thread* — comparable against `wall_clock_ns` to check that the
+    /// instrumented phases cover the run.
+    pub phase_total_ns: u64,
+    /// Aggregated phase-timing tree over every collected span.
+    pub phases: Vec<PhaseNode>,
+    /// Every registered counter, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// Every registered histogram, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl RunManifest {
+    /// Serialises the manifest as JSON.
+    pub fn to_json(&self) -> String {
+        json::to_string(self)
+    }
+
+    /// Flat list of every phase name in the tree (depth-first).
+    pub fn phase_names(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        for root in &self.phases {
+            root.walk(&mut |n| names.push(n.name.clone()));
+        }
+        names
+    }
+}
+
+/// Builds the aggregated phase tree from raw events.
+fn phase_tree(events: &[TraceEvent]) -> Vec<PhaseNode> {
+    let mut virtual_root = PhaseNode::new("");
+    for e in events {
+        let mut node = &mut virtual_root;
+        for seg in e.path.split('/') {
+            node = node.child_mut(seg);
+        }
+        node.total_ns += e.dur_ns;
+        node.count += 1;
+    }
+    virtual_root.children
+}
+
+/// `git describe --always --dirty`, or `"unknown"` when git or the
+/// repository is unavailable.
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// An instrumented run: [`RunSession::start`] resets and enables
+/// collection; [`RunSession::finish`] snapshots everything into a
+/// [`RunManifest`], writes `RUN_<name>.json` (and optionally the
+/// Chrome trace), and disables collection again.
+///
+/// ```no_run
+/// let session = scorpio_obs::RunSession::start("demo");
+/// { let _s = scorpio_obs::span("work"); /* ... */ }
+/// let manifest = session
+///     .finish(4, &[("small".into(), "true".into())],
+///             Some(std::path::Path::new("trace.json")))
+///     .unwrap();
+/// assert!(manifest.phase_names().contains(&"work".to_owned()));
+/// ```
+#[derive(Debug)]
+pub struct RunSession {
+    name: String,
+    started: Instant,
+    tid: u64,
+}
+
+impl RunSession {
+    /// Clears previously collected data, enables instrumentation and
+    /// starts the wall clock.
+    pub fn start(name: impl Into<String>) -> RunSession {
+        crate::reset();
+        crate::enable();
+        RunSession {
+            name: name.into(),
+            started: Instant::now(),
+            tid: span::current_tid(),
+        }
+    }
+
+    /// The run's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Snapshots the current spans and metrics into a manifest without
+    /// ending the session.
+    pub fn manifest(&self, threads: usize, config: &[(String, String)]) -> RunManifest {
+        let events = events_snapshot();
+        let phase_total_ns = events
+            .iter()
+            .filter(|e| e.depth == 0 && e.tid == self.tid)
+            .map(|e| e.dur_ns)
+            .sum();
+        RunManifest {
+            name: self.name.clone(),
+            git: git_describe(),
+            threads,
+            config: config
+                .iter()
+                .map(|(k, v)| ConfigEntry {
+                    key: k.clone(),
+                    value: v.clone(),
+                })
+                .collect(),
+            wall_clock_ns: self.started.elapsed().as_nanos() as u64,
+            phase_total_ns,
+            phases: phase_tree(&events),
+            counters: registry()
+                .counters()
+                .iter()
+                .map(|c| CounterSnapshot {
+                    name: c.name().to_owned(),
+                    value: c.get(),
+                })
+                .collect(),
+            histograms: registry()
+                .histograms()
+                .iter()
+                .map(|h| HistogramSnapshot {
+                    name: h.name().to_owned(),
+                    count: h.count(),
+                    non_positive: h.non_positive(),
+                    sum: h.sum(),
+                    min: h.min(),
+                    max: h.max(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Ends the session: snapshots the manifest, writes
+    /// `RUN_<name>.json` into the current directory (and the Chrome
+    /// trace to `trace_path` when given), disables instrumentation and
+    /// returns the manifest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing either file.
+    pub fn finish(
+        self,
+        threads: usize,
+        config: &[(String, String)],
+        trace_path: Option<&Path>,
+    ) -> std::io::Result<RunManifest> {
+        let manifest = self.manifest(threads, config);
+        if let Some(path) = trace_path {
+            std::fs::write(path, chrome_trace_json(&events_snapshot()))?;
+        }
+        let manifest_path = PathBuf::from(format!("RUN_{}.json", self.name));
+        std::fs::write(&manifest_path, manifest.to_json())?;
+        crate::disable();
+        Ok(manifest)
+    }
+}

@@ -1,0 +1,254 @@
+//! Monotonic counters and log₂-bucketed histograms, aggregated
+//! atomically across threads.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A monotonic counter. Handles are `&'static`: once created through
+/// the [`Registry`] a counter lives for the process, so hot paths can
+/// cache the reference and skip the registry lookup.
+#[derive(Debug)]
+pub struct Counter {
+    name: String,
+    value: AtomicU64,
+}
+
+impl Counter {
+    fn new(name: &str) -> Counter {
+        Counter {
+            name: name.to_owned(),
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// The counter's registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds `n` (relaxed; counters are totals, not synchronisation).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of log₂ buckets a [`Histogram`] tracks. Bucket `i` holds
+/// values `v` with `⌊log₂ v⌋ = i - 32`, so the representable range
+/// spans `2⁻³² ..= 2³¹` with under- and overflow clamped to the edge
+/// buckets.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A lock-free histogram of `f64` samples: per-bucket counts on a log₂
+/// scale plus exact running count/sum/min/max. Non-positive and
+/// non-finite samples land in bucket 0 and are tracked in
+/// [`Histogram::non_positive`]; they still update the count (but not
+/// sum/min/max, which summarise the positive finite mass).
+#[derive(Debug)]
+pub struct Histogram {
+    name: String,
+    count: AtomicU64,
+    non_positive: AtomicU64,
+    /// f64 bit patterns updated by CAS.
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+/// Adds `v` into an `AtomicU64` holding f64 bits.
+fn add_f64(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let new = (f64::from_bits(cur) + v).to_bits();
+        match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(c) => cur = c,
+        }
+    }
+}
+
+/// Folds `v` into an f64-bits cell with `pick` (min or max).
+fn fold_f64(cell: &AtomicU64, v: f64, pick: fn(f64, f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let new = pick(f64::from_bits(cur), v).to_bits();
+        if new == cur {
+            return;
+        }
+        match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(c) => cur = c,
+        }
+    }
+}
+
+impl Histogram {
+    fn new(name: &str) -> Histogram {
+        Histogram {
+            name: name.to_owned(),
+            count: AtomicU64::new(0),
+            non_positive: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// The histogram's registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Bucket index for a sample (see [`HISTOGRAM_BUCKETS`]).
+    pub fn bucket_of(value: f64) -> usize {
+        if value.is_finite() && value > 0.0 {
+            (value.log2().floor() as i64 + 32).clamp(0, HISTOGRAM_BUCKETS as i64 - 1) as usize
+        } else {
+            0
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: f64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if value.is_finite() && value > 0.0 {
+            self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+            add_f64(&self.sum_bits, value);
+            fold_f64(&self.min_bits, value, f64::min);
+            fold_f64(&self.max_bits, value, f64::max);
+        } else {
+            self.non_positive.fetch_add(1, Ordering::Relaxed);
+            self.buckets[0].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Samples that were zero, negative, or non-finite.
+    pub fn non_positive(&self) -> u64 {
+        self.non_positive.load(Ordering::Relaxed)
+    }
+
+    /// Sum of the positive finite samples.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Smallest positive finite sample (`+∞` when none recorded).
+    pub fn min(&self) -> f64 {
+        f64::from_bits(self.min_bits.load(Ordering::Relaxed))
+    }
+
+    /// Largest positive finite sample (`-∞` when none recorded).
+    pub fn max(&self) -> f64 {
+        f64::from_bits(self.max_bits.load(Ordering::Relaxed))
+    }
+
+    /// Mean of the positive finite samples (`NaN` when none recorded).
+    pub fn mean(&self) -> f64 {
+        let positive = self.count().saturating_sub(self.non_positive());
+        self.sum() / positive as f64
+    }
+
+    /// Current per-bucket counts.
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.non_positive.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+        self.min_bits
+            .store(f64::INFINITY.to_bits(), Ordering::Relaxed);
+        self.max_bits
+            .store(f64::NEG_INFINITY.to_bits(), Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The process-wide metrics registry: named counters and histograms,
+/// created on first use and alive for the process (instances are
+/// leaked, so handles are `&'static` and lock-free after creation).
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, &'static Counter>>,
+    histograms: Mutex<BTreeMap<String, &'static Histogram>>,
+}
+
+/// The global [`Registry`].
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+impl Registry {
+    /// The counter named `name`, created (at zero) on first use.
+    pub fn counter(&self, name: &str) -> &'static Counter {
+        let mut map = self.counters.lock().expect("counter registry poisoned");
+        if let Some(c) = map.get(name) {
+            return c;
+        }
+        let leaked: &'static Counter = Box::leak(Box::new(Counter::new(name)));
+        map.insert(name.to_owned(), leaked);
+        leaked
+    }
+
+    /// The histogram named `name`, created (empty) on first use.
+    pub fn histogram(&self, name: &str) -> &'static Histogram {
+        let mut map = self.histograms.lock().expect("histogram registry poisoned");
+        if let Some(h) = map.get(name) {
+            return h;
+        }
+        let leaked: &'static Histogram = Box::leak(Box::new(Histogram::new(name)));
+        map.insert(name.to_owned(), leaked);
+        leaked
+    }
+
+    /// Every registered counter, sorted by name.
+    pub fn counters(&self) -> Vec<&'static Counter> {
+        self.counters
+            .lock()
+            .expect("counter registry poisoned")
+            .values()
+            .copied()
+            .collect()
+    }
+
+    /// Every registered histogram, sorted by name.
+    pub fn histograms(&self) -> Vec<&'static Histogram> {
+        self.histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .values()
+            .copied()
+            .collect()
+    }
+}
+
+/// Zeroes every registered metric (handles stay valid).
+pub(crate) fn reset() {
+    for c in registry().counters() {
+        c.reset();
+    }
+    for h in registry().histograms() {
+        h.reset();
+    }
+}

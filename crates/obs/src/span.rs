@@ -1,0 +1,154 @@
+//! Structured spans and the process-global trace sink.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::epoch;
+
+/// One completed span: a named, timed interval on one thread.
+///
+/// Events are recorded when the [`SpanGuard`](crate::SpanGuard) drops,
+/// so within a thread children always precede their parent in the sink.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Slash-joined ancestry within the opening thread, e.g.
+    /// `"fig7/sobel/taskwait"` — the last segment is [`name`](Self::name).
+    pub path: String,
+    /// The span's own name.
+    pub name: String,
+    /// Start time in nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Dense id of the recording thread (0 = first thread that traced).
+    pub tid: u64,
+    /// Nesting depth within the thread (0 = thread-root span).
+    pub depth: usize,
+}
+
+static SINK: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    /// Names of the spans currently open on this thread, outermost first.
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Dense id of the calling thread within the trace.
+pub(crate) fn current_tid() -> u64 {
+    TID.with(|t| *t)
+}
+
+/// RAII guard for an open span; records a [`TraceEvent`] when dropped.
+/// Obtained from [`span`](crate::span) / [`span_owned`](crate::span_owned);
+/// inert (records nothing) when tracing was disabled at open time.
+#[derive(Debug)]
+pub struct SpanGuard(Option<ActiveSpan>);
+
+#[derive(Debug)]
+struct ActiveSpan {
+    path: String,
+    depth: usize,
+    tid: u64,
+    start: Instant,
+    start_ns: u64,
+}
+
+impl SpanGuard {
+    pub(crate) fn noop() -> SpanGuard {
+        SpanGuard(None)
+    }
+
+    pub(crate) fn open(name: String) -> SpanGuard {
+        let start = Instant::now();
+        let start_ns = start.duration_since(epoch()).as_nanos() as u64;
+        let tid = current_tid();
+        let (path, depth) = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = if stack.is_empty() {
+                name.clone()
+            } else {
+                format!("{}/{}", stack.join("/"), name)
+            };
+            let depth = stack.len();
+            stack.push(name);
+            (path, depth)
+        });
+        SpanGuard(Some(ActiveSpan {
+            path,
+            depth,
+            tid,
+            start,
+            start_ns,
+        }))
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.0.take() else { return };
+        let dur_ns = active.start.elapsed().as_nanos() as u64;
+        STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        let name = active
+            .path
+            .rsplit('/')
+            .next()
+            .unwrap_or(&active.path)
+            .to_owned();
+        let event = TraceEvent {
+            path: active.path,
+            name,
+            start_ns: active.start_ns,
+            dur_ns,
+            tid: active.tid,
+            depth: active.depth,
+        };
+        SINK.lock().expect("trace sink poisoned").push(event);
+    }
+}
+
+/// Copies the currently collected events out of the sink (sink keeps
+/// them; see [`take_events`] for the draining variant).
+pub fn events_snapshot() -> Vec<TraceEvent> {
+    SINK.lock().expect("trace sink poisoned").clone()
+}
+
+/// Drains and returns every collected event.
+pub fn take_events() -> Vec<TraceEvent> {
+    std::mem::take(&mut *SINK.lock().expect("trace sink poisoned"))
+}
+
+pub(crate) fn reset() {
+    SINK.lock().expect("trace sink poisoned").clear();
+}
+
+/// Renders events as a Chrome-trace-format JSON string (`ph: "X"`
+/// complete events, microsecond timestamps) loadable in
+/// `about:tracing` / [Perfetto](https://ui.perfetto.dev).
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        crate::json::escape_into(&mut out, &e.name);
+        out.push_str(",\"cat\":\"scorpio\",\"ph\":\"X\",\"ts\":");
+        let _ = write!(out, "{:.3}", e.start_ns as f64 / 1000.0);
+        out.push_str(",\"dur\":");
+        let _ = write!(out, "{:.3}", e.dur_ns as f64 / 1000.0);
+        let _ = write!(out, ",\"pid\":1,\"tid\":{}", e.tid);
+        out.push_str(",\"args\":{\"path\":");
+        crate::json::escape_into(&mut out, &e.path);
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}

@@ -1,0 +1,256 @@
+//! Unit tests for the observability crate.
+//!
+//! The sink and registry are process-global, so every test that
+//! touches them serialises on [`lock`] and resets state first.
+
+use std::sync::Mutex;
+
+use crate::json::{parse, Value};
+use crate::*;
+
+/// Global test lock: obs state is process-wide, and the Rust test
+/// harness runs tests on parallel threads.
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+#[test]
+fn disabled_span_records_nothing() {
+    let _guard = lock();
+    reset();
+    disable();
+    {
+        let _s = span("ghost");
+    }
+    assert!(events_snapshot().is_empty());
+    count("ghost_counter", 5);
+    // The counter is created lazily only when enabled; look it up
+    // directly to show nothing was counted either way.
+    assert_eq!(registry().counter("ghost_counter").get(), 0);
+}
+
+#[test]
+fn span_nesting_builds_paths_and_depths() {
+    let _guard = lock();
+    reset();
+    enable();
+    {
+        let _a = span("outer");
+        {
+            let _b = span("middle");
+            let _c = span("inner");
+        }
+        let _d = span("sibling");
+    }
+    disable();
+    let events = take_events();
+    let find = |path: &str| {
+        events
+            .iter()
+            .find(|e| e.path == path)
+            .unwrap_or_else(|| panic!("missing path {path}: {events:?}"))
+    };
+    assert_eq!(find("outer").depth, 0);
+    assert_eq!(find("outer/middle").depth, 1);
+    assert_eq!(find("outer/middle/inner").depth, 2);
+    assert_eq!(find("outer/sibling").depth, 1);
+    // Children close before parents, so they are recorded first.
+    let pos = |path: &str| events.iter().position(|e| e.path == path).unwrap();
+    assert!(pos("outer/middle/inner") < pos("outer/middle"));
+    assert!(pos("outer/middle") < pos("outer"));
+    // A child's interval is contained in its parent's.
+    let outer = find("outer");
+    let inner = find("outer/middle/inner");
+    assert!(inner.start_ns >= outer.start_ns);
+    assert!(inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns + 1);
+}
+
+#[test]
+fn counters_aggregate_across_threads() {
+    let _guard = lock();
+    reset();
+    enable();
+    let threads = 8;
+    let per_thread = 10_000u64;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                for _ in 0..per_thread {
+                    count("agg_test_total", 1);
+                }
+                count("agg_test_batches", 1);
+            });
+        }
+    });
+    disable();
+    assert_eq!(
+        registry().counter("agg_test_total").get(),
+        threads * per_thread
+    );
+    assert_eq!(registry().counter("agg_test_batches").get(), threads);
+}
+
+#[test]
+fn histograms_aggregate_across_threads() {
+    let _guard = lock();
+    reset();
+    enable();
+    let threads = 4usize;
+    let per_thread = 1_000usize;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    // Values 1.0 ..= 1000.0, identical per thread.
+                    observe("hist_agg_test", (i + 1) as f64);
+                    let _ = t;
+                }
+            });
+        }
+    });
+    disable();
+    let h = registry().histogram("hist_agg_test");
+    assert_eq!(h.count(), (threads * per_thread) as u64);
+    assert_eq!(h.min(), 1.0);
+    assert_eq!(h.max(), 1000.0);
+    let expected_sum = threads as f64 * (per_thread * (per_thread + 1)) as f64 / 2.0;
+    // CAS-addition is exact here: every value is an integer ≤ 2^53.
+    assert_eq!(h.sum(), expected_sum);
+    assert_eq!(h.bucket_counts().iter().sum::<u64>(), h.count());
+}
+
+#[test]
+fn histogram_buckets_follow_log2() {
+    assert_eq!(Histogram::bucket_of(1.0), 32);
+    assert_eq!(Histogram::bucket_of(2.0), 33);
+    assert_eq!(Histogram::bucket_of(3.9), 33);
+    assert_eq!(Histogram::bucket_of(0.5), 31);
+    assert_eq!(Histogram::bucket_of(0.0), 0);
+    assert_eq!(Histogram::bucket_of(-1.0), 0);
+    assert_eq!(Histogram::bucket_of(f64::NAN), 0);
+    assert_eq!(Histogram::bucket_of(f64::MAX), HISTOGRAM_BUCKETS - 1);
+}
+
+#[test]
+fn histogram_tracks_non_positive_separately() {
+    let _guard = lock();
+    reset();
+    enable();
+    observe("hist_np_test", 2.0);
+    observe("hist_np_test", 0.0);
+    observe("hist_np_test", f64::NAN);
+    disable();
+    let h = registry().histogram("hist_np_test");
+    assert_eq!(h.count(), 3);
+    assert_eq!(h.non_positive(), 2);
+    assert_eq!(h.sum(), 2.0);
+    assert_eq!(h.mean(), 2.0);
+}
+
+#[test]
+fn manifest_aggregates_phases_counters_and_wallclock() {
+    let _guard = lock();
+    let session = RunSession::start("unit");
+    {
+        let _a = span("alpha");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let _b = span("beta");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    {
+        let _a = span("alpha"); // second event on the same path
+        count("manifest_items", 7);
+    }
+    let manifest = session.manifest(3, &[("k".to_owned(), "v".to_owned())]);
+    disable();
+
+    assert_eq!(manifest.name, "unit");
+    assert_eq!(manifest.threads, 3);
+    assert_eq!(manifest.config[0].key, "k");
+    let alpha = manifest
+        .phases
+        .iter()
+        .find(|p| p.name == "alpha")
+        .expect("alpha phase");
+    assert_eq!(alpha.count, 2);
+    assert_eq!(alpha.children.len(), 1);
+    assert_eq!(alpha.children[0].name, "beta");
+    assert!(alpha.total_ns >= alpha.children[0].total_ns);
+    // Root phases on the session thread account for (almost) the whole
+    // wall clock here, and can never exceed it.
+    assert!(manifest.phase_total_ns <= manifest.wall_clock_ns);
+    assert!(manifest.phase_total_ns > 0);
+    assert!(manifest
+        .counters
+        .iter()
+        .any(|c| c.name == "manifest_items" && c.value == 7));
+    assert!(manifest.phase_names().contains(&"beta".to_owned()));
+}
+
+#[test]
+fn manifest_json_round_trips_through_parser() {
+    let _guard = lock();
+    let session = RunSession::start("roundtrip");
+    {
+        let _a = span("phase_one");
+        observe("rt_hist", 1.5);
+    }
+    let manifest = session.manifest(1, &[("quick".to_owned(), "true".to_owned())]);
+    disable();
+
+    let json = manifest.to_json();
+    let v = parse(&json).expect("manifest JSON must parse");
+    assert_eq!(v.get("name").and_then(Value::as_str), Some("roundtrip"));
+    assert_eq!(v.get("threads").and_then(Value::as_f64), Some(1.0));
+    let phases = v.get("phases").and_then(Value::as_arr).unwrap();
+    assert!(phases
+        .iter()
+        .any(|p| p.get("name").and_then(Value::as_str) == Some("phase_one")));
+    // Serialising the parsed-equal manifest again is byte-stable.
+    assert_eq!(json, manifest.to_json());
+}
+
+#[test]
+fn chrome_trace_is_valid_json_with_one_event_per_span() {
+    let _guard = lock();
+    reset();
+    enable();
+    {
+        let _a = span("outer");
+        let _b = span_owned("inner dynamic \"quoted\"".to_owned());
+    }
+    disable();
+    let events = take_events();
+    let trace = chrome_trace_json(&events);
+    let v = parse(&trace).expect("chrome trace must parse");
+    let list = v.get("traceEvents").and_then(Value::as_arr).unwrap();
+    assert_eq!(list.len(), 2);
+    for e in list {
+        assert_eq!(e.get("ph").and_then(Value::as_str), Some("X"));
+        assert!(e.get("ts").and_then(Value::as_f64).is_some());
+        assert!(e.get("dur").and_then(Value::as_f64).is_some());
+        assert!(e.get("name").and_then(Value::as_str).is_some());
+    }
+    assert!(list
+        .iter()
+        .any(|e| e.get("name").and_then(Value::as_str) == Some("inner dynamic \"quoted\"")));
+}
+
+#[test]
+fn reset_clears_events_and_zeroes_metrics() {
+    let _guard = lock();
+    reset();
+    enable();
+    {
+        let _s = span("to_clear");
+        count("reset_counter", 3);
+        observe("reset_hist", 1.0);
+    }
+    disable();
+    assert!(!events_snapshot().is_empty());
+    reset();
+    assert!(events_snapshot().is_empty());
+    assert_eq!(registry().counter("reset_counter").get(), 0);
+    assert_eq!(registry().histogram("reset_hist").count(), 0);
+}

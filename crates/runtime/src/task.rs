@@ -192,6 +192,7 @@ impl<'scope> TaskGroup<'scope> {
             (0.0..=1.0).contains(&ratio),
             "taskwait ratio must be within [0, 1], got {ratio}"
         );
+        let _span = scorpio_obs::span("taskwait");
         let n = self.tasks.len();
         if n == 0 {
             return ExecutionStats::default();
@@ -231,10 +232,18 @@ impl<'scope> TaskGroup<'scope> {
             }
         }
 
-        executor.run(jobs, &accurate_ops, &approx_ops);
+        {
+            let _span = scorpio_obs::span("task_execution");
+            executor.run(jobs, &accurate_ops, &approx_ops);
+        }
 
         stats.accurate_ops = accurate_ops.load(Ordering::Relaxed);
         stats.approx_ops = approx_ops.load(Ordering::Relaxed);
+        scorpio_obs::count("tasks.accurate", stats.accurate as u64);
+        scorpio_obs::count("tasks.approximate", stats.approximate as u64);
+        scorpio_obs::count("tasks.dropped", stats.dropped as u64);
+        scorpio_obs::count("tasks.accurate_ops", stats.accurate_ops);
+        scorpio_obs::count("tasks.approx_ops", stats.approx_ops);
         stats
     }
 }

@@ -21,7 +21,10 @@
 //!   example, each in reference/tasked/perforated form;
 //! * [`dsl`] — a textual expression-language front-end (and the
 //!   `scorpio-analyze` CLI) for running the analysis without writing
-//!   Rust.
+//!   Rust;
+//! * [`obs`] — zero-cost-when-disabled observability: structured spans
+//!   around every pipeline phase, a counters/histograms registry, and
+//!   Chrome-trace + run-manifest export (see `docs/architecture.md`).
 //!
 //! # Quick start
 //!
@@ -50,6 +53,32 @@
 //! assert!(energy > 0.0);
 //! # Ok::<(), scorpio::analysis::AnalysisError>(())
 //! ```
+//!
+//! # Observability
+//!
+//! Every pipeline phase is instrumented with [`obs`] spans and
+//! counters. Instrumentation is off by default (one relaxed atomic
+//! load per site); turn it on around a run to collect a phase-timing
+//! tree and metrics:
+//!
+//! ```
+//! use scorpio::kernels::maclaurin;
+//!
+//! scorpio::obs::enable();
+//! let report = maclaurin::analysis(0.49, 8)?;
+//! scorpio::obs::disable();
+//!
+//! // The record → reverse → significance phases were timed…
+//! let events = scorpio::obs::take_events();
+//! assert!(events.iter().any(|e| e.path.ends_with("significance")));
+//! // …and the tape size was counted.
+//! assert!(scorpio::obs::registry().counter("analysis.nodes_recorded").get() > 0);
+//! # scorpio::obs::reset();
+//! # Ok::<(), scorpio::analysis::AnalysisError>(())
+//! ```
+//!
+//! The bench harness binaries expose this end to end via `--trace
+//! <path>` (Chrome trace + `RUN_<name>.json` manifest).
 
 #![warn(missing_docs)]
 
@@ -59,5 +88,6 @@ pub use scorpio_dsl as dsl;
 pub use scorpio_fastmath as fastmath;
 pub use scorpio_interval as interval;
 pub use scorpio_kernels as kernels;
+pub use scorpio_obs as obs;
 pub use scorpio_quality as quality;
 pub use scorpio_runtime as runtime;
