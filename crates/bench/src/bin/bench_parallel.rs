@@ -2,10 +2,11 @@
 //! Fig. 5 InverseMapping per-pixel batch at 1/2/4/8 workers, the
 //! tape-reuse ablation (warm arena vs fresh tape per analysis) and the
 //! replay ablation (compiled-trace replay vs re-recording) at one
-//! worker, then writes the results to `BENCH_parallel.json`.
+//! worker, then writes the results to `BENCH_parallel.json` in
+//! `--out-dir` (default `out/`).
 //!
 //! ```sh
-//! cargo run --release -p scorpio-bench --bin bench_parallel -- [--small]
+//! cargo run --release -p scorpio-bench --bin bench_parallel -- [--small] [--out-dir DIR]
 //! ```
 //!
 //! Speedups are relative to the one-worker engine (which runs inline,
@@ -177,6 +178,9 @@ fn main() {
         stats.records, stats.replays, stats.fallbacks
     );
     json.push_str("}\n");
-    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
-    println!("\nwrote BENCH_parallel.json");
+    let out_dir = scorpio_bench::out_dir_arg();
+    std::fs::create_dir_all(&out_dir).expect("create --out-dir");
+    let path = out_dir.join("BENCH_parallel.json");
+    std::fs::write(&path, &json).expect("write BENCH_parallel.json");
+    println!("\nwrote {}", path.display());
 }

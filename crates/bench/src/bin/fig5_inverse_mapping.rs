@@ -12,7 +12,7 @@
 //! writes a Chrome trace to `<path>` and a `RUN_fig5_inverse_mapping.json`
 //! run manifest.
 
-use scorpio_bench::{finish_trace, heat_map, threads_arg, trace_arg};
+use scorpio_bench::{finish_trace, heat_map, out_dir_arg, threads_arg, trace_arg};
 use scorpio_core::ParallelAnalysis;
 use scorpio_kernels::fisheye::{analysis_inverse_mapping, analysis_inverse_mapping_grid, Lens};
 
@@ -68,6 +68,6 @@ fn main() {
             ("threads".to_owned(), threads.to_string()),
             ("grid".to_owned(), format!("{gw}x{gh}")),
         ];
-        finish_trace(session, threads, &config, trace_path.as_deref());
+        finish_trace(session, &out_dir_arg(), threads, &config, trace_path.as_deref());
     }
 }

@@ -2,21 +2,32 @@
 //! consumption for the five benchmarks as a function of the ratio of
 //! accurately executed tasks, with loop perforation as the baseline.
 //!
-//! Prints one table per benchmark, writes `fig7_results.csv`, and ends
-//! with the §4.3 summary block (energy reductions; PSNR/error advantages
-//! over perforation).
+//! Prints one table per benchmark, writes `fig7_results.csv` and a
+//! `BENCH_qor.json` quality-of-result report (per-kernel
+//! quality-vs-ratio curves joined with the runtime's achieved ratio,
+//! task tallies and repeated wall-time samples — the input to the
+//! `scorpio_diff` regression gate), and ends with the §4.3 summary
+//! block (energy reductions; PSNR/error advantages over perforation).
 //!
 //! ```sh
-//! cargo run --release -p scorpio-bench --bin fig7_sweep [--small] [--threads N] [--trace trace.json]
+//! cargo run --release -p scorpio-bench --bin fig7_sweep \
+//!     [--small] [--threads N] [--reps N] [--out-dir DIR] [--trace trace.json]
 //! ```
 //!
 //! `--threads N` sizes the task-execution worker pool (default: one
-//! worker per available core). `--trace <path>` enables scorpio-obs
-//! instrumentation: the run writes a Chrome-trace file to `<path>`
-//! (open it in `about:tracing` / Perfetto) and a `RUN_fig7_sweep.json`
-//! run manifest with per-phase timings and counters.
+//! worker per available core). `--reps N` (default 3) repeats the
+//! timed significance run of every point, recording each wall time in
+//! the QoR report. `--out-dir DIR` (default `out/`) is where all
+//! artifacts land. `--trace <path>` enables scorpio-obs
+//! instrumentation: the run writes a Chrome-trace file to `<path>`,
+//! a `RUN_fig7_sweep.json` run manifest, and an
+//! `EVENTS_fig7_sweep.jsonl` structured task-event log (one JSON
+//! object per executed/dropped task and per `taskwait`).
 
-use scorpio_bench::{finish_trace, threads_arg, to_csv, trace_arg, SweepRow};
+use scorpio_bench::{
+    finish_trace, out_dir_arg, reps_arg, threads_arg, to_csv, trace_arg, QorKernel, QorPoint,
+    QorReport, SweepRow, QOR_SCHEMA,
+};
 use scorpio_kernels::{blackscholes, dct, fisheye, nbody, sobel};
 use scorpio_quality::{psnr_images, relative_error_l2, GrayImage, SyntheticImage};
 use scorpio_runtime::{EnergyModel, ExecutionStats, Executor};
@@ -129,8 +140,74 @@ fn image_workload(small: bool, seed: u64) -> GrayImage {
     SyntheticImage::GaussianBlobs.render(size, size, seed)
 }
 
+/// Runs `f`, returning its result and the elapsed wall nanoseconds.
+fn timed<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let t0 = std::time::Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_nanos() as u64)
+}
+
+/// Sweeps one kernel over [`RATIOS`]: the significance run is repeated
+/// `reps` times per point (each wall time sampled for `scorpio_diff`'s
+/// statistics), the perforation baseline — deterministic and not part
+/// of the QoR curve — once. Returns the printable table and the QoR
+/// curve; a `ratio` marker event is emitted per point while tracing.
+fn sweep(
+    name: &'static str,
+    metric: &'static str,
+    reps: usize,
+    model: &EnergyModel,
+    sig: impl Fn(f64) -> ((f64, ExecutionStats), u64),
+    perf: Option<&dyn Fn(f64) -> (f64, ExecutionStats)>,
+) -> (BenchResult, QorKernel) {
+    let mut rows = Vec::new();
+    let mut points = Vec::new();
+    for &ratio in &RATIOS {
+        scorpio_obs::ratio_event(name, ratio);
+        let mut samples = Vec::with_capacity(reps);
+        let mut quality = f64::NAN;
+        let mut stats = ExecutionStats::default();
+        for _ in 0..reps {
+            let ((q, s), ns) = sig(ratio);
+            samples.push(ns);
+            quality = q;
+            stats = s;
+        }
+        let energy_j = model.energy(&stats);
+        let (pq, pe) = match perf {
+            Some(run) => {
+                let (q, s) = run(ratio);
+                (Some(q), Some(model.energy(&s)))
+            }
+            None => (None, None),
+        };
+        rows.push((ratio, quality, energy_j, pq, pe));
+        points.push(QorPoint {
+            ratio,
+            quality,
+            energy_j,
+            achieved_ratio: stats.accurate as f64 / stats.total().max(1) as f64,
+            accurate: stats.accurate as u64,
+            approximate: stats.approximate as u64,
+            dropped: stats.dropped as u64,
+            time_ns_samples: samples,
+        });
+    }
+    (
+        BenchResult { name, metric, rows },
+        QorKernel {
+            name: name.to_owned(),
+            metric: metric.to_owned(),
+            higher_is_better: metric == "psnr_db",
+            points,
+        },
+    )
+}
+
 fn main() {
     let small = std::env::args().any(|a| a == "--small");
+    let out_dir = out_dir_arg();
+    let reps = reps_arg(3);
     let trace_path = trace_arg();
     let session = trace_path
         .as_ref()
@@ -140,8 +217,12 @@ fn main() {
         None => Executor::with_available_parallelism(),
     };
     let model = EnergyModel::xeon_e5_2695v3();
-    let energy = |s: &ExecutionStats| model.energy(s);
     let mut results = Vec::new();
+    let mut kernels = Vec::new();
+    let mut push = |(result, kernel): (BenchResult, QorKernel)| {
+        results.push(result);
+        kernels.push(kernel);
+    };
 
     // ── Sobel ────────────────────────────────────────────────────────
     {
@@ -149,25 +230,20 @@ fn main() {
         let img = image_workload(small, 101);
         eprintln!("[sobel] {}×{}", img.width(), img.height());
         let full = sobel::reference(&img);
-        let rows = RATIOS
-            .iter()
-            .map(|&ratio| {
-                let (out, stats) = sobel::tasked(&img, &executor, ratio);
-                let (perf, perf_stats) = sobel::perforated(&img, ratio);
-                (
-                    ratio,
-                    psnr_images(&full, &out).min(99.0),
-                    energy(&stats),
-                    Some(psnr_images(&full, &perf).min(99.0)),
-                    Some(energy(&perf_stats)),
-                )
-            })
-            .collect();
-        results.push(BenchResult {
-            name: "sobel",
-            metric: "psnr_db",
-            rows,
-        });
+        push(sweep(
+            "sobel",
+            "psnr_db",
+            reps,
+            &model,
+            |ratio| {
+                let ((out, stats), ns) = timed(|| sobel::tasked(&img, &executor, ratio));
+                ((psnr_images(&full, &out).min(99.0), stats), ns)
+            },
+            Some(&|ratio| {
+                let (perf, stats) = sobel::perforated(&img, ratio);
+                (psnr_images(&full, &perf).min(99.0), stats)
+            }),
+        ));
     }
 
     // ── DCT ──────────────────────────────────────────────────────────
@@ -180,25 +256,20 @@ fn main() {
         };
         eprintln!("[dct] {}×{}", img.width(), img.height());
         let full = dct::reference(&img);
-        let rows = RATIOS
-            .iter()
-            .map(|&ratio| {
-                let (out, stats) = dct::tasked(&img, &executor, ratio);
-                let (perf, perf_stats) = dct::perforated(&img, ratio);
-                (
-                    ratio,
-                    psnr_images(&full, &out).min(99.0),
-                    energy(&stats),
-                    Some(psnr_images(&full, &perf).min(99.0)),
-                    Some(energy(&perf_stats)),
-                )
-            })
-            .collect();
-        results.push(BenchResult {
-            name: "dct",
-            metric: "psnr_db",
-            rows,
-        });
+        push(sweep(
+            "dct",
+            "psnr_db",
+            reps,
+            &model,
+            |ratio| {
+                let ((out, stats), ns) = timed(|| dct::tasked(&img, &executor, ratio));
+                ((psnr_images(&full, &out).min(99.0), stats), ns)
+            },
+            Some(&|ratio| {
+                let (perf, stats) = dct::perforated(&img, ratio);
+                (psnr_images(&full, &perf).min(99.0), stats)
+            }),
+        ));
     }
 
     // ── Fisheye ──────────────────────────────────────────────────────
@@ -213,26 +284,21 @@ fn main() {
         let img = SyntheticImage::ValueNoise.render(w, h, 303);
         eprintln!("[fisheye] {w}×{h}, blocks {bw}×{bh}");
         let full = fisheye::reference(&img, &lens);
-        let rows = RATIOS
-            .iter()
-            .map(|&ratio| {
-                let (out, stats) =
-                    fisheye::tasked_with_blocks(&img, &lens, &executor, ratio, bw, bh);
-                let (perf, perf_stats) = fisheye::perforated(&img, &lens, ratio);
-                (
-                    ratio,
-                    psnr_images(&full, &out).min(99.0),
-                    energy(&stats),
-                    Some(psnr_images(&full, &perf).min(99.0)),
-                    Some(energy(&perf_stats)),
-                )
-            })
-            .collect();
-        results.push(BenchResult {
-            name: "fisheye",
-            metric: "psnr_db",
-            rows,
-        });
+        push(sweep(
+            "fisheye",
+            "psnr_db",
+            reps,
+            &model,
+            |ratio| {
+                let ((out, stats), ns) =
+                    timed(|| fisheye::tasked_with_blocks(&img, &lens, &executor, ratio, bw, bh));
+                ((psnr_images(&full, &out).min(99.0), stats), ns)
+            },
+            Some(&|ratio| {
+                let (perf, stats) = fisheye::perforated(&img, &lens, ratio);
+                (psnr_images(&full, &perf).min(99.0), stats)
+            }),
+        ));
     }
 
     // ── N-Body ───────────────────────────────────────────────────────
@@ -250,25 +316,23 @@ fn main() {
             params.steps
         );
         let exact = nbody::reference(&params).flatten();
-        let rows = RATIOS
-            .iter()
-            .map(|&ratio| {
-                let (state, stats) = nbody::tasked(&params, &executor, ratio);
-                let (perf, perf_stats) = nbody::perforated(&params, ratio);
+        push(sweep(
+            "nbody",
+            "rel_error",
+            reps,
+            &model,
+            |ratio| {
+                let ((state, stats), ns) = timed(|| nbody::tasked(&params, &executor, ratio));
                 (
-                    ratio,
-                    relative_error_l2(&exact, &state.flatten()).max(1e-18),
-                    energy(&stats),
-                    Some(relative_error_l2(&exact, &perf.flatten()).max(1e-18)),
-                    Some(energy(&perf_stats)),
+                    (relative_error_l2(&exact, &state.flatten()).max(1e-18), stats),
+                    ns,
                 )
-            })
-            .collect();
-        results.push(BenchResult {
-            name: "nbody",
-            metric: "rel_error",
-            rows,
-        });
+            },
+            Some(&|ratio| {
+                let (perf, stats) = nbody::perforated(&params, ratio);
+                (relative_error_l2(&exact, &perf.flatten()).max(1e-18), stats)
+            }),
+        ));
     }
 
     // ── BlackScholes (perforation not applicable, §4.2) ─────────────
@@ -278,34 +342,51 @@ fn main() {
         let options = blackscholes::generate_options(n, 404);
         eprintln!("[blackscholes] {n} options");
         let exact = blackscholes::reference(&options);
-        let rows = RATIOS
-            .iter()
-            .map(|&ratio| {
-                let (prices, stats) = blackscholes::tasked(&options, 256, &executor, ratio);
+        push(sweep(
+            "blackscholes",
+            "rel_error",
+            reps,
+            &model,
+            |ratio| {
+                let ((prices, stats), ns) =
+                    timed(|| blackscholes::tasked(&options, 256, &executor, ratio));
                 (
-                    ratio,
-                    relative_error_l2(&exact, &prices).max(1e-18),
-                    energy(&stats),
-                    None,
-                    None,
+                    (relative_error_l2(&exact, &prices).max(1e-18), stats),
+                    ns,
                 )
-            })
-            .collect();
-        results.push(BenchResult {
-            name: "blackscholes",
-            metric: "rel_error",
-            rows,
-        });
+            },
+            None,
+        ));
     }
 
     // ── Output ───────────────────────────────────────────────────────
+    std::fs::create_dir_all(&out_dir).expect("create --out-dir");
     let mut csv_rows = Vec::new();
     for r in &results {
         r.print();
         csv_rows.extend(r.csv_rows());
     }
-    std::fs::write("fig7_results.csv", to_csv(&csv_rows)).expect("write fig7_results.csv");
-    println!("\nwrote fig7_results.csv ({} rows)", csv_rows.len());
+    let csv_path = out_dir.join("fig7_results.csv");
+    std::fs::write(&csv_path, to_csv(&csv_rows)).expect("write fig7_results.csv");
+    println!("\nwrote {} ({} rows)", csv_path.display(), csv_rows.len());
+
+    let qor = QorReport {
+        schema: QOR_SCHEMA.to_owned(),
+        name: "fig7_sweep".to_owned(),
+        git: scorpio_obs::git_describe(),
+        threads: executor.threads(),
+        reps,
+        small,
+        kernels,
+    };
+    let qor_path = out_dir.join("BENCH_qor.json");
+    std::fs::write(&qor_path, qor.to_json()).expect("write BENCH_qor.json");
+    println!(
+        "wrote {} ({} kernels × {} ratios, {reps} timing reps)",
+        qor_path.display(),
+        qor.kernels.len(),
+        RATIOS.len()
+    );
 
     // §4.3 summary block.
     println!("\n=== §4.3 summary ===");
@@ -343,7 +424,14 @@ fn main() {
         let config = vec![
             ("small".to_owned(), small.to_string()),
             ("threads".to_owned(), executor.threads().to_string()),
+            ("reps".to_owned(), reps.to_string()),
         ];
-        finish_trace(session, executor.threads(), &config, trace_path.as_deref());
+        finish_trace(
+            session,
+            &out_dir,
+            executor.threads(),
+            &config,
+            trace_path.as_deref(),
+        );
     }
 }

@@ -14,7 +14,7 @@
 //! `--trace <path>` writes a Chrome trace and a `RUN_mc_crosscheck.json`
 //! run manifest.
 
-use scorpio_bench::{finish_trace, threads_arg, trace_arg};
+use scorpio_bench::{finish_trace, out_dir_arg, threads_arg, trace_arg};
 use scorpio_core::mc;
 use scorpio_kernels::maclaurin;
 
@@ -115,6 +115,6 @@ fn main() {
 
     if let Some(session) = session {
         let config = vec![("threads".to_owned(), threads.to_string())];
-        finish_trace(session, threads, &config, trace_path.as_deref());
+        finish_trace(session, &out_dir_arg(), threads, &config, trace_path.as_deref());
     }
 }

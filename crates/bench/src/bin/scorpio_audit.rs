@@ -18,7 +18,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use scorpio_bench::{finish_trace, trace_arg};
+use scorpio_bench::{finish_trace, out_dir_arg, trace_arg};
 use scorpio_core::audit::{
     audit_containment, audit_cross_mode, minimal_repro, AuditConfig, AuditOutcome, DagSpec,
     OpFamily, SplitMix64,
@@ -280,10 +280,14 @@ fn main() {
     let _ = writeln!(json, "  \"wall_seconds\": {wall:.3},");
     let _ = writeln!(json, "  \"sound\": {sound}");
     json.push_str("}\n");
-    std::fs::write("AUDIT.json", &json).expect("write AUDIT.json");
+    let out_dir = out_dir_arg();
+    std::fs::create_dir_all(&out_dir).expect("create --out-dir");
+    let audit_path = out_dir.join("AUDIT.json");
+    std::fs::write(&audit_path, &json).expect("write AUDIT.json");
 
     println!(
-        "\nwrote AUDIT.json — {} ({wall:.1}s)",
+        "\nwrote {} — {} ({wall:.1}s)",
+        audit_path.display(),
         if sound { "SOUND" } else { "VIOLATIONS FOUND" }
     );
 
@@ -292,7 +296,7 @@ fn main() {
             ("quick".to_owned(), quick.to_string()),
             ("points_per_kernel".to_owned(), points_per_kernel.to_string()),
         ];
-        finish_trace(session, 1, &config, trace_path.as_deref());
+        finish_trace(session, &out_dir, 1, &config, trace_path.as_deref());
     }
     if !sound {
         std::process::exit(1);

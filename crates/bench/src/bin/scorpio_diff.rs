@@ -1,0 +1,133 @@
+//! Run-to-run comparison and regression gate.
+//!
+//! Loads two artifacts written by the harness binaries — two
+//! `RUN_*.json` run manifests or two `BENCH_qor.json` QoR reports —
+//! and compares them item by item (see `scorpio_bench::diff`): QoR
+//! curves pointwise with metric-direction awareness, repeated timing
+//! samples with Welch's t-test (bootstrap CI fallback), and manifest
+//! phases/counters against a relative threshold.
+//!
+//! ```sh
+//! cargo run --release -p scorpio-bench --bin scorpio_diff -- \
+//!     baseline.json candidate.json [--gate] [--threshold PCT] \
+//!     [--quality-only] [--reps N] [--seed S]
+//! ```
+//!
+//! * `--gate` — exit non-zero (1) when any statistically significant
+//!   regression beyond the threshold is found.
+//! * `--threshold PCT` — relative-change gate threshold in percent
+//!   (default 5).
+//! * `--quality-only` — compare only machine-independent items
+//!   (quality, modeled energy, achieved ratios, counters); use this
+//!   when gating against a baseline produced on different hardware.
+//! * `--reps N` — bootstrap resamples for the CI fallback
+//!   (default 1000).
+//! * `--seed S` — bootstrap seed (default 0x5ca1ab1e).
+//!
+//! Exit codes: 0 = clean (or regressions found without `--gate`),
+//! 1 = gated regression, 2 = usage or file error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use scorpio_bench::diff::{diff_files, DiffOptions};
+
+struct Args {
+    baseline: PathBuf,
+    candidate: PathBuf,
+    gate: bool,
+    opts: DiffOptions,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scorpio_diff <baseline.json> <candidate.json> \
+         [--gate] [--threshold PCT] [--quality-only] [--reps N] [--seed S]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut positional = Vec::new();
+    let mut gate = false;
+    let mut opts = DiffOptions::default();
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            usage()
+        })
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--gate" => gate = true,
+            "--quality-only" => opts.quality_only = true,
+            "--threshold" => {
+                opts.threshold_pct = value(&mut args, "--threshold")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+            }
+            "--reps" => {
+                opts.resamples = value(&mut args, "--reps")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+            }
+            "--seed" => {
+                opts.seed = value(&mut args, "--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+            }
+            "--help" | "-h" => usage(),
+            flag if flag.starts_with("--") => {
+                // --flag=value forms.
+                let parse_kv = |prefix: &str| flag.strip_prefix(prefix).map(str::to_owned);
+                if let Some(v) = parse_kv("--threshold=") {
+                    opts.threshold_pct = v.parse().unwrap_or_else(|_| usage());
+                } else if let Some(v) = parse_kv("--reps=") {
+                    opts.resamples = v.parse().unwrap_or_else(|_| usage());
+                } else if let Some(v) = parse_kv("--seed=") {
+                    opts.seed = v.parse().unwrap_or_else(|_| usage());
+                } else {
+                    eprintln!("unknown flag {flag}");
+                    usage();
+                }
+            }
+            _ => positional.push(PathBuf::from(a)),
+        }
+    }
+    if positional.len() != 2 {
+        usage();
+    }
+    let candidate = positional.pop().expect("two positionals");
+    let baseline = positional.pop().expect("two positionals");
+    Args {
+        baseline,
+        candidate,
+        gate,
+        opts,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let report = match diff_files(&args.baseline, &args.candidate, &args.opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("scorpio_diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.render());
+    let regressions = report.regressions();
+    if args.gate && regressions > 0 {
+        println!(
+            "gate: FAILED — {regressions} regression(s) beyond {:.1}%",
+            args.opts.threshold_pct
+        );
+        return ExitCode::from(1);
+    }
+    if args.gate {
+        println!("gate: passed (threshold {:.1}%)", args.opts.threshold_pct);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,728 @@
+//! Run-to-run comparison and the regression gate behind `scorpio_diff`.
+//!
+//! Loads two artifacts produced by the harness binaries — either two
+//! `RUN_*.json` run manifests or two `BENCH_qor.json` QoR reports —
+//! and compares them item by item:
+//!
+//! * **QoR reports** are compared pointwise per kernel: quality and
+//!   modeled energy with metric-direction awareness (PSNR up is good,
+//!   relative error down is good), achieved ratio exactly, and the
+//!   repeated wall-time samples with Welch's t-test (falling back to a
+//!   seeded bootstrap CI when the t-test is undefined) so a timing
+//!   regression must be *statistically significant*, not just noisy.
+//! * **Run manifests** carry one sample per phase/counter, so phase
+//!   timings and counters are compared against the plain relative
+//!   threshold.
+//!
+//! [`DiffReport::regressions`] drives the `--gate` exit code.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use scorpio_obs::json::{parse, Value};
+
+use crate::stats;
+
+/// What kind of artifact a JSON file turned out to be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactKind {
+    /// A `BENCH_qor.json` QoR report ([`crate::QorReport`]).
+    Qor,
+    /// A `RUN_*.json` run manifest (`scorpio_obs::RunManifest`).
+    RunManifest,
+}
+
+/// Knobs of one comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffOptions {
+    /// Relative-change gate threshold in percent (a regression must be
+    /// worse than this to fire).
+    pub threshold_pct: f64,
+    /// Compare only machine-independent items (quality, energy model,
+    /// achieved ratios, counters) — skip wall-time comparisons so a
+    /// checked-in baseline gates identically on any host.
+    pub quality_only: bool,
+    /// Bootstrap resamples used when the t-test is undefined.
+    pub resamples: usize,
+    /// Bootstrap seed (verdicts are deterministic in it).
+    pub seed: u64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> DiffOptions {
+        DiffOptions {
+            threshold_pct: 5.0,
+            quality_only: false,
+            resamples: 1000,
+            seed: 0x5ca1_ab1e,
+        }
+    }
+}
+
+/// Verdict on one compared item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Better than baseline beyond the threshold.
+    Improvement,
+    /// Within the threshold (or not significant).
+    Unchanged,
+    /// Worse than baseline beyond the threshold (and significant where
+    /// repeated samples exist).
+    Regression,
+}
+
+impl Severity {
+    fn tag(self) -> &'static str {
+        match self {
+            Severity::Improvement => "BETTER",
+            Severity::Unchanged => "ok",
+            Severity::Regression => "REGRESSION",
+        }
+    }
+}
+
+/// One compared item.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// What was compared (e.g. `"sobel @ ratio 0.5 · quality(psnr_db)"`).
+    pub item: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Candidate value.
+    pub candidate: f64,
+    /// Signed relative change in percent, oriented so **positive means
+    /// worse** (direction-aware for quality metrics).
+    pub worse_pct: f64,
+    /// Two-sided p-value where repeated samples allowed a test.
+    pub p_value: Option<f64>,
+    /// The verdict.
+    pub severity: Severity,
+    /// Free-form annotation (which test ran, fallbacks taken…).
+    pub note: String,
+}
+
+/// The full comparison result.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Kind of the two artifacts.
+    pub kind: ArtifactKind,
+    /// Every compared item, in artifact order.
+    pub findings: Vec<Finding>,
+}
+
+impl DiffReport {
+    /// Number of regressions found.
+    pub fn regressions(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Regression)
+            .count()
+    }
+
+    /// Human-readable table of every finding plus a summary line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let kind = match self.kind {
+            ArtifactKind::Qor => "QoR report",
+            ArtifactKind::RunManifest => "run manifest",
+        };
+        let _ = writeln!(out, "comparing {kind}s: {} items", self.findings.len());
+        for f in &self.findings {
+            let p = match f.p_value {
+                Some(p) => format!(" p={p:.4}"),
+                None => String::new(),
+            };
+            let note = if f.note.is_empty() {
+                String::new()
+            } else {
+                format!(" [{}]", f.note)
+            };
+            let _ = writeln!(
+                out,
+                "{:<12} {:<48} {:>14.6} -> {:>14.6} ({:+.2}%{p}){note}",
+                f.severity.tag(),
+                f.item,
+                f.baseline,
+                f.candidate,
+                f.worse_pct,
+            );
+        }
+        let regs = self.regressions();
+        let better = self
+            .findings
+            .iter()
+            .filter(|f| f.severity == Severity::Improvement)
+            .count();
+        let _ = writeln!(
+            out,
+            "summary: {regs} regression(s), {better} improvement(s), {} unchanged",
+            self.findings.len() - regs - better
+        );
+        out
+    }
+}
+
+/// Loads and parses one artifact file.
+///
+/// # Errors
+///
+/// Returns a message naming the path on I/O or JSON syntax errors.
+pub fn load(path: &Path) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: cannot read: {e}", path.display()))?;
+    parse(&text).map_err(|e| format!("{}: invalid JSON: {e}", path.display()))
+}
+
+/// Identifies which artifact kind a parsed file is.
+///
+/// # Errors
+///
+/// Returns a message when the value is neither a known QoR schema nor
+/// a run manifest.
+pub fn detect(value: &Value) -> Result<ArtifactKind, String> {
+    if let Some(schema) = value.get("schema").and_then(Value::as_str) {
+        return if schema == crate::QOR_SCHEMA {
+            Ok(ArtifactKind::Qor)
+        } else {
+            Err(format!("unsupported schema {schema:?}"))
+        };
+    }
+    if value.get("phases").is_some() && value.get("wall_clock_ns").is_some() {
+        return Ok(ArtifactKind::RunManifest);
+    }
+    Err("not a BENCH_qor.json QoR report or RUN_*.json run manifest".to_owned())
+}
+
+/// Compares two parsed artifacts of the same kind.
+///
+/// # Errors
+///
+/// Returns a message when the kinds differ or either file is malformed.
+pub fn diff_values(base: &Value, cand: &Value, opts: &DiffOptions) -> Result<DiffReport, String> {
+    let kind = detect(base)?;
+    let cand_kind = detect(cand)?;
+    if kind != cand_kind {
+        return Err(format!(
+            "cannot compare a {kind:?} against a {cand_kind:?}"
+        ));
+    }
+    let findings = match kind {
+        ArtifactKind::Qor => diff_qor(base, cand, opts)?,
+        ArtifactKind::RunManifest => diff_manifest(base, cand, opts)?,
+    };
+    Ok(DiffReport { kind, findings })
+}
+
+/// [`load`] + [`diff_values`] over two files.
+///
+/// # Errors
+///
+/// Propagates loading and comparison errors.
+pub fn diff_files(
+    baseline: &Path,
+    candidate: &Path,
+    opts: &DiffOptions,
+) -> Result<DiffReport, String> {
+    let base = load(baseline)?;
+    let cand = load(candidate)?;
+    diff_values(&base, &cand, opts)
+}
+
+// ───────────────────────── QoR comparison ─────────────────────────
+
+fn f64_field(v: &Value, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("missing numeric field {key:?}"))
+}
+
+fn str_field<'a>(v: &'a Value, key: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+fn samples(v: &Value) -> Vec<f64> {
+    v.get("time_ns_samples")
+        .and_then(Value::as_arr)
+        .map(|a| a.iter().filter_map(Value::as_f64).collect())
+        .unwrap_or_default()
+}
+
+/// Relative "how much worse" in percent: positive = candidate worse.
+/// `higher_is_better` orients quality metrics; timings and errors pass
+/// `false`.
+fn worse_pct(base: f64, cand: f64, higher_is_better: bool) -> f64 {
+    let denom = base.abs().max(1e-12);
+    let raw = (cand - base) / denom * 100.0;
+    if higher_is_better {
+        -raw
+    } else {
+        raw
+    }
+}
+
+fn threshold_verdict(worse: f64, threshold_pct: f64) -> Severity {
+    if worse > threshold_pct {
+        Severity::Regression
+    } else if worse < -threshold_pct {
+        Severity::Improvement
+    } else {
+        Severity::Unchanged
+    }
+}
+
+fn diff_qor(base: &Value, cand: &Value, opts: &DiffOptions) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+    let base_kernels = base
+        .get("kernels")
+        .and_then(Value::as_arr)
+        .ok_or("baseline QoR report has no kernels array")?;
+    let cand_kernels = cand
+        .get("kernels")
+        .and_then(Value::as_arr)
+        .ok_or("candidate QoR report has no kernels array")?;
+
+    for bk in base_kernels {
+        let name = str_field(bk, "name")?;
+        let metric = str_field(bk, "metric")?;
+        let higher_is_better = matches!(bk.get("higher_is_better"), Some(Value::Bool(true)));
+        let Some(ck) = cand_kernels
+            .iter()
+            .find(|k| k.get("name").and_then(Value::as_str) == Some(name))
+        else {
+            findings.push(Finding {
+                item: format!("{name} (kernel)"),
+                baseline: 1.0,
+                candidate: 0.0,
+                worse_pct: 100.0,
+                p_value: None,
+                severity: Severity::Regression,
+                note: "kernel missing from candidate".to_owned(),
+            });
+            continue;
+        };
+        let empty = Vec::new();
+        let b_points = bk.get("points").and_then(Value::as_arr).unwrap_or(&empty);
+        let c_points = ck.get("points").and_then(Value::as_arr).unwrap_or(&empty);
+        for bp in b_points {
+            let ratio = f64_field(bp, "ratio")?;
+            let Some(cp) = c_points.iter().find(|p| {
+                p.get("ratio")
+                    .and_then(Value::as_f64)
+                    .is_some_and(|r| (r - ratio).abs() < 1e-9)
+            }) else {
+                findings.push(Finding {
+                    item: format!("{name} @ ratio {ratio} (point)"),
+                    baseline: 1.0,
+                    candidate: 0.0,
+                    worse_pct: 100.0,
+                    p_value: None,
+                    severity: Severity::Regression,
+                    note: "point missing from candidate".to_owned(),
+                });
+                continue;
+            };
+            let at = |what: &str| format!("{name} @ ratio {ratio} · {what}");
+
+            // Quality, metric-direction aware.
+            let (bq, cq) = (f64_field(bp, "quality")?, f64_field(cp, "quality")?);
+            let worse = worse_pct(bq, cq, higher_is_better);
+            findings.push(Finding {
+                item: at(&format!("quality({metric})")),
+                baseline: bq,
+                candidate: cq,
+                worse_pct: worse,
+                p_value: None,
+                severity: threshold_verdict(worse, opts.threshold_pct),
+                note: String::new(),
+            });
+
+            // Modeled energy: deterministic, lower is better.
+            let (be, ce) = (f64_field(bp, "energy_j")?, f64_field(cp, "energy_j")?);
+            let worse = worse_pct(be, ce, false);
+            findings.push(Finding {
+                item: at("energy_j"),
+                baseline: be,
+                candidate: ce,
+                worse_pct: worse,
+                p_value: None,
+                severity: threshold_verdict(worse, opts.threshold_pct),
+                note: String::new(),
+            });
+
+            // Achieved ratio: the runtime's scheduling decision is
+            // deterministic — any drift is a behaviour change.
+            let (br, cr) = (
+                f64_field(bp, "achieved_ratio")?,
+                f64_field(cp, "achieved_ratio")?,
+            );
+            if (br - cr).abs() > 1e-9 {
+                findings.push(Finding {
+                    item: at("achieved_ratio"),
+                    baseline: br,
+                    candidate: cr,
+                    worse_pct: worse_pct(br, cr, false).abs(),
+                    p_value: None,
+                    severity: Severity::Regression,
+                    note: "scheduling decision changed".to_owned(),
+                });
+            }
+
+            // Wall time: statistical over the repeated samples.
+            if !opts.quality_only {
+                findings.push(compare_time_samples(
+                    &at("time_ns"),
+                    &samples(bp),
+                    &samples(cp),
+                    opts,
+                ));
+            }
+        }
+    }
+    Ok(findings)
+}
+
+/// Compares two repeated-timing sample sets: the mean change must
+/// exceed the threshold *and* be statistically significant (Welch
+/// p < 0.05, or — when the t-test is undefined, e.g. constant
+/// samples — a bootstrap 95% CI excluding zero) to count as a
+/// regression or an improvement.
+fn compare_time_samples(item: &str, base: &[f64], cand: &[f64], opts: &DiffOptions) -> Finding {
+    let (mb, mc) = (stats::mean(base), stats::mean(cand));
+    if base.is_empty() || cand.is_empty() {
+        return Finding {
+            item: item.to_owned(),
+            baseline: mb,
+            candidate: mc,
+            worse_pct: 0.0,
+            p_value: None,
+            severity: Severity::Unchanged,
+            note: "no timing samples".to_owned(),
+        };
+    }
+    let worse = worse_pct(mb, mc, false);
+    let (significant, p_value, note) = match stats::welch_t_test(base, cand) {
+        Some(w) => (w.p < 0.05, Some(w.p), format!("welch df={:.1}", w.df)),
+        None => match stats::bootstrap_mean_diff_ci(base, cand, opts.resamples, opts.seed, 0.05) {
+            Some((lo, hi)) => (
+                lo > 0.0 || hi < 0.0,
+                None,
+                format!("bootstrap ci=[{lo:.1}, {hi:.1}]"),
+            ),
+            // Single constant samples on both sides: exact compare.
+            None => (mb != mc, None, "single sample".to_owned()),
+        },
+    };
+    let severity = if significant {
+        threshold_verdict(worse, opts.threshold_pct)
+    } else {
+        Severity::Unchanged
+    };
+    Finding {
+        item: item.to_owned(),
+        baseline: mb,
+        candidate: mc,
+        worse_pct: worse,
+        p_value,
+        severity,
+        note,
+    }
+}
+
+// ─────────────────────── manifest comparison ───────────────────────
+
+/// Flattens the manifest phase tree into `path → total_ns`.
+fn flatten_phases(value: &Value, prefix: &str, out: &mut Vec<(String, f64)>) {
+    let Some(phases) = value.as_arr() else { return };
+    for p in phases {
+        let Some(name) = p.get("name").and_then(Value::as_str) else {
+            continue;
+        };
+        let path = if prefix.is_empty() {
+            name.to_owned()
+        } else {
+            format!("{prefix}/{name}")
+        };
+        let total = p.get("total_ns").and_then(Value::as_f64).unwrap_or(0.0);
+        out.push((path.clone(), total));
+        if let Some(children) = p.get("children") {
+            flatten_phases(children, &path, out);
+        }
+    }
+}
+
+fn manifest_counters(value: &Value) -> Vec<(String, f64)> {
+    value
+        .get("counters")
+        .and_then(Value::as_arr)
+        .map(|arr| {
+            arr.iter()
+                .filter_map(|c| {
+                    let name = c.get("name").and_then(Value::as_str)?;
+                    let v = c.get("value").and_then(Value::as_f64)?;
+                    Some((name.to_owned(), v))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn diff_manifest(base: &Value, cand: &Value, opts: &DiffOptions) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+
+    // Timings: one sample each, plain relative threshold.
+    if !opts.quality_only {
+        let wall = |v: &Value| f64_field(v, "wall_clock_ns");
+        let (bw, cw) = (wall(base)?, wall(cand)?);
+        let worse = worse_pct(bw, cw, false);
+        findings.push(Finding {
+            item: "wall_clock_ns".to_owned(),
+            baseline: bw,
+            candidate: cw,
+            worse_pct: worse,
+            p_value: None,
+            severity: threshold_verdict(worse, opts.threshold_pct),
+            note: "single sample".to_owned(),
+        });
+
+        let mut b_phases = Vec::new();
+        let mut c_phases = Vec::new();
+        if let Some(p) = base.get("phases") {
+            flatten_phases(p, "", &mut b_phases);
+        }
+        if let Some(p) = cand.get("phases") {
+            flatten_phases(p, "", &mut c_phases);
+        }
+        for (path, bt) in &b_phases {
+            let Some((_, ct)) = c_phases.iter().find(|(p, _)| p == path) else {
+                findings.push(Finding {
+                    item: format!("phase {path}"),
+                    baseline: *bt,
+                    candidate: 0.0,
+                    worse_pct: 100.0,
+                    p_value: None,
+                    severity: Severity::Regression,
+                    note: "phase missing from candidate".to_owned(),
+                });
+                continue;
+            };
+            let worse = worse_pct(*bt, *ct, false);
+            findings.push(Finding {
+                item: format!("phase {path}"),
+                baseline: *bt,
+                candidate: *ct,
+                worse_pct: worse,
+                p_value: None,
+                severity: threshold_verdict(worse, opts.threshold_pct),
+                note: "single sample".to_owned(),
+            });
+        }
+    }
+
+    // Counters: work accounting is deterministic, so any drift beyond
+    // the threshold in either direction is flagged.
+    let b_counters = manifest_counters(base);
+    let c_counters = manifest_counters(cand);
+    for (name, bv) in &b_counters {
+        let Some((_, cv)) = c_counters.iter().find(|(n, _)| n == name) else {
+            findings.push(Finding {
+                item: format!("counter {name}"),
+                baseline: *bv,
+                candidate: 0.0,
+                worse_pct: 100.0,
+                p_value: None,
+                severity: Severity::Regression,
+                note: "counter missing from candidate".to_owned(),
+            });
+            continue;
+        };
+        let change = worse_pct(*bv, *cv, false);
+        findings.push(Finding {
+            item: format!("counter {name}"),
+            baseline: *bv,
+            candidate: *cv,
+            worse_pct: change.abs(),
+            p_value: None,
+            severity: if change.abs() > opts.threshold_pct {
+                Severity::Regression
+            } else {
+                Severity::Unchanged
+            },
+            note: String::new(),
+        });
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{QorKernel, QorPoint, QorReport, QOR_SCHEMA};
+
+    fn report(time_scale: f64, quality_delta: f64) -> Value {
+        let point = |ratio: f64| QorPoint {
+            ratio,
+            quality: 30.0 + 10.0 * ratio + quality_delta,
+            energy_j: 1.0 + ratio,
+            achieved_ratio: ratio,
+            accurate: (ratio * 10.0) as u64,
+            approximate: 10 - (ratio * 10.0) as u64,
+            dropped: 0,
+            time_ns_samples: [1000.0, 1010.0, 990.0, 1005.0, 995.0]
+                .iter()
+                .map(|t| (t * time_scale) as u64)
+                .collect(),
+        };
+        let r = QorReport {
+            schema: QOR_SCHEMA.to_owned(),
+            name: "test".to_owned(),
+            git: "deadbeef".to_owned(),
+            threads: 1,
+            reps: 5,
+            small: true,
+            kernels: vec![QorKernel {
+                name: "sobel".to_owned(),
+                metric: "psnr_db".to_owned(),
+                higher_is_better: true,
+                points: vec![point(0.0), point(0.5), point(1.0)],
+            }],
+        };
+        parse(&r.to_json()).expect("round-trip")
+    }
+
+    #[test]
+    fn detect_distinguishes_kinds() {
+        let qor = report(1.0, 0.0);
+        assert_eq!(detect(&qor), Ok(ArtifactKind::Qor));
+        let manifest = parse(r#"{"phases": [], "wall_clock_ns": 5}"#).unwrap();
+        assert_eq!(detect(&manifest), Ok(ArtifactKind::RunManifest));
+        assert!(detect(&parse("{}").unwrap()).is_err());
+    }
+
+    #[test]
+    fn self_comparison_is_clean() {
+        let r = report(1.0, 0.0);
+        let d = diff_values(&r, &r, &DiffOptions::default()).expect("diff");
+        assert_eq!(d.regressions(), 0, "{}", d.render());
+    }
+
+    #[test]
+    fn injected_slowdown_gates() {
+        let base = report(1.0, 0.0);
+        let slow = report(1.10, 0.0); // +10% on every timing sample
+        let d = diff_values(&base, &slow, &DiffOptions::default()).expect("diff");
+        assert!(d.regressions() >= 3, "{}", d.render());
+        assert!(d
+            .findings
+            .iter()
+            .any(|f| f.item.contains("time_ns")
+                && f.severity == Severity::Regression
+                && f.p_value.is_some_and(|p| p < 0.05)));
+    }
+
+    #[test]
+    fn slowdown_is_invisible_in_quality_only_mode() {
+        let base = report(1.0, 0.0);
+        let slow = report(1.10, 0.0);
+        let opts = DiffOptions {
+            quality_only: true,
+            ..DiffOptions::default()
+        };
+        let d = diff_values(&base, &slow, &opts).expect("diff");
+        assert_eq!(d.regressions(), 0, "{}", d.render());
+    }
+
+    #[test]
+    fn quality_drop_gates_with_metric_direction() {
+        let base = report(1.0, 0.0);
+        let worse = report(1.0, -10.0); // PSNR down = worse
+        let d = diff_values(&base, &worse, &DiffOptions::default()).expect("diff");
+        assert!(
+            d.findings
+                .iter()
+                .any(|f| f.item.contains("quality") && f.severity == Severity::Regression),
+            "{}",
+            d.render()
+        );
+        // And a PSNR *increase* is an improvement, not a regression.
+        let better = report(1.0, 10.0);
+        let d = diff_values(&base, &better, &DiffOptions::default()).expect("diff");
+        assert_eq!(d.regressions(), 0, "{}", d.render());
+        assert!(d
+            .findings
+            .iter()
+            .any(|f| f.severity == Severity::Improvement));
+    }
+
+    #[test]
+    fn small_noise_does_not_gate() {
+        let base = report(1.0, 0.0);
+        // 1% timing drift, under the 5% threshold.
+        let near = report(1.01, 0.0);
+        let d = diff_values(&base, &near, &DiffOptions::default()).expect("diff");
+        assert_eq!(d.regressions(), 0, "{}", d.render());
+    }
+
+    #[test]
+    fn missing_kernel_is_a_regression() {
+        let base = report(1.0, 0.0);
+        let mut r = QorReport {
+            schema: QOR_SCHEMA.to_owned(),
+            name: "test".to_owned(),
+            git: "deadbeef".to_owned(),
+            threads: 1,
+            reps: 5,
+            small: true,
+            kernels: vec![],
+        };
+        r.kernels.clear();
+        let empty = parse(&r.to_json()).unwrap();
+        let d = diff_values(&base, &empty, &DiffOptions::default()).expect("diff");
+        assert_eq!(d.regressions(), 1);
+        assert!(d.findings[0].note.contains("kernel missing"));
+    }
+
+    #[test]
+    fn manifest_phase_slowdown_gates() {
+        let mk = |wall: f64, phase: f64| {
+            parse(&format!(
+                r#"{{"wall_clock_ns": {wall}, "phases": [
+                    {{"name": "analyze", "total_ns": {phase}, "count": 1, "children": [
+                        {{"name": "sweep", "total_ns": {phase}, "count": 1, "children": []}}
+                    ]}}
+                ], "counters": [{{"name": "tasks.accurate", "value": 10}}]}}"#
+            ))
+            .unwrap()
+        };
+        let base = mk(1000.0, 800.0);
+        let d = diff_values(&base, &mk(1000.0, 1000.0), &DiffOptions::default()).unwrap();
+        assert!(
+            d.findings
+                .iter()
+                .any(|f| f.item == "phase analyze" && f.severity == Severity::Regression),
+            "{}",
+            d.render()
+        );
+        assert!(d.findings.iter().any(|f| f.item == "phase analyze/sweep"));
+        // Self-compare is clean.
+        let d = diff_values(&base, &base, &DiffOptions::default()).unwrap();
+        assert_eq!(d.regressions(), 0);
+    }
+
+    #[test]
+    fn manifest_counter_drift_gates_both_directions() {
+        let mk = |v: u64| {
+            parse(&format!(
+                r#"{{"wall_clock_ns": 1000, "phases": [],
+                     "counters": [{{"name": "tasks.accurate", "value": {v}}}]}}"#
+            ))
+            .unwrap()
+        };
+        let opts = DiffOptions::default();
+        let up = diff_values(&mk(100), &mk(150), &opts).unwrap();
+        assert_eq!(up.regressions(), 1, "{}", up.render());
+        let down = diff_values(&mk(100), &mk(50), &opts).unwrap();
+        assert_eq!(down.regressions(), 1, "{}", down.render());
+    }
+}

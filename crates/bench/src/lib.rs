@@ -6,6 +6,12 @@
 
 #![warn(missing_docs)]
 
+pub mod diff;
+pub mod qor;
+pub mod stats;
+
+pub use qor::{QorKernel, QorPoint, QorReport, QOR_SCHEMA};
+
 use std::fmt::Write as _;
 
 /// Renders a matrix of values as an ASCII heat map: one glyph per cell,
@@ -96,6 +102,59 @@ fn parse_threads(v: &str) -> usize {
     n
 }
 
+/// Parses the shared `--out-dir <dir>` knob: the directory the harness
+/// binaries write their artifacts into (`fig7_results.csv`,
+/// `RUN_*.json`, `BENCH_*.json`, event logs…). Defaults to `out/` so
+/// generated files never land in the repository root; the directory is
+/// created on first write.
+///
+/// # Panics
+///
+/// Panics if the flag is given without a value.
+pub fn out_dir_arg() -> std::path::PathBuf {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--out-dir" {
+            let v = args.next().expect("--out-dir needs a directory");
+            return v.into();
+        }
+        if let Some(v) = a.strip_prefix("--out-dir=") {
+            assert!(!v.is_empty(), "--out-dir needs a directory");
+            return v.into();
+        }
+    }
+    std::path::PathBuf::from("out")
+}
+
+/// Parses the shared `--reps N` knob: how many timed repetitions of
+/// each measured point a harness records (for run-to-run statistics in
+/// `scorpio_diff`). Returns `default` when absent.
+///
+/// # Panics
+///
+/// Panics on a missing, non-numeric, or zero value.
+pub fn reps_arg(default: usize) -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--reps" {
+            let v = args.next().expect("--reps needs a value");
+            return parse_reps(&v);
+        }
+        if let Some(v) = a.strip_prefix("--reps=") {
+            return parse_reps(v);
+        }
+    }
+    default
+}
+
+fn parse_reps(v: &str) -> usize {
+    let n: usize = v
+        .parse()
+        .unwrap_or_else(|_| panic!("invalid --reps value {v:?}"));
+    assert!(n > 0, "--reps must be at least 1");
+    n
+}
+
 /// Parses the shared `--trace <path>` observability knob from the
 /// process arguments (accepts both `--trace path` and `--trace=path`).
 /// When present, the harness enables `scorpio-obs` instrumentation for
@@ -122,37 +181,53 @@ pub fn trace_arg() -> Option<std::path::PathBuf> {
 }
 
 /// Standard end-of-run observability hook for the harness binaries:
-/// when `trace_path` is `Some`, finishes `session` (writing the Chrome
-/// trace there plus `RUN_<name>.json` in the working directory) and
-/// prints a one-line summary of where the artifacts went and how much
-/// of the wall clock the instrumented phases covered.
+/// finishes `session`, writing `RUN_<name>.json` into `out_dir`, the
+/// Chrome trace to `trace_path` when given, and — when the run emitted
+/// structured task events — `EVENTS_<name>.jsonl` (one event object per
+/// line) next to the manifest. Prints a one-line summary of where the
+/// artifacts went and how much of the wall clock the instrumented
+/// phases covered.
 ///
 /// The session must have been started with [`scorpio_obs::RunSession::start`]
 /// before the measured work; `config` records the harness knobs in the
 /// manifest.
 pub fn finish_trace(
     session: scorpio_obs::RunSession,
+    out_dir: &std::path::Path,
     threads: usize,
     config: &[(String, String)],
     trace_path: Option<&std::path::Path>,
 ) {
     let name = session.name().to_owned();
-    match session.finish(threads, config, trace_path) {
+    match session.finish_in(out_dir, threads, config, trace_path) {
         Ok(manifest) => {
             let coverage = if manifest.wall_clock_ns > 0 {
                 100.0 * manifest.phase_total_ns as f64 / manifest.wall_clock_ns as f64
             } else {
                 0.0
             };
-            match trace_path {
-                Some(p) => println!(
-                    "trace: wrote {} and RUN_{name}.json ({coverage:.1}% of wall clock in phases)",
-                    p.display()
-                ),
-                None => println!(
-                    "trace: wrote RUN_{name}.json ({coverage:.1}% of wall clock in phases)"
-                ),
+            let manifest_path = out_dir.join(format!("RUN_{name}.json"));
+            let mut wrote = match trace_path {
+                Some(p) => format!("{} and {}", p.display(), manifest_path.display()),
+                None => manifest_path.display().to_string(),
+            };
+            if !manifest.task_events.is_empty() {
+                let events_path = out_dir.join(format!("EVENTS_{name}.jsonl"));
+                match std::fs::write(&events_path, scorpio_obs::records_jsonl(&manifest.task_events))
+                {
+                    Ok(()) => {
+                        let _ = write!(
+                            wrote,
+                            " and {} ({} events, {} dropped)",
+                            events_path.display(),
+                            manifest.task_events.len(),
+                            manifest.task_events_dropped
+                        );
+                    }
+                    Err(e) => eprintln!("trace: failed to write {}: {e}", events_path.display()),
+                }
             }
+            println!("trace: wrote {wrote} ({coverage:.1}% of wall clock in phases)");
         }
         Err(e) => eprintln!("trace: failed to write run artifacts: {e}"),
     }

@@ -1,0 +1,78 @@
+//! Quality-of-result (QoR) reports: the per-kernel quality-vs-ratio
+//! curves the sweep harness writes to `BENCH_qor.json`, joining the
+//! quality metrics from `scorpio-quality` with the runtime's achieved
+//! ratio and repeated wall-time samples. `scorpio_diff` compares two of
+//! these files point by point and gates on regressions.
+
+use serde::Serialize;
+
+/// Schema tag stamped into every report so `scorpio_diff` can tell QoR
+/// reports and run manifests apart (and reject future format changes).
+pub const QOR_SCHEMA: &str = "scorpio-qor-v1";
+
+/// One measured point of a kernel's quality-vs-ratio curve.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct QorPoint {
+    /// The requested accurate-task ratio (the knob).
+    pub ratio: f64,
+    /// The measured quality at this ratio (in `metric` units).
+    pub quality: f64,
+    /// Modeled energy in Joules.
+    pub energy_j: f64,
+    /// The ratio the runtime actually achieved (forced significance-1
+    /// tasks can push it above the request).
+    pub achieved_ratio: f64,
+    /// Tasks executed accurately.
+    pub accurate: u64,
+    /// Tasks executed with their approximate body.
+    pub approximate: u64,
+    /// Tasks dropped outright.
+    pub dropped: u64,
+    /// Wall-clock nanoseconds of each timed repetition (`--reps`),
+    /// in measurement order — the raw samples `scorpio_diff` feeds its
+    /// statistics.
+    pub time_ns_samples: Vec<u64>,
+}
+
+/// One kernel's full curve.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct QorKernel {
+    /// Kernel name (e.g. `"sobel"`).
+    pub name: String,
+    /// Quality metric of the `quality` values (`"psnr_db"` or
+    /// `"rel_error"`).
+    pub metric: String,
+    /// `true` when larger `quality` is better (PSNR), `false` when
+    /// smaller is better (relative error). Spares downstream tools a
+    /// hard-coded metric table.
+    pub higher_is_better: bool,
+    /// The measured points, in ascending ratio order.
+    pub points: Vec<QorPoint>,
+}
+
+/// The whole report (`BENCH_qor.json`).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct QorReport {
+    /// Format tag, always [`QOR_SCHEMA`].
+    pub schema: String,
+    /// Producing harness (e.g. `"fig7_sweep"`).
+    pub name: String,
+    /// `git describe` of the producing tree.
+    pub git: String,
+    /// Worker threads the sweep ran with.
+    pub threads: usize,
+    /// Timed repetitions per point.
+    pub reps: usize,
+    /// Whether the reduced `--small` workloads were used (reports from
+    /// different workload sizes are not comparable).
+    pub small: bool,
+    /// Per-kernel curves.
+    pub kernels: Vec<QorKernel>,
+}
+
+impl QorReport {
+    /// Serialises the report as JSON.
+    pub fn to_json(&self) -> String {
+        scorpio_obs::json::to_string(self)
+    }
+}

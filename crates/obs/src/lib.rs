@@ -16,6 +16,11 @@
 //!   [`Histogram`]s, created on first use through [`count`] /
 //!   [`observe`] (or ahead of time through [`registry`]), aggregated
 //!   atomically across threads.
+//! * **A structured task-event log** — bounded, lock-free per-thread
+//!   rings of [`TaskEvent`]s (one per task the significance runtime
+//!   executes or drops, plus `taskwait`/ratio markers), merged into a
+//!   monotonic timeline and exportable as JSONL via [`events_jsonl`];
+//!   see the [`events`] module.
 //! * **Run manifests** — [`RunSession`] snapshots the spans and metrics
 //!   of one instrumented run into a machine-readable [`RunManifest`]
 //!   (`RUN_<name>.json`: config, timings tree, counters, git describe,
@@ -49,13 +54,20 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod events;
 pub mod json;
 mod manifest;
 mod metrics;
 mod span;
 
+pub use events::{
+    events_dropped, events_jsonl, phase_event, ratio_event, records_jsonl, take_task_events,
+    task_event, task_events_snapshot, taskwait_event, EventKind, TaskClass, TaskEvent,
+    TaskEventRecord,
+};
 pub use manifest::{
-    ConfigEntry, CounterSnapshot, HistogramSnapshot, PhaseNode, RunManifest, RunSession,
+    git_describe, ConfigEntry, CounterSnapshot, HistogramSnapshot, PhaseNode, RunManifest,
+    RunSession,
 };
 pub use metrics::{registry, Counter, Histogram, Registry, HISTOGRAM_BUCKETS};
 pub use span::{chrome_trace_json, events_snapshot, take_events, SpanGuard, TraceEvent};
@@ -90,12 +102,13 @@ pub fn disable() {
     ENABLED.store(false, Ordering::SeqCst);
 }
 
-/// Clears the trace sink and zeroes every registered counter and
-/// histogram (handles stay valid). The epoch is kept so timestamps
-/// stay monotonic within the process.
+/// Clears the trace sink, drains the task-event rings, and zeroes
+/// every registered counter and histogram (handles stay valid). The
+/// epoch is kept so timestamps stay monotonic within the process.
 pub fn reset() {
     span::reset();
     metrics::reset();
+    events::reset();
 }
 
 /// The process-wide trace epoch: all span timestamps are nanoseconds

@@ -1,10 +1,12 @@
 //! Run manifests: a machine-readable record of one instrumented run.
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use serde::Serialize;
 
+use crate::events::{self, TaskEventRecord};
 use crate::span::{self, TraceEvent};
 use crate::{chrome_trace_json, events_snapshot, json, registry};
 
@@ -109,10 +111,20 @@ pub struct RunManifest {
     pub phase_total_ns: u64,
     /// Aggregated phase-timing tree over every collected span.
     pub phases: Vec<PhaseNode>,
-    /// Every registered counter, sorted by name.
+    /// Every registered counter, sorted by name. Values are **deltas
+    /// over the session**: each counter's total at session start is
+    /// subtracted, so back-to-back sessions in one process don't
+    /// double-count each other's work.
     pub counters: Vec<CounterSnapshot>,
-    /// Every registered histogram, sorted by name.
+    /// Every registered histogram, sorted by name. `count`,
+    /// `non_positive` and `sum` are session deltas; `min`/`max` are
+    /// process-lifetime extremes (extremes can't be un-merged).
     pub histograms: Vec<HistogramSnapshot>,
+    /// The structured task-event timeline of the session (only events
+    /// emitted after session start), in sequence order.
+    pub task_events: Vec<TaskEventRecord>,
+    /// Task events lost to full rings during the session.
+    pub task_events_dropped: u64,
 }
 
 impl RunManifest {
@@ -147,7 +159,7 @@ fn phase_tree(events: &[TraceEvent]) -> Vec<PhaseNode> {
 
 /// `git describe --always --dirty`, or `"unknown"` when git or the
 /// repository is unavailable.
-fn git_describe() -> String {
+pub fn git_describe() -> String {
     std::process::Command::new("git")
         .args(["describe", "--always", "--dirty"])
         .output()
@@ -159,10 +171,18 @@ fn git_describe() -> String {
         .unwrap_or_else(|| "unknown".to_owned())
 }
 
-/// An instrumented run: [`RunSession::start`] resets and enables
-/// collection; [`RunSession::finish`] snapshots everything into a
-/// [`RunManifest`], writes `RUN_<name>.json` (and optionally the
-/// Chrome trace), and disables collection again.
+/// An instrumented run: [`RunSession::start`] snapshots the current
+/// state of every collector and enables collection;
+/// [`RunSession::finish`] (or [`RunSession::finish_in`]) snapshots
+/// everything into a [`RunManifest`], writes `RUN_<name>.json` (and
+/// optionally the Chrome trace), and disables collection again.
+///
+/// Sessions are **delta-scoped**, not global: counters record the
+/// difference against their value at session start, histograms the
+/// difference of their running count/sum, and spans/task events are
+/// cut at a start watermark. Two back-to-back sessions in one process
+/// therefore each report only their own work — starting a session no
+/// longer wipes collector state someone else may still be reading.
 ///
 /// ```no_run
 /// let session = scorpio_obs::RunSession::start("demo");
@@ -178,19 +198,46 @@ pub struct RunSession {
     name: String,
     started: Instant,
     tid: u64,
+    /// Span-sink length at session start: only events recorded after
+    /// this index belong to the session.
+    span_watermark: usize,
+    /// Task-event sequence watermark at session start.
+    event_watermark: u64,
+    /// Dropped-event total at session start.
+    dropped_base: u64,
+    /// Counter totals at session start (absent = counter created
+    /// during the session, base 0).
+    counter_base: BTreeMap<String, u64>,
+    /// Histogram `(count, non_positive, sum)` at session start.
+    histogram_base: BTreeMap<String, (u64, u64, f64)>,
 }
 
 impl RunSession {
-    /// Clears previously collected data, enables instrumentation and
-    /// starts the wall clock.
+    /// Snapshots the current collector state (the session's baseline),
+    /// enables instrumentation and starts the wall clock.
     pub fn start(name: impl Into<String>) -> RunSession {
-        crate::reset();
-        crate::enable();
-        RunSession {
+        let counter_base = registry()
+            .counters()
+            .iter()
+            .map(|c| (c.name().to_owned(), c.get()))
+            .collect();
+        let histogram_base = registry()
+            .histograms()
+            .iter()
+            .map(|h| (h.name().to_owned(), (h.count(), h.non_positive(), h.sum())))
+            .collect();
+        let session = RunSession {
             name: name.into(),
             started: Instant::now(),
             tid: span::current_tid(),
-        }
+            span_watermark: events_snapshot().len(),
+            event_watermark: events::seq_watermark(),
+            dropped_base: events::events_dropped(),
+            counter_base,
+            histogram_base,
+        };
+        crate::enable();
+        session
     }
 
     /// The run's name.
@@ -199,14 +246,18 @@ impl RunSession {
     }
 
     /// Snapshots the current spans and metrics into a manifest without
-    /// ending the session.
+    /// ending the session. Everything is reported as a delta against
+    /// the state captured by [`RunSession::start`].
     pub fn manifest(&self, threads: usize, config: &[(String, String)]) -> RunManifest {
-        let events = events_snapshot();
+        let events = self.session_spans();
         let phase_total_ns = events
             .iter()
             .filter(|e| e.depth == 0 && e.tid == self.tid)
             .map(|e| e.dur_ns)
             .sum();
+        let counter_delta = |name: &str, value: u64| {
+            value.saturating_sub(self.counter_base.get(name).copied().unwrap_or(0))
+        };
         RunManifest {
             name: self.name.clone(),
             git: git_describe(),
@@ -226,28 +277,52 @@ impl RunSession {
                 .iter()
                 .map(|c| CounterSnapshot {
                     name: c.name().to_owned(),
-                    value: c.get(),
+                    value: counter_delta(c.name(), c.get()),
                 })
                 .collect(),
             histograms: registry()
                 .histograms()
                 .iter()
-                .map(|h| HistogramSnapshot {
-                    name: h.name().to_owned(),
-                    count: h.count(),
-                    non_positive: h.non_positive(),
-                    sum: h.sum(),
-                    min: h.min(),
-                    max: h.max(),
+                .map(|h| {
+                    let (count0, np0, sum0) = self
+                        .histogram_base
+                        .get(h.name())
+                        .copied()
+                        .unwrap_or((0, 0, 0.0));
+                    HistogramSnapshot {
+                        name: h.name().to_owned(),
+                        count: h.count().saturating_sub(count0),
+                        non_positive: h.non_positive().saturating_sub(np0),
+                        sum: h.sum() - sum0,
+                        min: h.min(),
+                        max: h.max(),
+                    }
                 })
                 .collect(),
+            task_events: events::task_events_snapshot()
+                .iter()
+                .filter(|e| e.seq >= self.event_watermark)
+                .map(|e| e.to_record())
+                .collect(),
+            task_events_dropped: events::events_dropped().saturating_sub(self.dropped_base),
         }
+    }
+
+    /// The span events recorded since the session started (best-effort:
+    /// if another party drained the sink mid-session the watermark is
+    /// clamped, so the result is never out of bounds).
+    fn session_spans(&self) -> Vec<TraceEvent> {
+        let mut events = events_snapshot();
+        let start = self.span_watermark.min(events.len());
+        events.drain(..start);
+        events
     }
 
     /// Ends the session: snapshots the manifest, writes
     /// `RUN_<name>.json` into the current directory (and the Chrome
     /// trace to `trace_path` when given), disables instrumentation and
-    /// returns the manifest.
+    /// returns the manifest. See [`RunSession::finish_in`] to choose
+    /// the manifest directory.
     ///
     /// # Errors
     ///
@@ -258,11 +333,30 @@ impl RunSession {
         config: &[(String, String)],
         trace_path: Option<&Path>,
     ) -> std::io::Result<RunManifest> {
+        self.finish_in(Path::new("."), threads, config, trace_path)
+    }
+
+    /// [`RunSession::finish`], but writes `RUN_<name>.json` into
+    /// `out_dir` (created if missing). The Chrome trace still goes to
+    /// the explicit `trace_path` when one is given.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating the directory or writing
+    /// either file.
+    pub fn finish_in(
+        self,
+        out_dir: &Path,
+        threads: usize,
+        config: &[(String, String)],
+        trace_path: Option<&Path>,
+    ) -> std::io::Result<RunManifest> {
         let manifest = self.manifest(threads, config);
+        std::fs::create_dir_all(out_dir)?;
         if let Some(path) = trace_path {
-            std::fs::write(path, chrome_trace_json(&events_snapshot()))?;
+            std::fs::write(path, chrome_trace_json(&self.session_spans()))?;
         }
-        let manifest_path = PathBuf::from(format!("RUN_{}.json", self.name));
+        let manifest_path: PathBuf = out_dir.join(format!("RUN_{}.json", self.name));
         std::fs::write(&manifest_path, manifest.to_json())?;
         crate::disable();
         Ok(manifest)

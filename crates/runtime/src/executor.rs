@@ -4,10 +4,23 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
+use scorpio_obs::TaskClass;
+
 use crate::task::{make_ctx, ExecMode, TaskCtx};
 
-/// A prepared job: the chosen mode plus the body to run.
-type Job<'scope> = (ExecMode, Box<dyn FnOnce(&TaskCtx) + Send + 'scope>);
+/// A prepared job: the runtime's decision for one spawned task, carried
+/// to whichever worker claims it so the executor can attribute the
+/// task-event it emits (task id, significance, chosen mode).
+pub(crate) struct Job<'scope> {
+    /// The mode the `taskwait` ranking chose.
+    pub mode: ExecMode,
+    /// Spawn order within the group — the event log's task id.
+    pub task_id: u64,
+    /// The task's (clamped) significance.
+    pub significance: f64,
+    /// The body to run (accurate or approximate, per `mode`).
+    pub body: Box<dyn FnOnce(&TaskCtx) + Send + 'scope>,
+}
 
 /// A fixed-width thread pool executing the task jobs of a `taskwait`.
 ///
@@ -112,9 +125,12 @@ impl Executor {
     }
 
     /// Runs the prepared jobs to completion, work-stealing via a shared
-    /// atomic cursor. Blocks until every job has finished.
+    /// atomic cursor. Blocks until every job has finished. `label` is
+    /// the task group's label, attributed to the per-task events the
+    /// workers emit while tracing is enabled.
     pub(crate) fn run<'scope>(
         &self,
+        label: &str,
         jobs: Vec<Job<'scope>>,
         accurate_ops: &Arc<AtomicU64>,
         approx_ops: &Arc<AtomicU64>,
@@ -138,13 +154,37 @@ impl Executor {
                         break;
                     }
                     let job = slots[i].lock().take();
-                    if let Some((mode, body)) = job {
-                        let ctx = make_ctx(mode, accurate_ops, approx_ops);
-                        body(&ctx);
+                    if let Some(job) = job {
+                        let ctx = make_ctx(job.mode, accurate_ops, approx_ops);
+                        run_job(label, job, &ctx);
                     }
                 });
             }
         });
+    }
+}
+
+/// Executes one claimed job, timing it and emitting a per-task event
+/// when tracing is enabled. When disabled the only overhead against
+/// the uninstrumented runtime is the one relaxed atomic load of
+/// [`scorpio_obs::enabled`] — no clock reads.
+fn run_job(label: &str, job: Job<'_>, ctx: &TaskCtx) {
+    if scorpio_obs::enabled() {
+        let started = std::time::Instant::now();
+        (job.body)(ctx);
+        let class = match job.mode {
+            ExecMode::Accurate => TaskClass::Accurate,
+            ExecMode::Approximate => TaskClass::Approx,
+        };
+        scorpio_obs::task_event(
+            label,
+            job.task_id,
+            job.significance,
+            class,
+            started.elapsed().as_nanos() as u64,
+        );
+    } else {
+        (job.body)(ctx);
     }
 }
 
@@ -159,18 +199,20 @@ mod tests {
         let acc = Arc::new(AtomicU64::new(0));
         let apx = Arc::new(AtomicU64::new(0));
         let jobs: Vec<Job<'_>> = (0..100)
-            .map(|_| {
+            .map(|i| {
                 let counter = &counter;
-                (
-                    ExecMode::Accurate,
-                    Box::new(move |ctx: &TaskCtx| {
+                Job {
+                    mode: ExecMode::Accurate,
+                    task_id: i,
+                    significance: 1.0,
+                    body: Box::new(move |ctx: &TaskCtx| {
                         ctx.count_accurate_ops(2);
                         counter.fetch_add(1, Ordering::Relaxed);
-                    }) as Box<dyn FnOnce(&TaskCtx) + Send>,
-                )
+                    }),
+                }
             })
             .collect();
-        executor.run(jobs, &acc, &apx);
+        executor.run("test", jobs, &acc, &apx);
         assert_eq!(counter.load(Ordering::Relaxed), 100);
         assert_eq!(acc.load(Ordering::Relaxed), 200);
         assert_eq!(apx.load(Ordering::Relaxed), 0);
@@ -186,16 +228,16 @@ mod tests {
             let jobs: Vec<Job<'_>> = out
                 .iter_mut()
                 .enumerate()
-                .map(|(i, slot)| {
-                    (
-                        ExecMode::Accurate,
-                        Box::new(move |_: &TaskCtx| {
-                            *slot = i as u64 * 10;
-                        }) as Box<dyn FnOnce(&TaskCtx) + Send + '_>,
-                    )
+                .map(|(i, slot)| Job {
+                    mode: ExecMode::Accurate,
+                    task_id: i as u64,
+                    significance: 1.0,
+                    body: Box::new(move |_: &TaskCtx| {
+                        *slot = i as u64 * 10;
+                    }),
                 })
                 .collect();
-            executor.run(jobs, &acc, &apx);
+            executor.run("test", jobs, &acc, &apx);
         }
         assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
     }

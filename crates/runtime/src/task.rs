@@ -4,7 +4,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crate::executor::Executor;
+use crate::executor::{Executor, Job};
 
 /// Whether a task body is running as the accurate or the approximate
 /// version (the runtime's decision at the `taskwait`).
@@ -193,6 +193,8 @@ impl<'scope> TaskGroup<'scope> {
             "taskwait ratio must be within [0, 1], got {ratio}"
         );
         let _span = scorpio_obs::span("taskwait");
+        let tracing = scorpio_obs::enabled();
+        let started = tracing.then(std::time::Instant::now);
         let n = self.tasks.len();
         if n == 0 {
             return ExecutionStats::default();
@@ -219,22 +221,41 @@ impl<'scope> TaskGroup<'scope> {
         let approx_ops = Arc::new(AtomicU64::new(0));
 
         let mut stats = ExecutionStats::default();
-        let mut jobs: Vec<(ExecMode, TaskFn<'scope>)> = Vec::with_capacity(n);
+        let mut jobs: Vec<Job<'scope>> = Vec::with_capacity(n);
         for (task, is_accurate) in self.tasks.into_iter().zip(&accurate_flags) {
             if *is_accurate {
                 stats.accurate += 1;
-                jobs.push((ExecMode::Accurate, task.accurate));
+                jobs.push(Job {
+                    mode: ExecMode::Accurate,
+                    task_id: task.seq as u64,
+                    significance: task.significance,
+                    body: task.accurate,
+                });
             } else if let Some(approx) = task.approx {
                 stats.approximate += 1;
-                jobs.push((ExecMode::Approximate, approx));
+                jobs.push(Job {
+                    mode: ExecMode::Approximate,
+                    task_id: task.seq as u64,
+                    significance: task.significance,
+                    body: approx,
+                });
             } else {
                 stats.dropped += 1;
+                // Dropped tasks never reach a worker, so the drop
+                // decision is recorded here (zero duration).
+                scorpio_obs::task_event(
+                    &self.label,
+                    task.seq as u64,
+                    task.significance,
+                    scorpio_obs::TaskClass::Dropped,
+                    0,
+                );
             }
         }
 
         {
             let _span = scorpio_obs::span("task_execution");
-            executor.run(jobs, &accurate_ops, &approx_ops);
+            executor.run(&self.label, jobs, &accurate_ops, &approx_ops);
         }
 
         stats.accurate_ops = accurate_ops.load(Ordering::Relaxed);
@@ -244,6 +265,17 @@ impl<'scope> TaskGroup<'scope> {
         scorpio_obs::count("tasks.dropped", stats.dropped as u64);
         scorpio_obs::count("tasks.accurate_ops", stats.accurate_ops);
         scorpio_obs::count("tasks.approx_ops", stats.approx_ops);
+        if let Some(started) = started {
+            scorpio_obs::taskwait_event(
+                &self.label,
+                ratio,
+                stats.accurate as f64 / n as f64,
+                stats.accurate as u64,
+                stats.approximate as u64,
+                stats.dropped as u64,
+                started.elapsed().as_nanos() as u64,
+            );
+        }
         stats
     }
 }

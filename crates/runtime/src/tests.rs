@@ -8,6 +8,64 @@ use proptest::prelude::*;
 use crate::{EnergyModel, ExecMode, Executor, TaskGroup};
 
 #[test]
+fn taskwait_emits_one_event_per_task_plus_summary() {
+    let executor = Executor::new(2);
+    let mut group = TaskGroup::new("evt-group");
+    for i in 0..6 {
+        // Even tasks have an approximate body, odd ones will be dropped
+        // when not selected as accurate.
+        let approx = (i % 2 == 0).then_some(|_: &crate::TaskCtx| {});
+        group.spawn(i as f64 / 6.0, |_| {}, approx);
+    }
+    scorpio_obs::enable();
+    let stats = group.taskwait(&executor, 0.5);
+    scorpio_obs::disable();
+    // Only this group's events: the obs log is process-global and other
+    // tests may be tracing concurrently.
+    let events: Vec<scorpio_obs::TaskEvent> = scorpio_obs::take_task_events()
+        .into_iter()
+        .filter(|e| e.label == "evt-group")
+        .collect();
+    let mut task_ids = Vec::new();
+    let mut classes = std::collections::HashMap::new();
+    let mut summaries = 0;
+    for e in &events {
+        match e.kind {
+            scorpio_obs::EventKind::Task { task_id, class, .. } => {
+                task_ids.push(task_id);
+                *classes.entry(class).or_insert(0usize) += 1;
+            }
+            scorpio_obs::EventKind::Taskwait {
+                requested_ratio,
+                achieved_ratio,
+                accurate,
+                approximate,
+                dropped,
+                ..
+            } => {
+                summaries += 1;
+                assert_eq!(requested_ratio, 0.5);
+                assert!((achieved_ratio - stats.accurate as f64 / 6.0).abs() < 1e-12);
+                assert_eq!(accurate, stats.accurate as u64);
+                assert_eq!(approximate, stats.approximate as u64);
+                assert_eq!(dropped, stats.dropped as u64);
+            }
+            _ => {}
+        }
+    }
+    // One event per spawned task, each task id exactly once, and the
+    // class tallies match the returned statistics.
+    task_ids.sort_unstable();
+    assert_eq!(task_ids, vec![0, 1, 2, 3, 4, 5]);
+    assert_eq!(summaries, 1);
+    let count = |c: scorpio_obs::TaskClass| classes.get(&c).copied().unwrap_or(0);
+    assert_eq!(count(scorpio_obs::TaskClass::Accurate), stats.accurate);
+    assert_eq!(count(scorpio_obs::TaskClass::Approx), stats.approximate);
+    assert_eq!(count(scorpio_obs::TaskClass::Dropped), stats.dropped);
+    assert!(stats.dropped > 0, "odd low-significance tasks have no approx body");
+}
+
+#[test]
 fn ratio_one_runs_everything_accurately() {
     let executor = Executor::new(4);
     let accurate_runs = AtomicUsize::new(0);

@@ -116,9 +116,22 @@ fn kernel_manifest_round_trips_through_serde() {
         "phases",
         "counters",
         "histograms",
+        "task_events",
+        "task_events_dropped",
     ] {
         assert!(value.get(key).is_some(), "manifest JSON is missing {key:?}");
     }
+
+    // The tasked run executed under tracing, so the event log is
+    // populated and each record carries the flat event schema.
+    let events = value.get("task_events").and_then(|v| v.as_arr()).expect("task_events array");
+    assert!(!events.is_empty(), "no task events in manifest");
+    for e in events {
+        for key in ["seq", "t_ns", "event", "label", "worker"] {
+            assert!(e.get(key).is_some(), "task event missing {key:?}");
+        }
+    }
+    assert_eq!(value.get("task_events_dropped").and_then(|v| v.as_f64()), Some(0.0));
 
     assert_eq!(value.get("name").and_then(|v| v.as_str()), Some("itest_maclaurin"));
     assert_eq!(value.get("threads").and_then(|v| v.as_f64()), Some(2.0));
