@@ -59,18 +59,115 @@ use crate::value::Scalar;
 /// assert!((buf.adjoint(x.id()) - want).abs() < 1e-15);
 /// ```
 pub struct CompiledTape<V> {
-    ops: Vec<Op>,
-    preds: Vec<[NodeId; 2]>,
+    pub(crate) ops: Vec<Op>,
+    pub(crate) preds: Vec<[NodeId; 2]>,
     /// Values captured at compile time. Replay only reads the `Const`
     /// slots (constants are part of the trace, not of the per-item
     /// input), but keeping the full vector lets callers inspect the
     /// recorded trace without holding the original tape alive.
-    recorded: Vec<V>,
+    pub(crate) recorded: Vec<V>,
     /// Input node ids in registration order — the positional slots
     /// [`CompiledTape::replay`] binds fresh values to.
-    inputs: Vec<NodeId>,
+    pub(crate) inputs: Vec<NodeId>,
     successors: Successors,
     histogram: OpHistogram,
+}
+
+/// Evaluates one *compute* node: the value of `op` applied to the
+/// operand values `a`/`b`, plus the local partial derivatives with
+/// respect to each operand — exactly the formulas the [`crate::Var`]
+/// overloads record (keep this and `var.rs` in lockstep; the
+/// replay-identity suites enforce bit-equality). Shared by the scalar
+/// [`CompiledTape::replay`] loop and the multi-lane
+/// [`CompiledTape::replay_lanes`] loop so the two interpreters cannot
+/// drift apart: a lane executes the same scalar operations in the same
+/// order as a scalar replay, which is what makes lane replay
+/// bit-identical per lane.
+///
+/// `Op::Input` / `Op::Const` never reach this function — they bind
+/// per-item inputs / compile-time constants and are handled by the
+/// replay loops directly.
+#[inline(always)]
+pub(crate) fn eval_op<V: Scalar>(op: Op, a: V, b: V) -> (V, V, V) {
+    match op {
+        Op::Input | Op::Const => {
+            unreachable!("eval_op: Input/Const are bound by the replay loop")
+        }
+        Op::Add => (a + b, V::one(), V::one()),
+        Op::Sub => (a - b, V::one(), -V::one()),
+        Op::Mul => (a * b, b, a),
+        Op::Div => {
+            let inv = b.recip();
+            (a * inv, inv, -a * inv.sqr())
+        }
+        Op::Neg => (-a, -V::one(), V::zero()),
+        Op::Sin => (a.sin(), a.cos(), V::zero()),
+        Op::Cos => (a.cos(), -a.sin(), V::zero()),
+        Op::Tan => {
+            let t = a.tan();
+            (t, V::one() + t.sqr(), V::zero())
+        }
+        Op::Exp => {
+            let e = a.exp();
+            (e, e, V::zero())
+        }
+        Op::Ln => (a.ln(), a.recip(), V::zero()),
+        Op::Sqrt => {
+            let r = a.sqrt();
+            (r, (V::from_f64(2.0) * r).recip(), V::zero())
+        }
+        Op::Sqr => (a.sqr(), V::from_f64(2.0) * a, V::zero()),
+        Op::Recip => (a.recip(), -a.sqr().recip(), V::zero()),
+        Op::Powi(m) => {
+            let partial = if m == 0 {
+                V::zero()
+            } else {
+                V::from_f64(m as f64) * a.powi(m - 1)
+            };
+            (a.powi(m), partial, V::zero())
+        }
+        Op::Powf(p) => {
+            let partial = if p == 0.0 {
+                V::zero()
+            } else {
+                V::from_f64(p) * a.powf(p - 1.0)
+            };
+            (a.powf(p), partial, V::zero())
+        }
+        Op::Abs => (a.abs(), a.abs_deriv(), V::zero()),
+        Op::Atan => (a.atan(), (V::one() + a.sqr()).recip(), V::zero()),
+        Op::Tanh => {
+            let t = a.tanh();
+            (t, V::one() - t.sqr(), V::zero())
+        }
+        Op::Sinh => (a.sinh(), a.cosh(), V::zero()),
+        Op::Cosh => (a.cosh(), a.sinh(), V::zero()),
+        Op::Erf => {
+            let two_over_sqrt_pi = V::from_f64(2.0 / std::f64::consts::PI.sqrt());
+            (a.erf(), two_over_sqrt_pi * (-a.sqr()).exp(), V::zero())
+        }
+        Op::Cndf => {
+            let inv_sqrt_2pi = V::from_f64(1.0 / (2.0 * std::f64::consts::PI).sqrt());
+            (
+                a.cndf(),
+                inv_sqrt_2pi * (-a.sqr() / V::from_f64(2.0)).exp(),
+                V::zero(),
+            )
+        }
+        Op::Hypot => {
+            let v = a.hypot(b);
+            let (pa, pb) = a.hypot_partials(b, v);
+            (v, pa, pb)
+        }
+        Op::Min => {
+            let (pa, pb) = a.min_partials(b);
+            (a.min_val(b), pa, pb)
+        }
+        Op::Max => {
+            let (pa, pb) = a.max_partials(b);
+            (a.max_val(b), pa, pb)
+        }
+    }
 }
 
 impl<V: Scalar> CompiledTape<V> {
@@ -195,14 +292,6 @@ impl<V: Scalar> CompiledTape<V> {
         buf.resize(n);
         let mut next_input = 0usize;
         for j in 0..n {
-            // Operand values: predecessor slots are always earlier in
-            // the sequence, so reading them back out of `values` is the
-            // forward sweep's data flow.
-            let a = |buf: &ReplayBuffers<V>| buf.values[self.preds[j][0].index()];
-            let b = |buf: &ReplayBuffers<V>| buf.values[self.preds[j][1].index()];
-            // Each arm mirrors the corresponding `Var` method / operator
-            // overload in `var.rs` — keep the two in lockstep, the
-            // replay-identity suite enforces bit-equality.
             let (v, pa, pb) = match self.ops[j] {
                 Op::Input => {
                     let x = inputs[next_input];
@@ -210,118 +299,19 @@ impl<V: Scalar> CompiledTape<V> {
                     (x, V::zero(), V::zero())
                 }
                 Op::Const => (self.recorded[j], V::zero(), V::zero()),
-                Op::Add => (a(buf) + b(buf), V::one(), V::one()),
-                Op::Sub => (a(buf) - b(buf), V::one(), -V::one()),
-                Op::Mul => {
-                    let (a, b) = (a(buf), b(buf));
-                    (a * b, b, a)
-                }
-                Op::Div => {
-                    let (a, b) = (a(buf), b(buf));
-                    let inv = b.recip();
-                    (a * inv, inv, -a * inv.sqr())
-                }
-                Op::Neg => (-a(buf), -V::one(), V::zero()),
-                Op::Sin => {
-                    let a = a(buf);
-                    (a.sin(), a.cos(), V::zero())
-                }
-                Op::Cos => {
-                    let a = a(buf);
-                    (a.cos(), -a.sin(), V::zero())
-                }
-                Op::Tan => {
-                    let t = a(buf).tan();
-                    (t, V::one() + t.sqr(), V::zero())
-                }
-                Op::Exp => {
-                    let e = a(buf).exp();
-                    (e, e, V::zero())
-                }
-                Op::Ln => {
-                    let a = a(buf);
-                    (a.ln(), a.recip(), V::zero())
-                }
-                Op::Sqrt => {
-                    let r = a(buf).sqrt();
-                    (r, (V::from_f64(2.0) * r).recip(), V::zero())
-                }
-                Op::Sqr => {
-                    let a = a(buf);
-                    (a.sqr(), V::from_f64(2.0) * a, V::zero())
-                }
-                Op::Recip => {
-                    let a = a(buf);
-                    (a.recip(), -a.sqr().recip(), V::zero())
-                }
-                Op::Powi(m) => {
-                    let a = a(buf);
-                    let partial = if m == 0 {
-                        V::zero()
+                op => {
+                    // Operand values: predecessor slots are always
+                    // earlier in the sequence, so reading them back out
+                    // of `values` is the forward sweep's data flow.
+                    // Unary nodes carry an INVALID second slot — only
+                    // dereference it for binary ops.
+                    let a = buf.values[self.preds[j][0].index()];
+                    let b = if op.arity() == 2 {
+                        buf.values[self.preds[j][1].index()]
                     } else {
-                        V::from_f64(m as f64) * a.powi(m - 1)
-                    };
-                    (a.powi(m), partial, V::zero())
-                }
-                Op::Powf(p) => {
-                    let a = a(buf);
-                    let partial = if p == 0.0 {
                         V::zero()
-                    } else {
-                        V::from_f64(p) * a.powf(p - 1.0)
                     };
-                    (a.powf(p), partial, V::zero())
-                }
-                Op::Abs => {
-                    let a = a(buf);
-                    (a.abs(), a.abs_deriv(), V::zero())
-                }
-                Op::Atan => {
-                    let a = a(buf);
-                    (a.atan(), (V::one() + a.sqr()).recip(), V::zero())
-                }
-                Op::Tanh => {
-                    let t = a(buf).tanh();
-                    (t, V::one() - t.sqr(), V::zero())
-                }
-                Op::Sinh => {
-                    let a = a(buf);
-                    (a.sinh(), a.cosh(), V::zero())
-                }
-                Op::Cosh => {
-                    let a = a(buf);
-                    (a.cosh(), a.sinh(), V::zero())
-                }
-                Op::Erf => {
-                    let a = a(buf);
-                    let two_over_sqrt_pi = V::from_f64(2.0 / std::f64::consts::PI.sqrt());
-                    (a.erf(), two_over_sqrt_pi * (-a.sqr()).exp(), V::zero())
-                }
-                Op::Cndf => {
-                    let a = a(buf);
-                    let inv_sqrt_2pi =
-                        V::from_f64(1.0 / (2.0 * std::f64::consts::PI).sqrt());
-                    (
-                        a.cndf(),
-                        inv_sqrt_2pi * (-a.sqr() / V::from_f64(2.0)).exp(),
-                        V::zero(),
-                    )
-                }
-                Op::Hypot => {
-                    let (a, b) = (a(buf), b(buf));
-                    let v = a.hypot(b);
-                    let (pa, pb) = a.hypot_partials(b, v);
-                    (v, pa, pb)
-                }
-                Op::Min => {
-                    let (a, b) = (a(buf), b(buf));
-                    let (pa, pb) = a.min_partials(b);
-                    (a.min_val(b), pa, pb)
-                }
-                Op::Max => {
-                    let (a, b) = (a(buf), b(buf));
-                    let (pa, pb) = a.max_partials(b);
-                    (a.max_val(b), pa, pb)
+                    eval_op(op, a, b)
                 }
             };
             buf.values[j] = v;

@@ -1,0 +1,484 @@
+//! Multi-lane replay: execute a compiled op stream once per **block of
+//! `LANES` items** instead of once per item.
+//!
+//! [`CompiledTape::replay`] already strips recording overhead, but it
+//! still walks the op stream — decoding one [`Op`] discriminant and one
+//! predecessor pair per node — for *every* item of a batch. For
+//! data-parallel workloads (pixels, options, DCT blocks) the stream is
+//! identical across items, so that decode work is redundant across the
+//! batch. The lane engine amortises it: [`LaneReplayBuffers`] stores one
+//! `[V; LANES]` block per node (a structure-of-lane-blocks layout), and
+//! [`CompiledTape::replay_lanes`] / [`CompiledTape::adjoints_into_lanes`]
+//! walk the stream **once per lane block**, executing each op over all
+//! `LANES` items with a fixed-width inner loop the compiler can
+//! autovectorize (and, behind the optional `simd` feature, compile a
+//! second time with AVX2 enabled and dispatch at runtime).
+//!
+//! Memory layout per node `j`:
+//!
+//! ```text
+//! values[j] = [ item0, item1, …, item{LANES-1} ]   // one cache block
+//! pa[j]     = [ ∂φ/∂a per item … ]
+//! pb[j]     = [ ∂φ/∂b per item … ]
+//! ```
+//!
+//! # Bit-identity
+//!
+//! Lane `l` of a lane replay performs exactly the scalar operations, in
+//! exactly the order, that a scalar [`CompiledTape::replay`] of item `l`
+//! performs — both funnel through the same `eval_op` evaluator — so each
+//! lane is bit-identical to the scalar path. The reverse sweep preserves
+//! this by keeping the scalar sweep's zero-adjoint skip *per lane*: the
+//! skip is not a harmless shortcut under IEEE-754 (an infinite partial
+//! times a zero adjoint would inject a NaN, and `-0.0 + 0.0` flips the
+//! sign of zero), so lanes whose adjoint is zero must not accumulate.
+//!
+//! # Example
+//!
+//! ```
+//! use scorpio_adjoint::{CompiledTape, LaneReplayBuffers, Tape};
+//!
+//! // Record y = x·sin(x) once…
+//! let tape = Tape::<f64>::new();
+//! let x = tape.var(0.3);
+//! let y = x * x.sin();
+//! let compiled = CompiledTape::compile(&tape);
+//!
+//! // …then replay four items with one walk of the op stream.
+//! let mut buf = LaneReplayBuffers::<f64, 4>::new();
+//! let xs = [0.1, 0.2, 0.3, 0.4];
+//! compiled.replay_lanes(&[xs], &mut buf).unwrap();
+//! compiled.adjoints_into_lanes(&[(y.id(), 1.0)], &mut buf);
+//! for (l, &x0) in xs.iter().enumerate() {
+//!     assert_eq!(buf.value(y.id(), l), x0 * x0.sin());
+//!     let want = x0.sin() + x0 * x0.cos();
+//!     assert!((buf.adjoint(x.id(), l) - want).abs() < 1e-15);
+//! }
+//! ```
+
+use crate::compiled::{eval_op, CompiledTape, ShapeMismatch};
+use crate::node::{NodeId, Op};
+use crate::value::Scalar;
+
+/// Reusable lane-blocked value/partial/adjoint buffers for
+/// [`CompiledTape::replay_lanes`] — the multi-lane analogue of
+/// [`crate::ReplayBuffers`]. One `[V; LANES]` block per node; one set
+/// per worker; sized on first replay, zero allocation afterwards.
+#[derive(Debug, Clone)]
+pub struct LaneReplayBuffers<V, const LANES: usize> {
+    values: Vec<[V; LANES]>,
+    /// Local partial with respect to the first operand, per node/lane.
+    pa: Vec<[V; LANES]>,
+    /// Local partial with respect to the second operand, per node/lane.
+    pb: Vec<[V; LANES]>,
+    adj: Vec<[V; LANES]>,
+}
+
+impl<V: Scalar, const LANES: usize> LaneReplayBuffers<V, LANES> {
+    /// Empty buffers; the first replay sizes them.
+    pub fn new() -> LaneReplayBuffers<V, LANES> {
+        LaneReplayBuffers {
+            values: Vec::new(),
+            pa: Vec::new(),
+            pb: Vec::new(),
+            adj: Vec::new(),
+        }
+    }
+
+    fn resize(&mut self, n: usize) {
+        // resize() both shrinks and grows; the fill value is only used
+        // for growth and every slot is overwritten by the forward loop.
+        self.values.resize(n, [V::zero(); LANES]);
+        self.pa.resize(n, [V::zero(); LANES]);
+        self.pb.resize(n, [V::zero(); LANES]);
+    }
+
+    /// The replayed value `[u_j]` of node `id` in lane `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` or `lane` is out of range for the last replayed
+    /// trace.
+    pub fn value(&self, id: NodeId, lane: usize) -> V {
+        self.values[id.index()][lane]
+    }
+
+    /// The adjoint `∇_{u_j} y` of node `id` in lane `lane` from the
+    /// last [`CompiledTape::adjoints_into_lanes`] sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` or `lane` is out of range or no sweep has run.
+    pub fn adjoint(&self, id: NodeId, lane: usize) -> V {
+        self.adj[id.index()][lane]
+    }
+
+    /// All replayed lane blocks in execution order.
+    pub fn values(&self) -> &[[V; LANES]] {
+        &self.values
+    }
+
+    /// All adjoint lane blocks in execution order (empty before the
+    /// first sweep).
+    pub fn adjoints(&self) -> &[[V; LANES]] {
+        &self.adj
+    }
+}
+
+impl<V: Scalar, const LANES: usize> Default for LaneReplayBuffers<V, LANES> {
+    fn default() -> Self {
+        LaneReplayBuffers::new()
+    }
+}
+
+/// Evaluates one compute op over a whole lane block. `op` is passed by
+/// the caller's per-variant dispatch so that after inlining the
+/// `eval_op` match folds to a single arm, leaving a straight-line
+/// fixed-width loop the compiler autovectorizes.
+#[inline(always)]
+fn eval_op_lanes<V: Scalar, const LANES: usize>(
+    op: Op,
+    a: &[V; LANES],
+    b: &[V; LANES],
+) -> ([V; LANES], [V; LANES], [V; LANES]) {
+    let mut v = [V::zero(); LANES];
+    let mut pa = [V::zero(); LANES];
+    let mut pb = [V::zero(); LANES];
+    for l in 0..LANES {
+        let (x, da, db) = eval_op(op, a[l], b[l]);
+        v[l] = x;
+        pa[l] = da;
+        pb[l] = db;
+    }
+    (v, pa, pb)
+}
+
+impl<V: Scalar> CompiledTape<V> {
+    /// Replays the trace for a whole block of `LANES` items at once:
+    /// one walk of the op stream, each op evaluated over a fixed-width
+    /// lane array. `inputs` is **slot-major**: `inputs[s][l]` is the
+    /// value bound to input slot `s` for item `l` (transposed from the
+    /// per-item layout scalar replay takes).
+    ///
+    /// Each lane is bit-identical to a scalar [`CompiledTape::replay`]
+    /// of the same item (see the [module docs](crate::lanes) for why).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeMismatch`] (leaving `buf` unspecified) when
+    /// `inputs` does not provide exactly one lane block per input slot.
+    pub fn replay_lanes<const LANES: usize>(
+        &self,
+        inputs: &[[V; LANES]],
+        buf: &mut LaneReplayBuffers<V, LANES>,
+    ) -> Result<(), ShapeMismatch> {
+        let _span = scorpio_obs::span("forward_lanes");
+        if inputs.len() != self.inputs.len() {
+            return Err(ShapeMismatch {
+                expected: self.inputs.len(),
+                got: inputs.len(),
+            });
+        }
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was verified at runtime just above.
+            unsafe { self.replay_lanes_avx2(inputs, buf) };
+            return Ok(());
+        }
+        self.replay_lanes_body(inputs, buf);
+        Ok(())
+    }
+
+    /// The AVX2-multiversioned clone of the forward lane sweep: the
+    /// `#[target_feature]` attribute recompiles the `#[inline(always)]`
+    /// body with 256-bit vector instructions enabled, without changing
+    /// any arithmetic (no FMA contraction, no fast-math), so lanes stay
+    /// bit-identical to the portable build.
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[target_feature(enable = "avx2")]
+    unsafe fn replay_lanes_avx2<const LANES: usize>(
+        &self,
+        inputs: &[[V; LANES]],
+        buf: &mut LaneReplayBuffers<V, LANES>,
+    ) {
+        self.replay_lanes_body(inputs, buf);
+    }
+
+    #[inline(always)]
+    fn replay_lanes_body<const LANES: usize>(
+        &self,
+        inputs: &[[V; LANES]],
+        buf: &mut LaneReplayBuffers<V, LANES>,
+    ) {
+        let n = self.ops.len();
+        buf.resize(n);
+        let mut next_input = 0usize;
+        for j in 0..n {
+            match self.ops[j] {
+                Op::Input => {
+                    buf.values[j] = inputs[next_input];
+                    next_input += 1;
+                    buf.pa[j] = [V::zero(); LANES];
+                    buf.pb[j] = [V::zero(); LANES];
+                }
+                Op::Const => {
+                    buf.values[j] = [self.recorded[j]; LANES];
+                    buf.pa[j] = [V::zero(); LANES];
+                    buf.pb[j] = [V::zero(); LANES];
+                }
+                op => {
+                    // Predecessor slots are always earlier in the
+                    // sequence; copying the operand blocks out keeps the
+                    // borrow checker happy and the lane loop tight.
+                    // Unary nodes carry an INVALID second slot — only
+                    // dereference it for binary ops.
+                    let a = buf.values[self.preds[j][0].index()];
+                    let b = if op.arity() == 2 {
+                        buf.values[self.preds[j][1].index()]
+                    } else {
+                        [V::zero(); LANES]
+                    };
+                    // The arithmetic workhorses get literal-op calls so
+                    // each inlined `eval_op` match folds to one arm and
+                    // the lane loop vectorizes; rarer ops share the
+                    // generic arm (same code, one extra branch).
+                    let (v, pa, pb) = match op {
+                        Op::Add => eval_op_lanes(Op::Add, &a, &b),
+                        Op::Sub => eval_op_lanes(Op::Sub, &a, &b),
+                        Op::Mul => eval_op_lanes(Op::Mul, &a, &b),
+                        Op::Div => eval_op_lanes(Op::Div, &a, &b),
+                        Op::Neg => eval_op_lanes(Op::Neg, &a, &b),
+                        Op::Sqr => eval_op_lanes(Op::Sqr, &a, &b),
+                        other => eval_op_lanes(other, &a, &b),
+                    };
+                    buf.values[j] = v;
+                    buf.pa[j] = pa;
+                    buf.pb[j] = pb;
+                }
+            }
+        }
+    }
+
+    /// Reverse (adjoint) sweep over the replayed lane blocks: every
+    /// seed is broadcast across all `LANES` lanes, and each lane's
+    /// accumulation is bit-identical to a scalar
+    /// [`CompiledTape::adjoints_into`] sweep of that item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a seed id is out of range, or if `buf` has not been
+    /// filled by a [`CompiledTape::replay_lanes`] of this trace.
+    pub fn adjoints_into_lanes<const LANES: usize>(
+        &self,
+        seeds: &[(NodeId, V)],
+        buf: &mut LaneReplayBuffers<V, LANES>,
+    ) {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was verified at runtime just above.
+            unsafe { self.adjoints_into_lanes_avx2(seeds, buf) };
+            return;
+        }
+        self.adjoints_into_lanes_body(seeds, buf);
+    }
+
+    /// AVX2-multiversioned clone of the reverse lane sweep (see
+    /// `replay_lanes_avx2`).
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    #[target_feature(enable = "avx2")]
+    unsafe fn adjoints_into_lanes_avx2<const LANES: usize>(
+        &self,
+        seeds: &[(NodeId, V)],
+        buf: &mut LaneReplayBuffers<V, LANES>,
+    ) {
+        self.adjoints_into_lanes_body(seeds, buf);
+    }
+
+    #[inline(always)]
+    fn adjoints_into_lanes_body<const LANES: usize>(
+        &self,
+        seeds: &[(NodeId, V)],
+        buf: &mut LaneReplayBuffers<V, LANES>,
+    ) {
+        let n = self.ops.len();
+        assert_eq!(
+            buf.values.len(),
+            n,
+            "adjoints_into_lanes: buffers were not replayed for this trace"
+        );
+        buf.adj.clear();
+        buf.adj.resize(n, [V::zero(); LANES]);
+        for &(id, seed) in seeds {
+            for lane in &mut buf.adj[id.index()] {
+                *lane = *lane + seed;
+            }
+        }
+        for j in (0..n).rev() {
+            let a = buf.adj[j];
+            // Whole-node fast path: if every lane's adjoint is zero the
+            // scalar sweep would skip this node in every lane.
+            if a.iter().all(|x| x.is_zero()) {
+                continue;
+            }
+            for k in 0..self.ops[j].arity() {
+                let p = self.preds[j][k];
+                if p != NodeId::INVALID {
+                    let partial = if k == 0 { buf.pa[j] } else { buf.pb[j] };
+                    let slot = &mut buf.adj[p.index()];
+                    for l in 0..LANES {
+                        // Per-lane zero skip, mirroring the scalar
+                        // sweep's `is_zero` guard: skipping is not a
+                        // no-op under IEEE-754 (inf/NaN partials times
+                        // a zero adjoint inject NaNs; `-0.0 + 0.0`
+                        // flips the sign of zero), so a lane only
+                        // accumulates when its scalar twin would.
+                        if !a[l].is_zero() {
+                            slot[l] = slot[l] + partial[l] * a[l];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiled::ReplayBuffers;
+    use crate::tape::Tape;
+    use scorpio_interval::Interval;
+
+    /// Records a trace exercising every operator class (mirrors the
+    /// scalar replay suite).
+    fn record_all_ops(tape: &Tape<f64>, x0: f64, y0: f64) -> NodeId {
+        let x = tape.var(x0);
+        let y = tape.var(y0);
+        let c = tape.constant(0.75);
+        let mut acc = x + y - c;
+        acc = acc * x / (y + 2.5);
+        acc = acc + (-x);
+        acc = acc + x.sin() + x.cos() + (x * 0.3).tan();
+        acc = acc + (x * 0.2).exp() + (y + 3.0).ln() + (y + 4.0).sqrt();
+        acc = acc + x.sqr() + (y + 2.0).recip();
+        acc = acc + x.powi(3) + (y + 5.0).powf(1.3) + x.powi(0);
+        acc = acc + x.abs() + x.atan() + x.tanh() + (x * 0.5).sinh() + (x * 0.5).cosh();
+        acc = acc + x.erf() + x.cndf();
+        acc = acc + x.hypot(y) + x.min(y) + x.max(y);
+        acc.id()
+    }
+
+    #[test]
+    fn lane_replay_is_bit_identical_to_scalar_replay_f64() {
+        let tape = Tape::<f64>::new();
+        let out = record_all_ops(&tape, 0.4, 1.1);
+        let compiled = CompiledTape::compile(&tape);
+
+        const LANES: usize = 4;
+        let xs = [0.4, -0.8, 1.7, 0.01];
+        let ys = [1.1, 0.2, -0.4, 9.5];
+        let mut lanes = LaneReplayBuffers::<f64, LANES>::new();
+        compiled.replay_lanes(&[xs, ys], &mut lanes).unwrap();
+        compiled.adjoints_into_lanes(&[(out, 1.0)], &mut lanes);
+
+        let mut scalar = ReplayBuffers::new();
+        for l in 0..LANES {
+            compiled.replay(&[xs[l], ys[l]], &mut scalar).unwrap();
+            compiled.adjoints_into(&[(out, 1.0)], &mut scalar);
+            for j in 0..compiled.len() {
+                let id = NodeId::from_index(j);
+                assert_eq!(
+                    lanes.value(id, l).to_bits(),
+                    scalar.value(id).to_bits(),
+                    "value diverged at node {j} lane {l} ({:?})",
+                    compiled.op(j)
+                );
+                assert_eq!(
+                    lanes.adjoint(id, l).to_bits(),
+                    scalar.adjoint(id).to_bits(),
+                    "adjoint diverged at node {j} lane {l} ({:?})",
+                    compiled.op(j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_replay_is_bit_identical_to_scalar_replay_interval() {
+        let record = |tape: &Tape<Interval>, r: f64| -> NodeId {
+            let x = tape.var(Interval::centered(0.5, r));
+            let y = tape.var(Interval::centered(-0.25, r));
+            let s = (x.sqr() + y.sqr()) * 0.7;
+            let z = (s.sin() + x.hypot(y)).exp() + x.min(y).max(x * 0.1);
+            z.id()
+        };
+        let tape = Tape::<Interval>::new();
+        let out = record(&tape, 0.125);
+        let compiled = CompiledTape::compile(&tape);
+
+        const LANES: usize = 2;
+        let radii = [0.125, 0.03125];
+        let xs = [
+            Interval::centered(0.5, radii[0]),
+            Interval::centered(0.5, radii[1]),
+        ];
+        let ys = [
+            Interval::centered(-0.25, radii[0]),
+            Interval::centered(-0.25, radii[1]),
+        ];
+        let mut lanes = LaneReplayBuffers::<Interval, LANES>::new();
+        compiled.replay_lanes(&[xs, ys], &mut lanes).unwrap();
+        compiled.adjoints_into_lanes(&[(out, Interval::ONE)], &mut lanes);
+
+        let mut scalar = ReplayBuffers::new();
+        for l in 0..LANES {
+            compiled.replay(&[xs[l], ys[l]], &mut scalar).unwrap();
+            compiled.adjoints_into(&[(out, Interval::ONE)], &mut scalar);
+            for j in 0..compiled.len() {
+                let id = NodeId::from_index(j);
+                let (v, w) = (lanes.value(id, l), scalar.value(id));
+                assert_eq!(v.inf().to_bits(), w.inf().to_bits(), "node {j} lane {l} inf");
+                assert_eq!(v.sup().to_bits(), w.sup().to_bits(), "node {j} lane {l} sup");
+                let (a, b) = (lanes.adjoint(id, l), scalar.adjoint(id));
+                assert_eq!(a.inf().to_bits(), b.inf().to_bits(), "adj {j} lane {l} inf");
+                assert_eq!(a.sup().to_bits(), b.sup().to_bits(), "adj {j} lane {l} sup");
+            }
+        }
+    }
+
+    /// Zero adjoints must stay skipped per lane: a dead subtree with an
+    /// infinite partial must not leak NaN into lanes that never touch
+    /// it, and signed zeros must survive exactly as in scalar replay.
+    #[test]
+    fn lane_reverse_sweep_keeps_per_lane_zero_skip() {
+        let tape = Tape::<f64>::new();
+        let x = tape.var(0.0);
+        let y = x.ln(); // ln(0) → -inf value, +inf partial
+        let z = x + 1.0;
+        let (y_id, z_id) = (y.id(), z.id());
+        let compiled = CompiledTape::compile(&tape);
+
+        // Seed only z: the ln node's adjoint is zero in every lane, so
+        // its infinite partial must never be multiplied in.
+        let mut lanes = LaneReplayBuffers::<f64, 2>::new();
+        compiled.replay_lanes(&[[0.0, 0.5]], &mut lanes).unwrap();
+        compiled.adjoints_into_lanes(&[(z_id, 1.0)], &mut lanes);
+        for l in 0..2 {
+            assert_eq!(lanes.adjoint(x.id(), l).to_bits(), 1.0f64.to_bits());
+            assert!(lanes.adjoint(y_id, l) == 0.0);
+        }
+    }
+
+    #[test]
+    fn lane_replay_rejects_wrong_input_arity() {
+        let tape = Tape::<f64>::new();
+        let x = tape.var(1.0);
+        let _ = x.exp();
+        let compiled = CompiledTape::compile(&tape);
+        let mut buf = LaneReplayBuffers::<f64, 4>::new();
+        let err = compiled
+            .replay_lanes(&[[1.0; 4], [2.0; 4]], &mut buf)
+            .unwrap_err();
+        assert_eq!(err, ShapeMismatch { expected: 1, got: 2 });
+    }
+}

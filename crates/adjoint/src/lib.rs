@@ -50,6 +50,7 @@
 mod compiled;
 mod dot;
 mod dual;
+pub mod lanes;
 mod liveness;
 mod node;
 mod tape;
@@ -57,6 +58,7 @@ mod value;
 mod var;
 
 pub use compiled::{CompiledTape, ReplayBuffers, ShapeMismatch};
+pub use lanes::LaneReplayBuffers;
 pub use dot::{dot_options, DotOptions};
 pub use dual::Dual;
 pub use liveness::LivenessSummary;

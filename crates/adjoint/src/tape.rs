@@ -167,14 +167,6 @@ impl<V: Scalar> Tape<V> {
         self.nodes.borrow()[id.index()].value
     }
 
-    /// A snapshot of all nodes (cloned out of the arena).
-    #[deprecated(
-        note = "clones the whole arena; borrow it zero-copy with `Tape::with_nodes` instead"
-    )]
-    pub fn snapshot(&self) -> Vec<Node<V>> {
-        self.nodes.borrow().clone()
-    }
-
     /// Runs `f` over a borrow of the node arena — zero-copy access to
     /// the whole trace.
     ///

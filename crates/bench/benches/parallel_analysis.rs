@@ -2,17 +2,18 @@
 //! InverseMapping per-pixel batch at 1/2/4/8 workers, the tape-reuse
 //! ablation (one warm arena vs a fresh tape per analysis), the
 //! compiled-replay ablation (record-once / replay-many vs re-recording)
-//! at a single worker, and the scorpio-obs overhead check (the same
-//! analysis batch with tracing disabled vs enabled — disabled must be
-//! within noise of the pre-instrumentation baseline).
+//! at a single worker, the lane-replay ablation (1/2/4/8 replay lanes
+//! per compiled-trace walk), and the scorpio-obs overhead check (the
+//! same analysis batch with tracing disabled vs enabled — disabled must
+//! be within noise of the pre-instrumentation baseline).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use scorpio_core::{Analysis, AnalysisArena, ParallelAnalysis, ReplayOrRecord};
 use scorpio_kernels::fisheye::{
-    analysis_inverse_mapping, analysis_inverse_mapping_grid, analysis_inverse_mapping_in,
-    analysis_inverse_mapping_replay_in, Lens,
+    analysis_inverse_mapping, analysis_inverse_mapping_grid, analysis_inverse_mapping_grid_lanes,
+    analysis_inverse_mapping_in, analysis_inverse_mapping_replay_in, Lens,
 };
 
 fn bench_grid_scaling(c: &mut Criterion) {
@@ -88,6 +89,38 @@ fn bench_compiled_replay(c: &mut Criterion) {
             black_box(acc)
         })
     });
+    group.finish();
+}
+
+/// Lane-replay ablation: the 32×24 Fig. 5 grid on one worker at
+/// 1/2/4/8 replay lanes per compiled-trace walk. Width 1 routes every
+/// item through the per-item scalar replay path, so its row is the
+/// scalar baseline the wider rows are judged against; results are
+/// bit-identical at every width.
+fn bench_lane_replay(c: &mut Criterion) {
+    let lens = Lens::for_image(1280, 960);
+    let engine = ParallelAnalysis::new(1);
+    let mut group = c.benchmark_group("lane_replay");
+    macro_rules! lane_case {
+        ($lanes:literal) => {
+            group.bench_with_input(
+                BenchmarkId::new("fig5_32x24", $lanes),
+                &$lanes,
+                |b, _| {
+                    b.iter(|| {
+                        black_box(
+                            analysis_inverse_mapping_grid_lanes::<$lanes>(&lens, 32, 24, &engine)
+                                .unwrap(),
+                        )
+                    })
+                },
+            );
+        };
+    }
+    lane_case!(1);
+    lane_case!(2);
+    lane_case!(4);
+    lane_case!(8);
     group.finish();
 }
 
@@ -172,6 +205,7 @@ criterion_group!(
     bench_grid_scaling,
     bench_tape_reuse,
     bench_compiled_replay,
+    bench_lane_replay,
     bench_obs_overhead
 );
 criterion_main!(benches);

@@ -83,8 +83,8 @@ pub use codegen::{TaskPlan, TaskSuggestion};
 pub use error::AnalysisError;
 pub use export::{NodeRecord, ReportRecord, VarRecord};
 pub use graph::{SigGraph, SigNode};
-pub use parallel::ParallelAnalysis;
-pub use replay::{ReplayOrRecord, ReplayStats};
+pub use parallel::{ParallelAnalysis, DEFAULT_LANES};
+pub use replay::{LaneScratch, ReplayOrRecord, ReplayStats};
 pub use report::{Report, RegisteredVar, VarKind, VarSignificances};
 pub use session::{Analysis, AnalysisArena, Ctx, Ia1s};
 pub use workflow::{LevelStats, Partition};

@@ -31,10 +31,16 @@ use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use scorpio_adjoint::{CompiledTape, NodeId, ReplayBuffers, Tape, Var};
+use scorpio_adjoint::{CompiledTape, LaneReplayBuffers, NodeId, ReplayBuffers, Tape, Var};
 
 use crate::error::AnalysisError;
 use crate::report::VarKind;
+
+/// Lane width of the Monte-Carlo sample-replay loops: full blocks of
+/// this many samples share one walk of the compiled op stream
+/// ([`CompiledTape::replay_lanes`]); the trailing partial block replays
+/// per sample. Same width rationale as [`crate::parallel::DEFAULT_LANES`].
+const MC_LANES: usize = crate::parallel::DEFAULT_LANES;
 
 /// Active value for Monte-Carlo runs: point-valued AD.
 pub type McVarValue<'t> = Var<'t, f64>;
@@ -212,9 +218,24 @@ where
             // its replay bitwise; push the recorded copy and replay on.
             per_sample.push(compiled.verify_entries);
             rest = &rest[1..];
+            // Full lane blocks share one walk of the op stream; the
+            // trailing remainder replays per sample (bit-identical
+            // either way).
+            let mut lane_buf = LaneReplayBuffers::new();
+            let mut staging = Vec::new();
+            let mut chunks = rest.chunks_exact(MC_LANES);
+            for block in chunks.by_ref() {
+                per_sample.extend(replay_sample_block(
+                    &compiled.tape,
+                    &trace,
+                    &mut lane_buf,
+                    &mut staging,
+                    block,
+                ));
+            }
             let mut buf = ReplayBuffers::new();
             let mut values = Vec::new();
-            for &s in rest {
+            for &s in chunks.remainder() {
                 per_sample.push(replay_sample(
                     &compiled.tape,
                     &trace,
@@ -283,12 +304,33 @@ where
             per_sample.push(first);
             per_sample.push(compiled.verify_entries);
             // Replay is infallible and identical wherever it runs: fan
-            // the remaining samples over per-worker replay buffers.
+            // the remaining samples over the workers in lane blocks —
+            // each full block is one walk of the op stream, the
+            // trailing partial block replays per sample.
+            let blocks: Vec<&[u64]> = sample_seeds[2..].chunks(MC_LANES).collect();
             let replayed = executor.map_with_state(
-                &sample_seeds[2..],
-                || (ReplayBuffers::new(), Vec::new()),
-                |(buf, values), _, &s| replay_sample(&compiled.tape, &trace, buf, values, s),
+                &blocks,
+                || {
+                    (
+                        LaneReplayBuffers::<f64, MC_LANES>::new(),
+                        Vec::new(),
+                        ReplayBuffers::new(),
+                        Vec::new(),
+                    )
+                },
+                |(lane_buf, staging, buf, values), _, &block| {
+                    if block.len() == MC_LANES {
+                        replay_sample_block(&compiled.tape, &trace, lane_buf, staging, block)
+                    } else {
+                        block
+                            .iter()
+                            .map(|&s| replay_sample(&compiled.tape, &trace, buf, values, s))
+                            .collect()
+                    }
+                },
             );
+            let replayed: Vec<Vec<SampleEntry>> =
+                replayed.into_iter().flatten().collect();
             let replayed_count = replayed.len();
             per_sample.extend(replayed);
             let mut report = merge_samples(per_sample)?;
@@ -474,6 +516,54 @@ fn replay_sample(
             kind: *kind,
             product: buf.value(*id) * buf.adjoint(*id),
             value: buf.value(*id),
+        })
+        .collect()
+}
+
+/// Replays one full block of [`MC_LANES`] samples with a **single**
+/// walk of the compiled op stream: each sample's inputs are re-drawn
+/// with its own RNG into the slot-major `staging` area, then the lane
+/// forward/reverse sweeps run all lanes at once. Per sample, the
+/// extracted entries are bit-identical to [`replay_sample`]'s (each
+/// lane performs the same scalar operations in the same order).
+fn replay_sample_block(
+    compiled: &CompiledTape<f64>,
+    trace: &RecordedTrace,
+    buf: &mut LaneReplayBuffers<f64, MC_LANES>,
+    staging: &mut Vec<[f64; MC_LANES]>,
+    sample_seeds: &[u64],
+) -> Vec<Vec<SampleEntry>> {
+    debug_assert_eq!(sample_seeds.len(), MC_LANES);
+    staging.clear();
+    staging.resize(trace.ranges.len(), [0.0; MC_LANES]);
+    for (l, &s) in sample_seeds.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(s);
+        for (slot, &(lo, hi)) in trace.ranges.iter().enumerate() {
+            staging[slot][l] = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
+        }
+    }
+    compiled
+        .replay_lanes(staging, buf)
+        .expect("input arity is fixed by the recorded ranges");
+    let seeds: Vec<(NodeId, f64)> = trace
+        .entries
+        .iter()
+        .filter(|(_, _, k)| *k == VarKind::Output)
+        .map(|(_, id, _)| (*id, 1.0))
+        .collect();
+    compiled.adjoints_into_lanes(&seeds, buf);
+    (0..MC_LANES)
+        .map(|l| {
+            trace
+                .entries
+                .iter()
+                .map(|(name, id, kind)| SampleEntry {
+                    name: name.clone(),
+                    kind: *kind,
+                    product: buf.value(*id, l) * buf.adjoint(*id, l),
+                    value: buf.value(*id, l),
+                })
+                .collect()
         })
         .collect()
 }

@@ -36,12 +36,38 @@ use scorpio_interval::Interval;
 use scorpio_runtime::Executor;
 
 use crate::error::AnalysisError;
-use crate::replay::{ReplayOrRecord, ReplayStats};
+use crate::replay::{LaneScratch, ReplayOrRecord, ReplayStats};
 use crate::report::{Report, VarSignificances};
 use crate::session::{Analysis, AnalysisArena, Ctx};
 
 /// Default node capacity each worker's arena is warmed to.
 const DEFAULT_ARENA_CAPACITY: usize = 1024;
+
+/// Lane width the non-`_lanes` replay batch methods use: four f64
+/// lanes fill one 256-bit vector register and one 32-byte block per
+/// node stays cache-friendly for the large (~10⁴-node) kernel traces.
+/// The `bench_parallel` lane ablation measures the alternatives.
+pub const DEFAULT_LANES: usize = 4;
+
+/// Per-item counter delta between two snapshots of a worker's stats.
+fn stats_delta(before: ReplayStats, after: ReplayStats) -> ReplayStats {
+    ReplayStats {
+        replays: after.replays - before.replays,
+        records: after.records - before.records,
+        fallbacks: after.fallbacks - before.fallbacks,
+        lane_blocks: after.lane_blocks - before.lane_blocks,
+        lane_remainder: after.lane_remainder - before.lane_remainder,
+    }
+}
+
+/// Sums `delta` into `total` field by field.
+fn stats_add(total: &mut ReplayStats, delta: ReplayStats) {
+    total.replays += delta.replays;
+    total.records += delta.records;
+    total.fallbacks += delta.fallbacks;
+    total.lane_blocks += delta.lane_blocks;
+    total.lane_remainder += delta.lane_remainder;
+}
 
 /// Driver fanning independent significance analyses over a worker pool,
 /// one reusable tape arena per worker (see the [module docs](self)).
@@ -174,8 +200,33 @@ impl ParallelAnalysis {
         I: Fn(&T) -> Vec<Interval> + Sync,
         F: Fn(&Ctx<'_>, &T) -> Result<(), AnalysisError> + Sync,
     {
-        self.run_batch_replay_map(items, |arena, driver, _, item| {
-            driver.run_in(arena, &inputs_of(item), |ctx| f(ctx, item))
+        self.run_batch_replay_lanes::<DEFAULT_LANES, _, _, _>(items, inputs_of, f)
+    }
+
+    /// [`ParallelAnalysis::run_batch_replay`] with an explicit lane
+    /// width (that method fixes `LANES` = [`DEFAULT_LANES`]): workers
+    /// claim blocks of `LANES` items and serve each full block with
+    /// **one** walk of the compiled op stream
+    /// ([`ReplayOrRecord::run_lanes_in`]); partial trailing blocks and
+    /// shape-divergent blocks fall back to per-item scalar replay.
+    /// Results stay bit-identical to the scalar batch for every width.
+    ///
+    /// # Errors
+    ///
+    /// As [`ParallelAnalysis::run_batch`].
+    pub fn run_batch_replay_lanes<const LANES: usize, T, I, F>(
+        &self,
+        items: &[T],
+        inputs_of: I,
+        f: F,
+    ) -> Result<(Vec<Report>, ReplayStats), AnalysisError>
+    where
+        T: Sync,
+        I: Fn(&T) -> Vec<Interval> + Sync,
+        F: Fn(&Ctx<'_>, &T) -> Result<(), AnalysisError> + Sync,
+    {
+        self.run_batch_blocks::<LANES, _, _, _>(items, |arena, driver, lanes, block, out| {
+            driver.run_lanes_in(arena, lanes, block, &inputs_of, &f, out)
         })
     }
 
@@ -183,6 +234,8 @@ impl ParallelAnalysis {
     /// returns one [`VarSignificances`] per item instead of a full
     /// [`Report`], skipping significance-graph construction entirely —
     /// the fast path for kernels that only read registered rows.
+    /// Chunks items into [`DEFAULT_LANES`]-wide lane blocks like
+    /// [`ParallelAnalysis::run_batch_replay`].
     ///
     /// # Errors
     ///
@@ -198,9 +251,143 @@ impl ParallelAnalysis {
         I: Fn(&T) -> Vec<Interval> + Sync,
         F: Fn(&Ctx<'_>, &T) -> Result<(), AnalysisError> + Sync,
     {
-        self.run_batch_replay_map(items, |arena, driver, _, item| {
-            driver.run_vars_in(arena, &inputs_of(item), |ctx| f(ctx, item))
+        self.run_batch_replay_vars_lanes::<DEFAULT_LANES, _, _, _>(items, inputs_of, f)
+    }
+
+    /// [`ParallelAnalysis::run_batch_replay_vars`] with an explicit
+    /// lane width (see [`ParallelAnalysis::run_batch_replay_lanes`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`ParallelAnalysis::run_batch`].
+    pub fn run_batch_replay_vars_lanes<const LANES: usize, T, I, F>(
+        &self,
+        items: &[T],
+        inputs_of: I,
+        f: F,
+    ) -> Result<(Vec<VarSignificances>, ReplayStats), AnalysisError>
+    where
+        T: Sync,
+        I: Fn(&T) -> Vec<Interval> + Sync,
+        F: Fn(&Ctx<'_>, &T) -> Result<(), AnalysisError> + Sync,
+    {
+        self.run_batch_blocks::<LANES, _, _, _>(items, |arena, driver, lanes, block, out| {
+            driver.run_vars_lanes_in(arena, lanes, block, &inputs_of, &f, out)
         })
+    }
+
+    /// Lane-batched rows-then-extract driver: runs the replay batch in
+    /// [`DEFAULT_LANES`]-wide lane blocks and maps every item's
+    /// [`VarSignificances`] through `map` — the shape the kernel batch
+    /// entry points use (register closure + row extraction, no per-item
+    /// driver plumbing).
+    ///
+    /// # Errors
+    ///
+    /// As [`ParallelAnalysis::run_batch`].
+    pub fn run_batch_replay_vars_map<T, R, I, F, M>(
+        &self,
+        items: &[T],
+        inputs_of: I,
+        f: F,
+        map: M,
+    ) -> Result<(Vec<R>, ReplayStats), AnalysisError>
+    where
+        T: Sync,
+        R: Send,
+        I: Fn(&T) -> Vec<Interval> + Sync,
+        F: Fn(&Ctx<'_>, &T) -> Result<(), AnalysisError> + Sync,
+        M: Fn(&T, &VarSignificances) -> Result<R, AnalysisError> + Sync,
+    {
+        self.run_batch_replay_vars_map_lanes::<DEFAULT_LANES, _, _, _, _, _>(
+            items, inputs_of, f, map,
+        )
+    }
+
+    /// [`ParallelAnalysis::run_batch_replay_vars_map`] with an explicit
+    /// lane width (see [`ParallelAnalysis::run_batch_replay_lanes`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`ParallelAnalysis::run_batch`].
+    pub fn run_batch_replay_vars_map_lanes<const LANES: usize, T, R, I, F, M>(
+        &self,
+        items: &[T],
+        inputs_of: I,
+        f: F,
+        map: M,
+    ) -> Result<(Vec<R>, ReplayStats), AnalysisError>
+    where
+        T: Sync,
+        R: Send,
+        I: Fn(&T) -> Vec<Interval> + Sync,
+        F: Fn(&Ctx<'_>, &T) -> Result<(), AnalysisError> + Sync,
+        M: Fn(&T, &VarSignificances) -> Result<R, AnalysisError> + Sync,
+    {
+        self.run_batch_blocks::<LANES, _, _, _>(items, |arena, driver, lanes, block, out| {
+            let mut vars = Vec::with_capacity(block.len());
+            driver.run_vars_lanes_in(arena, lanes, block, &inputs_of, &f, &mut vars)?;
+            for (item, v) in block.iter().zip(&vars) {
+                out.push(map(item, v)?);
+            }
+            Ok(())
+        })
+    }
+
+    /// The lane-block fan-out all replay batch modes share: items are
+    /// chunked into `LANES`-sized blocks **at the executor granularity**
+    /// (workers claim whole blocks, so a block's lanes always share one
+    /// worker's compiled trace), `g` serves one block into its output
+    /// vector, and per-item results are re-flattened in item order.
+    /// Error behaviour matches the per-item modes: the first failing
+    /// block is, by construction, the one holding the lowest-indexed
+    /// failing item.
+    fn run_batch_blocks<const LANES: usize, T, R, G>(
+        &self,
+        items: &[T],
+        g: G,
+    ) -> Result<(Vec<R>, ReplayStats), AnalysisError>
+    where
+        T: Sync,
+        R: Send,
+        G: Fn(
+                &mut AnalysisArena,
+                &mut ReplayOrRecord,
+                &mut LaneScratch<LANES>,
+                &[T],
+                &mut Vec<R>,
+            ) -> Result<(), AnalysisError>
+            + Sync,
+    {
+        let _span = scorpio_obs::span("parallel_batch");
+        scorpio_obs::count("parallel.items", items.len() as u64);
+        let blocks: Vec<&[T]> = items.chunks(LANES.max(1)).collect();
+        let results = self.executor.map_with_state(
+            &blocks,
+            || {
+                scorpio_obs::count("parallel.arena_init", 1);
+                (
+                    AnalysisArena::with_capacity(self.arena_capacity),
+                    ReplayOrRecord::new(self.analysis.clone()),
+                    LaneScratch::<LANES>::new(),
+                )
+            },
+            |(arena, driver, lanes), _, block| {
+                let before = driver.stats();
+                let mut out = Vec::with_capacity(block.len());
+                let result = g(arena, driver, lanes, block, &mut out);
+                let after = driver.stats();
+                result.map(|()| (out, stats_delta(before, after)))
+            },
+        );
+        let mut stats = ReplayStats::default();
+        let mut out = Vec::with_capacity(items.len());
+        for result in results {
+            let (rs, delta) = result?;
+            stats_add(&mut stats, delta);
+            out.extend(rs);
+        }
+        Ok((out, stats))
     }
 
     /// General form of the replay modes: `f` receives the worker's arena,
@@ -242,25 +429,14 @@ impl ParallelAnalysis {
                 let before = driver.stats();
                 let result = f(arena, driver, i, item);
                 let after = driver.stats();
-                result.map(|r| {
-                    (
-                        r,
-                        ReplayStats {
-                            replays: after.replays - before.replays,
-                            records: after.records - before.records,
-                            fallbacks: after.fallbacks - before.fallbacks,
-                        },
-                    )
-                })
+                result.map(|r| (r, stats_delta(before, after)))
             },
         );
         let mut stats = ReplayStats::default();
         let mut out = Vec::with_capacity(items.len());
         for result in results {
             let (r, delta) = result?;
-            stats.replays += delta.replays;
-            stats.records += delta.records;
-            stats.fallbacks += delta.fallbacks;
+            stats_add(&mut stats, delta);
             out.push(r);
         }
         Ok((out, stats))
@@ -363,6 +539,10 @@ mod tests {
         assert_eq!(stats.records, 1, "only the first item may record");
         assert_eq!(stats.replays, items.len() as u64 - 1);
         assert_eq!(stats.fallbacks, 0);
+        // 32 items in 4-wide blocks: block 0 warms up on the scalar
+        // path (record + 3 scalar replays), blocks 1..8 lane-replay.
+        assert_eq!(stats.lane_blocks, 7);
+        assert_eq!(stats.lane_remainder, 4);
         for (a, b) in replayed.iter().zip(&recorded) {
             assert_eq!(a.tape_len(), b.tape_len());
             for (va, vb) in a.registered().iter().zip(b.registered()) {
@@ -381,6 +561,107 @@ mod tests {
                 assert_eq!(va.significance.to_bits(), vb.significance.to_bits());
             }
         }
+    }
+
+    /// A batch whose size is not a multiple of the lane width: the
+    /// trailing partial block must be scalar-replayed — visible in
+    /// `lane_remainder` — and stay bit-identical to the recording batch.
+    #[test]
+    fn lane_remainder_items_are_scalar_replayed() {
+        let items: Vec<f64> = (0..13).map(|i| 0.05 + 0.01 * i as f64).collect();
+        let closure = |ctx: &Ctx<'_>, &r: &f64| {
+            let x = ctx.input_centered("x", 0.5, r);
+            let y = x.sin() + x.sqr();
+            ctx.output(&y, "y");
+            Ok(())
+        };
+        let inputs_of = |&r: &f64| vec![Interval::centered(0.5, r)];
+        let engine = ParallelAnalysis::new(1);
+        let recorded = engine.run_batch(&items, closure).unwrap();
+        let (replayed, stats) = engine
+            .run_batch_replay_lanes::<4, _, _, _>(&items, inputs_of, closure)
+            .unwrap();
+        // Block 0 warms up scalar (4 items), blocks 1/2 lane-replay,
+        // the trailing 13 % 4 = 1 item is scalar remainder.
+        assert_eq!(stats.lane_blocks, 2);
+        assert_eq!(stats.lane_remainder, 5);
+        assert_eq!(stats.records, 1);
+        assert_eq!(stats.replays, 12);
+        for (a, b) in replayed.iter().zip(&recorded) {
+            for (va, vb) in a.registered().iter().zip(b.registered()) {
+                assert_eq!(va.significance_raw.to_bits(), vb.significance_raw.to_bits());
+            }
+        }
+    }
+
+    /// Input arity diverging *inside* a lane block: the block must fall
+    /// back to the scalar driver (re-recording as needed) instead of
+    /// lane-replaying a wrong trace.
+    #[test]
+    fn lane_block_with_divergent_arity_falls_back() {
+        // Items 0..6 bind one input, items 6..8 bind two: the arity
+        // change lands in the middle of block 1 (items 4..8), so the
+        // divergence is detected *inside* a lane block.
+        let items: Vec<usize> = (0..8).collect();
+        let closure = |ctx: &Ctx<'_>, &i: &usize| {
+            let x = ctx.input("x", 0.1, 0.9);
+            let y = if i < 6 {
+                x.sqr()
+            } else {
+                let z = ctx.input("z", 1.0, 2.0);
+                x.sqr() + z
+            };
+            ctx.output(&y, "y");
+            Ok(())
+        };
+        let inputs_of = |&i: &usize| {
+            if i < 6 {
+                vec![Interval::new(0.1, 0.9)]
+            } else {
+                vec![Interval::new(0.1, 0.9), Interval::new(1.0, 2.0)]
+            }
+        };
+        let engine = ParallelAnalysis::new(1);
+        let recorded = engine.run_batch(&items, closure).unwrap();
+        let (replayed, stats) = engine
+            .run_batch_replay_lanes::<4, _, _, _>(&items, inputs_of, closure)
+            .unwrap();
+        // Block 1 (items 4..8) mixes arities: no lane block may serve
+        // it, and the two-input items force a re-record fallback.
+        assert_eq!(stats.lane_blocks, 0);
+        assert_eq!(stats.lane_remainder, 8);
+        assert!(stats.fallbacks >= 1, "arity change must fall back");
+        assert_eq!(replayed.len(), recorded.len());
+        for (a, b) in replayed.iter().zip(&recorded) {
+            assert_eq!(a.registered().len(), b.registered().len());
+            for (va, vb) in a.registered().iter().zip(b.registered()) {
+                assert_eq!(va.significance_raw.to_bits(), vb.significance_raw.to_bits());
+            }
+        }
+    }
+
+    /// Width-1 lane batches are routed to the scalar driver — the
+    /// ablation baseline really is the scalar replay path.
+    #[test]
+    fn one_lane_batch_degenerates_to_scalar_replay() {
+        let items: Vec<f64> = (0..6).map(|i| 0.1 + 0.05 * i as f64).collect();
+        let closure = |ctx: &Ctx<'_>, &r: &f64| {
+            let x = ctx.input_centered("x", 0.5, r);
+            let y = x.exp();
+            ctx.output(&y, "y");
+            Ok(())
+        };
+        let engine = ParallelAnalysis::new(1);
+        let (_, stats) = engine
+            .run_batch_replay_lanes::<1, _, _, _>(
+                &items,
+                |&r| vec![Interval::centered(0.5, r)],
+                closure,
+            )
+            .unwrap();
+        assert_eq!(stats.lane_blocks, 0);
+        assert_eq!(stats.records, 1);
+        assert_eq!(stats.replays, 5);
     }
 
     #[test]

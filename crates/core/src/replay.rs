@@ -29,13 +29,13 @@
 //! workload whose shape churns (high fallback rate) is visible instead
 //! of silently slow.
 
-use scorpio_adjoint::CompiledTape;
+use scorpio_adjoint::{CompiledTape, LaneReplayBuffers};
 use scorpio_interval::Interval;
 
 use crate::error::AnalysisError;
 use crate::report::{
-    build_report_replayed, build_report_with, build_vars_replayed, build_vars_with, Report,
-    VarSignificances,
+    build_report_replayed, build_report_replayed_lanes, build_report_with, build_vars_replayed,
+    build_vars_replayed_lanes, build_vars_with, Report, VarSignificances,
 };
 use crate::session::{Analysis, AnalysisArena, Ctx, Registrations};
 
@@ -46,13 +46,22 @@ use crate::session::{Analysis, AnalysisArena, Ctx, Registrations};
 /// changed shape key, or changed input arity).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ReplayStats {
-    /// Runs served by replaying the compiled trace.
+    /// Runs served by replaying the compiled trace (items served by a
+    /// lane block count individually here too).
     pub replays: u64,
     /// Runs that recorded the closure from scratch (includes the first).
     pub records: u64,
     /// Recordings forced while a compiled trace existed — the
     /// shape-churn signal.
     pub fallbacks: u64,
+    /// Full lane blocks replayed with one walk of the op stream (the
+    /// multi-lane drivers; each block serves `LANES` items).
+    pub lane_blocks: u64,
+    /// Items a lane driver served via the *scalar* path instead of a
+    /// lane block: partial trailing blocks, blocks with divergent
+    /// per-item input arity, and warm-up blocks replayed before a
+    /// trustworthy compiled trace existed.
+    pub lane_remainder: u64,
 }
 
 impl ReplayStats {
@@ -232,6 +241,220 @@ impl ReplayOrRecord {
         self.run_vars(Some(key), arena, inputs, f)
     }
 
+    /// Runs one **lane block** of up to `LANES` items, appending one
+    /// [`Report`] per item to `out` in item order.
+    ///
+    /// When the block is full, the compiled trace is trustworthy and
+    /// every item binds the compiled input arity, the whole block is
+    /// served by **one** walk of the op stream
+    /// ([`CompiledTape::replay_lanes`]) — counted in
+    /// [`ReplayStats::lane_blocks`]. Otherwise every item takes the
+    /// scalar [`ReplayOrRecord::run_in`] path (recording when needed) —
+    /// counted in [`ReplayStats::lane_remainder`]. Either way each
+    /// item's report is bit-identical to a scalar run of that item.
+    ///
+    /// # Errors
+    ///
+    /// As [`ReplayOrRecord::run_in`]; a failing item stops the block at
+    /// the lowest failing index (earlier items' results stay in `out`).
+    pub fn run_lanes_in<const LANES: usize, T, I, F>(
+        &mut self,
+        arena: &mut AnalysisArena,
+        lanes: &mut LaneScratch<LANES>,
+        block: &[T],
+        inputs_of: &I,
+        f: &F,
+        out: &mut Vec<Report>,
+    ) -> Result<(), AnalysisError>
+    where
+        I: Fn(&T) -> Vec<Interval>,
+        F: Fn(&Ctx<'_>, &T) -> Result<(), AnalysisError>,
+    {
+        self.run_lanes(None, arena, lanes, block, inputs_of, f, out)
+    }
+
+    /// [`ReplayOrRecord::run_lanes_in`] with a shape key (see
+    /// [`ReplayOrRecord::run_keyed_in`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`ReplayOrRecord::run_lanes_in`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_keyed_lanes_in<const LANES: usize, T, I, F>(
+        &mut self,
+        key: u64,
+        arena: &mut AnalysisArena,
+        lanes: &mut LaneScratch<LANES>,
+        block: &[T],
+        inputs_of: &I,
+        f: &F,
+        out: &mut Vec<Report>,
+    ) -> Result<(), AnalysisError>
+    where
+        I: Fn(&T) -> Vec<Interval>,
+        F: Fn(&Ctx<'_>, &T) -> Result<(), AnalysisError>,
+    {
+        self.run_lanes(Some(key), arena, lanes, block, inputs_of, f, out)
+    }
+
+    /// Variable-rows-only twin of [`ReplayOrRecord::run_lanes_in`]
+    /// (see [`ReplayOrRecord::run_vars_in`] for what the rows skip).
+    ///
+    /// # Errors
+    ///
+    /// As [`ReplayOrRecord::run_lanes_in`].
+    pub fn run_vars_lanes_in<const LANES: usize, T, I, F>(
+        &mut self,
+        arena: &mut AnalysisArena,
+        lanes: &mut LaneScratch<LANES>,
+        block: &[T],
+        inputs_of: &I,
+        f: &F,
+        out: &mut Vec<VarSignificances>,
+    ) -> Result<(), AnalysisError>
+    where
+        I: Fn(&T) -> Vec<Interval>,
+        F: Fn(&Ctx<'_>, &T) -> Result<(), AnalysisError>,
+    {
+        self.run_vars_lanes(None, arena, lanes, block, inputs_of, f, out)
+    }
+
+    /// [`ReplayOrRecord::run_vars_lanes_in`] with a shape key (see
+    /// [`ReplayOrRecord::run_keyed_in`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`ReplayOrRecord::run_lanes_in`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_keyed_vars_lanes_in<const LANES: usize, T, I, F>(
+        &mut self,
+        key: u64,
+        arena: &mut AnalysisArena,
+        lanes: &mut LaneScratch<LANES>,
+        block: &[T],
+        inputs_of: &I,
+        f: &F,
+        out: &mut Vec<VarSignificances>,
+    ) -> Result<(), AnalysisError>
+    where
+        I: Fn(&T) -> Vec<Interval>,
+        F: Fn(&Ctx<'_>, &T) -> Result<(), AnalysisError>,
+    {
+        self.run_vars_lanes(Some(key), arena, lanes, block, inputs_of, f, out)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_lanes<const LANES: usize, T, I, F>(
+        &mut self,
+        key: Option<u64>,
+        arena: &mut AnalysisArena,
+        lanes: &mut LaneScratch<LANES>,
+        block: &[T],
+        inputs_of: &I,
+        f: &F,
+        out: &mut Vec<Report>,
+    ) -> Result<(), AnalysisError>
+    where
+        I: Fn(&T) -> Vec<Interval>,
+        F: Fn(&Ctx<'_>, &T) -> Result<(), AnalysisError>,
+    {
+        if self.stage_lane_block(key, lanes, block, inputs_of) {
+            let _span = scorpio_obs::span("replay_lanes");
+            let c = self.compiled.as_ref().expect("staged block checked");
+            c.tape
+                .replay_lanes(&lanes.staging, &mut lanes.buf)
+                .expect("staging validated input arity");
+            let delta = self.analysis.delta();
+            return build_report_replayed_lanes(&c.tape, &c.regs, delta, &mut lanes.buf, out);
+        }
+        for item in block {
+            let inputs = inputs_of(item);
+            out.push(self.run_report(key, arena, &inputs, |ctx| f(ctx, item))?);
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_vars_lanes<const LANES: usize, T, I, F>(
+        &mut self,
+        key: Option<u64>,
+        arena: &mut AnalysisArena,
+        lanes: &mut LaneScratch<LANES>,
+        block: &[T],
+        inputs_of: &I,
+        f: &F,
+        out: &mut Vec<VarSignificances>,
+    ) -> Result<(), AnalysisError>
+    where
+        I: Fn(&T) -> Vec<Interval>,
+        F: Fn(&Ctx<'_>, &T) -> Result<(), AnalysisError>,
+    {
+        if self.stage_lane_block(key, lanes, block, inputs_of) {
+            let _span = scorpio_obs::span("replay_lanes");
+            let c = self.compiled.as_ref().expect("staged block checked");
+            c.tape
+                .replay_lanes(&lanes.staging, &mut lanes.buf)
+                .expect("staging validated input arity");
+            return build_vars_replayed_lanes(&c.tape, &c.regs, &mut lanes.buf, out);
+        }
+        for item in block {
+            let inputs = inputs_of(item);
+            out.push(self.run_vars(key, arena, &inputs, |ctx| f(ctx, item))?);
+        }
+        Ok(())
+    }
+
+    /// Decides whether `block` can be served by one lane replay and, if
+    /// so, fills `lanes.staging` with the slot-major transposed inputs
+    /// (`staging[s][l]` = input slot `s` of item `l`) and bumps the
+    /// lane counters. On `false` the caller must take the scalar path —
+    /// the items are accounted to [`ReplayStats::lane_remainder`] here.
+    fn stage_lane_block<const LANES: usize, T, I>(
+        &mut self,
+        key: Option<u64>,
+        lanes: &mut LaneScratch<LANES>,
+        block: &[T],
+        inputs_of: &I,
+    ) -> bool
+    where
+        I: Fn(&T) -> Vec<Interval>,
+    {
+        let scalar_fallback = |stats: &mut ReplayStats| {
+            stats.lane_remainder += block.len() as u64;
+            scorpio_obs::count("replay.lane_remainder", block.len() as u64);
+            false
+        };
+        // LANES == 1 degenerates to scalar replay: route it there so a
+        // width-1 lane ablation measures the true scalar baseline.
+        if LANES <= 1 || block.len() != LANES {
+            return scalar_fallback(&mut self.stats);
+        }
+        let arity = match &self.compiled {
+            Some(c) if !c.branched && self.key == key => c.tape.input_count(),
+            _ => return scalar_fallback(&mut self.stats),
+        };
+        lanes.staging.clear();
+        lanes.staging.resize(arity, [Interval::ONE; LANES]);
+        for (l, item) in block.iter().enumerate() {
+            let inputs = inputs_of(item);
+            if inputs.len() != arity {
+                // Divergent input arity *inside* the block: the block
+                // cannot share one trace, so every item falls back to
+                // the scalar driver (which records as needed).
+                scorpio_obs::count("replay.fallback.lane_divergent", 1);
+                return scalar_fallback(&mut self.stats);
+            }
+            for (s, &v) in inputs.iter().enumerate() {
+                lanes.staging[s][l] = v;
+            }
+        }
+        self.stats.lane_blocks += 1;
+        self.stats.replays += LANES as u64;
+        scorpio_obs::count("replay.lane_blocks", 1);
+        scorpio_obs::count("replay.replays", LANES as u64);
+        true
+    }
+
     /// `true` when the held compiled trace may be replayed for this
     /// `(key, inputs)` combination.
     fn replay_ready(&self, key: Option<u64>, inputs: &[Interval]) -> bool {
@@ -359,6 +582,34 @@ impl ReplayOrRecord {
             scorpio_obs::count("replay.uncompilable", 1);
         }
         Ok(regs)
+    }
+}
+
+/// Caller-owned scratch for the lane-batched driver methods: the
+/// lane-blocked replay buffers plus the slot-major staging area the
+/// per-item inputs are transposed into. One per worker, like
+/// [`AnalysisArena`] — it cannot live inside the arena because the lane
+/// width is a const generic chosen per call site.
+#[derive(Debug)]
+pub struct LaneScratch<const LANES: usize> {
+    buf: LaneReplayBuffers<Interval, LANES>,
+    /// `staging[s][l]` = input slot `s` of block item `l`.
+    staging: Vec<[Interval; LANES]>,
+}
+
+impl<const LANES: usize> LaneScratch<LANES> {
+    /// Empty scratch; the first lane block sizes it.
+    pub fn new() -> LaneScratch<LANES> {
+        LaneScratch {
+            buf: LaneReplayBuffers::new(),
+            staging: Vec::new(),
+        }
+    }
+}
+
+impl<const LANES: usize> Default for LaneScratch<LANES> {
+    fn default() -> Self {
+        LaneScratch::new()
     }
 }
 

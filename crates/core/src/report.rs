@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use scorpio_adjoint::{CompiledTape, NodeId, ReplayBuffers, Tape};
+use scorpio_adjoint::{CompiledTape, LaneReplayBuffers, NodeId, ReplayBuffers, Tape};
 use scorpio_interval::Interval;
 
 use crate::error::AnalysisError;
@@ -431,15 +431,32 @@ pub(crate) fn build_report_replayed(
     let outputs = output_nodes(regs)?;
     replayed_adjoints(compiled, &outputs, buf);
     let _span = scorpio_obs::span("significance");
-    let (registered, total_raw) = registered_rows(
+    Ok(replayed_report_from(
+        compiled,
         regs,
         &outputs,
+        delta,
         |node| buf.value(node),
         |node| buf.adjoint(node),
-    );
+    ))
+}
+
+/// Assembles one [`Report`] from replayed sweep results exposed via
+/// accessor closures — shared by the scalar and the per-lane replayed
+/// report builders, so lane-built reports run exactly the scalar
+/// assembly arithmetic.
+fn replayed_report_from(
+    compiled: &CompiledTape<Interval>,
+    regs: &Registrations,
+    outputs: &[NodeId],
+    delta: f64,
+    value_of: impl Fn(NodeId) -> Interval,
+    adjoint_of: impl Fn(NodeId) -> Interval,
+) -> Report {
+    let (registered, total_raw) = registered_rows(regs, outputs, &value_of, &adjoint_of);
 
     let significance_raw =
-        |id: NodeId| -> f64 { significance_raw_from(buf.value(id), buf.adjoint(id)) };
+        |id: NodeId| -> f64 { significance_raw_from(value_of(id), adjoint_of(id)) };
     let normalize = |raw: f64| {
         if total_raw > 0.0 && total_raw.is_finite() {
             raw / total_raw
@@ -454,8 +471,8 @@ pub(crate) fn build_report_replayed(
                 id: i,
                 op: compiled.op(i),
                 preds: compiled.preds_of(i).map(|p| p.index()).collect(),
-                value: buf.value(id),
-                derivative: buf.adjoint(id),
+                value: value_of(id),
+                derivative: adjoint_of(id),
                 significance: normalize(significance_raw(id)),
                 level: None,
                 name: None,
@@ -479,14 +496,81 @@ pub(crate) fn build_report_replayed(
         .collect();
     scorpio_obs::count("analysis.empty_enclosures", empty_nodes.len() as u64);
     let graph = SigGraph::new(nodes, outputs.iter().map(|o| o.index()).collect());
-    Ok(Report {
+    Report {
         registered,
         graph,
         output_significance_raw: total_raw,
         delta,
         tape_len: compiled.len(),
         empty_nodes,
-    })
+    }
+}
+
+/// Full reports for every lane of a lane-replayed block — the lane twin
+/// of [`build_report_replayed`]: one reverse sweep over the lane
+/// buffers (each output seeded with 1 in every lane), then the shared
+/// report assembly per lane. Appends `LANES` reports to `out` in lane
+/// (= item) order.
+pub(crate) fn build_report_replayed_lanes<const LANES: usize>(
+    compiled: &CompiledTape<Interval>,
+    regs: &Registrations,
+    delta: f64,
+    buf: &mut LaneReplayBuffers<Interval, LANES>,
+    out: &mut Vec<Report>,
+) -> Result<(), AnalysisError> {
+    let outputs = output_nodes(regs)?;
+    {
+        let _span = scorpio_obs::span("reverse");
+        let seeds: Vec<(NodeId, Interval)> =
+            outputs.iter().map(|&o| (o, Interval::ONE)).collect();
+        compiled.adjoints_into_lanes(&seeds, buf);
+    }
+    let _span = scorpio_obs::span("significance");
+    for l in 0..LANES {
+        out.push(replayed_report_from(
+            compiled,
+            regs,
+            &outputs,
+            delta,
+            |node| buf.value(node, l),
+            |node| buf.adjoint(node, l),
+        ));
+    }
+    Ok(())
+}
+
+/// Registered rows for every lane of a lane-replayed block — the lane
+/// twin of [`build_vars_replayed`]. Appends `LANES` results to `out`
+/// in lane (= item) order; rows are bit-identical to what a scalar
+/// replay of each item would produce.
+pub(crate) fn build_vars_replayed_lanes<const LANES: usize>(
+    compiled: &CompiledTape<Interval>,
+    regs: &Registrations,
+    buf: &mut LaneReplayBuffers<Interval, LANES>,
+    out: &mut Vec<VarSignificances>,
+) -> Result<(), AnalysisError> {
+    let outputs = output_nodes(regs)?;
+    {
+        let _span = scorpio_obs::span("reverse");
+        let seeds: Vec<(NodeId, Interval)> =
+            outputs.iter().map(|&o| (o, Interval::ONE)).collect();
+        compiled.adjoints_into_lanes(&seeds, buf);
+    }
+    let _span = scorpio_obs::span("significance");
+    for l in 0..LANES {
+        let (vars, total_raw) = registered_rows(
+            regs,
+            &outputs,
+            |node| buf.value(node, l),
+            |node| buf.adjoint(node, l),
+        );
+        out.push(VarSignificances {
+            vars,
+            output_significance_raw: total_raw,
+            tape_len: compiled.len(),
+        });
+    }
+    Ok(())
 }
 
 /// Registered rows only, from replayed buffers — the hot path of the

@@ -23,6 +23,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use scorpio_core::{
     Analysis, AnalysisArena, AnalysisError, Ctx, ParallelAnalysis, Report, VarSignificances,
+    DEFAULT_LANES,
 };
 use scorpio_fastmath::{fast_cndf, fast_exp, fast_ln, fast_sqrt};
 use scorpio_interval::real::cndf;
@@ -261,12 +262,29 @@ pub fn analysis_options(
     options: &[Option_],
     engine: &ParallelAnalysis,
 ) -> Result<Vec<(f64, f64, f64, f64)>, AnalysisError> {
+    analysis_options_lanes::<DEFAULT_LANES>(options, engine)
+}
+
+/// [`analysis_options`] with an explicit replay lane width (that
+/// function fixes `LANES` = [`DEFAULT_LANES`]): full blocks of `LANES`
+/// options are served by **one** walk of the compiled pricing trace.
+/// Values are bit-identical for every width.
+///
+/// # Errors
+///
+/// Propagates the error of the lowest-indexed failing option.
+pub fn analysis_options_lanes<const LANES: usize>(
+    options: &[Option_],
+    engine: &ParallelAnalysis,
+) -> Result<Vec<(f64, f64, f64, f64)>, AnalysisError> {
     let _span = scorpio_obs::span("kernel.blackscholes.analysis_options");
     engine
-        .run_batch_replay_map(options, |arena, driver, _, o| {
-            let vars = driver.run_vars_in(arena, &option_inputs(o), |ctx| register_option(ctx, o))?;
-            Ok(block_significances_vars(&vars))
-        })
+        .run_batch_replay_vars_map_lanes::<LANES, _, _, _, _, _>(
+            options,
+            option_inputs,
+            register_option,
+            |_, vars| Ok(block_significances_vars(vars)),
+        )
         .map(|(sigs, _stats)| sigs)
 }
 

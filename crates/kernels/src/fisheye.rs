@@ -23,7 +23,7 @@
 
 use scorpio_core::{
     Analysis, AnalysisArena, AnalysisError, Ctx, ParallelAnalysis, ReplayOrRecord, Report,
-    VarSignificances,
+    VarSignificances, DEFAULT_LANES,
 };
 use scorpio_interval::Interval;
 use scorpio_quality::GrayImage;
@@ -448,6 +448,23 @@ pub fn analysis_inverse_mapping_grid(
     grid_h: usize,
     engine: &ParallelAnalysis,
 ) -> Result<Vec<f64>, AnalysisError> {
+    analysis_inverse_mapping_grid_lanes::<DEFAULT_LANES>(lens, grid_w, grid_h, engine)
+}
+
+/// [`analysis_inverse_mapping_grid`] with an explicit replay lane width
+/// (that function fixes `LANES` = [`DEFAULT_LANES`]): full blocks of
+/// `LANES` pixels are served by **one** walk of the compiled trace.
+/// Values are bit-identical for every width.
+///
+/// # Errors
+///
+/// Propagates the error of the lowest-indexed failing pixel.
+pub fn analysis_inverse_mapping_grid_lanes<const LANES: usize>(
+    lens: &Lens,
+    grid_w: usize,
+    grid_h: usize,
+    engine: &ParallelAnalysis,
+) -> Result<Vec<f64>, AnalysisError> {
     let _span = scorpio_obs::span("kernel.fisheye.analysis_grid");
     let cell_w = lens.width as f64 / grid_w as f64;
     let cell_h = lens.height as f64 / grid_h as f64;
@@ -459,9 +476,12 @@ pub fn analysis_inverse_mapping_grid(
         })
         .collect();
     engine
-        .run_batch_replay_map(&pixels, |arena, driver, _, &(u, v)| {
-            analysis_inverse_mapping_replay_in(driver, arena, lens, u, v)
-        })
+        .run_batch_replay_vars_map_lanes::<LANES, _, _, _, _, _>(
+            &pixels,
+            |&(u, v)| inverse_mapping_inputs(lens, u, v),
+            |ctx, &(u, v)| register_inverse_mapping(ctx, lens, u, v),
+            |_, vars| Ok(summed_input_significance_vars(vars)),
+        )
         .map(|(sigs, _stats)| sigs)
 }
 

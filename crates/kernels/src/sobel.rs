@@ -301,10 +301,14 @@ pub fn analysis_combine_threaded(
         .collect();
     let engine = ParallelAnalysis::new(threads);
     engine
-        .run_batch_replay_map(&lows, |arena, driver, _, &lo| {
-            // Both inputs range over the window, in registration order.
-            let window = scorpio_interval::Interval::new(lo, lo + width);
-            let vars = driver.run_vars_in(arena, &[window, window], |ctx| {
+        .run_batch_replay_vars_map(
+            &lows,
+            |&lo| {
+                // Both inputs range over the window, in registration order.
+                let window = scorpio_interval::Interval::new(lo, lo + width);
+                vec![window, window]
+            },
+            |ctx, &lo| {
                 let tx = ctx.input("tx", lo, lo + width);
                 let ty = ctx.input("ty", lo, lo + width);
                 let t = tx.hypot(ty);
@@ -313,12 +317,14 @@ pub fn analysis_combine_threaded(
                 let pixel = t.min(hi).max(zero);
                 ctx.output(&pixel, "pixel");
                 Ok(())
-            })?;
-            Ok((
-                vars.var("tx").unwrap().significance_raw,
-                vars.var("ty").unwrap().significance_raw,
-            ))
-        })
+            },
+            |_, vars| {
+                Ok((
+                    vars.var("tx").unwrap().significance_raw,
+                    vars.var("ty").unwrap().significance_raw,
+                ))
+            },
+        )
         .map(|(points, _stats)| points)
 }
 

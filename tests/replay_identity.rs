@@ -12,7 +12,8 @@
 
 use proptest::prelude::*;
 use scorpio::analysis::{
-    Analysis, AnalysisArena, AnalysisError, Ctx, ParallelAnalysis, ReplayOrRecord,
+    Analysis, AnalysisArena, AnalysisError, Ctx, LaneScratch, ParallelAnalysis, ReplayOrRecord,
+    VarSignificances,
 };
 use scorpio::interval::Interval;
 use scorpio::kernels::{blackscholes, dct, fisheye, maclaurin, sobel};
@@ -198,6 +199,268 @@ proptest! {
                         "c{}_{} diverged", v, u
                     );
                 }
+            }
+        }
+    }
+}
+
+/// Asserts two variable-row sets are identical, bit for bit.
+fn assert_vars_bit_equal(
+    lane: &VarSignificances,
+    scalar: &VarSignificances,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(lane.tape_len(), scalar.tape_len());
+    prop_assert_eq!(lane.registered().len(), scalar.registered().len());
+    for (a, b) in lane.registered().iter().zip(scalar.registered()) {
+        prop_assert_eq!(&a.name, &b.name);
+        prop_assert_eq!(a.enclosure.inf().to_bits(), b.enclosure.inf().to_bits());
+        prop_assert_eq!(a.enclosure.sup().to_bits(), b.enclosure.sup().to_bits());
+        prop_assert_eq!(a.derivative.inf().to_bits(), b.derivative.inf().to_bits());
+        prop_assert_eq!(a.derivative.sup().to_bits(), b.derivative.sup().to_bits());
+        prop_assert_eq!(a.significance_raw.to_bits(), b.significance_raw.to_bits());
+        prop_assert_eq!(a.significance.to_bits(), b.significance.to_bits());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Maclaurin, lane-blocked: `run_keyed_lanes_in` over 4-wide blocks
+    /// agrees bitwise with fresh per-item recordings. The first block
+    /// warms up through the scalar path (nothing is compiled yet); the
+    /// second is served by one lane sweep.
+    #[test]
+    fn maclaurin_lane_replay_bit_identity(
+        x0 in -0.35f64..0.35,
+        dx in 0.005f64..0.03,
+        n in 2usize..10,
+    ) {
+        const LANES: usize = 4;
+        let x0s: Vec<f64> = (0..2 * LANES).map(|i| x0 + i as f64 * dx).collect();
+        let mut driver = ReplayOrRecord::new(Analysis::new());
+        let mut arena = AnalysisArena::new();
+        let mut lanes = LaneScratch::<LANES>::new();
+        let mut reports = Vec::new();
+        for block in x0s.chunks(LANES) {
+            driver
+                .run_keyed_lanes_in(
+                    n as u64,
+                    &mut arena,
+                    &mut lanes,
+                    block,
+                    &|&x0| vec![Interval::centered(x0, 0.5)],
+                    &|ctx, _| maclaurin_closure(n)(ctx),
+                    &mut reports,
+                )
+                .unwrap();
+        }
+        for (&x0, replayed) in x0s.iter().zip(&reports) {
+            let recorded = maclaurin::analysis(x0, n).unwrap();
+            assert_reports_bit_equal(replayed, &recorded)?;
+        }
+        prop_assert_eq!(driver.stats().records, 1);
+        prop_assert_eq!(driver.stats().lane_blocks, 1);
+        prop_assert_eq!(driver.stats().lane_remainder, LANES as u64);
+    }
+
+    /// Fisheye grid: every lane width produces the same bits (the grid
+    /// is 15 pixels, so every width > 1 also exercises a trailing
+    /// partial block through the scalar remainder path).
+    #[test]
+    fn fisheye_lane_widths_bit_identity(focal in 40.0f64..200.0) {
+        let lens = fisheye::Lens { focal, ..fisheye::Lens::for_image(64, 48) };
+        let engine = ParallelAnalysis::new(1);
+        let scalar = fisheye::analysis_inverse_mapping_grid_lanes::<1>(&lens, 5, 3, &engine)
+            .unwrap();
+        for sigs in [
+            fisheye::analysis_inverse_mapping_grid_lanes::<2>(&lens, 5, 3, &engine).unwrap(),
+            fisheye::analysis_inverse_mapping_grid_lanes::<4>(&lens, 5, 3, &engine).unwrap(),
+            fisheye::analysis_inverse_mapping_grid_lanes::<8>(&lens, 5, 3, &engine).unwrap(),
+        ] {
+            prop_assert_eq!(scalar.len(), sigs.len());
+            for (a, b) in scalar.iter().zip(&sigs) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    /// Sobel combine: the lane-batched batch entry point agrees bitwise
+    /// with a scalar (per-item) replay driver over the same operating
+    /// points.
+    #[test]
+    fn sobel_lane_vs_scalar_replay(k in 2usize..14) {
+        let points = sobel::analysis_combine(k).unwrap();
+        let span = 2040.0;
+        let width = span / 2.0;
+        let mut driver = ReplayOrRecord::new(Analysis::new());
+        let mut arena = AnalysisArena::new();
+        for (i, &(sx, sy)) in points.iter().enumerate() {
+            let lo = -1020.0 + (i as f64 / k.max(2) as f64) * (span - width);
+            let window = Interval::new(lo, lo + width);
+            let vars = driver
+                .run_vars_in(&mut arena, &[window, window], |ctx| {
+                    let tx = ctx.input("tx", lo, lo + width);
+                    let ty = ctx.input("ty", lo, lo + width);
+                    let t = tx.hypot(ty);
+                    let hi = ctx.constant(255.0);
+                    let zero = ctx.constant(0.0);
+                    let pixel = t.min(hi).max(zero);
+                    ctx.output(&pixel, "pixel");
+                    Ok(())
+                })
+                .unwrap();
+            prop_assert_eq!(sx.to_bits(), vars.var("tx").unwrap().significance_raw.to_bits());
+            prop_assert_eq!(sy.to_bits(), vars.var("ty").unwrap().significance_raw.to_bits());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// BlackScholes: every lane width prices the same book to the same
+    /// bits (odd book sizes exercise the remainder path).
+    #[test]
+    fn blackscholes_lane_widths_bit_identity(seed in 0u64..1000, n in 2usize..12) {
+        let options = blackscholes::generate_options(n, seed);
+        let engine = ParallelAnalysis::new(1);
+        let scalar = blackscholes::analysis_options_lanes::<1>(&options, &engine).unwrap();
+        for sigs in [
+            blackscholes::analysis_options_lanes::<4>(&options, &engine).unwrap(),
+            blackscholes::analysis_options_lanes::<8>(&options, &engine).unwrap(),
+        ] {
+            prop_assert_eq!(scalar.len(), sigs.len());
+            for (a, b) in scalar.iter().zip(&sigs) {
+                prop_assert_eq!(a.0.to_bits(), b.0.to_bits());
+                prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+                prop_assert_eq!(a.2.to_bits(), b.2.to_bits());
+                prop_assert_eq!(a.3.to_bits(), b.3.to_bits());
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// DCT: the lane-blocked batch agrees bitwise with the width-1
+    /// scalar batch on the heaviest trace (5 blocks: one full 4-wide
+    /// lane block plus a trailing remainder).
+    #[test]
+    fn dct_lane_widths_bit_identity(seed in 0u64..100, radius in 1.0f64..16.0) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let blocks: Vec<[[f64; dct::BLOCK]; dct::BLOCK]> = (0..5)
+            .map(|_| {
+                let mut b = [[0.0; dct::BLOCK]; dct::BLOCK];
+                for row in &mut b {
+                    for p in row.iter_mut() {
+                        *p = rng.gen_range(0.0..=255.0);
+                    }
+                }
+                b
+            })
+            .collect();
+        let engine = ParallelAnalysis::new(1);
+        let scalar = dct::analysis_blocks_lanes::<1>(&blocks, radius, &engine).unwrap();
+        let laned = dct::analysis_blocks_lanes::<4>(&blocks, radius, &engine).unwrap();
+        prop_assert_eq!(scalar.len(), laned.len());
+        for (a, b) in scalar.iter().zip(&laned) {
+            for v in 0..dct::BLOCK {
+                for u in 0..dct::BLOCK {
+                    prop_assert_eq!(a[v][u].to_bits(), b[v][u].to_bits());
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A partial trailing block (fewer items than lanes) is served by
+    /// the scalar remainder path, bit-identical to per-item replay.
+    #[test]
+    fn lane_remainder_block_is_scalar_replayed(
+        x0 in -0.3f64..0.3,
+        rest in 1usize..4,
+    ) {
+        const LANES: usize = 4;
+        let x0s: Vec<f64> = (0..LANES + rest).map(|i| x0 + i as f64 * 0.01).collect();
+        let mut driver = ReplayOrRecord::new(Analysis::new());
+        let mut arena = AnalysisArena::new();
+        let mut lanes = LaneScratch::<LANES>::new();
+        let mut lane_vars = Vec::new();
+        for block in x0s.chunks(LANES) {
+            driver
+                .run_vars_lanes_in(
+                    &mut arena,
+                    &mut lanes,
+                    block,
+                    &|&x0| vec![Interval::centered(x0, 0.5)],
+                    &|ctx, _| maclaurin_closure(6)(ctx),
+                    &mut lane_vars,
+                )
+                .unwrap();
+        }
+        // Warm-up block (scalar) + trailing partial block (scalar).
+        prop_assert_eq!(driver.stats().lane_blocks, 0);
+        prop_assert_eq!(driver.stats().lane_remainder, (LANES + rest) as u64);
+        let mut scalar_driver = ReplayOrRecord::new(Analysis::new());
+        for (&x0, lane) in x0s.iter().zip(&lane_vars) {
+            let scalar = scalar_driver
+                .run_vars_in(&mut arena, &[Interval::centered(x0, 0.5)], |ctx| {
+                    maclaurin_closure(6)(ctx)
+                })
+                .unwrap();
+            assert_vars_bit_equal(lane, &scalar)?;
+        }
+    }
+
+    /// An input-arity change *inside* a lane block must divert the
+    /// whole block to the scalar path (where the divergent item
+    /// re-records) — and still produce fresh-recording bits for every
+    /// item.
+    #[test]
+    fn shape_divergence_inside_lane_block_falls_back(x0 in -0.3f64..0.3) {
+        const LANES: usize = 4;
+        // Each item binds `arity` inputs: x, then `arity - 1` shifts.
+        let register = move |ctx: &Ctx<'_>, &arity: &usize| -> Result<(), AnalysisError> {
+            let x = ctx.input_centered("x", x0, 0.5);
+            let mut sum = x.sqr();
+            for j in 1..arity {
+                let s = ctx.input_centered(format!("s{j}"), 0.0, 0.1);
+                sum = sum + s;
+            }
+            ctx.output(&sum, "sum");
+            Ok(())
+        };
+        let inputs_of = |&arity: &usize| -> Vec<Interval> {
+            let mut v = vec![Interval::centered(x0, 0.5)];
+            v.extend((1..arity).map(|_| Interval::centered(0.0, 0.1)));
+            v
+        };
+        // Block 0 warms up at arity 2; block 1 diverges mid-block.
+        let items = [2usize, 2, 2, 2, 2, 2, 3, 2];
+        let mut driver = ReplayOrRecord::new(Analysis::new());
+        let mut arena = AnalysisArena::new();
+        let mut lanes = LaneScratch::<LANES>::new();
+        let mut lane_vars = Vec::new();
+        for block in items.chunks(LANES) {
+            driver
+                .run_vars_lanes_in(&mut arena, &mut lanes, block, &inputs_of, &register, &mut lane_vars)
+                .unwrap();
+        }
+        prop_assert_eq!(driver.stats().lane_blocks, 0);
+        prop_assert_eq!(driver.stats().lane_remainder, items.len() as u64);
+        prop_assert!(driver.stats().fallbacks >= 1);
+        for (arity, lane) in items.iter().zip(&lane_vars) {
+            let fresh = Analysis::new().run(|ctx| register(ctx, arity)).unwrap();
+            prop_assert_eq!(lane.registered().len(), fresh.registered().len());
+            for (a, b) in lane.registered().iter().zip(fresh.registered()) {
+                prop_assert_eq!(&a.name, &b.name);
+                prop_assert_eq!(a.significance_raw.to_bits(), b.significance_raw.to_bits());
             }
         }
     }
