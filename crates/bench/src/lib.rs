@@ -102,6 +102,34 @@ fn parse_threads(v: &str) -> usize {
     n
 }
 
+/// Reads the value of a `--flag value` / `--flag=value` argument pair
+/// from the process arguments, if present.
+///
+/// # Panics
+///
+/// Panics if the flag is given without a value.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return Some(args.next().unwrap_or_else(|| panic!("{flag} needs a value")));
+        }
+        if let Some(v) = a.strip_prefix(flag) {
+            if let Some(v) = v.strip_prefix('=') {
+                assert!(!v.is_empty(), "{flag} needs a value");
+                return Some(v.to_string());
+            }
+        }
+    }
+    None
+}
+
+/// `true` when the bare `--flag` switch appears in the process
+/// arguments.
+pub fn flag_present(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
 /// Parses the shared `--out-dir <dir>` knob: the directory the harness
 /// binaries write their artifacts into (`fig7_results.csv`,
 /// `RUN_*.json`, `BENCH_*.json`, event logs…). Defaults to `out/` so

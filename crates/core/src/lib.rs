@@ -64,6 +64,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod audit;
+mod cache;
 mod codegen;
 mod error;
 mod export;
@@ -79,12 +80,13 @@ pub mod splitting;
 pub mod sweep;
 mod workflow;
 
+pub use cache::{TapeCache, TapeCacheStats};
 pub use codegen::{TaskPlan, TaskSuggestion};
 pub use error::AnalysisError;
 pub use export::{NodeRecord, ReportRecord, VarRecord};
 pub use graph::{SigGraph, SigNode};
 pub use parallel::{ParallelAnalysis, DEFAULT_LANES};
-pub use replay::{LaneScratch, ReplayOrRecord, ReplayStats};
+pub use replay::{CompiledTrace, LaneScratch, ReplayOrRecord, ReplayStats};
 pub use report::{Report, RegisteredVar, VarKind, VarSignificances};
 pub use session::{Analysis, AnalysisArena, Ctx, Ia1s};
 pub use workflow::{LevelStats, Partition};

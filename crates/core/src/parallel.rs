@@ -49,26 +49,6 @@ const DEFAULT_ARENA_CAPACITY: usize = 1024;
 /// The `bench_parallel` lane ablation measures the alternatives.
 pub const DEFAULT_LANES: usize = 4;
 
-/// Per-item counter delta between two snapshots of a worker's stats.
-fn stats_delta(before: ReplayStats, after: ReplayStats) -> ReplayStats {
-    ReplayStats {
-        replays: after.replays - before.replays,
-        records: after.records - before.records,
-        fallbacks: after.fallbacks - before.fallbacks,
-        lane_blocks: after.lane_blocks - before.lane_blocks,
-        lane_remainder: after.lane_remainder - before.lane_remainder,
-    }
-}
-
-/// Sums `delta` into `total` field by field.
-fn stats_add(total: &mut ReplayStats, delta: ReplayStats) {
-    total.replays += delta.replays;
-    total.records += delta.records;
-    total.fallbacks += delta.fallbacks;
-    total.lane_blocks += delta.lane_blocks;
-    total.lane_remainder += delta.lane_remainder;
-}
-
 /// Driver fanning independent significance analyses over a worker pool,
 /// one reusable tape arena per worker (see the [module docs](self)).
 #[derive(Debug)]
@@ -377,14 +357,14 @@ impl ParallelAnalysis {
                 let mut out = Vec::with_capacity(block.len());
                 let result = g(arena, driver, lanes, block, &mut out);
                 let after = driver.stats();
-                result.map(|()| (out, stats_delta(before, after)))
+                result.map(|()| (out, after.since(before)))
             },
         );
         let mut stats = ReplayStats::default();
         let mut out = Vec::with_capacity(items.len());
         for result in results {
             let (rs, delta) = result?;
-            stats_add(&mut stats, delta);
+            stats.merge(delta);
             out.extend(rs);
         }
         Ok((out, stats))
@@ -429,14 +409,14 @@ impl ParallelAnalysis {
                 let before = driver.stats();
                 let result = f(arena, driver, i, item);
                 let after = driver.stats();
-                result.map(|r| (r, stats_delta(before, after)))
+                result.map(|r| (r, after.since(before)))
             },
         );
         let mut stats = ReplayStats::default();
         let mut out = Vec::with_capacity(items.len());
         for result in results {
             let (r, delta) = result?;
-            stats_add(&mut stats, delta);
+            stats.merge(delta);
             out.push(r);
         }
         Ok((out, stats))

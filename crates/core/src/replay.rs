@@ -29,6 +29,8 @@
 //! workload whose shape churns (high fallback rate) is visible instead
 //! of silently slow.
 
+use std::sync::Arc;
+
 use scorpio_adjoint::{CompiledTape, LaneReplayBuffers};
 use scorpio_interval::Interval;
 
@@ -75,6 +77,30 @@ impl ReplayStats {
             self.fallbacks as f64 / total as f64
         }
     }
+
+    /// Folds `other`'s counters into `self` field by field — the
+    /// aggregation used when per-worker driver stats are rolled up into
+    /// engine- or server-wide totals (see [`crate::ParallelAnalysis`]
+    /// and the serve layer).
+    pub fn merge(&mut self, other: ReplayStats) {
+        self.replays += other.replays;
+        self.records += other.records;
+        self.fallbacks += other.fallbacks;
+        self.lane_blocks += other.lane_blocks;
+        self.lane_remainder += other.lane_remainder;
+    }
+
+    /// The per-field difference `self − before` — the counter delta
+    /// accumulated since the `before` snapshot was taken.
+    pub fn since(&self, before: ReplayStats) -> ReplayStats {
+        ReplayStats {
+            replays: self.replays - before.replays,
+            records: self.records - before.records,
+            fallbacks: self.fallbacks - before.fallbacks,
+            lane_blocks: self.lane_blocks - before.lane_blocks,
+            lane_remainder: self.lane_remainder - before.lane_remainder,
+        }
+    }
 }
 
 /// A compiled trace plus the registration snapshot it was recorded with.
@@ -84,6 +110,58 @@ struct CompiledAnalysis {
     /// The recording resolved a branch: the trace is value-dependent
     /// and must never be replayed.
     branched: bool,
+    /// The caller-supplied shape key the trace was recorded under (see
+    /// [`ReplayOrRecord::run_keyed_in`]); a run with a different key
+    /// must re-record.
+    key: Option<u64>,
+}
+
+/// A compiled analysis trace extracted from (or injectable into) a
+/// [`ReplayOrRecord`] driver: the SoA replay bytecode plus the
+/// registration snapshot it was recorded with, behind an [`Arc`] so
+/// drivers on different workers — or a cross-request
+/// [`TapeCache`](crate::TapeCache) — can share one recording.
+///
+/// Cloning is an `Arc` bump; the trace itself is immutable. Only
+/// replay-safe traces are extractable ([`ReplayOrRecord::share`]
+/// returns `None` for branchy recordings), so every `CompiledTrace` in
+/// circulation can be trusted by [`ReplayOrRecord::install`].
+#[derive(Clone)]
+pub struct CompiledTrace {
+    inner: Arc<CompiledAnalysis>,
+}
+
+impl CompiledTrace {
+    /// Number of input bindings a replay of this trace requires.
+    pub fn input_count(&self) -> usize {
+        self.inner.tape.input_count()
+    }
+
+    /// Number of compiled DynDFG nodes.
+    pub fn node_count(&self) -> usize {
+        self.inner.tape.len()
+    }
+
+    /// The shape key the trace was recorded under (`None` for un-keyed
+    /// recordings).
+    pub fn shape_key(&self) -> Option<u64> {
+        self.inner.key
+    }
+
+    /// `true` when `other` shares this trace's allocation.
+    pub fn ptr_eq(&self, other: &CompiledTrace) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl std::fmt::Debug for CompiledTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledTrace")
+            .field("nodes", &self.inner.tape.len())
+            .field("inputs", &self.inner.tape.input_count())
+            .field("key", &self.inner.key)
+            .finish()
+    }
 }
 
 /// Record-once / replay-many driver for one analysis closure family
@@ -117,8 +195,7 @@ struct CompiledAnalysis {
 /// ```
 pub struct ReplayOrRecord {
     analysis: Analysis,
-    compiled: Option<CompiledAnalysis>,
-    key: Option<u64>,
+    compiled: Option<Arc<CompiledAnalysis>>,
     stats: ReplayStats,
 }
 
@@ -138,7 +215,6 @@ impl ReplayOrRecord {
         ReplayOrRecord {
             analysis,
             compiled: None,
-            key: None,
             stats: ReplayStats::default(),
         }
     }
@@ -156,6 +232,48 @@ impl ReplayOrRecord {
     /// `true` if a replayable compiled trace is currently held.
     pub fn has_compiled(&self) -> bool {
         self.compiled.as_ref().is_some_and(|c| !c.branched)
+    }
+
+    /// Extracts the currently held compiled trace as a shareable
+    /// [`CompiledTrace`] (an `Arc` bump — the driver keeps replaying
+    /// its copy). Returns `None` when no trace is held or the held
+    /// recording resolved a branch and must never be replayed; every
+    /// extracted trace is therefore safe to [`install`] elsewhere.
+    ///
+    /// [`install`]: ReplayOrRecord::install
+    pub fn share(&self) -> Option<CompiledTrace> {
+        match &self.compiled {
+            Some(c) if !c.branched => Some(CompiledTrace { inner: Arc::clone(c) }),
+            _ => None,
+        }
+    }
+
+    /// Injects a trace previously extracted with
+    /// [`share`](ReplayOrRecord::share) — typically from another
+    /// worker's driver via a [`TapeCache`](crate::TapeCache) — so this
+    /// driver replays it without ever recording. The trace carries its
+    /// own shape key: subsequent runs replay only when their key and
+    /// input arity match it (the usual guards), so installing a trace
+    /// for the wrong shape degrades to a re-record, never to a wrong
+    /// result. Installing the trace the driver already holds is a
+    /// no-op.
+    pub fn install(&mut self, trace: &CompiledTrace) {
+        if self
+            .compiled
+            .as_ref()
+            .is_some_and(|c| Arc::ptr_eq(c, &trace.inner))
+        {
+            return;
+        }
+        self.compiled = Some(Arc::clone(&trace.inner));
+    }
+
+    /// Drops the held compiled trace (if any): the next run records
+    /// from scratch. Used by serving layers whose cache is the source
+    /// of truth — a cache miss must cost a recording, not silently
+    /// reuse a stale per-driver trace.
+    pub fn clear_compiled(&mut self) {
+        self.compiled = None;
     }
 
     /// Runs one item: replays the compiled trace when its shape is
@@ -430,7 +548,7 @@ impl ReplayOrRecord {
             return scalar_fallback(&mut self.stats);
         }
         let arity = match &self.compiled {
-            Some(c) if !c.branched && self.key == key => c.tape.input_count(),
+            Some(c) if !c.branched && c.key == key => c.tape.input_count(),
             _ => return scalar_fallback(&mut self.stats),
         };
         lanes.staging.clear();
@@ -459,7 +577,7 @@ impl ReplayOrRecord {
     /// `(key, inputs)` combination.
     fn replay_ready(&self, key: Option<u64>, inputs: &[Interval]) -> bool {
         match &self.compiled {
-            Some(c) => !c.branched && self.key == key && c.tape.input_count() == inputs.len(),
+            Some(c) => !c.branched && c.key == key && c.tape.input_count() == inputs.len(),
             None => false,
         }
     }
@@ -471,7 +589,7 @@ impl ReplayOrRecord {
         let c = self.compiled.as_ref()?;
         Some(if c.branched {
             "replay.fallback.branched"
-        } else if self.key != key {
+        } else if c.key != key {
             "replay.fallback.shape_key"
         } else {
             debug_assert_ne!(c.tape.input_count(), inputs.len());
@@ -549,7 +667,6 @@ impl ReplayOrRecord {
             self.stats.fallbacks += 1;
         }
         self.compiled = None;
-        self.key = key;
 
         arena.tape.clear();
         let ctx = Ctx::new(&arena.tape, inputs.to_vec());
@@ -571,13 +688,14 @@ impl ReplayOrRecord {
             .count()
             == inputs.len()
         {
-            self.compiled = Some(CompiledAnalysis {
+            self.compiled = Some(Arc::new(CompiledAnalysis {
                 tape: CompiledTape::compile(&arena.tape),
                 regs: Registrations {
                     entries: regs.entries.clone(),
                 },
                 branched,
-            });
+                key,
+            }));
         } else {
             scorpio_obs::count("replay.uncompilable", 1);
         }
@@ -751,5 +869,111 @@ mod tests {
             .unwrap();
         assert_eq!(report.registered().len(), 3);
         assert_eq!(driver.stats().fallbacks, 1);
+    }
+
+    #[test]
+    fn stats_merge_and_since_are_fieldwise() {
+        let a = ReplayStats {
+            replays: 10,
+            records: 2,
+            fallbacks: 1,
+            lane_blocks: 4,
+            lane_remainder: 3,
+        };
+        let b = ReplayStats {
+            replays: 5,
+            records: 1,
+            fallbacks: 0,
+            lane_blocks: 2,
+            lane_remainder: 1,
+        };
+        let mut total = a;
+        total.merge(b);
+        assert_eq!(total.replays, 15);
+        assert_eq!(total.records, 3);
+        assert_eq!(total.fallbacks, 1);
+        assert_eq!(total.lane_blocks, 6);
+        assert_eq!(total.lane_remainder, 4);
+        // since() inverts merge(): (a ∪ b) − a == b.
+        let delta = total.since(a);
+        assert_eq!(delta.replays, b.replays);
+        assert_eq!(delta.records, b.records);
+        assert_eq!(delta.fallbacks, b.fallbacks);
+        assert_eq!(delta.lane_blocks, b.lane_blocks);
+        assert_eq!(delta.lane_remainder, b.lane_remainder);
+    }
+
+    #[test]
+    fn shared_trace_replays_in_fresh_driver_without_recording() {
+        let inputs = [Interval::centered(0.3, 0.2)];
+        let mut warm = ReplayOrRecord::new(Analysis::new());
+        let mut arena = AnalysisArena::new();
+        let expected = warm.run_keyed_in(7, &mut arena, &inputs, poly).unwrap();
+        let trace = warm.share().expect("straight-line trace must be shareable");
+        assert_eq!(trace.shape_key(), Some(7));
+        assert!(trace.input_count() == 1 && trace.node_count() > 0);
+
+        let mut cold = ReplayOrRecord::new(Analysis::new());
+        cold.install(&trace);
+        assert!(cold.has_compiled());
+        let replayed = cold.run_keyed_in(7, &mut arena, &inputs, poly).unwrap();
+        assert_eq!(cold.stats().records, 0, "install must skip recording");
+        assert_eq!(cold.stats().replays, 1);
+        for (a, b) in replayed.registered().iter().zip(expected.registered()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.significance.to_bits(), b.significance.to_bits());
+        }
+        // The second driver shares, not copies, the compiled trace.
+        assert!(cold.share().unwrap().ptr_eq(&trace));
+    }
+
+    #[test]
+    fn installed_trace_with_wrong_key_degrades_to_rerecord() {
+        let inputs = [Interval::centered(0.3, 0.2)];
+        let mut warm = ReplayOrRecord::new(Analysis::new());
+        let mut arena = AnalysisArena::new();
+        warm.run_keyed_in(1, &mut arena, &inputs, poly).unwrap();
+        let trace = warm.share().unwrap();
+
+        let mut other = ReplayOrRecord::new(Analysis::new());
+        other.install(&trace);
+        // Requesting a different shape key must not replay the foreign
+        // trace — the keyed guard records afresh instead.
+        other.run_keyed_in(2, &mut arena, &inputs, poly).unwrap();
+        assert_eq!(other.stats().records, 1);
+        assert_eq!(other.stats().replays, 0);
+        assert_eq!(other.stats().fallbacks, 1);
+    }
+
+    #[test]
+    fn branched_trace_is_not_shareable() {
+        let mut driver = ReplayOrRecord::new(Analysis::new());
+        let mut arena = AnalysisArena::new();
+        driver
+            .run_in(&mut arena, &[Interval::new(2.0, 3.0)], |ctx| {
+                let x = ctx.input("x", 2.0, 3.0);
+                let pos = ctx.branch(x.value().certainly_gt(0.0.into()), "x > 0")?;
+                let y = if pos { x.sqr() } else { -x };
+                ctx.output(&y, "y");
+                Ok(())
+            })
+            .unwrap();
+        assert!(driver.share().is_none());
+    }
+
+    #[test]
+    fn clear_compiled_forces_rerecord() {
+        let inputs = [Interval::centered(0.3, 0.2)];
+        let mut driver = ReplayOrRecord::new(Analysis::new());
+        let mut arena = AnalysisArena::new();
+        driver.run_in(&mut arena, &inputs, poly).unwrap();
+        driver.run_in(&mut arena, &inputs, poly).unwrap();
+        assert_eq!(driver.stats().replays, 1);
+        driver.clear_compiled();
+        assert!(!driver.has_compiled());
+        driver.run_in(&mut arena, &inputs, poly).unwrap();
+        assert_eq!(driver.stats().records, 2, "cleared driver must re-record");
+        // A dropped trace counts as a record, not a fallback.
+        assert_eq!(driver.stats().fallbacks, 0);
     }
 }

@@ -291,7 +291,7 @@ pub fn analysis_options_lanes<const LANES: usize>(
 /// Per-option input boxes of [`register_option`], in registration order
 /// (mirroring its `input_centered` calls exactly, as the replay driver
 /// binds them positionally).
-fn option_inputs(o: &Option_) -> Vec<Interval> {
+pub fn option_inputs(o: &Option_) -> Vec<Interval> {
     let boxed = |v: f64| Interval::centered(v, v.abs() * OPTION_BOX_FRACTION);
     vec![
         boxed(o.spot),
@@ -309,8 +309,13 @@ fn block_significances_vars(vars: &VarSignificances) -> (f64, f64, f64, f64) {
 }
 
 /// Registers the block-structured pricing computation with every input
-/// boxed ±[`OPTION_BOX_FRACTION`] around `o`'s values.
-fn register_option(ctx: &Ctx<'_>, o: &Option_) -> Result<(), AnalysisError> {
+/// boxed ±2 % (`OPTION_BOX_FRACTION`) around `o`'s values.
+///
+/// Public so external drivers (e.g. the serve layer) can pair it with
+/// [`option_inputs`] under a replay driver; all five option parameters
+/// flow through replayable inputs, so the trace shape is
+/// option-independent.
+pub fn register_option(ctx: &Ctx<'_>, o: &Option_) -> Result<(), AnalysisError> {
     let boxed = |v: f64| v.abs() * OPTION_BOX_FRACTION;
     let spot = ctx.input_centered("spot", o.spot, boxed(o.spot));
     let strike = ctx.input_centered("strike", o.strike, boxed(o.strike));

@@ -389,7 +389,7 @@ pub fn analysis_blocks_lanes<const LANES: usize>(
 /// Per-block input boxes of [`register_block`], in registration order
 /// (row-major pixels, mirroring its `input` calls exactly — the replay
 /// driver binds them positionally).
-fn block_inputs(block: &[[f64; BLOCK]; BLOCK], radius: f64) -> Vec<Interval> {
+pub fn block_inputs(block: &[[f64; BLOCK]; BLOCK], radius: f64) -> Vec<Interval> {
     let mut inputs = Vec::with_capacity(BLOCK * BLOCK);
     for row in block {
         for &p0 in row {
@@ -403,7 +403,11 @@ fn block_inputs(block: &[[f64; BLOCK]; BLOCK], radius: f64) -> Vec<Interval> {
 
 /// Registers the full per-block pipeline (see [`analysis`] for the
 /// modelling rationale).
-fn register_block(
+///
+/// Public so external drivers (e.g. the serve layer) can pair it with
+/// [`block_inputs`] under a replay driver; all 64 pixels flow through
+/// replayable inputs, so the trace shape is block-independent.
+pub fn register_block(
     ctx: &Ctx<'_>,
     block: &[[f64; BLOCK]; BLOCK],
     radius: f64,

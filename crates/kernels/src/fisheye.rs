@@ -487,7 +487,13 @@ pub fn analysis_inverse_mapping_grid_lanes<const LANES: usize>(
 
 /// Registers the InverseMapping computation at pixel `(u, v)` (see
 /// [`analysis_inverse_mapping`] for the modelling rationale).
-fn register_inverse_mapping(
+///
+/// Public so external drivers (e.g. the serve layer) can pair it with
+/// [`inverse_mapping_inputs`] under a replay driver. The lens focal
+/// length and centre are baked into the trace as *constants* — only
+/// the two centred pixel coordinates are replayable inputs — so any
+/// shared trace must be keyed on the lens/image shape as well.
+pub fn register_inverse_mapping(
     ctx: &Ctx<'_>,
     lens: &Lens,
     u: f64,
@@ -537,7 +543,7 @@ fn summed_input_significance_vars(vars: &VarSignificances) -> f64 {
 /// Per-pixel input boxes of [`register_inverse_mapping`], in
 /// registration order — the replay driver binds these positionally, so
 /// they must mirror the `input_centered` calls exactly.
-fn inverse_mapping_inputs(lens: &Lens, u: f64, v: f64) -> Vec<Interval> {
+pub fn inverse_mapping_inputs(lens: &Lens, u: f64, v: f64) -> Vec<Interval> {
     let (cx, cy) = lens.center();
     vec![
         Interval::centered(u - cx, 0.5),

@@ -17,7 +17,8 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use scorpio_core::{Analysis, AnalysisError, Report};
+use scorpio_core::{Analysis, AnalysisError, Ctx, Report};
+use scorpio_interval::Interval;
 use scorpio_runtime::perforation::Perforator;
 use scorpio_runtime::{ExecutionStats, Executor, TaskGroup};
 
@@ -558,30 +559,52 @@ pub fn analysis_pair(r0: f64, radius: f64) -> Result<f64, AnalysisError> {
 ///
 /// Propagates framework errors, as [`analysis_pair`].
 pub fn analysis_pair_report(r0: f64, radius: f64) -> Result<Report, AnalysisError> {
-    Analysis::new().run(move |ctx| {
-        // A at the origin (point inputs), B at distance r0 along x.
-        let ax = ctx.input("ax", 0.0, 0.0);
-        let ay = ctx.input("ay", 0.0, 0.0);
-        let az = ctx.input("az", 0.0, 0.0);
-        let bx = ctx.input_centered("bx", r0, radius);
-        let by = ctx.input_centered("by", 0.0, radius);
-        let bz = ctx.input_centered("bz", 0.0, radius);
+    Analysis::new().run(move |ctx| register_pair(ctx, r0, radius))
+}
 
-        let dx = ax - bx;
-        let dy = ay - by;
-        let dz = az - bz;
-        let r2 = dx.sqr() + dy.sqr() + dz.sqr();
-        let inv2 = r2.recip();
-        let inv6 = inv2 * inv2 * inv2;
-        let scale = inv2 * inv6 * (inv6 * 2.0 - 1.0) * 24.0;
-        let fx = scale * dx;
-        let fy = scale * dy;
-        let fz = scale * dz;
-        ctx.output(&fx, "fx");
-        ctx.output(&fy, "fy");
-        ctx.output(&fz, "fz");
-        Ok(())
-    })
+/// Registers the Lennard-Jones pair-force computation: atom A at the
+/// origin (point inputs), atom B at distance `r0` along x with
+/// ±`radius` uncertainty per coordinate.
+///
+/// Public so external drivers (e.g. the serve layer) can pair it with
+/// [`pair_inputs`] under a replay driver; all six coordinates flow
+/// through replayable inputs, so the trace shape is pair-independent.
+pub fn register_pair(ctx: &Ctx<'_>, r0: f64, radius: f64) -> Result<(), AnalysisError> {
+    let ax = ctx.input("ax", 0.0, 0.0);
+    let ay = ctx.input("ay", 0.0, 0.0);
+    let az = ctx.input("az", 0.0, 0.0);
+    let bx = ctx.input_centered("bx", r0, radius);
+    let by = ctx.input_centered("by", 0.0, radius);
+    let bz = ctx.input_centered("bz", 0.0, radius);
+
+    let dx = ax - bx;
+    let dy = ay - by;
+    let dz = az - bz;
+    let r2 = dx.sqr() + dy.sqr() + dz.sqr();
+    let inv2 = r2.recip();
+    let inv6 = inv2 * inv2 * inv2;
+    let scale = inv2 * inv6 * (inv6 * 2.0 - 1.0) * 24.0;
+    let fx = scale * dx;
+    let fy = scale * dy;
+    let fz = scale * dz;
+    ctx.output(&fx, "fx");
+    ctx.output(&fy, "fy");
+    ctx.output(&fz, "fz");
+    Ok(())
+}
+
+/// Input boxes of [`register_pair`], in registration order (A's three
+/// point intervals then B's three boxed coordinates, bound positionally
+/// by replay drivers).
+pub fn pair_inputs(r0: f64, radius: f64) -> Vec<Interval> {
+    vec![
+        Interval::new(0.0, 0.0),
+        Interval::new(0.0, 0.0),
+        Interval::new(0.0, 0.0),
+        Interval::centered(r0, radius),
+        Interval::centered(0.0, radius),
+        Interval::centered(0.0, radius),
+    ]
 }
 
 #[cfg(test)]

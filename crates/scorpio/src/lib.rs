@@ -24,7 +24,11 @@
 //!   Rust;
 //! * [`obs`] — zero-cost-when-disabled observability: structured spans
 //!   around every pipeline phase, a counters/histograms registry, and
-//!   Chrome-trace + run-manifest export (see `docs/architecture.md`).
+//!   Chrome-trace + run-manifest export (see `docs/architecture.md`);
+//! * [`serve`] — analysis-as-a-service: a persistent
+//!   newline-delimited-JSON TCP server whose workers share compiled
+//!   traces through a shape-keyed tape cache (the `scorpio_serve` and
+//!   `scorpio_load` binaries).
 //!
 //! # Quick start
 //!
@@ -91,3 +95,4 @@ pub use scorpio_kernels as kernels;
 pub use scorpio_obs as obs;
 pub use scorpio_quality as quality;
 pub use scorpio_runtime as runtime;
+pub use scorpio_serve as serve;

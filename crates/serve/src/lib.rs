@@ -1,0 +1,57 @@
+//! Analysis-as-a-service: a persistent significance-analysis server.
+//!
+//! Every harness binary in this workspace is one-shot: it pays the
+//! record+compile cost of every kernel trace on every invocation. The
+//! runtime of the source paper is the opposite — a long-lived system
+//! that amortizes analysis across repeated task submissions. This crate
+//! closes that gap with a TCP server speaking newline-delimited JSON
+//! (one request object per line, one response object per line) that
+//! keeps compiled traces alive *across* requests, connections and
+//! worker threads:
+//!
+//! * [`protocol`] — the wire format: requests parsed with
+//!   [`scorpio_obs::json`], responses serialized with the same
+//!   serde-backed writer the run manifests use (so served reports are
+//!   byte-comparable with [`scorpio_core::Report::to_json`] output).
+//! * [`kernels`] — the served kernel catalogue (fisheye, blackscholes,
+//!   dct, maclaurin, nbody): per-kernel request parsing, shape keys and
+//!   replay-driver execution over the public `register_*`/`*_inputs`
+//!   pairs the kernel crate exports.
+//! * [`server`] — the accept loop, the fixed worker pool (one
+//!   [`AnalysisArena`](scorpio_core::AnalysisArena) +
+//!   [`LaneScratch`](scorpio_core::LaneScratch) per worker) and the
+//!   shared [`TapeCache`](scorpio_core::TapeCache): a request whose
+//!   `(kernel, shape_key)` was served before — by *any* worker —
+//!   installs the cached [`CompiledTrace`](scorpio_core::CompiledTrace)
+//!   and replays without recording.
+//! * [`client`] — a small blocking client used by the load generator,
+//!   the integration tests and the verify smoke.
+//!
+//! The server is deliberately `std::net`-only: the build environment
+//! has no crate registry, and the request rate the analysis itself can
+//! sustain (micro- to milliseconds per item) makes thread-per-connection
+//! plus a bounded worker pool the right tool anyway.
+//!
+//! # Protocol at a glance
+//!
+//! ```json
+//! {"id":1,"cmd":"analyze","kernel":"maclaurin","n":12,"ratio":0.5,"items":[0.3,0.4]}
+//! {"id":1,"ok":true,"kernel":"maclaurin","cached":true,"server_ns":180000,"tasks":[...],"reports":[...]}
+//! ```
+//!
+//! Control commands: `{"cmd":"stats"}`, `{"cmd":"cache_clear"}`,
+//! `{"cmd":"shutdown"}` (the latter also writes the run manifest,
+//! making server lifecycles deterministic in tests and benchmarks).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod client;
+pub mod kernels;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use kernels::KernelRequest;
+pub use protocol::{AnalyzeRequest, Command, Detail, Request};
+pub use server::{Server, ServerConfig, ServerSummary};

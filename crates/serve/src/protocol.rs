@@ -1,0 +1,346 @@
+//! The newline-delimited JSON wire format.
+//!
+//! One request object per line, one response object per line, in
+//! request order per connection. Requests are parsed with
+//! [`scorpio_obs::json::parse`]; responses are serde structs rendered
+//! by [`scorpio_obs::json::to_string`] — the same writer
+//! [`Report::to_json`](scorpio_core::Report::to_json) uses, so a
+//! served [`ReportRecord`] is byte-identical to the record a direct
+//! library call would serialize (the property the round-trip test
+//! pins).
+//!
+//! # Requests
+//!
+//! ```json
+//! {"id":7,"cmd":"analyze","kernel":"fisheye","width":64,"height":64,
+//!  "ratio":0.5,"detail":"vars","items":[{"u":3,"v":9},{"u":60,"v":60}]}
+//! {"id":8,"cmd":"stats"}
+//! {"id":9,"cmd":"cache_clear"}
+//! {"id":10,"cmd":"shutdown"}
+//! ```
+//!
+//! `cmd` defaults to `"analyze"`, `ratio` to `1.0`, `detail` to
+//! `"vars"` (`"full"` adds the node-level significance graph to each
+//! report). Kernel parameters are documented in [`crate::kernels`].
+//!
+//! # Responses
+//!
+//! Every response carries the request's `id` and an `ok` flag; errors
+//! (malformed JSON, unknown kernel/command, analysis failures) answer
+//! `{"id":N,"ok":false,"error":"..."}` on the same connection without
+//! closing it.
+
+use scorpio_core::{ReportRecord, VarRecord, VarSignificances};
+use scorpio_obs::json::{self, Value};
+use serde::Serialize;
+
+use crate::kernels::KernelRequest;
+
+/// How much of the analysis result a request wants back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Detail {
+    /// Registered-variable rows only (skips building the significance
+    /// graph — the fast path and the default).
+    Vars,
+    /// Full reports including the node-level graph records.
+    Full,
+}
+
+/// One parsed analyze command.
+#[derive(Debug, Clone)]
+pub struct AnalyzeRequest {
+    /// The kernel batch to run.
+    pub kernel: KernelRequest,
+    /// Requested taskwait ratio in `[0, 1]`: the fraction of the
+    /// batch's tasks classified (and event-logged) as accurate, ranked
+    /// by per-item output significance.
+    pub ratio: f64,
+    /// Result detail level.
+    pub detail: Detail,
+}
+
+/// The commands a request line can carry.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// Run a kernel batch.
+    Analyze(AnalyzeRequest),
+    /// Report server/cache/replay statistics.
+    Stats,
+    /// Drop every cached compiled trace (the cold-cache ablation knob).
+    CacheClear,
+    /// Stop the server after replying (deterministic lifecycle for
+    /// tests and benchmarks; also writes the run manifest).
+    Shutdown,
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Echoed verbatim in the response (defaults to 0).
+    pub id: u64,
+    /// The command to execute.
+    pub cmd: Command,
+}
+
+/// A parse failure, keeping the best-effort request id so the error
+/// reply still correlates with the request that caused it.
+#[derive(Debug, Clone)]
+pub struct ParseError {
+    /// The request's id if one could be read, else 0.
+    pub id: u64,
+    /// Human-readable description, echoed in the error reply.
+    pub message: String,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// [`ParseError`] with a message naming what was wrong; the connection
+/// stays usable.
+pub fn parse_request(line: &str) -> Result<Request, ParseError> {
+    let v = json::parse(line).map_err(|e| ParseError {
+        id: 0,
+        message: format!("malformed JSON: {e}"),
+    })?;
+    let id = v
+        .get("id")
+        .and_then(Value::as_f64)
+        .filter(|x| x.is_finite() && *x >= 0.0)
+        .map(|x| x as u64)
+        .unwrap_or(0);
+    let fail = |message: String| ParseError { id, message };
+    let cmd = match v.get("cmd").and_then(Value::as_str).unwrap_or("analyze") {
+        "analyze" => {
+            let kernel = KernelRequest::from_value(&v).map_err(&fail)?;
+            let ratio = match v.get("ratio") {
+                None | Some(Value::Null) => 1.0,
+                Some(x) => x
+                    .as_f64()
+                    .filter(|r| r.is_finite() && (0.0..=1.0).contains(r))
+                    .ok_or_else(|| fail("\"ratio\" must be a number in [0, 1]".to_string()))?,
+            };
+            let detail = match v.get("detail").and_then(Value::as_str).unwrap_or("vars") {
+                "vars" => Detail::Vars,
+                "full" => Detail::Full,
+                other => {
+                    return Err(fail(format!(
+                        "unknown detail \"{other}\" (expected \"vars\" or \"full\")"
+                    )))
+                }
+            };
+            Command::Analyze(AnalyzeRequest {
+                kernel,
+                ratio,
+                detail,
+            })
+        }
+        "stats" => Command::Stats,
+        "cache_clear" => Command::CacheClear,
+        "shutdown" => Command::Shutdown,
+        other => return Err(fail(format!("unknown cmd \"{other}\""))),
+    };
+    Ok(Request { id, cmd })
+}
+
+/// Per-task classification row of an analyze response: how the
+/// requested taskwait ratio ranked this item.
+#[derive(Debug, Clone, Serialize)]
+pub struct TaskRecord {
+    /// Item index within the request batch.
+    pub task_id: u64,
+    /// The item's raw output significance (the ranking key).
+    pub significance: f64,
+    /// `"accurate"` or `"approximate"` under the requested ratio.
+    pub class: String,
+}
+
+/// Successful analyze response.
+#[derive(Debug, Clone, Serialize)]
+pub struct AnalyzeResponse {
+    /// Echoed request id.
+    pub id: u64,
+    /// Always `true` (errors use [`ErrorResponse`]).
+    pub ok: bool,
+    /// Kernel catalogue name.
+    pub kernel: &'static str,
+    /// `true` when the compiled trace came from the tape cache
+    /// (i.e. this request skipped recording entirely).
+    pub cached: bool,
+    /// Server-side wall time for the batch, nanoseconds.
+    pub server_ns: u64,
+    /// Ratio-driven task classification, one row per item.
+    pub tasks: Vec<TaskRecord>,
+    /// One report per item, in item order (`detail: "vars"` leaves
+    /// `nodes` empty).
+    pub reports: Vec<ReportRecord>,
+}
+
+/// Error reply (parse failures, unknown kernels, analysis errors).
+#[derive(Debug, Clone, Serialize)]
+pub struct ErrorResponse {
+    /// Echoed request id (0 if unknown).
+    pub id: u64,
+    /// Always `false`.
+    pub ok: bool,
+    /// Human-readable description.
+    pub error: String,
+}
+
+/// Cache section of a stats response.
+#[derive(Debug, Clone, Serialize)]
+pub struct CacheStatsRecord {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that recorded afresh.
+    pub misses: u64,
+    /// Traces stored.
+    pub insertions: u64,
+    /// Entries evicted by the LRU bound.
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub len: usize,
+    /// Entry capacity.
+    pub capacity: usize,
+    /// `hits / (hits + misses)`.
+    pub hit_rate: f64,
+}
+
+/// Replay section of a stats response (worker totals, merged via
+/// [`ReplayStats::merge`](scorpio_core::ReplayStats::merge)).
+#[derive(Debug, Clone, Serialize)]
+pub struct ReplayStatsRecord {
+    /// Items served by replaying a compiled trace.
+    pub replays: u64,
+    /// Items that recorded from scratch.
+    pub records: u64,
+    /// Recordings forced despite a compiled trace existing.
+    pub fallbacks: u64,
+    /// Full lane blocks replayed in one op-stream walk.
+    pub lane_blocks: u64,
+    /// Items served scalar by the lane drivers.
+    pub lane_remainder: u64,
+}
+
+/// Per-kernel request tally of a stats response.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelCountRecord {
+    /// Kernel catalogue name.
+    pub kernel: &'static str,
+    /// Analyze requests served (including failed ones).
+    pub requests: u64,
+}
+
+/// Stats response.
+#[derive(Debug, Clone, Serialize)]
+pub struct StatsResponse {
+    /// Echoed request id.
+    pub id: u64,
+    /// Always `true`.
+    pub ok: bool,
+    /// Worker-pool size.
+    pub workers: usize,
+    /// Total request lines handled (all commands).
+    pub requests: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+    /// Compiled-tape cache counters.
+    pub cache: CacheStatsRecord,
+    /// Merged per-worker replay counters.
+    pub replay: ReplayStatsRecord,
+    /// Analyze-request tallies per kernel.
+    pub kernels: Vec<KernelCountRecord>,
+}
+
+/// Bare acknowledgement (`cache_clear`, `shutdown`).
+#[derive(Debug, Clone, Serialize)]
+pub struct AckResponse {
+    /// Echoed request id.
+    pub id: u64,
+    /// Always `true`.
+    pub ok: bool,
+}
+
+/// Serializes `response` as one wire line (no trailing newline).
+pub fn response_line<T: Serialize>(response: &T) -> String {
+    json::to_string(response)
+}
+
+/// Builds the error reply line for `(id, message)`.
+pub fn error_line(id: u64, message: impl Into<String>) -> String {
+    response_line(&ErrorResponse {
+        id,
+        ok: false,
+        error: message.into(),
+    })
+}
+
+/// Converts variables-only results into [`ReportRecord`]s (empty
+/// `nodes`), mirroring [`Report::to_record`](scorpio_core::Report::to_record)
+/// field for field so the shared rows stay byte-identical.
+pub fn vars_to_record(vars: &VarSignificances) -> ReportRecord {
+    ReportRecord {
+        tape_len: vars.tape_len(),
+        output_significance_raw: vars.output_significance_raw(),
+        vars: vars
+            .registered()
+            .iter()
+            .map(|v| VarRecord {
+                name: v.name.clone(),
+                kind: v.kind.to_string(),
+                enclosure: [v.enclosure.inf(), v.enclosure.sup()],
+                derivative: [v.derivative.inf(), v.derivative.sup()],
+                significance_raw: v.significance_raw,
+                significance: v.significance,
+            })
+            .collect(),
+        nodes: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defaults_and_bounds() {
+        let req = parse_request(r#"{"kernel":"maclaurin","n":3,"items":[0.5]}"#).unwrap();
+        assert_eq!(req.id, 0);
+        match req.cmd {
+            Command::Analyze(a) => {
+                assert_eq!(a.ratio, 1.0);
+                assert_eq!(a.detail, Detail::Vars);
+                assert_eq!(a.kernel.name(), "maclaurin");
+            }
+            other => panic!("expected analyze, got {other:?}"),
+        }
+        let err = parse_request(r#"{"id":4,"kernel":"maclaurin","n":3,"ratio":1.5,"items":[1]}"#)
+            .unwrap_err();
+        assert_eq!(err.id, 4, "error must keep the request id");
+        assert!(err.message.contains("ratio"));
+        let err = parse_request("not json").unwrap_err();
+        assert!(err.message.contains("malformed"));
+        let err = parse_request(r#"{"id":2,"cmd":"reboot"}"#).unwrap_err();
+        assert!(err.message.contains("unknown cmd"));
+    }
+
+    #[test]
+    fn control_commands_parse() {
+        for (line, want) in [
+            (r#"{"id":1,"cmd":"stats"}"#, "Stats"),
+            (r#"{"id":2,"cmd":"cache_clear"}"#, "CacheClear"),
+            (r#"{"id":3,"cmd":"shutdown"}"#, "Shutdown"),
+        ] {
+            let req = parse_request(line).unwrap();
+            assert_eq!(format!("{:?}", req.cmd), want);
+        }
+    }
+
+    #[test]
+    fn error_line_escapes_message() {
+        let line = error_line(3, "bad \"field\"");
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("id").and_then(Value::as_f64), Some(3.0));
+        assert_eq!(v.get("error").and_then(Value::as_str), Some("bad \"field\""));
+    }
+}

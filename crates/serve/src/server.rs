@@ -1,0 +1,572 @@
+//! The serve loop: accept thread, connection threads, worker pool and
+//! the shared compiled-tape cache.
+//!
+//! # Threading model
+//!
+//! * The **accept loop** ([`Server::run`]) hands each connection to its
+//!   own thread — connections only parse, enqueue and write lines, so
+//!   thread-per-connection is cheap and keeps per-connection response
+//!   order trivially correct.
+//! * Analyze commands are pushed onto one shared MPSC queue consumed by
+//!   a **fixed pool of worker threads**. Each worker owns the mutable
+//!   analysis state — an [`AnalysisArena`], a [`LaneScratch`] and one
+//!   [`ReplayOrRecord`] driver per kernel — so the hot path never locks
+//!   anything but the queue and one cache shard.
+//! * Control commands (`stats`, `cache_clear`, `shutdown`) are answered
+//!   on the connection thread; they touch only shared atomics and the
+//!   cache.
+//!
+//! # The cache is the source of truth
+//!
+//! On every analyze request the worker consults the shared
+//! [`TapeCache`] under the request's `(kernel, shape_key)`:
+//!
+//! * **hit** — the cached [`CompiledTrace`](scorpio_core::CompiledTrace)
+//!   is installed into the
+//!   worker's driver ([`ReplayOrRecord::install`], an `Arc` bump) and
+//!   the whole batch replays without recording.
+//! * **miss** — the worker *clears* its driver's private trace first
+//!   ([`ReplayOrRecord::clear_compiled`]) so the request pays a true
+//!   fresh recording, then publishes the new trace
+//!   ([`ReplayOrRecord::share`]) for every other worker.
+//!
+//! Clearing on miss keeps worker-private state from shadowing the
+//! cache: after `cache_clear`, the next request per shape genuinely
+//! re-records — which is exactly what the cold-vs-warm ablation in
+//! `scorpio_load` measures.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use scorpio_core::{
+    Analysis, AnalysisArena, LaneScratch, ReplayOrRecord, ReplayStats, TapeCache, TapeCacheStats,
+    DEFAULT_LANES,
+};
+use scorpio_obs::RunSession;
+
+use crate::kernels::{kernel_index, KERNEL_NAMES};
+use crate::protocol::{
+    error_line, parse_request, response_line, vars_to_record, AckResponse, AnalyzeRequest,
+    AnalyzeResponse, CacheStatsRecord, Command, Detail, KernelCountRecord, ReplayStatsRecord,
+    StatsResponse, TaskRecord,
+};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker-pool size.
+    pub workers: usize,
+    /// Compiled-tape cache capacity (entries).
+    pub cache_capacity: usize,
+    /// When set, tracing is enabled for the server's lifetime and a
+    /// `RUN_<name>.json` manifest (per-kernel latency histograms, task
+    /// events, counters) is written into `out_dir` on shutdown.
+    pub manifest: Option<String>,
+    /// Artifact directory for the manifest (the `--out-dir`
+    /// convention; default `out/`).
+    pub out_dir: PathBuf,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            cache_capacity: 64,
+            manifest: None,
+            out_dir: PathBuf::from("out"),
+        }
+    }
+}
+
+/// What the server observed over its lifetime, returned by
+/// [`Server::run`] after a clean shutdown.
+#[derive(Debug, Clone)]
+pub struct ServerSummary {
+    /// Request lines handled (all commands).
+    pub requests: u64,
+    /// Requests answered with an error reply.
+    pub errors: u64,
+    /// Analyze requests per kernel, in [`KERNEL_NAMES`] order.
+    pub kernel_requests: [u64; 5],
+    /// Merged per-worker replay counters.
+    pub replay: ReplayStats,
+    /// Cache traffic counters.
+    pub cache: TapeCacheStats,
+}
+
+/// Shared server state (one per [`Server::run`]).
+struct Shared {
+    cache: TapeCache,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    kernel_requests: [AtomicU64; 5],
+    /// Worker replay counters, folded in after every analyze request so
+    /// `stats` replies are always current.
+    replay: Mutex<ReplayStats>,
+    workers: usize,
+}
+
+impl Shared {
+    fn count_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn stats_response(&self, id: u64) -> StatsResponse {
+        let cache = self.cache.stats();
+        let replay = *self.replay.lock().expect("replay totals poisoned");
+        StatsResponse {
+            id,
+            ok: true,
+            workers: self.workers,
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            cache: CacheStatsRecord {
+                hits: cache.hits,
+                misses: cache.misses,
+                insertions: cache.insertions,
+                evictions: cache.evictions,
+                len: self.cache.len(),
+                capacity: self.cache.capacity(),
+                hit_rate: cache.hit_rate(),
+            },
+            replay: ReplayStatsRecord {
+                replays: replay.replays,
+                records: replay.records,
+                fallbacks: replay.fallbacks,
+                lane_blocks: replay.lane_blocks,
+                lane_remainder: replay.lane_remainder,
+            },
+            kernels: KERNEL_NAMES
+                .iter()
+                .zip(&self.kernel_requests)
+                .map(|(&kernel, n)| KernelCountRecord {
+                    kernel,
+                    requests: n.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One queued analyze job; the worker sends the finished response line
+/// back through `reply`.
+struct Job {
+    id: u64,
+    request: AnalyzeRequest,
+    reply: mpsc::Sender<String>,
+}
+
+/// A bound, not-yet-running server. Splitting bind from run lets tests
+/// and the load harness learn the ephemeral port before serving.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Binds the configured address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Server { listener, config })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until a `shutdown` command arrives, then drains workers,
+    /// writes the manifest (if configured) and returns the lifetime
+    /// summary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop and manifest I/O failures. Per-connection
+    /// I/O errors only end that connection.
+    pub fn run(self) -> io::Result<ServerSummary> {
+        let session = self
+            .config
+            .manifest
+            .as_ref()
+            .map(|name| RunSession::start(name.clone()));
+        let addr = self.local_addr()?;
+        let shared = Arc::new(Shared {
+            cache: TapeCache::new(self.config.cache_capacity),
+            shutdown: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            kernel_requests: Default::default(),
+            replay: Mutex::new(ReplayStats::default()),
+            workers: self.config.workers.max(1),
+        });
+
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let workers: Vec<_> = (0..shared.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let job_rx = Arc::clone(&job_rx);
+                std::thread::spawn(move || worker_loop(&shared, &job_rx))
+            })
+            .collect();
+
+        let mut connections = Vec::new();
+        for stream in self.listener.incoming() {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = stream?;
+            // One reply segment per request (no Nagle/delayed-ACK
+            // stalls), and a finite read timeout so idle connections
+            // notice the shutdown flag instead of pinning the join.
+            stream.set_nodelay(true).ok();
+            stream
+                .set_read_timeout(Some(std::time::Duration::from_millis(200)))
+                .ok();
+            let shared = Arc::clone(&shared);
+            let job_tx = job_tx.clone();
+            connections.push(std::thread::spawn(move || {
+                connection_loop(stream, &shared, &job_tx, addr);
+            }));
+        }
+        // Connections hold job-sender clones: join them first so the
+        // worker queue's senders all drop and the workers run dry.
+        drop(job_tx);
+        for conn in connections {
+            let _ = conn.join();
+        }
+        for worker in workers {
+            let _ = worker.join();
+        }
+
+        let summary = ServerSummary {
+            requests: shared.requests.load(Ordering::Relaxed),
+            errors: shared.errors.load(Ordering::Relaxed),
+            kernel_requests: std::array::from_fn(|i| {
+                shared.kernel_requests[i].load(Ordering::Relaxed)
+            }),
+            replay: *shared.replay.lock().expect("replay totals poisoned"),
+            cache: shared.cache.stats(),
+        };
+        if let Some(session) = session {
+            let config = [
+                ("workers".to_string(), shared.workers.to_string()),
+                (
+                    "cache_capacity".to_string(),
+                    self.config.cache_capacity.to_string(),
+                ),
+                ("requests".to_string(), summary.requests.to_string()),
+            ];
+            session.finish_in(&self.config.out_dir, shared.workers, &config, None)?;
+        }
+        Ok(summary)
+    }
+}
+
+/// Reads newline-delimited requests off one connection and writes one
+/// response line per request, in order. Returns when the peer closes,
+/// on an I/O error, or right after serving a `shutdown`.
+fn connection_loop(
+    mut stream: TcpStream,
+    shared: &Shared,
+    job_tx: &mpsc::Sender<Job>,
+    addr: SocketAddr,
+) {
+    let mut pending = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => n,
+            // The accept loop arms a read timeout so idle connections
+            // poll the shutdown flag instead of blocking forever.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+                ) =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        };
+        pending.extend_from_slice(&chunk[..n]);
+        while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = pending.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line[..pos]).into_owned();
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (mut response, is_shutdown) = handle_line(&line, shared, job_tx);
+            response.push('\n');
+            let write = stream.write_all(response.as_bytes());
+            if is_shutdown {
+                // Flag first, then nudge the accept loop awake with a
+                // throwaway connection so it observes the flag.
+                shared.shutdown.store(true, Ordering::SeqCst);
+                let _ = TcpStream::connect(addr);
+                return;
+            }
+            if write.is_err() {
+                return;
+            }
+        }
+    }
+}
+
+/// Executes one request line, returning the response line and whether
+/// it was a shutdown.
+fn handle_line(line: &str, shared: &Shared, job_tx: &mpsc::Sender<Job>) -> (String, bool) {
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.count_error();
+            return (error_line(e.id, e.message), false);
+        }
+    };
+    match request.cmd {
+        Command::Analyze(analyze) => {
+            if let Some(i) = kernel_index(analyze.kernel.name()) {
+                shared.kernel_requests[i].fetch_add(1, Ordering::Relaxed);
+            }
+            let (reply_tx, reply_rx) = mpsc::channel();
+            let job = Job {
+                id: request.id,
+                request: analyze,
+                reply: reply_tx,
+            };
+            if job_tx.send(job).is_err() {
+                shared.count_error();
+                return (error_line(request.id, "server is shutting down"), false);
+            }
+            match reply_rx.recv() {
+                Ok(line) => (line, false),
+                Err(_) => {
+                    shared.count_error();
+                    (error_line(request.id, "worker dropped the request"), false)
+                }
+            }
+        }
+        Command::Stats => (response_line(&shared.stats_response(request.id)), false),
+        Command::CacheClear => {
+            shared.cache.clear();
+            (
+                response_line(&AckResponse {
+                    id: request.id,
+                    ok: true,
+                }),
+                false,
+            )
+        }
+        Command::Shutdown => (
+            response_line(&AckResponse {
+                id: request.id,
+                ok: true,
+            }),
+            true,
+        ),
+    }
+}
+
+/// One worker: owns the arena, the lane scratch and one replay driver
+/// per kernel; drains the job queue until every sender is gone.
+fn worker_loop(shared: &Shared, job_rx: &Mutex<mpsc::Receiver<Job>>) {
+    let mut arena = AnalysisArena::with_capacity(4096);
+    let mut lanes = LaneScratch::<DEFAULT_LANES>::new();
+    let mut drivers: HashMap<&'static str, ReplayOrRecord> = HashMap::new();
+    loop {
+        let job = match job_rx.lock().expect("job queue poisoned").recv() {
+            Ok(job) => job,
+            Err(_) => return,
+        };
+        let line = run_analyze(shared, &mut arena, &mut lanes, &mut drivers, &job);
+        // A send failure means the connection died mid-request; the
+        // work is done either way.
+        let _ = job.reply.send(line);
+    }
+}
+
+/// Per-kernel static names for the latency histogram (the observe
+/// registry interns `&'static str` keys).
+fn latency_metric(kernel: &str) -> &'static str {
+    match kernel {
+        "fisheye" => "serve.latency_us.fisheye",
+        "blackscholes" => "serve.latency_us.blackscholes",
+        "dct" => "serve.latency_us.dct",
+        "maclaurin" => "serve.latency_us.maclaurin",
+        _ => "serve.latency_us.nbody",
+    }
+}
+
+/// Runs one analyze job on this worker's state and builds its response
+/// line.
+fn run_analyze(
+    shared: &Shared,
+    arena: &mut AnalysisArena,
+    lanes: &mut LaneScratch<DEFAULT_LANES>,
+    drivers: &mut HashMap<&'static str, ReplayOrRecord>,
+    job: &Job,
+) -> String {
+    let _span = scorpio_obs::span("serve.request");
+    let request = &job.request;
+    let kernel = request.kernel.name();
+    let key = request.kernel.shape_key();
+    let driver = drivers
+        .entry(kernel)
+        .or_insert_with(|| ReplayOrRecord::new(Analysis::new()));
+    let stats_before = driver.stats();
+
+    // Cache as source of truth: a hit installs the shared trace, a miss
+    // clears worker-private state so the recording cost is honest (see
+    // the module docs).
+    let cached = match shared.cache.get(kernel, key) {
+        Some(trace) => {
+            driver.install(&trace);
+            true
+        }
+        None => {
+            driver.clear_compiled();
+            false
+        }
+    };
+
+    let started = Instant::now();
+    let result = match request.detail {
+        Detail::Vars => request
+            .kernel
+            .run_vars(driver, arena, lanes)
+            .map(|vars| (vars.iter().map(vars_to_record).collect::<Vec<_>>(), vars_sigs(&vars))),
+        Detail::Full => request.kernel.run_full(driver, arena).map(|reports| {
+            (
+                reports.iter().map(|r| r.to_record()).collect::<Vec<_>>(),
+                reports
+                    .iter()
+                    .map(|r| r.output_significance_raw())
+                    .collect(),
+            )
+        }),
+    };
+    let server_ns = started.elapsed().as_nanos() as u64;
+
+    if !cached {
+        if let Some(trace) = driver.share() {
+            // Only publish what the request actually keyed: a branchy
+            // trace never gets here (share() refuses it) and a foreign
+            // key means the driver recorded under other terms.
+            if trace.shape_key() == Some(key) {
+                shared.cache.insert(kernel, key, trace);
+            }
+        }
+    }
+    shared
+        .replay
+        .lock()
+        .expect("replay totals poisoned")
+        .merge(driver.stats().since(stats_before));
+    scorpio_obs::observe(latency_metric(kernel), server_ns as f64 / 1_000.0);
+
+    match result {
+        Ok((reports, significances)) => {
+            let tasks = classify_tasks(kernel, request.ratio, &significances, server_ns);
+            response_line(&AnalyzeResponse {
+                id: job.id,
+                ok: true,
+                kernel,
+                cached,
+                server_ns,
+                tasks,
+                reports,
+            })
+        }
+        Err(e) => {
+            shared.count_error();
+            error_line(job.id, format!("analysis failed: {e}"))
+        }
+    }
+}
+
+/// Extracts per-item raw output significances from vars-detail results.
+fn vars_sigs(vars: &[scorpio_core::VarSignificances]) -> Vec<f64> {
+    vars.iter().map(|v| v.output_significance_raw()).collect()
+}
+
+/// Ranks the batch by significance, classifies the top `ratio` fraction
+/// accurate, and emits the task/taskwait events for the run manifest.
+fn classify_tasks(
+    kernel: &str,
+    ratio: f64,
+    significances: &[f64],
+    server_ns: u64,
+) -> Vec<TaskRecord> {
+    let k = significances.len();
+    let accurate_n = ((ratio * k as f64).ceil() as usize).min(k);
+    let mut order: Vec<usize> = (0..k).collect();
+    // Descending by significance, index-stable for ties (and NaN sorts
+    // last, matching "least significant").
+    order.sort_by(|&a, &b| {
+        significances[b]
+            .partial_cmp(&significances[a])
+            .unwrap_or_else(|| b.cmp(&a).reverse())
+    });
+    let mut classes = vec!["approximate"; k];
+    for &i in order.iter().take(accurate_n) {
+        classes[i] = "accurate";
+    }
+    let per_task_ns = server_ns / (k as u64).max(1);
+    let label = format!("serve.{kernel}");
+    for (i, (&sig, &class)) in significances.iter().zip(&classes).enumerate() {
+        let task_class = if class == "accurate" {
+            scorpio_obs::TaskClass::Accurate
+        } else {
+            scorpio_obs::TaskClass::Approx
+        };
+        scorpio_obs::task_event(&label, i as u64, sig, task_class, per_task_ns);
+    }
+    let achieved = if k == 0 {
+        0.0
+    } else {
+        accurate_n as f64 / k as f64
+    };
+    scorpio_obs::taskwait_event(
+        &label,
+        ratio,
+        achieved,
+        accurate_n as u64,
+        (k - accurate_n) as u64,
+        0,
+        server_ns,
+    );
+    significances
+        .iter()
+        .zip(&classes)
+        .enumerate()
+        .map(|(i, (&sig, &class))| TaskRecord {
+            task_id: i as u64,
+            significance: sig,
+            class: class.to_string(),
+        })
+        .collect()
+}
