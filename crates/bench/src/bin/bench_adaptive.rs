@@ -1,0 +1,263 @@
+//! Adaptive-controller ablation: closed-loop ratio control vs the best
+//! static ratio, per kernel.
+//!
+//! For each of the five benchmarks this harness (1) measures the static
+//! quality-vs-ratio curve on the Fig. 7 ratio grid, (2) picks the
+//! cheapest grid point meeting the kernel's quality target (the "best
+//! static" yardstick), and (3) lets an
+//! `scorpio_runtime::controller::adaptive::AdaptiveController` — seeded
+//! from that same curve — search for the cheapest ratio online, one
+//! execution per controller step. The verdicts land in
+//! `BENCH_adaptive.json` (`scorpio-adaptive-v1`), which
+//! `scorpio_diff --gate` checks against `baselines/`: on every kernel
+//! with a non-flat curve the controller must converge, meet its target,
+//! and spend no more modeled energy than the best static ratio.
+//!
+//! ```sh
+//! cargo run --release -p scorpio-bench --bin bench_adaptive \
+//!     [--small] [--threads N] [--out-dir DIR] [--kernel NAME] \
+//!     [--target Q] [--trace trace.json]
+//! ```
+//!
+//! `--kernel NAME` restricts the run to one benchmark; `--target Q`
+//! overrides the kernel's default threshold (keeping its metric
+//! direction) — mostly useful together with `--kernel`, since one
+//! number rarely fits PSNR and relative-error kernels at once.
+//!
+//! Observability is always on: the run writes a
+//! `RUN_bench_adaptive.json` manifest and an
+//! `EVENTS_bench_adaptive.jsonl` log whose `ratio_decision` events are
+//! the controller's full decision sequence (one per observation, with
+//! before/after ratios and the quality signal). `--trace <path>` adds a
+//! Chrome-trace file.
+
+use scorpio_bench::{
+    adaptive::{resolve_objective, run_adaptive, MAX_STEPS},
+    arg_value, finish_trace, out_dir_arg, threads_arg, trace_arg, AdaptiveKernel, AdaptiveReport,
+    QorKernel, QorPoint, ADAPTIVE_SCHEMA,
+};
+use scorpio_kernels::{blackscholes, dct, fisheye, nbody, sobel};
+use scorpio_quality::{psnr_images, relative_error_l2, SyntheticImage};
+use scorpio_runtime::{EnergyModel, ExecutionStats, Executor};
+
+const RATIOS: [f64; 5] = [0.0, 0.2, 0.5, 0.8, 1.0];
+
+/// Measures one kernel's static curve on the ratio grid, then runs the
+/// closed loop against it.
+fn run_kernel(
+    name: &'static str,
+    metric: &'static str,
+    model: &EnergyModel,
+    target_override: Option<f64>,
+    mut eval: impl FnMut(f64) -> (f64, ExecutionStats),
+) -> AdaptiveKernel {
+    let _span = scorpio_obs::span(name);
+    let mut points = Vec::new();
+    for &ratio in &RATIOS {
+        scorpio_obs::ratio_event(name, ratio);
+        let t0 = std::time::Instant::now();
+        let (quality, stats) = eval(ratio);
+        let ns = t0.elapsed().as_nanos() as u64;
+        points.push(QorPoint {
+            ratio,
+            quality,
+            energy_j: model.energy(&stats),
+            achieved_ratio: stats.accurate as f64 / stats.total().max(1) as f64,
+            accurate: stats.accurate as u64,
+            approximate: stats.approximate as u64,
+            dropped: stats.dropped as u64,
+            time_ns_samples: vec![ns],
+        });
+    }
+    let curve = QorKernel {
+        name: name.to_owned(),
+        metric: metric.to_owned(),
+        higher_is_better: metric == "psnr_db",
+        points,
+    };
+    let objective = resolve_objective(name, target_override);
+    run_adaptive(&curve, objective, MAX_STEPS, model, &mut eval)
+}
+
+fn print_verdict(k: &AdaptiveKernel) {
+    println!("\n=== {} ({} {} {}) ===", k.name, k.metric, k.target_kind, k.target);
+    match &k.best_static {
+        Some(s) => println!(
+            "best static : ratio {:.2}, quality {:.4}, {:.4} J",
+            s.ratio, s.quality, s.energy_j
+        ),
+        None => println!("best static : none (no grid point meets the target)"),
+    }
+    println!(
+        "adaptive    : ratio {:.3}, quality {:.4}, {:.4} J — {} steps ({} evals), converged: {}{}",
+        k.adaptive.final_ratio,
+        k.adaptive.quality,
+        k.adaptive.energy_j,
+        k.adaptive.steps,
+        k.adaptive.evals,
+        k.adaptive.converged,
+        match k.adaptive.converged_step {
+            Some(s) => format!(" (at step {s})"),
+            None => String::new(),
+        }
+    );
+    println!(
+        "verdict     : target met: {}, dominates static: {}{}",
+        k.target_met,
+        k.dominates,
+        if k.non_flat { "" } else { " (flat curve — exempt)" }
+    );
+}
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let out_dir = out_dir_arg();
+    let only = arg_value("--kernel");
+    let target_override: Option<f64> = arg_value("--target").map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("invalid --target value {v:?}"))
+    });
+    let trace_path = trace_arg();
+    // Observability is always on here: the controller's decision events
+    // are part of the harness's contract (they document *why* the final
+    // ratio is what it is), so the run manifest is not optional.
+    let session = scorpio_obs::RunSession::start("bench_adaptive");
+    let executor = match threads_arg() {
+        Some(threads) => Executor::new(threads),
+        None => Executor::with_available_parallelism(),
+    };
+    let model = EnergyModel::xeon_e5_2695v3();
+    let want = |name: &str| only.as_deref().is_none_or(|o| o == name);
+    let mut known = Vec::new();
+    let mut kernels: Vec<AdaptiveKernel> = Vec::new();
+
+    known.push("sobel");
+    if want("sobel") {
+        let size = if small { 96 } else { 512 };
+        let img = SyntheticImage::GaussianBlobs.render(size, size, 101);
+        let full = sobel::reference(&img);
+        kernels.push(run_kernel("sobel", "psnr_db", &model, target_override, |r| {
+            let (out, stats) = sobel::tasked(&img, &executor, r);
+            (psnr_images(&full, &out).min(99.0), stats)
+        }));
+    }
+
+    known.push("dct");
+    if want("dct") {
+        let size = if small { 96 } else { 256 };
+        let img = SyntheticImage::GaussianBlobs.render(size, size, 202);
+        let full = dct::reference(&img);
+        kernels.push(run_kernel("dct", "psnr_db", &model, target_override, |r| {
+            let (out, stats) = dct::tasked(&img, &executor, r);
+            (psnr_images(&full, &out).min(99.0), stats)
+        }));
+    }
+
+    known.push("fisheye");
+    if want("fisheye") {
+        let (w, h, bw, bh) = if small {
+            (160, 120, 32, 24)
+        } else {
+            (1280, 960, 128, 64)
+        };
+        let lens = fisheye::Lens::for_image(w, h);
+        let img = SyntheticImage::ValueNoise.render(w, h, 303);
+        let full = fisheye::reference(&img, &lens);
+        kernels.push(run_kernel("fisheye", "psnr_db", &model, target_override, |r| {
+            let (out, stats) = fisheye::tasked_with_blocks(&img, &lens, &executor, r, bw, bh);
+            (psnr_images(&full, &out).min(99.0), stats)
+        }));
+    }
+
+    known.push("nbody");
+    if want("nbody") {
+        let params = if small {
+            nbody::Params::small()
+        } else {
+            nbody::Params::evaluation()
+        };
+        let exact = nbody::reference(&params).flatten();
+        kernels.push(run_kernel("nbody", "rel_error", &model, target_override, |r| {
+            let (state, stats) = nbody::tasked(&params, &executor, r);
+            (relative_error_l2(&exact, &state.flatten()).max(1e-18), stats)
+        }));
+    }
+
+    known.push("blackscholes");
+    if want("blackscholes") {
+        let n = if small { 4096 } else { 65_536 };
+        let options = blackscholes::generate_options(n, 404);
+        let exact = blackscholes::reference(&options);
+        kernels.push(run_kernel(
+            "blackscholes",
+            "rel_error",
+            &model,
+            target_override,
+            |r| {
+                let (prices, stats) = blackscholes::tasked(&options, 256, &executor, r);
+                (relative_error_l2(&exact, &prices).max(1e-18), stats)
+            },
+        ));
+    }
+
+    if let Some(o) = only.as_deref() {
+        assert!(known.contains(&o), "unknown --kernel {o:?} (have: {known:?})");
+    }
+
+    for k in &kernels {
+        print_verdict(k);
+    }
+    let failing: Vec<String> = kernels
+        .iter()
+        .filter(|k| k.non_flat && !(k.target_met && k.dominates && k.adaptive.converged))
+        .map(|k| k.name.clone())
+        .collect();
+
+    let degraded = scorpio_obs::events_dropped() > 0;
+    if degraded {
+        eprintln!(
+            "warning: {} task events were dropped — marking report degraded",
+            scorpio_obs::events_dropped()
+        );
+    }
+    let report = AdaptiveReport {
+        schema: ADAPTIVE_SCHEMA.to_owned(),
+        name: "bench_adaptive".to_owned(),
+        git: scorpio_obs::git_describe(),
+        threads: executor.threads(),
+        small,
+        degraded,
+        kernels,
+    };
+    std::fs::create_dir_all(&out_dir).expect("create --out-dir");
+    let path = out_dir.join("BENCH_adaptive.json");
+    std::fs::write(&path, report.to_json()).expect("write BENCH_adaptive.json");
+    println!(
+        "\nwrote {} ({} kernels, adaptive vs best static)",
+        path.display(),
+        report.kernels.len()
+    );
+    if failing.is_empty() {
+        println!("all non-flat kernels: target met at energy ≤ best static");
+    } else {
+        println!("NOT dominating on: {failing:?}");
+    }
+
+    let mut config = vec![
+        ("small".to_owned(), small.to_string()),
+        ("threads".to_owned(), executor.threads().to_string()),
+    ];
+    if let Some(k) = only {
+        config.push(("kernel".to_owned(), k));
+    }
+    if let Some(q) = target_override {
+        config.push(("target".to_owned(), q.to_string()));
+    }
+    finish_trace(
+        session,
+        &out_dir,
+        executor.threads(),
+        &config,
+        trace_path.as_deref(),
+    );
+}

@@ -11,7 +11,8 @@
 //!
 //! ```sh
 //! cargo run --release -p scorpio-bench --bin fig7_sweep \
-//!     [--small] [--threads N] [--reps N] [--out-dir DIR] [--trace trace.json]
+//!     [--small] [--threads N] [--reps N] [--out-dir DIR] [--trace trace.json] \
+//!     [--adaptive [--target Q]]
 //! ```
 //!
 //! `--threads N` sizes the task-execution worker pool (default: one
@@ -23,10 +24,22 @@
 //! a `RUN_fig7_sweep.json` run manifest, and an
 //! `EVENTS_fig7_sweep.jsonl` structured task-event log (one JSON
 //! object per executed/dropped task and per `taskwait`).
+//!
+//! `--adaptive` additionally closes the loop on every kernel after its
+//! static sweep: an `AdaptiveController` seeded from the just-measured
+//! curve searches for the cheapest ratio meeting the kernel's default
+//! quality target (see `scorpio_bench::adaptive::default_objective`),
+//! and the verdicts land in `BENCH_adaptive.json` next to the QoR
+//! report. `--target Q` overrides every kernel's default threshold
+//! with `Q` (keeping each kernel's metric direction) — mostly useful
+//! with the single-kernel `bench_adaptive` harness, since one number
+//! rarely fits PSNR and relative-error kernels at once.
 
 use scorpio_bench::{
-    finish_trace, out_dir_arg, reps_arg, threads_arg, to_csv, trace_arg, QorKernel, QorPoint,
-    QorReport, SweepRow, QOR_SCHEMA,
+    adaptive::{resolve_objective, run_adaptive, MAX_STEPS},
+    arg_value, finish_trace, flag_present, out_dir_arg, reps_arg, threads_arg, to_csv, trace_arg,
+    AdaptiveKernel, AdaptiveReport, QorKernel, QorPoint, QorReport, SweepRow, ADAPTIVE_SCHEMA,
+    QOR_SCHEMA,
 };
 use scorpio_kernels::{blackscholes, dct, fisheye, nbody, sobel};
 use scorpio_quality::{psnr_images, relative_error_l2, GrayImage, SyntheticImage};
@@ -147,6 +160,33 @@ fn timed<T>(f: impl FnOnce() -> T) -> (T, u64) {
     (out, t0.elapsed().as_nanos() as u64)
 }
 
+/// Runs the closed loop on one kernel, seeded from its just-measured
+/// static curve, reusing the sweep's significance closure.
+fn adapt_kernel(
+    curve: &QorKernel,
+    target_override: Option<f64>,
+    model: &EnergyModel,
+    sig: &dyn Fn(f64) -> ((f64, ExecutionStats), u64),
+) -> AdaptiveKernel {
+    let objective = resolve_objective(&curve.name, target_override);
+    let verdict = run_adaptive(curve, objective, MAX_STEPS, model, |r| sig(r).0);
+    println!(
+        "[adaptive] {:<14} {} {} → ratio {:.3}, quality {:.4}, {:.4} J, {} steps, converged: {}, \
+         target met: {}, dominates static: {}",
+        verdict.name,
+        verdict.target_kind,
+        verdict.target,
+        verdict.adaptive.final_ratio,
+        verdict.adaptive.quality,
+        verdict.adaptive.energy_j,
+        verdict.adaptive.steps,
+        verdict.adaptive.converged,
+        verdict.target_met,
+        verdict.dominates,
+    );
+    verdict
+}
+
 /// Sweeps one kernel over [`RATIOS`]: the significance run is repeated
 /// `reps` times per point (each wall time sampled for `scorpio_diff`'s
 /// statistics), the perforation baseline — deterministic and not part
@@ -208,6 +248,15 @@ fn main() {
     let small = std::env::args().any(|a| a == "--small");
     let out_dir = out_dir_arg();
     let reps = reps_arg(3);
+    let adaptive = flag_present("--adaptive");
+    let target_override: Option<f64> = arg_value("--target").map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("invalid --target value {v:?}"))
+    });
+    assert!(
+        adaptive || target_override.is_none(),
+        "--target only makes sense together with --adaptive"
+    );
     let trace_path = trace_arg();
     let session = trace_path
         .as_ref()
@@ -219,6 +268,7 @@ fn main() {
     let model = EnergyModel::xeon_e5_2695v3();
     let mut results = Vec::new();
     let mut kernels = Vec::new();
+    let mut adaptive_kernels: Vec<AdaptiveKernel> = Vec::new();
     let mut push = |(result, kernel): (BenchResult, QorKernel)| {
         results.push(result);
         kernels.push(kernel);
@@ -230,20 +280,25 @@ fn main() {
         let img = image_workload(small, 101);
         eprintln!("[sobel] {}×{}", img.width(), img.height());
         let full = sobel::reference(&img);
-        push(sweep(
+        let sig = |ratio: f64| {
+            let ((out, stats), ns) = timed(|| sobel::tasked(&img, &executor, ratio));
+            ((psnr_images(&full, &out).min(99.0), stats), ns)
+        };
+        let (result, kernel) = sweep(
             "sobel",
             "psnr_db",
             reps,
             &model,
-            |ratio| {
-                let ((out, stats), ns) = timed(|| sobel::tasked(&img, &executor, ratio));
-                ((psnr_images(&full, &out).min(99.0), stats), ns)
-            },
+            sig,
             Some(&|ratio| {
                 let (perf, stats) = sobel::perforated(&img, ratio);
                 (psnr_images(&full, &perf).min(99.0), stats)
             }),
-        ));
+        );
+        if adaptive {
+            adaptive_kernels.push(adapt_kernel(&kernel, target_override, &model, &sig));
+        }
+        push((result, kernel));
     }
 
     // ── DCT ──────────────────────────────────────────────────────────
@@ -256,20 +311,25 @@ fn main() {
         };
         eprintln!("[dct] {}×{}", img.width(), img.height());
         let full = dct::reference(&img);
-        push(sweep(
+        let sig = |ratio: f64| {
+            let ((out, stats), ns) = timed(|| dct::tasked(&img, &executor, ratio));
+            ((psnr_images(&full, &out).min(99.0), stats), ns)
+        };
+        let (result, kernel) = sweep(
             "dct",
             "psnr_db",
             reps,
             &model,
-            |ratio| {
-                let ((out, stats), ns) = timed(|| dct::tasked(&img, &executor, ratio));
-                ((psnr_images(&full, &out).min(99.0), stats), ns)
-            },
+            sig,
             Some(&|ratio| {
                 let (perf, stats) = dct::perforated(&img, ratio);
                 (psnr_images(&full, &perf).min(99.0), stats)
             }),
-        ));
+        );
+        if adaptive {
+            adaptive_kernels.push(adapt_kernel(&kernel, target_override, &model, &sig));
+        }
+        push((result, kernel));
     }
 
     // ── Fisheye ──────────────────────────────────────────────────────
@@ -284,21 +344,26 @@ fn main() {
         let img = SyntheticImage::ValueNoise.render(w, h, 303);
         eprintln!("[fisheye] {w}×{h}, blocks {bw}×{bh}");
         let full = fisheye::reference(&img, &lens);
-        push(sweep(
+        let sig = |ratio: f64| {
+            let ((out, stats), ns) =
+                timed(|| fisheye::tasked_with_blocks(&img, &lens, &executor, ratio, bw, bh));
+            ((psnr_images(&full, &out).min(99.0), stats), ns)
+        };
+        let (result, kernel) = sweep(
             "fisheye",
             "psnr_db",
             reps,
             &model,
-            |ratio| {
-                let ((out, stats), ns) =
-                    timed(|| fisheye::tasked_with_blocks(&img, &lens, &executor, ratio, bw, bh));
-                ((psnr_images(&full, &out).min(99.0), stats), ns)
-            },
+            sig,
             Some(&|ratio| {
                 let (perf, stats) = fisheye::perforated(&img, &lens, ratio);
                 (psnr_images(&full, &perf).min(99.0), stats)
             }),
-        ));
+        );
+        if adaptive {
+            adaptive_kernels.push(adapt_kernel(&kernel, target_override, &model, &sig));
+        }
+        push((result, kernel));
     }
 
     // ── N-Body ───────────────────────────────────────────────────────
@@ -316,23 +381,28 @@ fn main() {
             params.steps
         );
         let exact = nbody::reference(&params).flatten();
-        push(sweep(
+        let sig = |ratio: f64| {
+            let ((state, stats), ns) = timed(|| nbody::tasked(&params, &executor, ratio));
+            (
+                (relative_error_l2(&exact, &state.flatten()).max(1e-18), stats),
+                ns,
+            )
+        };
+        let (result, kernel) = sweep(
             "nbody",
             "rel_error",
             reps,
             &model,
-            |ratio| {
-                let ((state, stats), ns) = timed(|| nbody::tasked(&params, &executor, ratio));
-                (
-                    (relative_error_l2(&exact, &state.flatten()).max(1e-18), stats),
-                    ns,
-                )
-            },
+            sig,
             Some(&|ratio| {
                 let (perf, stats) = nbody::perforated(&params, ratio);
                 (relative_error_l2(&exact, &perf.flatten()).max(1e-18), stats)
             }),
-        ));
+        );
+        if adaptive {
+            adaptive_kernels.push(adapt_kernel(&kernel, target_override, &model, &sig));
+        }
+        push((result, kernel));
     }
 
     // ── BlackScholes (perforation not applicable, §4.2) ─────────────
@@ -342,21 +412,16 @@ fn main() {
         let options = blackscholes::generate_options(n, 404);
         eprintln!("[blackscholes] {n} options");
         let exact = blackscholes::reference(&options);
-        push(sweep(
-            "blackscholes",
-            "rel_error",
-            reps,
-            &model,
-            |ratio| {
-                let ((prices, stats), ns) =
-                    timed(|| blackscholes::tasked(&options, 256, &executor, ratio));
-                (
-                    (relative_error_l2(&exact, &prices).max(1e-18), stats),
-                    ns,
-                )
-            },
-            None,
-        ));
+        let sig = |ratio: f64| {
+            let ((prices, stats), ns) =
+                timed(|| blackscholes::tasked(&options, 256, &executor, ratio));
+            ((relative_error_l2(&exact, &prices).max(1e-18), stats), ns)
+        };
+        let (result, kernel) = sweep("blackscholes", "rel_error", reps, &model, sig, None);
+        if adaptive {
+            adaptive_kernels.push(adapt_kernel(&kernel, target_override, &model, &sig));
+        }
+        push((result, kernel));
     }
 
     // ── Output ───────────────────────────────────────────────────────
@@ -370,6 +435,17 @@ fn main() {
     std::fs::write(&csv_path, to_csv(&csv_rows)).expect("write fig7_results.csv");
     println!("\nwrote {} ({} rows)", csv_path.display(), csv_rows.len());
 
+    // A non-empty drop counter means the event ring (or its spill)
+    // overflowed: the achieved-ratio/task-tally columns then come from
+    // a truncated timeline, so the report is marked and `scorpio_diff`
+    // will warn whenever it consumes it.
+    let degraded = scorpio_obs::events_dropped() > 0;
+    if degraded {
+        eprintln!(
+            "warning: {} task events were dropped — marking reports degraded",
+            scorpio_obs::events_dropped()
+        );
+    }
     let qor = QorReport {
         schema: QOR_SCHEMA.to_owned(),
         name: "fig7_sweep".to_owned(),
@@ -377,6 +453,7 @@ fn main() {
         threads: executor.threads(),
         reps,
         small,
+        degraded,
         kernels,
     };
     let qor_path = out_dir.join("BENCH_qor.json");
@@ -387,6 +464,25 @@ fn main() {
         qor.kernels.len(),
         RATIOS.len()
     );
+
+    if adaptive {
+        let report = AdaptiveReport {
+            schema: ADAPTIVE_SCHEMA.to_owned(),
+            name: "fig7_sweep".to_owned(),
+            git: scorpio_obs::git_describe(),
+            threads: executor.threads(),
+            small,
+            degraded,
+            kernels: adaptive_kernels,
+        };
+        let path = out_dir.join("BENCH_adaptive.json");
+        std::fs::write(&path, report.to_json()).expect("write BENCH_adaptive.json");
+        println!(
+            "wrote {} ({} kernels, adaptive vs best static)",
+            path.display(),
+            report.kernels.len()
+        );
+    }
 
     // §4.3 summary block.
     println!("\n=== §4.3 summary ===");
@@ -421,11 +517,15 @@ fn main() {
     );
 
     if let Some(session) = session {
-        let config = vec![
+        let mut config = vec![
             ("small".to_owned(), small.to_string()),
             ("threads".to_owned(), executor.threads().to_string()),
             ("reps".to_owned(), reps.to_string()),
+            ("adaptive".to_owned(), adaptive.to_string()),
         ];
+        if let Some(q) = target_override {
+            config.push(("target".to_owned(), q.to_string()));
+        }
         finish_trace(
             session,
             &out_dir,

@@ -1,11 +1,17 @@
 //! Run-to-run comparison and regression gate.
 //!
 //! Loads two artifacts written by the harness binaries — two
-//! `RUN_*.json` run manifests or two `BENCH_qor.json` QoR reports —
-//! and compares them item by item (see `scorpio_bench::diff`): QoR
-//! curves pointwise with metric-direction awareness, repeated timing
-//! samples with Welch's t-test (bootstrap CI fallback), and manifest
-//! phases/counters against a relative threshold.
+//! `RUN_*.json` run manifests, two `BENCH_qor.json` QoR reports, or
+//! two `BENCH_adaptive.json` controller-ablation reports — and
+//! compares them item by item (see `scorpio_bench::diff`): QoR curves
+//! pointwise with metric-direction awareness, repeated timing samples
+//! with Welch's t-test (bootstrap CI fallback), manifest
+//! phases/counters against a relative threshold, and adaptive reports
+//! both on drift and on the absolute controller contract (every
+//! non-flat kernel must meet its target, converge, and dominate the
+//! best static ratio). Inputs marked `degraded` (the producing run
+//! overflowed its event ring) are compared normally but flagged with a
+//! WARNING line.
 //!
 //! ```sh
 //! cargo run --release -p scorpio-bench --bin scorpio_diff -- \

@@ -30,6 +30,9 @@ pub enum ArtifactKind {
     Qor,
     /// A `RUN_*.json` run manifest (`scorpio_obs::RunManifest`).
     RunManifest,
+    /// A `BENCH_adaptive.json` controller-vs-static ablation
+    /// ([`crate::AdaptiveReport`]).
+    Adaptive,
 }
 
 /// Knobs of one comparison.
@@ -108,6 +111,12 @@ pub struct DiffReport {
     pub kind: ArtifactKind,
     /// Every compared item, in artifact order.
     pub findings: Vec<Finding>,
+    /// Non-gating caveats about the *inputs* — e.g. either side was
+    /// produced by a run that dropped task events (`degraded: true` in
+    /// QoR/adaptive reports, `task_events_dropped > 0` in manifests),
+    /// so its curves may be biased. Rendered prominently but never an
+    /// exit-code regression by itself.
+    pub warnings: Vec<String>,
 }
 
 impl DiffReport {
@@ -125,8 +134,12 @@ impl DiffReport {
         let kind = match self.kind {
             ArtifactKind::Qor => "QoR report",
             ArtifactKind::RunManifest => "run manifest",
+            ArtifactKind::Adaptive => "adaptive-controller report",
         };
         let _ = writeln!(out, "comparing {kind}s: {} items", self.findings.len());
+        for w in &self.warnings {
+            let _ = writeln!(out, "WARNING: {w}");
+        }
         for f in &self.findings {
             let p = match f.p_value {
                 Some(p) => format!(" p={p:.4}"),
@@ -183,6 +196,8 @@ pub fn detect(value: &Value) -> Result<ArtifactKind, String> {
     if let Some(schema) = value.get("schema").and_then(Value::as_str) {
         return if schema == crate::QOR_SCHEMA {
             Ok(ArtifactKind::Qor)
+        } else if schema == crate::ADAPTIVE_SCHEMA {
+            Ok(ArtifactKind::Adaptive)
         } else {
             Err(format!("unsupported schema {schema:?}"))
         };
@@ -190,7 +205,11 @@ pub fn detect(value: &Value) -> Result<ArtifactKind, String> {
     if value.get("phases").is_some() && value.get("wall_clock_ns").is_some() {
         return Ok(ArtifactKind::RunManifest);
     }
-    Err("not a BENCH_qor.json QoR report or RUN_*.json run manifest".to_owned())
+    Err(
+        "not a BENCH_qor.json QoR report, BENCH_adaptive.json adaptive report \
+         or RUN_*.json run manifest"
+            .to_owned(),
+    )
 }
 
 /// Compares two parsed artifacts of the same kind.
@@ -209,8 +228,44 @@ pub fn diff_values(base: &Value, cand: &Value, opts: &DiffOptions) -> Result<Dif
     let findings = match kind {
         ArtifactKind::Qor => diff_qor(base, cand, opts)?,
         ArtifactKind::RunManifest => diff_manifest(base, cand, opts)?,
+        ArtifactKind::Adaptive => diff_adaptive(base, cand, opts)?,
     };
-    Ok(DiffReport { kind, findings })
+    let mut warnings = Vec::new();
+    for (side, value) in [("baseline", base), ("candidate", cand)] {
+        if let Some(w) = degraded_input(side, value, kind) {
+            warnings.push(w);
+        }
+    }
+    Ok(DiffReport {
+        kind,
+        findings,
+        warnings,
+    })
+}
+
+/// A caveat string when `value` was produced by a run that dropped
+/// task events (so its telemetry-derived columns may be biased).
+fn degraded_input(side: &str, value: &Value, kind: ArtifactKind) -> Option<String> {
+    match kind {
+        ArtifactKind::Qor | ArtifactKind::Adaptive => {
+            matches!(value.get("degraded"), Some(Value::Bool(true))).then(|| {
+                format!(
+                    "{side} is degraded (its run dropped task events; \
+                     achieved-ratio and task tallies may be biased)"
+                )
+            })
+        }
+        ArtifactKind::RunManifest => value
+            .get("task_events_dropped")
+            .and_then(Value::as_f64)
+            .filter(|&d| d > 0.0)
+            .map(|d| {
+                format!(
+                    "{side} manifest dropped {d:.0} task event(s); \
+                     its event timeline is truncated"
+                )
+            }),
+    }
 }
 
 /// [`load`] + [`diff_values`] over two files.
@@ -430,6 +485,140 @@ fn compare_time_samples(item: &str, base: &[f64], cand: &[f64], opts: &DiffOptio
     }
 }
 
+// ─────────────────── adaptive-report comparison ───────────────────
+
+fn bool_field(v: &Value, key: &str) -> bool {
+    matches!(v.get(key), Some(Value::Bool(true)))
+}
+
+/// Compares two `BENCH_adaptive.json` reports. Two layers:
+///
+/// * **Self-contained gate on the candidate** — on every kernel with a
+///   non-flat QoR curve the controller must have met its target,
+///   converged, and dominated the best static ratio (energy ≤ the
+///   cheapest static grid point that meets the target). These are
+///   absolute properties of the candidate run; the baseline only
+///   supplies the kernel list.
+/// * **Cross-file drift** — adaptive quality (metric-direction aware),
+///   modeled energy, and convergence step count (with generous slack:
+///   only a >1.5×+2 blow-up gates) against the checked-in baseline.
+fn diff_adaptive(base: &Value, cand: &Value, opts: &DiffOptions) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+    let base_kernels = base
+        .get("kernels")
+        .and_then(Value::as_arr)
+        .ok_or("baseline adaptive report has no kernels array")?;
+    let cand_kernels = cand
+        .get("kernels")
+        .and_then(Value::as_arr)
+        .ok_or("candidate adaptive report has no kernels array")?;
+
+    for bk in base_kernels {
+        let name = str_field(bk, "name")?;
+        let metric = str_field(bk, "metric")?;
+        let higher_is_better = bool_field(bk, "higher_is_better");
+        let Some(ck) = cand_kernels
+            .iter()
+            .find(|k| k.get("name").and_then(Value::as_str) == Some(name))
+        else {
+            findings.push(Finding {
+                item: format!("{name} (kernel)"),
+                baseline: 1.0,
+                candidate: 0.0,
+                worse_pct: 100.0,
+                p_value: None,
+                severity: Severity::Regression,
+                note: "kernel missing from candidate".to_owned(),
+            });
+            continue;
+        };
+
+        let non_flat = bool_field(ck, "non_flat");
+        let converged = ck
+            .get("adaptive")
+            .is_some_and(|a| bool_field(a, "converged"));
+        let checks = [
+            ("target_met", bool_field(ck, "target_met")),
+            ("converged", converged),
+            ("dominates best static", bool_field(ck, "dominates")),
+        ];
+        for (what, ok) in checks {
+            let (severity, note) = if ok {
+                (Severity::Unchanged, String::new())
+            } else if non_flat {
+                (Severity::Regression, "controller contract violated".to_owned())
+            } else {
+                (
+                    Severity::Unchanged,
+                    "flat QoR curve — not required to dominate".to_owned(),
+                )
+            };
+            findings.push(Finding {
+                item: format!("{name} · {what}"),
+                baseline: 1.0,
+                candidate: if ok { 1.0 } else { 0.0 },
+                worse_pct: if ok { 0.0 } else { 100.0 },
+                p_value: None,
+                severity,
+                note,
+            });
+        }
+
+        let (Some(ba), Some(ca)) = (bk.get("adaptive"), ck.get("adaptive")) else {
+            findings.push(Finding {
+                item: format!("{name} · adaptive"),
+                baseline: 1.0,
+                candidate: 0.0,
+                worse_pct: 100.0,
+                p_value: None,
+                severity: Severity::Regression,
+                note: "adaptive result missing".to_owned(),
+            });
+            continue;
+        };
+
+        let (bq, cq) = (f64_field(ba, "quality")?, f64_field(ca, "quality")?);
+        let worse = worse_pct(bq, cq, higher_is_better);
+        findings.push(Finding {
+            item: format!("{name} · adaptive quality({metric})"),
+            baseline: bq,
+            candidate: cq,
+            worse_pct: worse,
+            p_value: None,
+            severity: threshold_verdict(worse, opts.threshold_pct),
+            note: String::new(),
+        });
+
+        let (be, ce) = (f64_field(ba, "energy_j")?, f64_field(ca, "energy_j")?);
+        let worse = worse_pct(be, ce, false);
+        findings.push(Finding {
+            item: format!("{name} · adaptive energy_j"),
+            baseline: be,
+            candidate: ce,
+            worse_pct: worse,
+            p_value: None,
+            severity: threshold_verdict(worse, opts.threshold_pct),
+            note: String::new(),
+        });
+
+        let (bs, cs) = (f64_field(ba, "steps")?, f64_field(ca, "steps")?);
+        findings.push(Finding {
+            item: format!("{name} · convergence steps"),
+            baseline: bs,
+            candidate: cs,
+            worse_pct: worse_pct(bs.max(1.0), cs, false),
+            p_value: None,
+            severity: if cs > bs * 1.5 + 2.0 {
+                Severity::Regression
+            } else {
+                Severity::Unchanged
+            },
+            note: "slack: gates only past 1.5x + 2".to_owned(),
+        });
+    }
+    Ok(findings)
+}
+
 // ─────────────────────── manifest comparison ───────────────────────
 
 /// Flattens the manifest phase tree into `path → total_ns`.
@@ -581,6 +770,7 @@ mod tests {
             threads: 1,
             reps: 5,
             small: true,
+            degraded: false,
             kernels: vec![QorKernel {
                 name: "sobel".to_owned(),
                 metric: "psnr_db".to_owned(),
@@ -673,6 +863,7 @@ mod tests {
             git: "deadbeef".to_owned(),
             threads: 1,
             reps: 5,
+            degraded: false,
             small: true,
             kernels: vec![],
         };
@@ -724,5 +915,107 @@ mod tests {
         assert_eq!(up.regressions(), 1, "{}", up.render());
         let down = diff_values(&mk(100), &mk(50), &opts).unwrap();
         assert_eq!(down.regressions(), 1, "{}", down.render());
+    }
+
+    /// One-kernel adaptive report with the given contract bits.
+    fn adaptive_report(ok: bool, degraded: bool, steps: u64) -> Value {
+        use crate::adaptive::{
+            AdaptiveKernel, AdaptiveOutcome, AdaptiveReport, StaticBest, ADAPTIVE_SCHEMA,
+        };
+        let r = AdaptiveReport {
+            schema: ADAPTIVE_SCHEMA.to_owned(),
+            name: "test".to_owned(),
+            git: "deadbeef".to_owned(),
+            threads: 1,
+            small: true,
+            degraded,
+            kernels: vec![AdaptiveKernel {
+                name: "sobel".to_owned(),
+                metric: "psnr_db".to_owned(),
+                higher_is_better: true,
+                target_kind: "at_least".to_owned(),
+                target: 25.0,
+                non_flat: true,
+                best_static: Some(StaticBest {
+                    ratio: 0.8,
+                    quality: 28.9,
+                    energy_j: 2.0,
+                }),
+                adaptive: AdaptiveOutcome {
+                    final_ratio: 0.62,
+                    quality: 25.4,
+                    energy_j: 1.6,
+                    steps,
+                    converged: ok,
+                    converged_step: ok.then(|| steps.saturating_sub(1)),
+                    evals: steps + 1,
+                    non_finite: 0,
+                },
+                target_met: ok,
+                dominates: ok,
+            }],
+        };
+        parse(&r.to_json()).expect("round-trip")
+    }
+
+    #[test]
+    fn detect_recognises_adaptive_reports() {
+        assert_eq!(
+            detect(&adaptive_report(true, false, 6)),
+            Ok(ArtifactKind::Adaptive)
+        );
+    }
+
+    #[test]
+    fn adaptive_self_comparison_is_clean() {
+        let r = adaptive_report(true, false, 6);
+        let d = diff_values(&r, &r, &DiffOptions::default()).expect("diff");
+        assert_eq!(d.regressions(), 0, "{}", d.render());
+        assert!(d.warnings.is_empty());
+    }
+
+    #[test]
+    fn broken_controller_contract_gates() {
+        let base = adaptive_report(true, false, 6);
+        let bad = adaptive_report(false, false, 6);
+        let d = diff_values(&base, &bad, &DiffOptions::default()).expect("diff");
+        // target_met, converged, and dominance all broke.
+        assert_eq!(d.regressions(), 3, "{}", d.render());
+        assert!(d.render().contains("dominates best static"));
+    }
+
+    #[test]
+    fn convergence_step_blowup_gates_with_slack() {
+        let base = adaptive_report(true, false, 6);
+        // 8 steps is within 6·1.5 + 2 = 11: fine.
+        let near = adaptive_report(true, false, 8);
+        let d = diff_values(&base, &near, &DiffOptions::default()).expect("diff");
+        assert_eq!(d.regressions(), 0, "{}", d.render());
+        // 20 steps is a blow-up.
+        let slow = adaptive_report(true, false, 20);
+        let d = diff_values(&base, &slow, &DiffOptions::default()).expect("diff");
+        assert_eq!(d.regressions(), 1, "{}", d.render());
+        assert!(d.render().contains("convergence steps"));
+    }
+
+    #[test]
+    fn degraded_inputs_surface_as_warnings() {
+        let clean = adaptive_report(true, false, 6);
+        let degraded = adaptive_report(true, true, 6);
+        let d = diff_values(&clean, &degraded, &DiffOptions::default()).expect("diff");
+        assert_eq!(d.regressions(), 0, "degraded warns, not gates: {}", d.render());
+        assert_eq!(d.warnings.len(), 1);
+        assert!(d.render().contains("WARNING"), "{}", d.render());
+
+        // Same flag on a QoR report.
+        let mut q = report(1.0, 0.0);
+        let dq = diff_values(&q, &q, &DiffOptions::default()).expect("diff");
+        assert!(dq.warnings.is_empty());
+        if let Value::Obj(entries) = &mut q {
+            entries.retain(|(k, _)| k != "degraded");
+            entries.push(("degraded".to_owned(), Value::Bool(true)));
+        }
+        let dq = diff_values(&q, &q, &DiffOptions::default()).expect("diff");
+        assert_eq!(dq.warnings.len(), 2, "both sides degraded: {:?}", dq.warnings);
     }
 }

@@ -6,10 +6,14 @@
 
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod diff;
 pub mod qor;
 pub mod stats;
 
+pub use adaptive::{
+    AdaptiveKernel, AdaptiveOutcome, AdaptiveReport, StaticBest, ADAPTIVE_SCHEMA,
+};
 pub use qor::{QorKernel, QorPoint, QorReport, QOR_SCHEMA};
 
 use std::fmt::Write as _;

@@ -1,0 +1,121 @@
+//! End-to-end tests of the closed-loop harnesses: `bench_adaptive`
+//! must produce a `BENCH_adaptive.json` whose non-flat kernels meet
+//! their targets at no more energy than the best static ratio, with
+//! the controller's decision sequence exported as `ratio_decision`
+//! events; `fig7_sweep --adaptive` must produce the same artifact from
+//! the full sweep.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use scorpio_obs::json::{parse, Value};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("scorpio_adaptive_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn read_json(path: &PathBuf) -> Value {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    parse(&text).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()))
+}
+
+#[test]
+fn bench_adaptive_sobel_meets_target_and_exports_decisions() {
+    let dir = temp_dir("sobel");
+    let status = Command::new(env!("CARGO_BIN_EXE_bench_adaptive"))
+        .args(["--small", "--threads", "1", "--kernel", "sobel", "--out-dir"])
+        .arg(&dir)
+        .status()
+        .expect("run bench_adaptive");
+    assert!(status.success(), "bench_adaptive failed: {status}");
+
+    let report = read_json(&dir.join("BENCH_adaptive.json"));
+    assert_eq!(
+        report.get("schema").and_then(Value::as_str),
+        Some("scorpio-adaptive-v1")
+    );
+    let kernels = report.get("kernels").and_then(Value::as_arr).unwrap();
+    assert_eq!(kernels.len(), 1);
+    let sobel = &kernels[0];
+    assert_eq!(sobel.get("name").and_then(Value::as_str), Some("sobel"));
+    assert_eq!(sobel.get("non_flat"), Some(&Value::Bool(true)));
+    assert_eq!(sobel.get("target_met"), Some(&Value::Bool(true)));
+    assert_eq!(sobel.get("dominates"), Some(&Value::Bool(true)));
+    let adaptive = sobel.get("adaptive").expect("adaptive outcome");
+    assert_eq!(adaptive.get("converged"), Some(&Value::Bool(true)));
+    let final_ratio = adaptive.get("final_ratio").and_then(Value::as_f64).unwrap();
+    assert!((0.0..=1.0).contains(&final_ratio), "ratio {final_ratio}");
+    let static_energy = sobel
+        .get("best_static")
+        .and_then(|s| s.get("energy_j"))
+        .and_then(Value::as_f64)
+        .expect("sobel has a target-meeting static point");
+    let adaptive_energy = adaptive.get("energy_j").and_then(Value::as_f64).unwrap();
+    assert!(
+        adaptive_energy <= static_energy * (1.0 + 1e-9),
+        "adaptive {adaptive_energy} J vs static {static_energy} J"
+    );
+
+    // The controller's decision sequence is part of the exported run:
+    // every observation shows up as a ratio_decision event.
+    let events = std::fs::read_to_string(dir.join("EVENTS_bench_adaptive.jsonl"))
+        .expect("events log");
+    let decisions: Vec<&str> = events
+        .lines()
+        .filter(|l| l.contains("\"event\":\"ratio_decision\""))
+        .collect();
+    let steps = adaptive.get("steps").and_then(Value::as_f64).unwrap() as usize;
+    assert_eq!(decisions.len(), steps, "one event per observation");
+    assert!(
+        decisions.last().unwrap().contains("\"decision\":\"converged\""),
+        "last decision: {:?}",
+        decisions.last()
+    );
+    // And the run manifest embeds the same records.
+    let manifest = std::fs::read_to_string(dir.join("RUN_bench_adaptive.json"))
+        .expect("run manifest");
+    assert!(manifest.contains("ratio_decision"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fig7_sweep_adaptive_covers_all_kernels_and_passes_its_own_gate() {
+    let dir = temp_dir("fig7");
+    let status = Command::new(env!("CARGO_BIN_EXE_fig7_sweep"))
+        .args(["--small", "--threads", "1", "--reps", "1", "--adaptive", "--out-dir"])
+        .arg(&dir)
+        .status()
+        .expect("run fig7_sweep");
+    assert!(status.success(), "fig7_sweep failed: {status}");
+
+    let report = read_json(&dir.join("BENCH_adaptive.json"));
+    let kernels = report.get("kernels").and_then(Value::as_arr).unwrap();
+    assert_eq!(kernels.len(), 5, "all five benchmarks adapt");
+    for k in kernels {
+        let name = k.get("name").and_then(Value::as_str).unwrap();
+        assert_eq!(
+            k.get("dominates"),
+            Some(&Value::Bool(true)),
+            "{name} does not dominate its best static ratio"
+        );
+    }
+    // The QoR report rides along and carries the degradation marker.
+    let qor = read_json(&dir.join("BENCH_qor.json"));
+    assert!(qor.get("degraded").is_some(), "QoR report has degraded flag");
+
+    // Self-comparison through the scorpio_diff gate is clean.
+    let status = Command::new(env!("CARGO_BIN_EXE_scorpio_diff"))
+        .arg(dir.join("BENCH_adaptive.json"))
+        .arg(dir.join("BENCH_adaptive.json"))
+        .args(["--gate", "--quality-only"])
+        .status()
+        .expect("run scorpio_diff");
+    assert!(status.success(), "self-gate failed: {status}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -44,6 +44,7 @@ fn report(time_scale: f64, quality_delta: f64) -> QorReport {
         threads: 1,
         reps: 5,
         small: true,
+        degraded: false,
         kernels: vec![
             kernel("sobel", true),
             kernel("dct", true),

@@ -86,6 +86,42 @@ impl TaskClass {
     }
 }
 
+/// What the adaptive controller did with one quality observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecisionClass {
+    /// The controller moved the ratio.
+    Stepped,
+    /// The observation landed inside the hysteresis band (or the
+    /// bracket pinned the ratio); the ratio was left alone.
+    Held,
+    /// The quality signal was NaN/∞ and was discarded without
+    /// influencing the ratio.
+    NonFinite,
+    /// The controller latched convergence on this observation.
+    Converged,
+}
+
+impl DecisionClass {
+    /// Stable lowercase name used in JSONL/manifest exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DecisionClass::Stepped => "stepped",
+            DecisionClass::Held => "held",
+            DecisionClass::NonFinite => "non_finite",
+            DecisionClass::Converged => "converged",
+        }
+    }
+
+    fn from_u64(v: u64) -> DecisionClass {
+        match v {
+            0 => DecisionClass::Stepped,
+            1 => DecisionClass::Held,
+            2 => DecisionClass::NonFinite,
+            _ => DecisionClass::Converged,
+        }
+    }
+}
+
 /// The event-specific payload of a [`TaskEvent`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum EventKind {
@@ -133,6 +169,23 @@ pub enum EventKind {
         /// Phase wall time in nanoseconds.
         duration_ns: u64,
     },
+    /// One adaptive-controller decision: the quality signal it observed
+    /// and how it moved (or held) the ratio in response. Emitted by
+    /// `scorpio_runtime::controller::adaptive` so every online
+    /// adjustment is on the same timeline as the tasks it governs.
+    RatioDecision {
+        /// Controller step counter (0-based observation index).
+        step: u64,
+        /// Ratio in force when the observation arrived.
+        ratio_before: f64,
+        /// Ratio after the decision (equals `ratio_before` on holds).
+        ratio_after: f64,
+        /// The raw quality/energy signal observed (may be NaN for
+        /// [`DecisionClass::NonFinite`] decisions).
+        signal: f64,
+        /// What the controller did.
+        decision: DecisionClass,
+    },
 }
 
 /// One structured telemetry event on the merged timeline.
@@ -165,7 +218,8 @@ pub struct TaskEventRecord {
     pub worker: u64,
     /// Task-group / phase label.
     pub label: String,
-    /// `"task"`, `"taskwait"`, `"ratio"` or `"phase"`.
+    /// `"task"`, `"taskwait"`, `"ratio"`, `"phase"` or
+    /// `"ratio_decision"`.
     pub event: &'static str,
     /// Spawn-order task id (task events only).
     pub task_id: Option<u64>,
@@ -185,6 +239,17 @@ pub struct TaskEventRecord {
     pub dropped: Option<u64>,
     /// Duration in nanoseconds (task, taskwait and phase events).
     pub duration_ns: Option<u64>,
+    /// Controller step counter (ratio-decision events only).
+    pub step: Option<u64>,
+    /// Ratio before the decision (ratio-decision events only).
+    pub ratio_before: Option<f64>,
+    /// Ratio after the decision (ratio-decision events only).
+    pub ratio_after: Option<f64>,
+    /// Observed quality/energy signal (ratio-decision events only).
+    pub signal: Option<f64>,
+    /// `"stepped"` / `"held"` / `"non_finite"` / `"converged"`
+    /// (ratio-decision events only).
+    pub decision: Option<&'static str>,
 }
 
 impl TaskEvent {
@@ -205,6 +270,11 @@ impl TaskEvent {
             approximate: None,
             dropped: None,
             duration_ns: None,
+            step: None,
+            ratio_before: None,
+            ratio_after: None,
+            signal: None,
+            decision: None,
         };
         match self.kind {
             EventKind::Task {
@@ -243,6 +313,20 @@ impl TaskEvent {
                 r.event = "phase";
                 r.duration_ns = Some(duration_ns);
             }
+            EventKind::RatioDecision {
+                step,
+                ratio_before,
+                ratio_after,
+                signal,
+                decision,
+            } => {
+                r.event = "ratio_decision";
+                r.step = Some(step);
+                r.ratio_before = Some(ratio_before);
+                r.ratio_after = Some(ratio_after);
+                r.signal = Some(signal);
+                r.decision = Some(decision.as_str());
+            }
         }
         r
     }
@@ -258,6 +342,7 @@ const K_TASK: u64 = 0;
 const K_TASKWAIT: u64 = 1;
 const K_RATIO: u64 = 2;
 const K_PHASE: u64 = 3;
+const K_DECISION: u64 = 4;
 
 /// One decoded raw record: `[seq, t_ns, kind, class, worker, label,
 /// a, b, c, d, e, f]`.
@@ -306,6 +391,20 @@ fn encode(seq: u64, t_ns: u64, worker: u64, label: u32, kind: &EventKind) -> Raw
             w[2] = K_PHASE;
             w[11] = duration_ns;
         }
+        EventKind::RatioDecision {
+            step,
+            ratio_before,
+            ratio_after,
+            signal,
+            decision,
+        } => {
+            w[2] = K_DECISION;
+            w[3] = decision as u64;
+            w[6] = step;
+            w[7] = ratio_before.to_bits();
+            w[8] = ratio_after.to_bits();
+            w[9] = signal.to_bits();
+        }
     }
     w
 }
@@ -328,6 +427,13 @@ fn decode(w: &Raw) -> TaskEvent {
         },
         K_RATIO => EventKind::Ratio {
             requested: f64::from_bits(w[9]),
+        },
+        K_DECISION => EventKind::RatioDecision {
+            step: w[6],
+            ratio_before: f64::from_bits(w[7]),
+            ratio_after: f64::from_bits(w[8]),
+            signal: f64::from_bits(w[9]),
+            decision: DecisionClass::from_u64(w[3]),
         },
         _ => EventKind::Phase { duration_ns: w[11] },
     };
@@ -649,6 +755,32 @@ pub fn ratio_event(label: &str, requested: f64) {
 pub fn phase_event(label: &str, duration_ns: u64) {
     if crate::enabled() {
         emit(label, EventKind::Phase { duration_ns });
+    }
+}
+
+/// Records one adaptive-controller decision (see
+/// [`EventKind::RatioDecision`]). A no-op when tracing is
+/// [disabled](crate::enabled).
+#[inline]
+pub fn ratio_decision_event(
+    label: &str,
+    step: u64,
+    ratio_before: f64,
+    ratio_after: f64,
+    signal: f64,
+    decision: DecisionClass,
+) {
+    if crate::enabled() {
+        emit(
+            label,
+            EventKind::RatioDecision {
+                step,
+                ratio_before,
+                ratio_after,
+                signal,
+                decision,
+            },
+        );
     }
 }
 

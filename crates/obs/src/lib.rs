@@ -61,9 +61,9 @@ mod metrics;
 mod span;
 
 pub use events::{
-    events_dropped, events_jsonl, phase_event, ratio_event, records_jsonl, take_task_events,
-    task_event, task_events_snapshot, taskwait_event, EventKind, TaskClass, TaskEvent,
-    TaskEventRecord,
+    events_dropped, events_jsonl, phase_event, ratio_decision_event, ratio_event, records_jsonl,
+    take_task_events, task_event, task_events_snapshot, taskwait_event, DecisionClass, EventKind,
+    TaskClass, TaskEvent, TaskEventRecord,
 };
 pub use manifest::{
     git_describe, ConfigEntry, CounterSnapshot, HistogramSnapshot, PhaseNode, RunManifest,

@@ -422,6 +422,55 @@ fn bounded_spill_counts_overflow_from_exited_threads() {
 }
 
 #[test]
+fn ratio_decision_events_round_trip_through_ring_and_jsonl() {
+    let _guard = lock();
+    reset();
+    enable();
+    ratio_decision_event("adapt", 0, 0.5, 0.64, 21.7, DecisionClass::Stepped);
+    ratio_decision_event("adapt", 1, 0.64, 0.64, f64::NAN, DecisionClass::NonFinite);
+    ratio_decision_event("adapt", 2, 0.64, 0.64, 25.3, DecisionClass::Converged);
+    disable();
+    let events = take_task_events();
+    assert_eq!(events.len(), 3);
+    match events[0].kind {
+        EventKind::RatioDecision {
+            step,
+            ratio_before,
+            ratio_after,
+            signal,
+            decision,
+        } => {
+            assert_eq!(step, 0);
+            assert_eq!(ratio_before, 0.5);
+            assert_eq!(ratio_after, 0.64);
+            assert_eq!(signal, 21.7);
+            assert_eq!(decision, DecisionClass::Stepped);
+        }
+        ref k => panic!("expected ratio_decision event, got {k:?}"),
+    }
+    // NaN signals survive the bit-level ring encoding.
+    match events[1].kind {
+        EventKind::RatioDecision {
+            signal, decision, ..
+        } => {
+            assert!(signal.is_nan());
+            assert_eq!(decision, DecisionClass::NonFinite);
+        }
+        ref k => panic!("expected ratio_decision event, got {k:?}"),
+    }
+    let record = events[2].to_record();
+    assert_eq!(record.event, "ratio_decision");
+    assert_eq!(record.step, Some(2));
+    assert_eq!(record.decision, Some("converged"));
+    let jsonl = events_jsonl(&events);
+    let v = parse(jsonl.lines().last().unwrap()).expect("jsonl line parses");
+    assert_eq!(v.get("event").and_then(Value::as_str), Some("ratio_decision"));
+    assert_eq!(v.get("ratio_after").and_then(Value::as_f64), Some(0.64));
+    assert_eq!(v.get("decision").and_then(Value::as_str), Some("converged"));
+    reset();
+}
+
+#[test]
 fn jsonl_export_is_one_parsable_object_per_line() {
     let _guard = lock();
     reset();

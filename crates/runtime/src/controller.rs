@@ -13,6 +13,8 @@
 
 use std::fmt;
 
+pub mod adaptive;
+
 /// What "meeting the target" means for the application's quality metric.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum QualityTarget {
@@ -23,7 +25,11 @@ pub enum QualityTarget {
 }
 
 impl QualityTarget {
-    /// `true` iff `quality` satisfies the target.
+    /// `true` iff `quality` satisfies the target. A NaN quality never
+    /// satisfies either direction (both comparisons are false), so NaN
+    /// evaluations always read as "missed" — callers that need to react
+    /// to NaN distinctly should check [`f64::is_finite`] first (the
+    /// calibrator and the adaptive controller both do).
     pub fn met_by(&self, quality: f64) -> bool {
         match *self {
             QualityTarget::AtLeast(t) => quality >= t,
@@ -53,6 +59,13 @@ pub struct Calibration {
     /// each one is a full approximate execution, so callers care how
     /// many there were.
     pub evaluations: Vec<(f64, f64)>,
+    /// How many evaluations returned a non-finite quality (NaN or ±∞).
+    /// NaN can never satisfy a [`QualityTarget`], so a NaN-returning
+    /// eval (empty-enclosure significance, PSNR of identical images)
+    /// silently steers the bisection toward `ratio: None` — a nonzero
+    /// count here is the signal that the result reflects a broken
+    /// quality metric, not an unachievable target.
+    pub non_finite_evals: usize,
 }
 
 /// Finds the smallest `ratio ∈ [0, 1]` whose quality meets `target`, to
@@ -93,37 +106,46 @@ where
         "tolerance must be in (0, 1), got {tolerance}"
     );
     let mut evaluations = Vec::new();
-    let mut run = |r: f64, evals: &mut Vec<(f64, f64)>| {
+    let mut non_finite_evals = 0usize;
+    let mut run = |r: f64, evals: &mut Vec<(f64, f64)>, non_finite: &mut usize| {
         let q = eval(r);
+        if !q.is_finite() {
+            *non_finite += 1;
+        }
         evals.push((r, q));
         q
     };
 
     // Cheapest first: maybe ratio 0 already suffices.
-    let q0 = run(0.0, &mut evaluations);
+    let q0 = run(0.0, &mut evaluations, &mut non_finite_evals);
     if target.met_by(q0) {
         return Calibration {
             ratio: Some(0.0),
             quality: q0,
             evaluations,
+            non_finite_evals,
         };
     }
     // Ceiling check: is the target achievable at all?
-    let q1 = run(1.0, &mut evaluations);
+    let q1 = run(1.0, &mut evaluations, &mut non_finite_evals);
     if !target.met_by(q1) {
         return Calibration {
             ratio: None,
             quality: q1,
             evaluations,
+            non_finite_evals,
         };
     }
 
-    // Invariant: target missed at lo, met at hi.
+    // Invariant: target missed at lo, met at hi. NaN qualities fail
+    // `met_by` in both directions, so a NaN mid-probe conservatively
+    // narrows toward hi (never widens the met region) and the invariant
+    // is preserved; the count above tells the caller it happened.
     let (mut lo, mut hi) = (0.0f64, 1.0f64);
     let mut hi_quality = q1;
     while hi - lo > tolerance {
         let mid = 0.5 * (lo + hi);
-        let q = run(mid, &mut evaluations);
+        let q = run(mid, &mut evaluations, &mut non_finite_evals);
         if target.met_by(q) {
             hi = mid;
             hi_quality = q;
@@ -135,6 +157,7 @@ where
         ratio: Some(hi),
         quality: hi_quality,
         evaluations,
+        non_finite_evals,
     }
 }
 
@@ -209,5 +232,52 @@ mod tests {
     #[should_panic(expected = "tolerance")]
     fn bad_tolerance_panics() {
         let _ = calibrate_ratio(|r| r, QualityTarget::AtLeast(0.5), 0.0);
+    }
+
+    #[test]
+    fn finite_evals_report_zero_non_finite() {
+        let c = calibrate_ratio(|r| 20.0 + 40.0 * r, QualityTarget::AtLeast(30.0), 1e-3);
+        assert_eq!(c.non_finite_evals, 0);
+        assert!(c.ratio.is_some());
+    }
+
+    #[test]
+    fn nan_quality_below_threshold_is_counted_not_silent() {
+        // PSNR of identical images / empty-enclosure significance: the
+        // metric degenerates to NaN below the working ratio. The search
+        // must still find the threshold AND report how often the metric
+        // was broken.
+        let c = calibrate_ratio(
+            |r| if r >= 0.6 { 100.0 } else { f64::NAN },
+            QualityTarget::AtLeast(50.0),
+            1e-3,
+        );
+        let r = c.ratio.expect("target reachable at ratio 1");
+        assert!((r - 0.6).abs() < 2e-3, "found {r}");
+        assert!(c.quality.is_finite());
+        assert!(c.non_finite_evals > 0, "NaN evals must be surfaced");
+        let nan_evals = c.evaluations.iter().filter(|(_, q)| q.is_nan()).count();
+        assert_eq!(c.non_finite_evals, nan_evals);
+    }
+
+    #[test]
+    fn all_nan_metric_reports_none_with_full_non_finite_count() {
+        // A metric that is always NaN is indistinguishable from an
+        // unreachable target on `ratio` alone; `non_finite_evals` is
+        // the distinguishing signal the bug report asked for.
+        let c = calibrate_ratio(|_| f64::NAN, QualityTarget::AtLeast(10.0), 1e-3);
+        assert_eq!(c.ratio, None);
+        assert_eq!(c.non_finite_evals, c.evaluations.len());
+        assert!(c.non_finite_evals >= 2);
+    }
+
+    #[test]
+    fn infinite_quality_counts_as_non_finite_but_can_meet_target() {
+        // +∞ (PSNR of bit-identical output) legitimately meets an
+        // AtLeast target — but it is still flagged, because it usually
+        // means the metric saturated rather than measured.
+        let c = calibrate_ratio(|_| f64::INFINITY, QualityTarget::AtLeast(30.0), 1e-3);
+        assert_eq!(c.ratio, Some(0.0));
+        assert_eq!(c.non_finite_evals, 1);
     }
 }

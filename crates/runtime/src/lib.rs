@@ -20,6 +20,12 @@
 //! units into Joules (see DESIGN.md §5 for why a model replaces the
 //! paper's RAPL measurements and what it preserves).
 //!
+//! The ratio knob can also be put under feedback control: the
+//! [`controller`] module provides offline calibration
+//! ([`controller::calibrate_ratio`]) and the closed-loop
+//! [`controller::adaptive::AdaptiveController`], which
+//! [`TaskGroup::taskwait_adaptive`] consults instead of a fixed ratio.
+//!
 //! # Example
 //!
 //! The Maclaurin series of Listing 7, one task per term:

@@ -278,6 +278,56 @@ impl<'scope> TaskGroup<'scope> {
         }
         stats
     }
+
+    /// Executes the group at the ratio currently commanded by an
+    /// [`AdaptiveController`](crate::controller::adaptive::AdaptiveController)
+    /// and records the achieved schedule back into it — the first half
+    /// of the closed loop (`#pragma omp taskwait` with the knob under
+    /// feedback control instead of a constant).
+    ///
+    /// The caller completes the loop by measuring (or proxying) output
+    /// quality and passing it to
+    /// [`observe`](crate::controller::adaptive::AdaptiveController::observe):
+    ///
+    /// ```
+    /// use scorpio_runtime::controller::adaptive::{AdaptiveController, Objective};
+    /// use scorpio_runtime::controller::QualityTarget;
+    /// use scorpio_runtime::{Executor, TaskGroup};
+    ///
+    /// let executor = Executor::new(1);
+    /// let mut ctrl = AdaptiveController::new(
+    ///     "loop",
+    ///     Objective::Quality(QualityTarget::AtLeast(0.5)),
+    /// );
+    /// for _ in 0..8 {
+    ///     let mut group = TaskGroup::new("loop");
+    ///     for i in 0..10 {
+    ///         group.spawn(
+    ///             i as f64 / 10.0,
+    ///             |ctx| ctx.count_accurate_ops(10),
+    ///             Some(|ctx: &scorpio_runtime::TaskCtx| ctx.count_approx_ops(1)),
+    ///         );
+    ///     }
+    ///     let stats = group.taskwait_adaptive(&executor, &mut ctrl);
+    ///     // Quality proxy: the accurate fraction itself.
+    ///     let quality = stats.accurate as f64 / stats.total() as f64;
+    ///     ctrl.observe(quality);
+    ///     if ctrl.converged() {
+    ///         break;
+    ///     }
+    /// }
+    /// assert!(ctrl.steps() > 0);
+    /// ```
+    pub fn taskwait_adaptive(
+        self,
+        executor: &Executor,
+        controller: &mut crate::controller::adaptive::AdaptiveController,
+    ) -> ExecutionStats {
+        let ratio = controller.ratio();
+        let stats = self.taskwait(executor, ratio);
+        controller.record_execution(&stats);
+        stats
+    }
 }
 
 pub(crate) fn make_ctx(

@@ -123,7 +123,14 @@ impl Shared {
 
     fn stats_response(&self, id: u64) -> StatsResponse {
         let cache = self.cache.stats();
-        let replay = *self.replay.lock().expect("replay totals poisoned");
+        // A worker that panicked mid-merge poisons this mutex; the
+        // guarded data is plain counters (at worst missing that
+        // worker's last delta), so salvage it — `stats` must keep
+        // answering after a bad job rather than panicking the daemon.
+        let replay = *self
+            .replay
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         StatsResponse {
             id,
             ok: true,
@@ -264,7 +271,10 @@ impl Server {
             kernel_requests: std::array::from_fn(|i| {
                 shared.kernel_requests[i].load(Ordering::Relaxed)
             }),
-            replay: *shared.replay.lock().expect("replay totals poisoned"),
+            replay: *shared
+                .replay
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
             cache: shared.cache.stats(),
         };
         if let Some(session) = session {
@@ -398,7 +408,13 @@ fn worker_loop(shared: &Shared, job_rx: &Mutex<mpsc::Receiver<Job>>) {
     let mut lanes = LaneScratch::<DEFAULT_LANES>::new();
     let mut drivers: HashMap<&'static str, ReplayOrRecord> = HashMap::new();
     loop {
-        let job = match job_rx.lock().expect("job queue poisoned").recv() {
+        // Poison on the queue just means a sibling worker panicked
+        // while blocked in recv(); the receiver itself is still sound.
+        let job = match job_rx
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .recv()
+        {
             Ok(job) => job,
             Err(_) => return,
         };
@@ -484,7 +500,7 @@ fn run_analyze(
     shared
         .replay
         .lock()
-        .expect("replay totals poisoned")
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .merge(driver.stats().since(stats_before));
     scorpio_obs::observe(latency_metric(kernel), server_ns as f64 / 1_000.0);
 
@@ -569,4 +585,101 @@ fn classify_tasks(
             class: class.to_string(),
         })
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_shared() -> Arc<Shared> {
+        Arc::new(Shared {
+            cache: TapeCache::new(4),
+            shutdown: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            kernel_requests: Default::default(),
+            replay: Mutex::new(ReplayStats::default()),
+            workers: 1,
+        })
+    }
+
+    /// Panics while holding `m`, leaving it poisoned.
+    fn poison<T: Send>(m: &Mutex<T>) {
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                let _guard = m.lock().unwrap();
+                panic!("deliberate poison");
+            });
+            assert!(handle.join().is_err());
+        });
+        assert!(m.is_poisoned(), "mutex must be poisoned for this test");
+    }
+
+    #[test]
+    fn stats_answers_after_a_panicked_job_poisons_replay_totals() {
+        let shared = test_shared();
+        // Counters recorded before the "bad job" must survive salvage.
+        shared
+            .replay
+            .lock()
+            .unwrap()
+            .merge(ReplayStats {
+                replays: 7,
+                records: 2,
+                ..ReplayStats::default()
+            });
+        shared.requests.fetch_add(3, Ordering::Relaxed);
+        poison(&shared.replay);
+
+        // The regression this pins: stats_response used to panic here
+        // (`expect("replay totals poisoned")`), taking the daemon's
+        // stats/shutdown path down with the one bad worker.
+        let stats = shared.stats_response(42);
+        assert!(stats.ok);
+        assert_eq!(stats.id, 42);
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.replay.replays, 7);
+        assert_eq!(stats.replay.records, 2);
+
+        // And the merge path salvages too: later good jobs keep
+        // accumulating into the poisoned-but-sound counters.
+        shared
+            .replay
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .merge(ReplayStats {
+                replays: 1,
+                ..ReplayStats::default()
+            });
+        assert_eq!(shared.stats_response(43).replay.replays, 8);
+    }
+
+    #[test]
+    fn worker_loop_drains_jobs_from_a_poisoned_queue() {
+        let shared = test_shared();
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let job_rx = Mutex::new(job_rx);
+        poison(&job_rx);
+
+        let (reply_tx, reply_rx) = mpsc::channel::<String>();
+        job_tx
+            .send(Job {
+                id: 1,
+                request: AnalyzeRequest {
+                    kernel: crate::kernels::KernelRequest::Maclaurin {
+                        n: 4,
+                        items: vec![0.25],
+                    },
+                    ratio: 0.5,
+                    detail: Detail::Vars,
+                },
+                reply: reply_tx,
+            })
+            .expect("queue accepts the job");
+        drop(job_tx); // run the worker dry after one job
+
+        worker_loop(&shared, &job_rx);
+        let line = reply_rx.recv().expect("worker answered despite poison");
+        assert!(line.contains("\"ok\":true"), "bad reply: {line}");
+    }
 }
