@@ -33,6 +33,9 @@ pub enum ArtifactKind {
     /// A `BENCH_adaptive.json` controller-vs-static ablation
     /// ([`crate::AdaptiveReport`]).
     Adaptive,
+    /// A `BENCH_jpeg.json` end-to-end codec scenario report
+    /// ([`crate::JpegReport`]).
+    Jpeg,
 }
 
 /// Knobs of one comparison.
@@ -135,6 +138,7 @@ impl DiffReport {
             ArtifactKind::Qor => "QoR report",
             ArtifactKind::RunManifest => "run manifest",
             ArtifactKind::Adaptive => "adaptive-controller report",
+            ArtifactKind::Jpeg => "JPEG scenario report",
         };
         let _ = writeln!(out, "comparing {kind}s: {} items", self.findings.len());
         for w in &self.warnings {
@@ -198,6 +202,8 @@ pub fn detect(value: &Value) -> Result<ArtifactKind, String> {
             Ok(ArtifactKind::Qor)
         } else if schema == crate::ADAPTIVE_SCHEMA {
             Ok(ArtifactKind::Adaptive)
+        } else if schema == crate::JPEG_SCHEMA {
+            Ok(ArtifactKind::Jpeg)
         } else {
             Err(format!("unsupported schema {schema:?}"))
         };
@@ -206,8 +212,8 @@ pub fn detect(value: &Value) -> Result<ArtifactKind, String> {
         return Ok(ArtifactKind::RunManifest);
     }
     Err(
-        "not a BENCH_qor.json QoR report, BENCH_adaptive.json adaptive report \
-         or RUN_*.json run manifest"
+        "not a BENCH_qor.json QoR report, BENCH_adaptive.json adaptive report, \
+         BENCH_jpeg.json JPEG scenario report or RUN_*.json run manifest"
             .to_owned(),
     )
 }
@@ -229,6 +235,7 @@ pub fn diff_values(base: &Value, cand: &Value, opts: &DiffOptions) -> Result<Dif
         ArtifactKind::Qor => diff_qor(base, cand, opts)?,
         ArtifactKind::RunManifest => diff_manifest(base, cand, opts)?,
         ArtifactKind::Adaptive => diff_adaptive(base, cand, opts)?,
+        ArtifactKind::Jpeg => diff_jpeg(base, cand, opts)?,
     };
     let mut warnings = Vec::new();
     for (side, value) in [("baseline", base), ("candidate", cand)] {
@@ -247,7 +254,7 @@ pub fn diff_values(base: &Value, cand: &Value, opts: &DiffOptions) -> Result<Dif
 /// task events (so its telemetry-derived columns may be biased).
 fn degraded_input(side: &str, value: &Value, kind: ArtifactKind) -> Option<String> {
     match kind {
-        ArtifactKind::Qor | ArtifactKind::Adaptive => {
+        ArtifactKind::Qor | ArtifactKind::Adaptive | ArtifactKind::Jpeg => {
             matches!(value.get("degraded"), Some(Value::Bool(true))).then(|| {
                 format!(
                     "{side} is degraded (its run dropped task events; \
@@ -604,6 +611,226 @@ fn diff_adaptive(base: &Value, cand: &Value, opts: &DiffOptions) -> Result<Vec<F
         let (bs, cs) = (f64_field(ba, "steps")?, f64_field(ca, "steps")?);
         findings.push(Finding {
             item: format!("{name} · convergence steps"),
+            baseline: bs,
+            candidate: cs,
+            worse_pct: worse_pct(bs.max(1.0), cs, false),
+            p_value: None,
+            severity: if cs > bs * 1.5 + 2.0 {
+                Severity::Regression
+            } else {
+                Severity::Unchanged
+            },
+            note: "slack: gates only past 1.5x + 2".to_owned(),
+        });
+    }
+    Ok(findings)
+}
+
+// ──────────────────── JPEG-scenario comparison ────────────────────
+
+/// Compares two `BENCH_jpeg.json` reports. Two layers, mirroring the
+/// adaptive gate:
+///
+/// * **Self-contained contract on the candidate** — on every image,
+///   each sweep point's container must round-trip bit-exactly, the
+///   significance-ordered sweep must weakly dominate the random-block
+///   ablation on PSNR, and the adaptive run must converge and meet its
+///   target. Absolute properties of the candidate run; the baseline
+///   only supplies the image list.
+/// * **Cross-file drift** — per curve point PSNR/SSIM (higher is
+///   better), modeled energy (lower is better), bits-per-pixel (actual
+///   entropy-coded size: drift in either direction gates, like a
+///   counter), and the accurate-block tally (deterministic scheduling:
+///   any change gates exactly); plus the adaptive outcome's quality,
+///   energy, and step count (with the same 1.5×+2 slack).
+fn diff_jpeg(base: &Value, cand: &Value, opts: &DiffOptions) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+    let base_images = base
+        .get("images")
+        .and_then(Value::as_arr)
+        .ok_or("baseline JPEG report has no images array")?;
+    let cand_images = cand
+        .get("images")
+        .and_then(Value::as_arr)
+        .ok_or("candidate JPEG report has no images array")?;
+
+    for bi in base_images {
+        let name = str_field(bi, "name")?;
+        let Some(ci) = cand_images
+            .iter()
+            .find(|i| i.get("name").and_then(Value::as_str) == Some(name))
+        else {
+            findings.push(Finding {
+                item: format!("{name} (image)"),
+                baseline: 1.0,
+                candidate: 0.0,
+                worse_pct: 100.0,
+                p_value: None,
+                severity: Severity::Regression,
+                note: "image missing from candidate".to_owned(),
+            });
+            continue;
+        };
+
+        // Candidate contract bits.
+        let adaptive_ok = |key: &str| ci.get("adaptive").is_some_and(|a| bool_field(a, key));
+        let all_roundtrip = |curve: &str| {
+            ci.get(curve)
+                .and_then(Value::as_arr)
+                .is_some_and(|pts| !pts.is_empty() && pts.iter().all(|p| bool_field(p, "roundtrip_ok")))
+        };
+        let checks = [
+            (
+                "bitstreams round-trip",
+                all_roundtrip("curve") && all_roundtrip("random_curve"),
+            ),
+            (
+                "significance dominates random",
+                bool_field(ci, "sig_dominates_random"),
+            ),
+            ("adaptive target_met", adaptive_ok("target_met")),
+            ("adaptive converged", adaptive_ok("converged")),
+        ];
+        for (what, ok) in checks {
+            findings.push(Finding {
+                item: format!("{name} · {what}"),
+                baseline: 1.0,
+                candidate: if ok { 1.0 } else { 0.0 },
+                worse_pct: if ok { 0.0 } else { 100.0 },
+                p_value: None,
+                severity: if ok {
+                    Severity::Unchanged
+                } else {
+                    Severity::Regression
+                },
+                note: if ok {
+                    String::new()
+                } else {
+                    "codec contract violated".to_owned()
+                },
+            });
+        }
+
+        // Cross-file drift, per sweep point of both curves.
+        for curve in ["curve", "random_curve"] {
+            let empty = Vec::new();
+            let b_points = bi.get(curve).and_then(Value::as_arr).unwrap_or(&empty);
+            let c_points = ci.get(curve).and_then(Value::as_arr).unwrap_or(&empty);
+            for bp in b_points {
+                let ratio = f64_field(bp, "ratio")?;
+                let Some(cp) = c_points.iter().find(|p| {
+                    p.get("ratio")
+                        .and_then(Value::as_f64)
+                        .is_some_and(|r| (r - ratio).abs() < 1e-9)
+                }) else {
+                    findings.push(Finding {
+                        item: format!("{name} {curve} @ ratio {ratio} (point)"),
+                        baseline: 1.0,
+                        candidate: 0.0,
+                        worse_pct: 100.0,
+                        p_value: None,
+                        severity: Severity::Regression,
+                        note: "point missing from candidate".to_owned(),
+                    });
+                    continue;
+                };
+                let at = |what: &str| format!("{name} {curve} @ ratio {ratio} · {what}");
+
+                for (what, higher_is_better) in [("psnr_db", true), ("ssim", true)] {
+                    let (bq, cq) = (f64_field(bp, what)?, f64_field(cp, what)?);
+                    let worse = worse_pct(bq, cq, higher_is_better);
+                    findings.push(Finding {
+                        item: at(what),
+                        baseline: bq,
+                        candidate: cq,
+                        worse_pct: worse,
+                        p_value: None,
+                        severity: threshold_verdict(worse, opts.threshold_pct),
+                        note: String::new(),
+                    });
+                }
+
+                let (be, ce) = (f64_field(bp, "energy_j")?, f64_field(cp, "energy_j")?);
+                let worse = worse_pct(be, ce, false);
+                findings.push(Finding {
+                    item: at("energy_j"),
+                    baseline: be,
+                    candidate: ce,
+                    worse_pct: worse,
+                    p_value: None,
+                    severity: threshold_verdict(worse, opts.threshold_pct),
+                    note: String::new(),
+                });
+
+                // Bitrate: real entropy-coded size — like a counter,
+                // unexpected shrinkage is as suspicious as growth.
+                let (bb, cb) = (
+                    f64_field(bp, "bits_per_pixel")?,
+                    f64_field(cp, "bits_per_pixel")?,
+                );
+                let change = worse_pct(bb, cb, false);
+                findings.push(Finding {
+                    item: at("bits_per_pixel"),
+                    baseline: bb,
+                    candidate: cb,
+                    worse_pct: change.abs(),
+                    p_value: None,
+                    severity: if change.abs() > opts.threshold_pct {
+                        Severity::Regression
+                    } else {
+                        Severity::Unchanged
+                    },
+                    note: String::new(),
+                });
+
+                // Accurate-block tally: ceil(ratio·n) is deterministic.
+                let (ba, ca) = (
+                    f64_field(bp, "accurate_blocks")?,
+                    f64_field(cp, "accurate_blocks")?,
+                );
+                if (ba - ca).abs() > 1e-9 {
+                    findings.push(Finding {
+                        item: at("accurate_blocks"),
+                        baseline: ba,
+                        candidate: ca,
+                        worse_pct: worse_pct(ba, ca, false).abs(),
+                        p_value: None,
+                        severity: Severity::Regression,
+                        note: "scheduling decision changed".to_owned(),
+                    });
+                }
+            }
+        }
+
+        // Adaptive-outcome drift.
+        let (Some(ba), Some(ca)) = (bi.get("adaptive"), ci.get("adaptive")) else {
+            findings.push(Finding {
+                item: format!("{name} · adaptive"),
+                baseline: 1.0,
+                candidate: 0.0,
+                worse_pct: 100.0,
+                p_value: None,
+                severity: Severity::Regression,
+                note: "adaptive result missing".to_owned(),
+            });
+            continue;
+        };
+        for (what, higher_is_better) in [("psnr_db", true), ("energy_j", false)] {
+            let (bv, cv) = (f64_field(ba, what)?, f64_field(ca, what)?);
+            let worse = worse_pct(bv, cv, higher_is_better);
+            findings.push(Finding {
+                item: format!("{name} · adaptive {what}"),
+                baseline: bv,
+                candidate: cv,
+                worse_pct: worse,
+                p_value: None,
+                severity: threshold_verdict(worse, opts.threshold_pct),
+                note: String::new(),
+            });
+        }
+        let (bs, cs) = (f64_field(ba, "steps")?, f64_field(ca, "steps")?);
+        findings.push(Finding {
+            item: format!("{name} · adaptive steps"),
             baseline: bs,
             candidate: cs,
             worse_pct: worse_pct(bs.max(1.0), cs, false),
@@ -996,6 +1223,106 @@ mod tests {
         let d = diff_values(&base, &slow, &DiffOptions::default()).expect("diff");
         assert_eq!(d.regressions(), 1, "{}", d.render());
         assert!(d.render().contains("convergence steps"));
+    }
+
+    /// One-image JPEG scenario report with controllable contract bits
+    /// and a PSNR offset on the significance curve.
+    fn jpeg_report(ok: bool, psnr_delta: f64) -> Value {
+        use crate::jpeg::{JpegAdaptive, JpegImage, JpegPoint, JpegReport, JPEG_SCHEMA};
+        let point = |ratio: f64, delta: f64| JpegPoint {
+            ratio,
+            psnr_db: 40.0 + 20.0 * ratio + delta,
+            ssim: 0.99 + 0.01 * ratio,
+            bits: 4096,
+            bits_per_pixel: 1.5,
+            energy_j: 0.002 + 0.02 * ratio,
+            accurate_blocks: (ratio * 16.0).ceil() as u64,
+            approx_blocks: 16 - (ratio * 16.0).ceil() as u64,
+            roundtrip_ok: ok,
+        };
+        let r = JpegReport {
+            schema: JPEG_SCHEMA.to_owned(),
+            name: "bench_jpeg".to_owned(),
+            git: "deadbeef".to_owned(),
+            threads: 1,
+            small: true,
+            degraded: false,
+            images: vec![JpegImage {
+                name: "scene".to_owned(),
+                width: 32,
+                height: 32,
+                blocks: 16,
+                curve: [0.0, 0.5, 1.0].map(|r| point(r, psnr_delta)).to_vec(),
+                random_curve: [0.0, 0.5, 1.0].map(|r| point(r, -5.0)).to_vec(),
+                sig_dominates_random: ok,
+                adaptive: JpegAdaptive {
+                    target_psnr_db: 50.0,
+                    final_ratio: 0.4,
+                    psnr_db: 51.0,
+                    energy_j: 0.01,
+                    bits_per_pixel: 1.5,
+                    steps: 3,
+                    converged: ok,
+                    target_met: ok,
+                },
+            }],
+        };
+        parse(&r.to_json()).expect("round-trip")
+    }
+
+    #[test]
+    fn detect_recognises_jpeg_reports() {
+        assert_eq!(detect(&jpeg_report(true, 0.0)), Ok(ArtifactKind::Jpeg));
+    }
+
+    #[test]
+    fn jpeg_self_comparison_is_clean() {
+        let r = jpeg_report(true, 0.0);
+        let d = diff_values(&r, &r, &DiffOptions::default()).expect("diff");
+        assert_eq!(d.regressions(), 0, "{}", d.render());
+    }
+
+    #[test]
+    fn broken_codec_contract_gates() {
+        let base = jpeg_report(true, 0.0);
+        let bad = jpeg_report(false, 0.0);
+        let d = diff_values(&base, &bad, &DiffOptions::default()).expect("diff");
+        // round-trip, dominance, target_met, converged all broke.
+        assert_eq!(d.regressions(), 4, "{}", d.render());
+        assert!(d.render().contains("significance dominates random"));
+        assert!(d.render().contains("bitstreams round-trip"));
+    }
+
+    #[test]
+    fn jpeg_psnr_drop_gates() {
+        let base = jpeg_report(true, 0.0);
+        let worse = jpeg_report(true, -10.0);
+        let d = diff_values(&base, &worse, &DiffOptions::default()).expect("diff");
+        assert!(
+            d.findings
+                .iter()
+                .any(|f| f.item.contains("curve") && f.item.contains("psnr_db")
+                    && f.severity == Severity::Regression),
+            "{}",
+            d.render()
+        );
+        // A PSNR *gain* on the significance curve never gates.
+        let better = jpeg_report(true, 10.0);
+        let d = diff_values(&base, &better, &DiffOptions::default()).expect("diff");
+        assert_eq!(d.regressions(), 0, "{}", d.render());
+    }
+
+    #[test]
+    fn jpeg_missing_image_is_a_regression() {
+        let base = jpeg_report(true, 0.0);
+        let mut empty = jpeg_report(true, 0.0);
+        if let Value::Obj(entries) = &mut empty {
+            entries.retain(|(k, _)| k != "images");
+            entries.push(("images".to_owned(), Value::Arr(vec![])));
+        }
+        let d = diff_values(&base, &empty, &DiffOptions::default()).expect("diff");
+        assert_eq!(d.regressions(), 1, "{}", d.render());
+        assert!(d.findings[0].note.contains("image missing"));
     }
 
     #[test]

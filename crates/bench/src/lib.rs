@@ -8,12 +8,14 @@
 
 pub mod adaptive;
 pub mod diff;
+pub mod jpeg;
 pub mod qor;
 pub mod stats;
 
 pub use adaptive::{
     AdaptiveKernel, AdaptiveOutcome, AdaptiveReport, StaticBest, ADAPTIVE_SCHEMA,
 };
+pub use jpeg::{JpegAdaptive, JpegImage, JpegPoint, JpegReport, JPEG_SCHEMA};
 pub use qor::{QorKernel, QorPoint, QorReport, QOR_SCHEMA};
 
 use std::fmt::Write as _;

@@ -19,6 +19,7 @@
 //! | [`maclaurin`] | §3 running example | one task per series term | `fast_pow` / dropped term |
 //! | [`sobel`] | §4.1.1 | per row: parts A (±2), B, C (±1) + combine group | drop the part's contribution |
 //! | [`dct`] | §4.1.2 | one task per 8×8 coefficient diagonal | drop the diagonal's coefficients |
+//! | [`jpeg`] | end-to-end codec scenario | one task per 8×8 pixel block | BinDCT shift/add lifting transform |
 //! | [`fisheye`] | §4.1.3 | one task per 128×64 output block | corner-interpolated mapping + 2×2 bilinear |
 //! | [`nbody`] | §4.1.4 | one task per (atom, region) | region centre-of-mass force |
 //! | [`blackscholes`] | §4.1.5 | one task per option chunk | fastmath for the C/D blocks |
@@ -29,6 +30,7 @@
 pub mod blackscholes;
 pub mod dct;
 pub mod fisheye;
+pub mod jpeg;
 pub mod maclaurin;
 pub mod nbody;
 pub mod sobel;

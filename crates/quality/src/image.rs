@@ -17,6 +17,20 @@ pub enum ImageError {
     },
     /// The PGM stream was malformed.
     Format(String),
+    /// The PGM header declares a maxval this reader cannot represent
+    /// faithfully (0 or above 255 — 16-bit PGM would need two bytes per
+    /// pixel and would be silently mis-scaled if read as 8-bit).
+    UnsupportedMaxval {
+        /// The declared maxval.
+        maxval: usize,
+    },
+    /// The pixel payload ended before `width * height` bytes.
+    TruncatedPixels {
+        /// Bytes the header promised.
+        expected: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
     /// An underlying I/O failure.
     Io(io::Error),
 }
@@ -29,6 +43,13 @@ impl fmt::Display for ImageError {
                 "pixel buffer of length {len} does not match {width}x{height} image"
             ),
             ImageError::Format(msg) => write!(f, "malformed PGM: {msg}"),
+            ImageError::UnsupportedMaxval { maxval } => {
+                write!(f, "unsupported PGM maxval {maxval} (must be 1..=255)")
+            }
+            ImageError::TruncatedPixels { expected, got } => write!(
+                f,
+                "truncated PGM pixel data: expected {expected} bytes, got {got}"
+            ),
             ImageError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -217,12 +238,16 @@ impl GrayImage {
         Ok(())
     }
 
-    /// Reads a binary PGM (P5) image.
+    /// Reads a binary PGM (P5) image. Maxvals below 255 are rescaled
+    /// into the canonical `[0, 255]` pixel range.
     ///
     /// # Errors
     ///
-    /// Returns [`ImageError::Format`] on malformed headers and
-    /// [`ImageError::Io`] on reader failures.
+    /// Returns [`ImageError::Format`] on malformed headers,
+    /// [`ImageError::UnsupportedMaxval`] for maxval 0 or above 255
+    /// (16-bit PGM), [`ImageError::TruncatedPixels`] when the payload is
+    /// shorter than the header promises, and [`ImageError::Io`] on
+    /// reader failures.
     pub fn read_pgm<R: BufRead>(mut r: R) -> Result<GrayImage, ImageError> {
         let mut header = Vec::new();
         let mut fields = Vec::new();
@@ -272,17 +297,24 @@ impl GrayImage {
         let maxval: usize = fields[3]
             .parse()
             .map_err(|_| ImageError::Format("bad maxval".into()))?;
-        if maxval != 255 {
-            return Err(ImageError::Format(format!(
-                "only maxval 255 supported, got {maxval}"
-            )));
+        if maxval == 0 || maxval > 255 {
+            return Err(ImageError::UnsupportedMaxval { maxval });
         }
         if width == 0 || height == 0 {
             return Err(ImageError::Format("zero dimension".into()));
         }
-        let mut data = vec![0u8; width * height];
-        r.read_exact(&mut data)?;
-        let pixels = data.into_iter().map(f64::from).collect();
+        let expected = width * height;
+        let mut data = vec![0u8; expected];
+        let mut got = 0usize;
+        while got < expected {
+            let n = r.read(&mut data[got..])?;
+            if n == 0 {
+                return Err(ImageError::TruncatedPixels { expected, got });
+            }
+            got += n;
+        }
+        let scale = 255.0 / maxval as f64;
+        let pixels = data.into_iter().map(|b| f64::from(b) * scale).collect();
         GrayImage::from_pixels(width, height, pixels)
     }
 }
@@ -341,6 +373,48 @@ mod tests {
             GrayImage::read_pgm(std::io::Cursor::new(buf)),
             Err(ImageError::Format(_))
         ));
+    }
+
+    #[test]
+    fn pgm_rejects_16bit_maxval() {
+        let mut buf = Vec::from(&b"P5\n2 1\n65535\n"[..]);
+        buf.extend_from_slice(&[0, 7, 0, 9]);
+        assert!(matches!(
+            GrayImage::read_pgm(std::io::Cursor::new(buf)),
+            Err(ImageError::UnsupportedMaxval { maxval: 65535 })
+        ));
+    }
+
+    #[test]
+    fn pgm_rejects_zero_maxval() {
+        let buf = Vec::from(&b"P5\n2 1\n0\n\x00\x00"[..]);
+        assert!(matches!(
+            GrayImage::read_pgm(std::io::Cursor::new(buf)),
+            Err(ImageError::UnsupportedMaxval { maxval: 0 })
+        ));
+    }
+
+    #[test]
+    fn pgm_rejects_truncated_pixels() {
+        let mut buf = Vec::from(&b"P5\n3 2\n255\n"[..]);
+        buf.extend_from_slice(&[1, 2, 3, 4]); // 4 of 6 pixel bytes
+        assert!(matches!(
+            GrayImage::read_pgm(std::io::Cursor::new(buf)),
+            Err(ImageError::TruncatedPixels {
+                expected: 6,
+                got: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn pgm_low_maxval_is_rescaled() {
+        let mut buf = Vec::from(&b"P5\n3 1\n15\n"[..]);
+        buf.extend_from_slice(&[0, 15, 3]);
+        let img = GrayImage::read_pgm(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(img.get(0, 0), 0.0);
+        assert_eq!(img.get(1, 0), 255.0);
+        assert!((img.get(2, 0) - 3.0 * 255.0 / 15.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! End-to-end JPEG scenario integration: the checked-in `assets/`
+//! images through analysis → significance-scheduled transform →
+//! quantisation → entropy coding and back, across the whole ratio grid.
+
+use scorpio::analysis::ParallelAnalysis;
+use scorpio::kernels::jpeg;
+use scorpio::quality::{psnr_images, GrayImage};
+use scorpio::runtime::Executor;
+use std::io::BufReader;
+
+fn load_asset(name: &str) -> GrayImage {
+    let path = format!("{}/../../assets/{name}", env!("CARGO_MANIFEST_DIR"));
+    let file = std::fs::File::open(&path).unwrap_or_else(|e| panic!("open {path}: {e}"));
+    GrayImage::read_pgm(BufReader::new(file)).unwrap_or_else(|e| panic!("parse {path}: {e}"))
+}
+
+#[test]
+fn psnr_is_monotone_in_ratio_on_a_real_image() {
+    let img = load_asset("scene.pgm");
+    let engine = ParallelAnalysis::new(1);
+    let executor = Executor::new(1);
+    let sig = jpeg::analyze(&img, 8.0, &engine).expect("analysis");
+    let full = jpeg::decode(&jpeg::encode_with_significance(&img, &executor, &sig, 1.0).bytes)
+        .expect("decode");
+    let mut last = -1.0;
+    for ratio in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let enc = jpeg::encode_with_significance(&img, &executor, &sig, ratio);
+        assert!(
+            jpeg::verify_bitstream(&enc.bytes).expect("parse own bitstream"),
+            "container at ratio {ratio} must round-trip bit-exactly"
+        );
+        let recon = jpeg::decode(&enc.bytes).expect("decode");
+        let psnr = psnr_images(&full, &recon).min(99.0);
+        assert!(
+            psnr >= last - 0.25,
+            "PSNR fell from {last:.2} to {psnr:.2} at ratio {ratio}"
+        );
+        last = psnr;
+    }
+    assert_eq!(last, 99.0, "ratio 1.0 must reproduce the yardstick");
+}
+
+#[test]
+fn ratio_extremes_schedule_all_one_way() {
+    let img = load_asset("texture.pgm");
+    let engine = ParallelAnalysis::new(1);
+    let executor = Executor::new(1);
+    let sig = jpeg::analyze(&img, 8.0, &engine).expect("analysis");
+    let all_approx = jpeg::encode_with_significance(&img, &executor, &sig, 0.0);
+    assert_eq!(all_approx.accurate_blocks(), 0);
+    let all_accurate = jpeg::encode_with_significance(&img, &executor, &sig, 1.0);
+    assert_eq!(all_accurate.approx_blocks(), 0);
+    assert_eq!(
+        all_approx.accurate_blocks() + all_approx.approx_blocks(),
+        all_accurate.accurate_blocks()
+    );
+}
+
+#[test]
+fn options_entry_point_round_trips_a_real_image() {
+    let img = load_asset("scene.pgm");
+    let enc = jpeg::encode(&img, &jpeg::EncodeOptions::default()).expect("encode");
+    let back = jpeg::decode(&enc.bytes).expect("decode");
+    assert_eq!((back.width(), back.height()), (img.width(), img.height()));
+    let psnr = psnr_images(&img, &back);
+    assert!(psnr > 28.0, "JPEG-quality reconstruction, got {psnr:.2} dB");
+    assert!(enc.bits_per_pixel() > 0.1 && enc.bits_per_pixel() < 8.0);
+}
