@@ -281,7 +281,7 @@ impl<V: Scalar> CompiledTape<V> {
     /// Returns [`ShapeMismatch`] (leaving `buf` unspecified) when
     /// `inputs` does not provide exactly one value per input slot.
     pub fn replay(&self, inputs: &[V], buf: &mut ReplayBuffers<V>) -> Result<(), ShapeMismatch> {
-        let _span = scorpio_obs::span("forward");
+        let _span = scorpio_obs::span_detail("forward");
         if inputs.len() != self.inputs.len() {
             return Err(ShapeMismatch {
                 expected: self.inputs.len(),

@@ -172,7 +172,7 @@ impl<V: Scalar> CompiledTape<V> {
         inputs: &[[V; LANES]],
         buf: &mut LaneReplayBuffers<V, LANES>,
     ) -> Result<(), ShapeMismatch> {
-        let _span = scorpio_obs::span("forward_lanes");
+        let _span = scorpio_obs::span_detail("forward_lanes");
         if inputs.len() != self.inputs.len() {
             return Err(ShapeMismatch {
                 expected: self.inputs.len(),

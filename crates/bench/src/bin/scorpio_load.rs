@@ -26,8 +26,12 @@
 //!
 //! `--smoke` instead sends one request per kernel plus a malformed
 //! line and an unknown kernel (both must produce error replies without
-//! killing the server), then exits non-zero on any failure — this is
-//! what the repo's verify workflow runs.
+//! killing the server), then checks the live-observability surface —
+//! the `metrics` verb must render valid Prometheus exposition, every
+//! kernel's sliding window must have seen the traffic, and a
+//! client-supplied trace id must round-trip into the exemplar dump as
+//! a span tree — and exits non-zero on any failure. This is what the
+//! repo's verify workflow runs.
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
@@ -250,6 +254,7 @@ fn spawn_server(
         cache_capacity,
         manifest: Some("serve".to_string()),
         out_dir,
+        ..ServerConfig::default()
     })
     .expect("bind in-process server");
     let addr = server.local_addr().expect("server local_addr");
@@ -300,6 +305,60 @@ fn run_smoke(addr: &str, ratio: f64, seed: u64) -> Result<(), String> {
         "smoke errors: ok (malformed + unknown kernel rejected, server still serving, {} requests total)",
         stat_u64(&stats, None, "requests")
     );
+
+    // Live-observability surface, on the same connection.
+    let body = client.metrics().map_err(|e| format!("metrics verb: {e}"))?;
+    let samples = scorpio_obs::expose::validate_exposition(&body)
+        .map_err(|e| format!("metrics verb returned invalid exposition: {e}"))?;
+    println!("smoke metrics: ok ({samples} samples of valid Prometheus exposition)");
+
+    let windows = client.window().map_err(|e| format!("window verb: {e}"))?;
+    let empty = Vec::new();
+    let kernels = windows.get("kernels").and_then(Value::as_arr).unwrap_or(&empty);
+    for (k, kernel) in KERNEL_NAMES.iter().enumerate() {
+        // The 1m span: wide enough that a slow box cannot rotate the
+        // smoke's own traffic out before this check runs.
+        let seen = kernels
+            .iter()
+            .find(|rec| rec.get("kernel").and_then(Value::as_str) == Some(*kernel))
+            .and_then(|rec| rec.get("spans"))
+            .and_then(Value::as_arr)
+            .and_then(|spans| {
+                spans
+                    .iter()
+                    .find(|s| s.get("span").and_then(Value::as_str) == Some("1m"))
+            })
+            .and_then(|s| s.get("requests"))
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
+        if seen <= 0.0 {
+            return Err(format!("window verb: {kernel} 1m window is empty (kernel {k})"));
+        }
+    }
+    println!("smoke windows: ok (all {} kernels report 1m traffic)", KERNEL_NAMES.len());
+
+    let mut traced = request_line(99, 0, 1, ratio, &mut rng);
+    traced.insert_str(traced.len() - 1, r#","trace_id":"beef""#);
+    let reply = client.request(&traced).map_err(|e| format!("traced probe: {e}"))?;
+    if reply.get("trace_id").and_then(Value::as_str) != Some("000000000000beef") {
+        return Err("traced probe: reply did not echo the supplied trace id".to_string());
+    }
+    let dump = client.exemplars().map_err(|e| format!("exemplars verb: {e}"))?;
+    let found = dump
+        .get("exemplars")
+        .and_then(Value::as_arr)
+        .unwrap_or(&empty)
+        .iter()
+        .find(|e| e.get("trace_id").and_then(Value::as_str) == Some("000000000000beef"))
+        .ok_or("traced probe: trace id not retained in the exemplar ring")?;
+    let spans = found.get("spans").and_then(Value::as_arr).unwrap_or(&empty);
+    if !spans
+        .iter()
+        .any(|s| s.get("path").and_then(Value::as_str) == Some("serve.request"))
+    {
+        return Err("traced probe: exemplar has no serve.request root span".to_string());
+    }
+    println!("smoke trace: ok (trace id beef round-tripped into a {}-span exemplar)", spans.len());
     Ok(())
 }
 

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! scorpio_serve [--addr 127.0.0.1:7070] [--workers N] [--cache-capacity N]
-//!               [--out-dir DIR] [--no-manifest]
+//!               [--out-dir DIR] [--no-manifest] [--no-obs] [--obs-detail]
+//!               [--metrics-addr 127.0.0.1:9090]
 //! ```
 //!
 //! The server keeps a shape-keyed cache of compiled analysis traces
@@ -20,6 +21,18 @@
 //! ```text
 //! {"id":1,"kernel":"maclaurin","n":12,"ratio":0.5,"items":[0.3,0.4]}
 //! ```
+//!
+//! The server is live-observable while it runs: `{"cmd":"metrics"}`
+//! returns the Prometheus exposition (also served over HTTP at
+//! `--metrics-addr` when given), `{"cmd":"window"}` the per-kernel
+//! sliding-window SLO telemetry, `{"cmd":"exemplars"}` the
+//! tail-retained slow/error span trees. Watch a running server with
+//! `scorpio_top --addr <addr>` / `scorpio_trace --addr <addr>`.
+//! `--no-obs` disables span/event tracing (the `bench_obs` ablation
+//! baseline); windows and metrics stay on either way. `--obs-detail`
+//! additionally records per-item interior spans (`replay`, `reverse`,
+//! `significance`, lane sweeps) in exemplar trees, at extra per-request
+//! cost.
 
 use scorpio_bench::{arg_value, flag_present, out_dir_arg};
 use scorpio_serve::kernels::KERNEL_NAMES;
@@ -36,6 +49,9 @@ fn main() -> std::io::Result<()> {
             .unwrap_or(64),
         manifest: (!flag_present("--no-manifest")).then(|| "serve".to_string()),
         out_dir: out_dir_arg(),
+        obs: !flag_present("--no-obs"),
+        obs_detail: flag_present("--obs-detail"),
+        metrics_addr: arg_value("--metrics-addr"),
     };
     assert!(config.workers > 0, "--workers must be at least 1");
     assert!(config.cache_capacity > 0, "--cache-capacity must be at least 1");
@@ -54,6 +70,9 @@ fn main() -> std::io::Result<()> {
         cache_capacity,
         manifest_note,
     );
+    if let Some(metrics_addr) = server.metrics_local_addr() {
+        println!("metrics sidecar (Prometheus text exposition) on http://{metrics_addr}/metrics");
+    }
 
     let summary = server.run()?;
     println!(

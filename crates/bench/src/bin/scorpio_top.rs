@@ -1,0 +1,207 @@
+//! `top` for a running scorpio_serve daemon: a refreshing per-kernel
+//! table of sliding-window SLO telemetry.
+//!
+//! ```text
+//! scorpio_top --addr 127.0.0.1:7070 [--interval-ms 1000] [--count N]
+//!             [--span 10s|1m|5m] [--no-clear]
+//! ```
+//!
+//! Each tick polls the `stats` and `window` verbs over one protocol
+//! connection and renders request rate, error rate, latency quantiles,
+//! cache hit rate and requested→achieved ratio per kernel, plus the
+//! server-lifetime header (uptime, totals, drop counters). `--count N`
+//! bounds the number of refreshes (`--count 1` prints one table and
+//! exits — the verify workflow's smoke); without it the loop runs until
+//! the server goes away or the process is interrupted. `--no-clear`
+//! appends tables instead of redrawing in place (for logs/pipes).
+
+use std::process::ExitCode;
+
+use scorpio_bench::{arg_value, flag_present};
+use scorpio_obs::json::Value;
+use scorpio_serve::Client;
+
+fn fmt_ms(ns: Option<f64>) -> String {
+    match ns {
+        Some(ns) if ns > 0.0 => format!("{:.2}", ns / 1e6),
+        _ => "-".to_string(),
+    }
+}
+
+fn fmt_pct(frac: Option<f64>) -> String {
+    match frac {
+        Some(f) if f.is_finite() => format!("{:.1}%", f * 100.0),
+        _ => "-".to_string(),
+    }
+}
+
+fn fmt_ratio(v: Option<f64>) -> String {
+    match v {
+        Some(f) if f.is_finite() => format!("{f:.2}"),
+        _ => "-".to_string(),
+    }
+}
+
+fn num(v: &Value, key: &str) -> Option<f64> {
+    v.get(key).and_then(Value::as_f64)
+}
+
+/// Renders one refresh: the lifetime header from `stats` and the
+/// per-kernel table from `window`.
+fn render(stats: &Value, window: &Value, span: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let uptime_s = num(stats, "uptime_ms").unwrap_or(0.0) / 1e3;
+    let _ = writeln!(
+        out,
+        "scorpio_serve up {uptime_s:.0}s — {} requests, {} errors, cache {} hits / {} misses, dropped {} events / {} spans",
+        num(stats, "requests").unwrap_or(0.0),
+        num(stats, "errors").unwrap_or(0.0),
+        stats.get("cache").and_then(|c| num(c, "hits")).unwrap_or(0.0),
+        stats.get("cache").and_then(|c| num(c, "misses")).unwrap_or(0.0),
+        num(stats, "events_dropped").unwrap_or(0.0),
+        num(stats, "spans_dropped").unwrap_or(0.0),
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>8} {:>7} {:>9} {:>9} {:>9} {:>7} {:>11}   [{span} window]",
+        "KERNEL", "REQ/S", "ERR", "P50 MS", "P90 MS", "P99 MS", "HIT", "RATIO r→a"
+    );
+    let empty = Vec::new();
+    let kernels = window.get("kernels").and_then(Value::as_arr).unwrap_or(&empty);
+    for k in kernels {
+        let name = k.get("kernel").and_then(Value::as_str).unwrap_or("?");
+        let Some(w) = k
+            .get("spans")
+            .and_then(Value::as_arr)
+            .and_then(|spans| {
+                spans
+                    .iter()
+                    .find(|s| s.get("span").and_then(Value::as_str) == Some(span))
+            })
+        else {
+            continue;
+        };
+        if num(w, "requests").unwrap_or(0.0) <= 0.0 {
+            continue;
+        }
+        let ratio = format!(
+            "{}→{}",
+            fmt_ratio(num(w, "requested_ratio")),
+            fmt_ratio(num(w, "achieved_ratio"))
+        );
+        let _ = writeln!(
+            out,
+            "{:<14} {:>8.2} {:>7} {:>9} {:>9} {:>9} {:>7} {:>11}",
+            name,
+            num(w, "rate_per_s").unwrap_or(0.0),
+            fmt_pct(num(w, "error_rate")),
+            fmt_ms(num(w, "p50_ns")),
+            fmt_ms(num(w, "p90_ns")),
+            fmt_ms(num(w, "p99_ns")),
+            fmt_pct(num(w, "cache_hit_rate")),
+            ratio,
+        );
+    }
+    if kernels.iter().all(|k| {
+        k.get("spans")
+            .and_then(Value::as_arr)
+            .and_then(|spans| {
+                spans
+                    .iter()
+                    .find(|s| s.get("span").and_then(Value::as_str) == Some(span))
+            })
+            .and_then(|w| num(w, "requests"))
+            .unwrap_or(0.0)
+            <= 0.0
+    }) {
+        let _ = writeln!(out, "(no traffic in the {span} window)");
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let addr = arg_value("--addr").unwrap_or_else(|| "127.0.0.1:7070".to_string());
+    let interval_ms: u64 = arg_value("--interval-ms")
+        .map_or(1000, |v| v.parse().expect("--interval-ms must be an integer"));
+    let count: Option<u64> =
+        arg_value("--count").map(|v| v.parse().expect("--count must be an integer"));
+    let span = arg_value("--span").unwrap_or_else(|| "10s".to_string());
+    assert!(
+        ["10s", "1m", "5m"].contains(&span.as_str()),
+        "--span must be one of 10s, 1m, 5m"
+    );
+    let clear = !flag_present("--no-clear") && count != Some(1);
+
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("scorpio_top: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut ticks = 0u64;
+    loop {
+        let (stats, window) = match (client.stats(), client.window()) {
+            (Ok(s), Ok(w)) => (s, w),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("scorpio_top: server at {addr} went away: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let table = render(&stats, &window, &span);
+        if clear {
+            // ANSI clear + home: redraw in place.
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{table}");
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+        ticks += 1;
+        if count.is_some_and(|c| ticks >= c) {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scorpio_obs::json::parse;
+
+    #[test]
+    fn render_formats_active_kernels_and_header() {
+        let stats = parse(
+            r#"{"uptime_ms":12000,"requests":40,"errors":1,
+                "cache":{"hits":30,"misses":10},
+                "events_dropped":0,"spans_dropped":0}"#,
+        )
+        .unwrap();
+        let window = parse(
+            r#"{"kernels":[
+                {"kernel":"maclaurin","spans":[
+                    {"span":"10s","requests":12,"rate_per_s":1.2,
+                     "error_rate":0.0,"p50_ns":95000.0,"p90_ns":120000.0,
+                     "p99_ns":150000.0,"cache_hit_rate":0.9,
+                     "requested_ratio":0.7,"achieved_ratio":0.72}]},
+                {"kernel":"sobel","spans":[
+                    {"span":"10s","requests":0}]}
+            ]}"#,
+        )
+        .unwrap();
+        let out = render(&stats, &window, "10s");
+        assert!(out.contains("up 12s"), "header uptime: {out}");
+        assert!(out.contains("maclaurin"), "active kernel row: {out}");
+        assert!(out.contains("0.70→0.72"), "ratio column: {out}");
+        assert!(!out.contains("sobel"), "idle kernel skipped: {out}");
+    }
+
+    #[test]
+    fn render_reports_idle_window() {
+        let stats = parse(r#"{"uptime_ms":1000,"requests":0,"errors":0}"#).unwrap();
+        let window = parse(r#"{"kernels":[]}"#).unwrap();
+        let out = render(&stats, &window, "1m");
+        assert!(out.contains("no traffic in the 1m window"), "{out}");
+    }
+}

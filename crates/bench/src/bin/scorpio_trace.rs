@@ -1,0 +1,271 @@
+//! Span-waterfall viewer for a running scorpio_serve daemon's
+//! tail-retained exemplars.
+//!
+//! ```text
+//! scorpio_trace --addr 127.0.0.1:7070 [--limit N] [--id HEX] [--errors]
+//! ```
+//!
+//! Fetches the `exemplars` verb (the bounded ring of slowest requests
+//! plus recent errors), picks the `--limit` slowest (default 5) — or
+//! the one matching `--id`, or only errors with `--errors` — and
+//! renders each as an indented span waterfall: one row per span, a bar
+//! scaled to the request's wall clock, and a per-span self-time column
+//! (duration minus direct children). The footer attributes the
+//! request's critical path: the chain of largest-child spans from the
+//! root, with each hop's self time — where the latency actually went.
+
+use std::process::ExitCode;
+
+use scorpio_bench::{arg_value, flag_present};
+use scorpio_obs::json::Value;
+use scorpio_serve::Client;
+
+const BAR_WIDTH: usize = 32;
+
+/// One span row lifted out of the exemplar JSON.
+#[derive(Debug, Clone)]
+struct Span {
+    path: String,
+    name: String,
+    start_ns: f64,
+    dur_ns: f64,
+    depth: usize,
+}
+
+fn spans_of(exemplar: &Value) -> Vec<Span> {
+    let empty = Vec::new();
+    exemplar
+        .get("spans")
+        .and_then(Value::as_arr)
+        .unwrap_or(&empty)
+        .iter()
+        .map(|s| Span {
+            path: s.get("path").and_then(Value::as_str).unwrap_or("?").to_string(),
+            name: s.get("name").and_then(Value::as_str).unwrap_or("?").to_string(),
+            start_ns: s.get("start_ns").and_then(Value::as_f64).unwrap_or(0.0),
+            dur_ns: s.get("dur_ns").and_then(Value::as_f64).unwrap_or(0.0),
+            depth: s.get("depth").and_then(Value::as_f64).unwrap_or(0.0) as usize,
+        })
+        .collect()
+}
+
+fn parent_path(path: &str) -> Option<&str> {
+    path.rsplit_once('/').map(|(parent, _)| parent)
+}
+
+/// Sum of the direct children's durations of `span`.
+fn children_ns(spans: &[Span], span: &Span) -> f64 {
+    spans
+        .iter()
+        .filter(|c| parent_path(&c.path) == Some(span.path.as_str()))
+        .map(|c| c.dur_ns)
+        .sum()
+}
+
+/// Self time: duration not covered by direct children (clamped at 0 —
+/// children from other worker threads can overlap the parent).
+fn self_ns(spans: &[Span], span: &Span) -> f64 {
+    (span.dur_ns - children_ns(spans, span)).max(0.0)
+}
+
+fn fmt_us(ns: f64) -> String {
+    format!("{:.1} µs", ns / 1e3)
+}
+
+/// The chain of largest direct children from the root span down, with
+/// each hop's self time — the request's critical path.
+fn critical_path(spans: &[Span]) -> Vec<(String, f64)> {
+    let mut chain = Vec::new();
+    let Some(mut cur) = spans
+        .iter()
+        .filter(|s| !s.path.contains('/'))
+        .max_by(|a, b| a.dur_ns.total_cmp(&b.dur_ns))
+    else {
+        return chain;
+    };
+    loop {
+        chain.push((cur.name.clone(), self_ns(spans, cur)));
+        let next = spans
+            .iter()
+            .filter(|c| parent_path(&c.path) == Some(cur.path.as_str()))
+            .max_by(|a, b| a.dur_ns.total_cmp(&b.dur_ns));
+        match next {
+            Some(n) => cur = n,
+            None => return chain,
+        }
+    }
+}
+
+/// Renders one exemplar: header, waterfall, critical-path footer.
+fn render(exemplar: &Value) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let trace_id = exemplar.get("trace_id").and_then(Value::as_str).unwrap_or("?");
+    let kernel = exemplar.get("kernel").and_then(Value::as_str).unwrap_or("?");
+    let ok = matches!(exemplar.get("ok"), Some(Value::Bool(true)));
+    let cached = matches!(exemplar.get("cached"), Some(Value::Bool(true)));
+    let latency = exemplar.get("latency_ns").and_then(Value::as_f64).unwrap_or(0.0);
+    let events = exemplar
+        .get("events")
+        .and_then(Value::as_arr)
+        .map_or(0, <[Value]>::len);
+    let mut spans = spans_of(exemplar);
+    let _ = writeln!(
+        out,
+        "trace {trace_id}  {kernel}  {}{}  latency {}  ({} spans, {events} events)",
+        if ok { "ok" } else { "ERROR" },
+        if cached { " cached" } else { "" },
+        fmt_us(latency),
+        spans.len(),
+    );
+    if spans.is_empty() {
+        let _ = writeln!(out, "  (no spans captured — server tracing off?)");
+        return out;
+    }
+    spans.sort_by(|a, b| a.start_ns.total_cmp(&b.start_ns).then(a.depth.cmp(&b.depth)));
+    let t0 = spans.iter().map(|s| s.start_ns).fold(f64::INFINITY, f64::min);
+    let t1 = spans
+        .iter()
+        .map(|s| s.start_ns + s.dur_ns)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let total = (t1 - t0).max(1.0);
+    let name_width = spans
+        .iter()
+        .map(|s| s.name.len() + 2 * s.depth)
+        .max()
+        .unwrap_or(0);
+    for s in &spans {
+        let indent = "  ".repeat(s.depth);
+        let offset = ((s.start_ns - t0) / total * BAR_WIDTH as f64).floor() as usize;
+        let offset = offset.min(BAR_WIDTH - 1);
+        let len = ((s.dur_ns / total) * BAR_WIDTH as f64).ceil() as usize;
+        let len = len.clamp(1, BAR_WIDTH - offset);
+        let mut bar = String::with_capacity(BAR_WIDTH);
+        bar.push_str(&".".repeat(offset));
+        bar.push_str(&"#".repeat(len));
+        bar.push_str(&".".repeat(BAR_WIDTH - offset - len));
+        let _ = writeln!(
+            out,
+            "  {indent}{:<pad$} {:>10} {:>10}  |{bar}|",
+            s.name,
+            fmt_us(s.dur_ns),
+            fmt_us(self_ns(&spans, s)),
+            pad = name_width - 2 * s.depth,
+        );
+    }
+    let chain = critical_path(&spans);
+    if !chain.is_empty() {
+        let rendered: Vec<String> = chain
+            .iter()
+            .map(|(name, self_t)| format!("{name} (self {})", fmt_us(*self_t)))
+            .collect();
+        let _ = writeln!(out, "  critical path: {}", rendered.join(" -> "));
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let addr = arg_value("--addr").unwrap_or_else(|| "127.0.0.1:7070".to_string());
+    let limit: usize =
+        arg_value("--limit").map_or(5, |v| v.parse().expect("--limit must be an integer"));
+    let id = arg_value("--id");
+    let errors_only = flag_present("--errors");
+
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("scorpio_trace: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let dump = match client.exemplars() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("scorpio_trace: exemplars request failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let empty = Vec::new();
+    let mut exemplars: Vec<&Value> = dump
+        .get("exemplars")
+        .and_then(Value::as_arr)
+        .unwrap_or(&empty)
+        .iter()
+        .filter(|e| {
+            if errors_only && matches!(e.get("ok"), Some(Value::Bool(true))) {
+                return false;
+            }
+            match &id {
+                // Match full ids and unpadded suffixes alike.
+                Some(id) => e
+                    .get("trace_id")
+                    .and_then(Value::as_str)
+                    .is_some_and(|t| t == id || t.trim_start_matches('0') == id.trim_start_matches('0')),
+                None => true,
+            }
+        })
+        .collect();
+    exemplars.sort_by(|a, b| {
+        let la = a.get("latency_ns").and_then(Value::as_f64).unwrap_or(0.0);
+        let lb = b.get("latency_ns").and_then(Value::as_f64).unwrap_or(0.0);
+        lb.total_cmp(&la)
+    });
+    exemplars.truncate(limit.max(1));
+    if exemplars.is_empty() {
+        println!(
+            "no exemplars retained{} ({} requests passed the ring)",
+            if id.is_some() { " for that id" } else { "" },
+            dump.get("passed").and_then(Value::as_f64).unwrap_or(0.0)
+        );
+        return ExitCode::SUCCESS;
+    }
+    for (i, exemplar) in exemplars.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        print!("{}", render(exemplar));
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scorpio_obs::json::parse;
+
+    fn sample() -> Value {
+        parse(
+            r#"{"trace_id":"0000000000c0ffee","kernel":"maclaurin","ok":true,
+                "cached":true,"latency_ns":100000.0,
+                "spans":[
+                  {"path":"serve.request","name":"serve.request",
+                   "start_ns":1000.0,"dur_ns":100000.0,"tid":0,"depth":0},
+                  {"path":"serve.request/serve.analyze","name":"serve.analyze",
+                   "start_ns":2000.0,"dur_ns":80000.0,"tid":0,"depth":1},
+                  {"path":"serve.request/serve.serialize","name":"serve.serialize",
+                   "start_ns":90000.0,"dur_ns":5000.0,"tid":0,"depth":1}],
+                "events":[]}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn render_shows_tree_and_critical_path() {
+        let out = render(&sample());
+        assert!(out.contains("trace 0000000000c0ffee"), "{out}");
+        assert!(out.contains("serve.analyze"), "{out}");
+        // Root self time excludes both children: 100 − 85 = 15 µs.
+        assert!(
+            out.contains("critical path: serve.request (self 15.0 µs) -> serve.analyze (self 80.0 µs)"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn critical_path_picks_largest_child() {
+        let spans = spans_of(&sample());
+        let chain = critical_path(&spans);
+        let names: Vec<&str> = chain.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["serve.request", "serve.analyze"]);
+    }
+}

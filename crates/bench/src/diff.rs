@@ -36,6 +36,9 @@ pub enum ArtifactKind {
     /// A `BENCH_jpeg.json` end-to-end codec scenario report
     /// ([`crate::JpegReport`]).
     Jpeg,
+    /// A `BENCH_obs.json` live-observability ablation report
+    /// ([`crate::ObsReport`]).
+    Obs,
 }
 
 /// Knobs of one comparison.
@@ -139,6 +142,7 @@ impl DiffReport {
             ArtifactKind::RunManifest => "run manifest",
             ArtifactKind::Adaptive => "adaptive-controller report",
             ArtifactKind::Jpeg => "JPEG scenario report",
+            ArtifactKind::Obs => "live-observability ablation report",
         };
         let _ = writeln!(out, "comparing {kind}s: {} items", self.findings.len());
         for w in &self.warnings {
@@ -204,6 +208,8 @@ pub fn detect(value: &Value) -> Result<ArtifactKind, String> {
             Ok(ArtifactKind::Adaptive)
         } else if schema == crate::JPEG_SCHEMA {
             Ok(ArtifactKind::Jpeg)
+        } else if schema == crate::OBS_SCHEMA {
+            Ok(ArtifactKind::Obs)
         } else {
             Err(format!("unsupported schema {schema:?}"))
         };
@@ -213,7 +219,8 @@ pub fn detect(value: &Value) -> Result<ArtifactKind, String> {
     }
     Err(
         "not a BENCH_qor.json QoR report, BENCH_adaptive.json adaptive report, \
-         BENCH_jpeg.json JPEG scenario report or RUN_*.json run manifest"
+         BENCH_jpeg.json JPEG scenario report, BENCH_obs.json observability \
+         report or RUN_*.json run manifest"
             .to_owned(),
     )
 }
@@ -236,6 +243,7 @@ pub fn diff_values(base: &Value, cand: &Value, opts: &DiffOptions) -> Result<Dif
         ArtifactKind::RunManifest => diff_manifest(base, cand, opts)?,
         ArtifactKind::Adaptive => diff_adaptive(base, cand, opts)?,
         ArtifactKind::Jpeg => diff_jpeg(base, cand, opts)?,
+        ArtifactKind::Obs => diff_obs(base, cand, opts)?,
     };
     let mut warnings = Vec::new();
     for (side, value) in [("baseline", base), ("candidate", cand)] {
@@ -254,7 +262,7 @@ pub fn diff_values(base: &Value, cand: &Value, opts: &DiffOptions) -> Result<Dif
 /// task events (so its telemetry-derived columns may be biased).
 fn degraded_input(side: &str, value: &Value, kind: ArtifactKind) -> Option<String> {
     match kind {
-        ArtifactKind::Qor | ArtifactKind::Adaptive | ArtifactKind::Jpeg => {
+        ArtifactKind::Qor | ArtifactKind::Adaptive | ArtifactKind::Jpeg | ArtifactKind::Obs => {
             matches!(value.get("degraded"), Some(Value::Bool(true))).then(|| {
                 format!(
                     "{side} is degraded (its run dropped task events; \
@@ -967,6 +975,109 @@ fn diff_manifest(base: &Value, cand: &Value, opts: &DiffOptions) -> Result<Vec<F
             },
             note: String::new(),
         });
+    }
+    Ok(findings)
+}
+
+// ─────────────── live-observability report comparison ───────────────
+
+/// Compares two `BENCH_obs.json` reports. Mirrors the adaptive gate's
+/// two layers:
+///
+/// * **Self-contained contract on the candidate** — the exposition must
+///   validate, the windows must be non-empty, the trace id must
+///   round-trip into the exemplar dump, and the measured tracing
+///   overhead must stay within the report's own bound. These are
+///   absolute machine-independent properties, so they gate under
+///   `--quality-only`.
+/// * **Relative timing columns** — per-arm service p50/p90 against the
+///   baseline, skipped under `--quality-only` (wall time is not
+///   portable across hosts).
+fn diff_obs(base: &Value, cand: &Value, opts: &DiffOptions) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+    let contract = cand
+        .get("contract")
+        .ok_or("candidate obs report has no contract object")?;
+    let checks = [
+        ("exposition_valid", "metrics body failed Prometheus validation"),
+        ("windows_nonempty", "sliding windows empty under load"),
+        ("trace_roundtrip", "trace id did not round-trip to the exemplar dump"),
+        ("overhead_within_bound", "tracing overhead exceeded the bound"),
+    ];
+    for (what, why) in checks {
+        let ok = bool_field(contract, what);
+        findings.push(Finding {
+            item: format!("contract · {what}"),
+            baseline: 1.0,
+            candidate: if ok { 1.0 } else { 0.0 },
+            worse_pct: if ok { 0.0 } else { 100.0 },
+            p_value: None,
+            severity: if ok {
+                Severity::Unchanged
+            } else {
+                Severity::Regression
+            },
+            note: if ok {
+                String::new()
+            } else {
+                format!("observability contract violated: {why}")
+            },
+        });
+    }
+
+    let bound = f64_field(cand, "overhead_bound_pct")?;
+    let overhead = f64_field(cand, "overhead_pct")?;
+    findings.push(Finding {
+        item: "tracing overhead_pct (vs untraced p50)".to_owned(),
+        baseline: bound,
+        candidate: overhead,
+        worse_pct: 0.0,
+        p_value: None,
+        severity: Severity::Unchanged,
+        note: format!("informational; gated by the overhead_within_bound bit at {bound}%"),
+    });
+
+    if !opts.quality_only {
+        let base_modes = base
+            .get("modes")
+            .and_then(Value::as_arr)
+            .ok_or("baseline obs report has no modes array")?;
+        let cand_modes = cand
+            .get("modes")
+            .and_then(Value::as_arr)
+            .ok_or("candidate obs report has no modes array")?;
+        for bm in base_modes {
+            let obs_on = bool_field(bm, "obs");
+            let label = if obs_on { "obs-on" } else { "obs-off" };
+            let Some(cm) = cand_modes
+                .iter()
+                .find(|m| bool_field(m, "obs") == obs_on)
+            else {
+                findings.push(Finding {
+                    item: format!("{label} (mode)"),
+                    baseline: 1.0,
+                    candidate: 0.0,
+                    worse_pct: 100.0,
+                    p_value: None,
+                    severity: Severity::Regression,
+                    note: "mode missing from candidate".to_owned(),
+                });
+                continue;
+            };
+            for col in ["service_p50_ns", "service_p90_ns"] {
+                let (bv, cv) = (f64_field(bm, col)?, f64_field(cm, col)?);
+                let worse = worse_pct(bv, cv, false);
+                findings.push(Finding {
+                    item: format!("{label} · {col}"),
+                    baseline: bv,
+                    candidate: cv,
+                    worse_pct: worse,
+                    p_value: None,
+                    severity: threshold_verdict(worse, opts.threshold_pct),
+                    note: String::new(),
+                });
+            }
+        }
     }
     Ok(findings)
 }

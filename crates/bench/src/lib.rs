@@ -9,6 +9,7 @@
 pub mod adaptive;
 pub mod diff;
 pub mod jpeg;
+pub mod obs;
 pub mod qor;
 pub mod stats;
 
@@ -16,6 +17,7 @@ pub use adaptive::{
     AdaptiveKernel, AdaptiveOutcome, AdaptiveReport, StaticBest, ADAPTIVE_SCHEMA,
 };
 pub use jpeg::{JpegAdaptive, JpegImage, JpegPoint, JpegReport, JPEG_SCHEMA};
+pub use obs::{ObsContract, ObsMode, ObsReport, OBS_SCHEMA};
 pub use qor::{QorKernel, QorPoint, QorReport, QOR_SCHEMA};
 
 use std::fmt::Write as _;

@@ -1,0 +1,89 @@
+//! The live-observability ablation report (`BENCH_obs.json`).
+//!
+//! `bench_obs` runs the same warm serving workload against two
+//! in-process servers — one with span/event tracing enabled
+//! (`obs: true`, the daemon default) and one with it disabled — and
+//! records the per-request service-time distribution of each, plus the
+//! live-scrape contract: the `metrics` verb must render valid
+//! Prometheus exposition under load, the sliding windows must be
+//! non-empty, a client-supplied trace id must round-trip into the
+//! exemplar dump, and the tracing overhead must stay within
+//! [`ObsReport::overhead_bound_pct`] of the untraced service-time p50.
+//!
+//! The contract bits are machine-independent, so
+//! `scorpio_diff --gate --quality-only` against
+//! `baselines/BENCH_obs_small.json` enforces them on any host; raw
+//! nanosecond columns only gate in full (same-machine) mode.
+
+use serde::Serialize;
+
+/// Format tag of `BENCH_obs.json`.
+pub const OBS_SCHEMA: &str = "scorpio-obs-v1";
+
+/// The machine-independent live-observability contract.
+#[derive(Debug, Clone, Serialize)]
+pub struct ObsContract {
+    /// The `metrics` verb's body passed
+    /// [`scorpio_obs::expose::validate_exposition`] while the server
+    /// was under load.
+    pub exposition_valid: bool,
+    /// Samples the validated exposition contained.
+    pub exposition_samples: u64,
+    /// Every loaded kernel's 10s window reported the requests that
+    /// were just sent.
+    pub windows_nonempty: bool,
+    /// A client-supplied trace id came back in the analyze response
+    /// *and* named a reassemblable span tree in the exemplar dump
+    /// (root span plus nested children, all stamped with the id).
+    pub trace_roundtrip: bool,
+    /// Measured tracing overhead stayed within
+    /// [`ObsReport::overhead_bound_pct`] of the untraced p50.
+    pub overhead_within_bound: bool,
+}
+
+/// One ablation arm: the serving workload with tracing on or off.
+#[derive(Debug, Clone, Serialize)]
+pub struct ObsMode {
+    /// Whether span/event tracing was enabled.
+    pub obs: bool,
+    /// Warm analyze requests measured.
+    pub requests: u64,
+    /// Median service time, nanoseconds.
+    pub service_p50_ns: f64,
+    /// 90th-percentile service time, nanoseconds.
+    pub service_p90_ns: f64,
+    /// Mean service time, nanoseconds.
+    pub service_mean_ns: f64,
+}
+
+/// The `BENCH_obs.json` artifact.
+#[derive(Debug, Clone, Serialize)]
+pub struct ObsReport {
+    /// Format tag, always [`OBS_SCHEMA`].
+    pub schema: String,
+    /// Worker-pool size used by both arms.
+    pub workers: usize,
+    /// Warm requests measured per arm.
+    pub requests_per_mode: u64,
+    /// The acceptance bound on tracing overhead, percent of the
+    /// untraced p50 (the issue fixes it at 5%).
+    pub overhead_bound_pct: f64,
+    /// Measured overhead: `(p50_on - p50_off) / p50_off · 100`
+    /// (negative when tracing measured faster — noise on a 1-core
+    /// container).
+    pub overhead_pct: f64,
+    /// The machine-independent contract bits.
+    pub contract: ObsContract,
+    /// The two arms, tracing-on first.
+    pub modes: Vec<ObsMode>,
+}
+
+impl ObsReport {
+    /// The schema tag a parsed artifact must carry to be this kind.
+    pub fn matches_schema(value: &scorpio_obs::json::Value) -> bool {
+        value
+            .get("schema")
+            .and_then(scorpio_obs::json::Value::as_str)
+            == Some(OBS_SCHEMA)
+    }
+}

@@ -477,7 +477,7 @@ impl ReplayOrRecord {
         F: Fn(&Ctx<'_>, &T) -> Result<(), AnalysisError>,
     {
         if self.stage_lane_block(key, lanes, block, inputs_of) {
-            let _span = scorpio_obs::span("replay_lanes");
+            let _span = scorpio_obs::span_detail("replay_lanes");
             let c = self.compiled.as_ref().expect("staged block checked");
             c.tape
                 .replay_lanes(&lanes.staging, &mut lanes.buf)
@@ -508,7 +508,7 @@ impl ReplayOrRecord {
         F: Fn(&Ctx<'_>, &T) -> Result<(), AnalysisError>,
     {
         if self.stage_lane_block(key, lanes, block, inputs_of) {
-            let _span = scorpio_obs::span("replay_lanes");
+            let _span = scorpio_obs::span_detail("replay_lanes");
             let c = self.compiled.as_ref().expect("staged block checked");
             c.tape
                 .replay_lanes(&lanes.staging, &mut lanes.buf)
@@ -608,7 +608,7 @@ impl ReplayOrRecord {
         F: FnOnce(&Ctx<'_>) -> Result<(), AnalysisError>,
     {
         if self.replay_ready(key, inputs) {
-            let _span = scorpio_obs::span("replay");
+            let _span = scorpio_obs::span_detail("replay");
             scorpio_obs::count("replay.replays", 1);
             let c = self.compiled.as_ref().expect("replay_ready checked");
             c.tape
@@ -632,7 +632,7 @@ impl ReplayOrRecord {
         F: FnOnce(&Ctx<'_>) -> Result<(), AnalysisError>,
     {
         if self.replay_ready(key, inputs) {
-            let _span = scorpio_obs::span("replay");
+            let _span = scorpio_obs::span_detail("replay");
             scorpio_obs::count("replay.replays", 1);
             let c = self.compiled.as_ref().expect("replay_ready checked");
             c.tape

@@ -410,7 +410,7 @@ fn replayed_adjoints(
     outputs: &[NodeId],
     buf: &mut ReplayBuffers<Interval>,
 ) {
-    let _span = scorpio_obs::span("reverse");
+    let _span = scorpio_obs::span_detail("reverse");
     let seeds: Vec<(NodeId, Interval)> =
         outputs.iter().map(|&o| (o, Interval::ONE)).collect();
     compiled.adjoints_into(&seeds, buf);
@@ -430,7 +430,7 @@ pub(crate) fn build_report_replayed(
 ) -> Result<Report, AnalysisError> {
     let outputs = output_nodes(regs)?;
     replayed_adjoints(compiled, &outputs, buf);
-    let _span = scorpio_obs::span("significance");
+    let _span = scorpio_obs::span_detail("significance");
     Ok(replayed_report_from(
         compiled,
         regs,
@@ -520,12 +520,12 @@ pub(crate) fn build_report_replayed_lanes<const LANES: usize>(
 ) -> Result<(), AnalysisError> {
     let outputs = output_nodes(regs)?;
     {
-        let _span = scorpio_obs::span("reverse");
+        let _span = scorpio_obs::span_detail("reverse");
         let seeds: Vec<(NodeId, Interval)> =
             outputs.iter().map(|&o| (o, Interval::ONE)).collect();
         compiled.adjoints_into_lanes(&seeds, buf);
     }
-    let _span = scorpio_obs::span("significance");
+    let _span = scorpio_obs::span_detail("significance");
     for l in 0..LANES {
         out.push(replayed_report_from(
             compiled,
@@ -551,12 +551,12 @@ pub(crate) fn build_vars_replayed_lanes<const LANES: usize>(
 ) -> Result<(), AnalysisError> {
     let outputs = output_nodes(regs)?;
     {
-        let _span = scorpio_obs::span("reverse");
+        let _span = scorpio_obs::span_detail("reverse");
         let seeds: Vec<(NodeId, Interval)> =
             outputs.iter().map(|&o| (o, Interval::ONE)).collect();
         compiled.adjoints_into_lanes(&seeds, buf);
     }
-    let _span = scorpio_obs::span("significance");
+    let _span = scorpio_obs::span_detail("significance");
     for l in 0..LANES {
         let (vars, total_raw) = registered_rows(
             regs,
@@ -582,7 +582,7 @@ pub(crate) fn build_vars_replayed(
 ) -> Result<VarSignificances, AnalysisError> {
     let outputs = output_nodes(regs)?;
     replayed_adjoints(compiled, &outputs, buf);
-    let _span = scorpio_obs::span("significance");
+    let _span = scorpio_obs::span_detail("significance");
     let (vars, total_raw) = registered_rows(
         regs,
         &outputs,

@@ -200,6 +200,9 @@ pub struct TaskEvent {
     pub worker: u64,
     /// The task-group label (or phase/kernel name) the event belongs to.
     pub label: String,
+    /// Request trace id in force when the event was emitted (0 = none);
+    /// see [`trace_context`](crate::trace_context).
+    pub trace_id: u64,
     /// The payload.
     pub kind: EventKind,
 }
@@ -218,6 +221,10 @@ pub struct TaskEventRecord {
     pub worker: u64,
     /// Task-group / phase label.
     pub label: String,
+    /// Request trace id as 16 hex digits (`None` when the event was
+    /// emitted outside any request context). Hex keeps full u64
+    /// fidelity through JSON parsers that read numbers as f64.
+    pub trace_id: Option<String>,
     /// `"task"`, `"taskwait"`, `"ratio"`, `"phase"` or
     /// `"ratio_decision"`.
     pub event: &'static str,
@@ -260,6 +267,7 @@ impl TaskEvent {
             t_ns: self.t_ns,
             worker: self.worker,
             label: self.label.clone(),
+            trace_id: (self.trace_id != 0).then(|| format!("{:016x}", self.trace_id)),
             event: "task",
             task_id: None,
             significance: None,
@@ -334,9 +342,10 @@ impl TaskEvent {
 
 // ───────────────────────── raw record layout ─────────────────────────
 
-/// Words per ring record. Kind-dependent payload lives in `a..=f`; see
-/// `encode`/`decode` for the per-kind assignment.
-const WORDS: usize = 12;
+/// Words per ring record. Kind-dependent payload lives in `a..=f`; the
+/// last word carries the request trace id; see `encode`/`decode` for
+/// the per-kind assignment.
+const WORDS: usize = 13;
 
 const K_TASK: u64 = 0;
 const K_TASKWAIT: u64 = 1;
@@ -345,15 +354,16 @@ const K_PHASE: u64 = 3;
 const K_DECISION: u64 = 4;
 
 /// One decoded raw record: `[seq, t_ns, kind, class, worker, label,
-/// a, b, c, d, e, f]`.
-type Raw = [u64; WORDS];
+/// a, b, c, d, e, f, trace_id]`.
+pub(crate) type Raw = [u64; WORDS];
 
-fn encode(seq: u64, t_ns: u64, worker: u64, label: u32, kind: &EventKind) -> Raw {
+fn encode(seq: u64, t_ns: u64, worker: u64, label: u32, trace_id: u64, kind: &EventKind) -> Raw {
     let mut w = [0u64; WORDS];
     w[0] = seq;
     w[1] = t_ns;
     w[4] = worker;
     w[5] = label as u64;
+    w[12] = trace_id;
     match *kind {
         EventKind::Task {
             task_id,
@@ -442,6 +452,7 @@ fn decode(w: &Raw) -> TaskEvent {
         t_ns: w[1],
         worker: w[4],
         label: label_name(w[5] as u32),
+        trace_id: w[12],
         kind,
     }
 }
@@ -683,13 +694,48 @@ thread_local! {
 fn emit(label: &str, kind: EventKind) {
     let seq = SEQ.fetch_add(1, Ordering::Relaxed);
     let t_ns = crate::epoch().elapsed().as_nanos() as u64;
-    let raw = encode(seq, t_ns, current_tid(), intern(label), &kind);
+    let trace_id = crate::current_trace_id();
+    let worker = current_tid();
+    let raw = encode(seq, t_ns, worker, intern(label), trace_id, &kind);
+    // When a request context is capturing on this thread, copy the raw
+    // (alloc-free) record into its buffer; it is decoded when the
+    // context drains, off the hot path. This is how exemplars carry a
+    // request's task events without a global-ring scan.
+    EVENT_CAPTURE.with(|c| {
+        if let Some(buf) = c.borrow_mut().as_mut() {
+            buf.push(raw);
+        }
+    });
     // Accessing a TLS with a destructor from within another TLS's
     // destructor can fail; count the event as dropped rather than
     // panicking in that (teardown-only) corner.
     if RING.try_with(|h| h.ring.push(&raw)).is_err() {
         DROPPED.fetch_add(1, Ordering::Relaxed);
     }
+}
+
+thread_local! {
+    /// Per-thread task-event capture buffer (raw records; decoded at
+    /// drain time); managed by [`TraceContext`](crate::TraceContext).
+    static EVENT_CAPTURE: RefCell<Option<Vec<Raw>>> = const { RefCell::new(None) };
+}
+
+/// Swaps this thread's event-capture buffer, returning the previous one
+/// (`TraceContext` uses this to nest contexts correctly).
+pub(crate) fn capture_replace(new: Option<Vec<Raw>>) -> Option<Vec<Raw>> {
+    EVENT_CAPTURE.with(|c| std::mem::replace(&mut *c.borrow_mut(), new))
+}
+
+/// Drains and decodes the events captured on this thread (empty when
+/// not capturing).
+pub(crate) fn capture_take() -> Vec<TaskEvent> {
+    let raws: Vec<Raw> = EVENT_CAPTURE.with(|c| {
+        c.borrow_mut()
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    });
+    raws.iter().map(decode).collect()
 }
 
 // ───────────────────────── public emission ─────────────────────────

@@ -1,0 +1,234 @@
+//! Prometheus text-exposition rendering (format version 0.0.4) for the
+//! metrics [`Registry`](crate::Registry) and any caller-supplied
+//! gauges, plus a small validating parser the smoke tests and the
+//! `metrics`-verb consumers use to check scrape output.
+//!
+//! Registry names like `serve.latency_ns.fisheye` are flattened to
+//! exposition-legal names (`scorpio_serve_latency_ns_fisheye`);
+//! dimensional data (per-kernel windows) is emitted with labels
+//! instead, e.g. `scorpio_window_requests{kernel="dct",span="1m"}`.
+//! Histograms keep their log₂ layout: bucket `i` becomes a cumulative
+//! `_bucket` sample with `le="2^(i-31)"`, zero-count buckets elided.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::metrics::HISTOGRAM_BUCKETS;
+
+/// Streaming renderer for one scrape; call the emit methods then
+/// [`finish`](PrometheusRenderer::finish).
+#[derive(Debug, Default)]
+pub struct PrometheusRenderer {
+    out: String,
+    typed: BTreeSet<String>,
+}
+
+/// Flattens an internal metric name (`serve.latency_ns.dct`) into an
+/// exposition-legal one (`scorpio_serve_latency_ns_dct`).
+pub fn metric_name(raw: &str) -> String {
+    let mut name = String::with_capacity(raw.len() + 8);
+    name.push_str("scorpio_");
+    for ch in raw.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '_' || ch == ':' {
+            name.push(ch);
+        } else {
+            name.push('_');
+        }
+    }
+    name
+}
+
+/// Formats a sample value per the exposition format (`+Inf` / `-Inf` /
+/// `NaN` spellings, integers without a trailing `.0`).
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else {
+        format!("{v}")
+    }
+}
+
+impl PrometheusRenderer {
+    /// An empty renderer.
+    pub fn new() -> PrometheusRenderer {
+        PrometheusRenderer::default()
+    }
+
+    fn type_line(&mut self, name: &str, kind: &str, help: &str) {
+        if self.typed.insert(name.to_owned()) {
+            if !help.is_empty() {
+                let _ = writeln!(self.out, "# HELP {name} {help}");
+            }
+            let _ = writeln!(self.out, "# TYPE {name} {kind}");
+        }
+    }
+
+    fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                let _ = write!(self.out, "{k}=\"");
+                for ch in v.chars() {
+                    match ch {
+                        '\\' => self.out.push_str("\\\\"),
+                        '"' => self.out.push_str("\\\""),
+                        '\n' => self.out.push_str("\\n"),
+                        _ => self.out.push(ch),
+                    }
+                }
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        let _ = writeln!(self.out, " {}", fmt_value(value));
+    }
+
+    /// Emits one counter sample (TYPE line on first use of `name`).
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.type_line(name, "counter", help);
+        self.sample(name, labels, value);
+    }
+
+    /// Emits one gauge sample (TYPE line on first use of `name`).
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.type_line(name, "gauge", help);
+        self.sample(name, labels, value);
+    }
+
+    /// Emits a full Prometheus histogram from log₂ bucket counts laid
+    /// out as in [`Histogram`](crate::Histogram): cumulative `_bucket`
+    /// samples (zero-count buckets elided), `_sum` and `_count`.
+    pub fn histogram_from_log2(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        buckets: &[u64],
+        sum: f64,
+        count: u64,
+    ) {
+        self.type_line(name, "histogram", help);
+        let bucket_name = format!("{name}_bucket");
+        let mut cum = 0u64;
+        for (i, &cnt) in buckets.iter().take(HISTOGRAM_BUCKETS).enumerate() {
+            if cnt == 0 {
+                continue;
+            }
+            cum += cnt;
+            let le = fmt_value((i as f64 - 31.0).exp2());
+            let mut all = labels.to_vec();
+            all.push(("le", &le));
+            self.sample(&bucket_name, &all, cum as f64);
+        }
+        let mut all = labels.to_vec();
+        all.push(("le", "+Inf"));
+        self.sample(&bucket_name, &all, count as f64);
+        self.sample(&format!("{name}_sum"), labels, sum);
+        self.sample(&format!("{name}_count"), labels, count as f64);
+    }
+
+    /// Renders every counter and histogram in the global
+    /// [`registry`](crate::registry) under flattened names.
+    pub fn render_registry(&mut self) {
+        for c in crate::registry().counters() {
+            let name = metric_name(c.name());
+            self.counter(&name, "scorpio counter (lifetime total)", &[], c.get() as f64);
+        }
+        for h in crate::registry().histograms() {
+            let name = metric_name(h.name());
+            self.histogram_from_log2(
+                &name,
+                "scorpio histogram (log2 buckets, lifetime)",
+                &[],
+                &h.bucket_counts(),
+                h.sum(),
+                h.count(),
+            );
+        }
+    }
+
+    /// The accumulated exposition text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Validates `text` against the exposition grammar this module emits:
+/// every non-empty line is either a `# HELP` / `# TYPE` comment or a
+/// `name[{labels}] value` sample with a legal metric name, balanced
+/// label quoting, and a parseable value; every sample's base name must
+/// have a preceding `# TYPE`. Returns the number of samples, or a
+/// message naming the first offending line.
+pub fn validate_exposition(text: &str) -> Result<usize, String> {
+    let mut typed: BTreeSet<String> = BTreeSet::new();
+    let mut samples = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let name = parts.next().unwrap_or("");
+                let kind = parts.next().unwrap_or("");
+                if name.is_empty()
+                    || !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped")
+                {
+                    return Err(format!("line {}: bad TYPE declaration", lineno + 1));
+                }
+                typed.insert(name.to_owned());
+            } else if !rest.starts_with("HELP ") {
+                return Err(format!("line {}: unknown comment form", lineno + 1));
+            }
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let (name_part, value_part) = match line.find(['{', ' ']) {
+            Some(i) if line.as_bytes()[i] == b'{' => {
+                let close = line
+                    .rfind('}')
+                    .ok_or_else(|| format!("line {}: unclosed label block", lineno + 1))?;
+                let labels = &line[i + 1..close];
+                if labels.matches('"').count() % 2 != 0 {
+                    return Err(format!("line {}: unbalanced label quotes", lineno + 1));
+                }
+                (&line[..i], line[close + 1..].trim())
+            }
+            Some(i) => (&line[..i], line[i + 1..].trim()),
+            None => return Err(format!("line {}: sample without value", lineno + 1)),
+        };
+        if name_part.is_empty()
+            || !name_part
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            || name_part.starts_with(|c: char| c.is_ascii_digit())
+        {
+            return Err(format!("line {}: illegal metric name {name_part:?}", lineno + 1));
+        }
+        let ok_value = matches!(value_part, "NaN" | "+Inf" | "-Inf")
+            || value_part.parse::<f64>().is_ok();
+        if !ok_value {
+            return Err(format!("line {}: unparseable value {value_part:?}", lineno + 1));
+        }
+        let base = name_part
+            .strip_suffix("_bucket")
+            .or_else(|| name_part.strip_suffix("_sum"))
+            .or_else(|| name_part.strip_suffix("_count"))
+            .filter(|b| typed.contains(*b))
+            .unwrap_or(name_part);
+        if !typed.contains(base) {
+            return Err(format!("line {}: sample {name_part:?} without TYPE", lineno + 1));
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}

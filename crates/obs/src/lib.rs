@@ -55,10 +55,12 @@
 #![warn(missing_debug_implementations)]
 
 pub mod events;
+pub mod expose;
 pub mod json;
 mod manifest;
 mod metrics;
 mod span;
+pub mod window;
 
 pub use events::{
     events_dropped, events_jsonl, phase_event, ratio_decision_event, ratio_event, records_jsonl,
@@ -69,8 +71,16 @@ pub use manifest::{
     git_describe, ConfigEntry, CounterSnapshot, HistogramSnapshot, PhaseNode, RunManifest,
     RunSession,
 };
-pub use metrics::{registry, Counter, Histogram, Registry, HISTOGRAM_BUCKETS};
-pub use span::{chrome_trace_json, events_snapshot, take_events, SpanGuard, TraceEvent};
+pub use metrics::{
+    quantile_from_buckets, registry, Counter, Histogram, Registry, HISTOGRAM_BUCKETS,
+};
+pub use span::{
+    chrome_trace_json, current_trace_id, events_snapshot, spans_dropped, take_events, SpanGuard,
+    TraceContext, TraceEvent,
+};
+pub use window::{
+    KernelWindowStats, RequestSample, SlidingWindow, WindowSnapshot, WINDOW_SPANS,
+};
 
 #[cfg(test)]
 mod tests;
@@ -80,6 +90,7 @@ use std::sync::OnceLock;
 use std::time::Instant;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
+static DETAIL: AtomicBool = AtomicBool::new(true);
 
 /// `true` while instrumentation is collecting. One relaxed atomic load:
 /// this is the *only* cost every instrumented call site pays when
@@ -87,6 +98,30 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 #[inline(always)]
 pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
+}
+
+/// `true` while *detail* spans ([`span_detail`]) record. Detail spans
+/// sit on per-item / per-lane-block interior paths (`replay`,
+/// `replay_lanes`, per-item `reverse`/`significance` sweeps, …) whose
+/// volume scales with the workload; stage-level spans always record
+/// while tracing is [enabled]. Detail is **on** by default so offline
+/// harnesses (`--trace` exports, run manifests) see the full tree; a
+/// latency-sensitive host like the serve daemon turns it off with
+/// [`disable_detail`] and keeps only stage-level spans plus the
+/// lock-free task-event telemetry.
+#[inline(always)]
+pub fn detail_enabled() -> bool {
+    enabled() && DETAIL.load(Ordering::Relaxed)
+}
+
+/// Turns detail spans back on (the default); see [`detail_enabled`].
+pub fn enable_detail() {
+    DETAIL.store(true, Ordering::SeqCst);
+}
+
+/// Turns detail spans off; see [`detail_enabled`].
+pub fn disable_detail() {
+    DETAIL.store(false, Ordering::SeqCst);
 }
 
 /// Turns instrumentation on (idempotent). The first call fixes the
@@ -118,6 +153,16 @@ pub(crate) fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
+/// Nanoseconds since the process-wide trace epoch — the time base of
+/// every span and task-event timestamp (the first caller of [`enable`]
+/// or this function fixes the epoch). Lets a host splice synthetic
+/// spans measured outside the guard machinery (e.g. the serve daemon's
+/// connection-thread parse span) into the same timeline as captured
+/// spans.
+pub fn epoch_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
 /// Opens a named span. Returns a guard that records the elapsed time
 /// (nested under the thread's currently open span, if any) when
 /// dropped. A no-op returning an inert guard when tracing is
@@ -139,6 +184,39 @@ pub fn span_owned(name: String) -> SpanGuard {
     } else {
         SpanGuard::noop()
     }
+}
+
+/// A *detail* span: like [`span`], but records only while
+/// [`detail_enabled`] — use for interior spans whose count scales with
+/// items or lane blocks rather than with pipeline stages. Costs the
+/// same single relaxed load as [`span`] when tracing is off.
+#[inline]
+pub fn span_detail(name: &'static str) -> SpanGuard {
+    if detail_enabled() {
+        SpanGuard::open(name.to_owned())
+    } else {
+        SpanGuard::noop()
+    }
+}
+
+/// Opens a per-request trace context on the calling thread: until the
+/// returned guard drops, every span and task event recorded on this
+/// thread is stamped with `trace_id` (visible as
+/// [`TraceEvent::trace_id`] / [`TaskEvent::trace_id`] and in Chrome
+/// traces and JSONL exports). With `capture` on, completed spans and
+/// task events are *also* cloned into per-thread buffers the guard can
+/// drain ([`TraceContext::take_spans`] /
+/// [`TraceContext::take_task_events`]) so a request handler can
+/// assemble its own span tree without scanning the global sink.
+///
+/// Contexts nest: dropping the guard restores the previous trace id
+/// and capture buffers. Stamping and capture only happen for spans /
+/// events that record at all, i.e. when tracing is [enabled]; when
+/// disabled this costs the usual single relaxed atomic load at each
+/// instrumented site.
+#[inline]
+pub fn trace_context(trace_id: u64, capture: bool) -> TraceContext {
+    TraceContext::open(trace_id, capture)
 }
 
 /// Adds `n` to the monotonic counter `name`, creating it on first use.

@@ -170,6 +170,17 @@ impl Histogram {
         std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
     }
 
+    /// Interpolated `q`-quantile (`0.0 ..= 1.0`) of the positive finite
+    /// samples, estimated from the log₂ buckets and clamped to the
+    /// exact observed `[min, max]`. `NaN` when no positive finite
+    /// sample was recorded or `q` is not in `[0, 1]`. The estimate is
+    /// exact for single-sample buckets at the edges (clamping) and
+    /// otherwise off by at most one bucket width (a factor of 2); the
+    /// unit tests pin that bound.
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_from_buckets(&self.bucket_counts(), q, self.min(), self.max())
+    }
+
     fn reset(&self) {
         self.count.store(0, Ordering::Relaxed);
         self.non_positive.store(0, Ordering::Relaxed);
@@ -181,6 +192,51 @@ impl Histogram {
         for b in &self.buckets {
             b.store(0, Ordering::Relaxed);
         }
+    }
+}
+
+/// Interpolated `q`-quantile over log₂ bucket counts laid out as in
+/// [`Histogram`] (bucket `i` spans `[2^(i-32), 2^(i-31))`). Walks the
+/// cumulative mass to the bucket holding rank `q·total`, interpolates
+/// linearly within it, then clamps into `[min, max]` when those bounds
+/// are finite (pass `+∞`/`-∞` to skip clamping). `NaN` on empty mass
+/// or `q` outside `[0, 1]`. Shared by [`Histogram::quantile`] and the
+/// sliding-window aggregator, which stores the same bucket layout.
+pub fn quantile_from_buckets(buckets: &[u64], q: f64, min: f64, max: f64) -> f64 {
+    if !(0.0..=1.0).contains(&q) {
+        return f64::NAN;
+    }
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return f64::NAN;
+    }
+    let rank = q * total as f64;
+    let mut cum = 0.0f64;
+    for (i, &cnt) in buckets.iter().enumerate() {
+        if cnt == 0 {
+            continue;
+        }
+        let cnt = cnt as f64;
+        if cum + cnt >= rank {
+            let lo = (i as f64 - 32.0).exp2();
+            let hi = (i as f64 - 31.0).exp2();
+            let frac = ((rank - cum) / cnt).clamp(0.0, 1.0);
+            let mut v = lo + frac * (hi - lo);
+            if min.is_finite() {
+                v = v.max(min);
+            }
+            if max.is_finite() {
+                v = v.min(max);
+            }
+            return v;
+        }
+        cum += cnt;
+    }
+    // Numerically unreachable (rank ≤ total), but fall back to max.
+    if max.is_finite() {
+        max
+    } else {
+        f64::NAN
     }
 }
 

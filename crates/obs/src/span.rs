@@ -1,6 +1,8 @@
-//! Structured spans and the process-global trace sink.
+//! Structured spans, the process-global trace sink and the per-thread
+//! request trace context.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -26,20 +28,110 @@ pub struct TraceEvent {
     pub tid: u64,
     /// Nesting depth within the thread (0 = thread-root span).
     pub depth: usize,
+    /// Request trace id in force when the span opened (0 = none). Set
+    /// by [`trace_context`](crate::trace_context); lets a request's
+    /// spans be picked out of the merged sink and reassembled into one
+    /// tree.
+    pub trace_id: u64,
 }
 
-static SINK: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
+/// Bound on the global span sink. A long-lived traced process (the
+/// serve daemon runs with tracing on by default) keeps the newest
+/// `SINK_CAP` spans; older ones are evicted and counted in
+/// [`spans_dropped`]. Short instrumented runs (benches, tests) stay far
+/// below the bound and lose nothing.
+const SINK_CAP: usize = 1 << 16;
+
+static SINK: Mutex<VecDeque<TraceEvent>> = Mutex::new(VecDeque::new());
+static SPANS_DROPPED: AtomicU64 = AtomicU64::new(0);
 static NEXT_TID: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
     static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
     /// Names of the spans currently open on this thread, outermost first.
     static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+    /// Request trace id stamped onto spans/events this thread emits
+    /// (0 = no request context).
+    static TRACE_ID: Cell<u64> = const { Cell::new(0) };
+    /// When capturing, completed spans are *also* cloned here so a
+    /// request handler can assemble its own span tree without touching
+    /// the global sink.
+    static CAPTURE: RefCell<Option<Vec<TraceEvent>>> = const { RefCell::new(None) };
 }
 
 /// Dense id of the calling thread within the trace.
 pub(crate) fn current_tid() -> u64 {
     TID.with(|t| *t)
+}
+
+/// The request trace id currently in force on this thread (0 = none).
+pub fn current_trace_id() -> u64 {
+    TRACE_ID.with(Cell::get)
+}
+
+/// RAII guard of one request trace context; see
+/// [`trace_context`](crate::trace_context).
+#[derive(Debug)]
+pub struct TraceContext {
+    prev_id: u64,
+    prev_capture: Option<Vec<TraceEvent>>,
+    prev_event_capture: Option<Vec<crate::events::Raw>>,
+    capturing: bool,
+}
+
+impl TraceContext {
+    pub(crate) fn open(trace_id: u64, capture: bool) -> TraceContext {
+        let prev_id = TRACE_ID.with(|t| t.replace(trace_id));
+        let (prev_capture, prev_event_capture) = if capture {
+            (
+                CAPTURE.with(|c| c.borrow_mut().replace(Vec::new())),
+                crate::events::capture_replace(Some(Vec::new())),
+            )
+        } else {
+            (None, None)
+        };
+        TraceContext {
+            prev_id,
+            prev_capture,
+            prev_event_capture,
+            capturing: capture,
+        }
+    }
+
+    /// Drains the spans captured on this thread since the context
+    /// opened (or the last call). Empty unless the context was opened
+    /// with capture on *and* tracing is [enabled](crate::enabled).
+    pub fn take_spans(&mut self) -> Vec<TraceEvent> {
+        if !self.capturing {
+            return Vec::new();
+        }
+        CAPTURE.with(|c| {
+            c.borrow_mut()
+                .as_mut()
+                .map(std::mem::take)
+                .unwrap_or_default()
+        })
+    }
+
+    /// Drains the task events captured on this thread since the context
+    /// opened (or the last call). Empty unless capturing.
+    pub fn take_task_events(&mut self) -> Vec<crate::TaskEvent> {
+        if !self.capturing {
+            return Vec::new();
+        }
+        crate::events::capture_take()
+    }
+}
+
+impl Drop for TraceContext {
+    fn drop(&mut self) {
+        TRACE_ID.with(|t| t.set(self.prev_id));
+        if self.capturing {
+            let prev = self.prev_capture.take();
+            CAPTURE.with(|c| *c.borrow_mut() = prev);
+            crate::events::capture_replace(self.prev_event_capture.take());
+        }
+    }
 }
 
 /// RAII guard for an open span; records a [`TraceEvent`] when dropped.
@@ -55,6 +147,7 @@ struct ActiveSpan {
     tid: u64,
     start: Instant,
     start_ns: u64,
+    trace_id: u64,
 }
 
 impl SpanGuard {
@@ -66,6 +159,7 @@ impl SpanGuard {
         let start = Instant::now();
         let start_ns = start.duration_since(epoch()).as_nanos() as u64;
         let tid = current_tid();
+        let trace_id = current_trace_id();
         let (path, depth) = STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
             let path = if stack.is_empty() {
@@ -83,6 +177,7 @@ impl SpanGuard {
             tid,
             start,
             start_ns,
+            trace_id,
         }))
     }
 }
@@ -107,24 +202,44 @@ impl Drop for SpanGuard {
             dur_ns,
             tid: active.tid,
             depth: active.depth,
+            trace_id: active.trace_id,
         };
-        SINK.lock().expect("trace sink poisoned").push(event);
+        CAPTURE.with(|c| {
+            if let Some(buf) = c.borrow_mut().as_mut() {
+                buf.push(event.clone());
+            }
+        });
+        let mut sink = SINK.lock().expect("trace sink poisoned");
+        if sink.len() >= SINK_CAP {
+            sink.pop_front();
+            SPANS_DROPPED.fetch_add(1, Ordering::Relaxed);
+        }
+        sink.push_back(event);
     }
 }
 
 /// Copies the currently collected events out of the sink (sink keeps
 /// them; see [`take_events`] for the draining variant).
 pub fn events_snapshot() -> Vec<TraceEvent> {
-    SINK.lock().expect("trace sink poisoned").clone()
+    SINK.lock().expect("trace sink poisoned").iter().cloned().collect()
 }
 
 /// Drains and returns every collected event.
 pub fn take_events() -> Vec<TraceEvent> {
-    std::mem::take(&mut *SINK.lock().expect("trace sink poisoned"))
+    std::mem::take(&mut *SINK.lock().expect("trace sink poisoned")).into()
+}
+
+/// Spans evicted from the bounded global sink since the last
+/// [`reset`](crate::reset) — nonzero means a trace export would be
+/// missing the oldest spans (the per-request capture path is
+/// unaffected).
+pub fn spans_dropped() -> u64 {
+    SPANS_DROPPED.load(Ordering::Relaxed)
 }
 
 pub(crate) fn reset() {
     SINK.lock().expect("trace sink poisoned").clear();
+    SPANS_DROPPED.store(0, Ordering::Relaxed);
 }
 
 /// Renders events as a Chrome-trace-format JSON string (`ph: "X"`
@@ -147,6 +262,9 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
         let _ = write!(out, ",\"pid\":1,\"tid\":{}", e.tid);
         out.push_str(",\"args\":{\"path\":");
         crate::json::escape_into(&mut out, &e.path);
+        if e.trace_id != 0 {
+            let _ = write!(out, ",\"trace_id\":\"{:016x}\"", e.trace_id);
+        }
         out.push_str("}}");
     }
     out.push_str("]}");

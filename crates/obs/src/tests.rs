@@ -613,3 +613,235 @@ proptest! {
         reset();
     }
 }
+
+#[test]
+fn quantile_clamps_to_observed_extremes_and_stays_within_a_bucket() {
+    let _guard = lock();
+    reset();
+    enable();
+    let h = registry().histogram("q_test");
+    let samples = [3.0, 5.0, 9.0, 17.0, 33.0, 120.0, 900.0, 1500.0];
+    for s in samples {
+        h.record(s);
+    }
+    // Edge quantiles clamp to the exact observed extremes.
+    assert_eq!(h.quantile(0.0), 3.0);
+    assert_eq!(h.quantile(1.0), 1500.0);
+    // Interior quantiles come from log2 buckets: the estimate must sit
+    // within one bucket (a factor of 2) of the true sample quantile.
+    for (q, exact) in [(0.25, 5.0), (0.5, 17.0), (0.75, 120.0), (0.9, 900.0)] {
+        let est = h.quantile(q);
+        assert!(
+            est >= exact / 2.0 && est <= exact * 2.0,
+            "q{q}: estimate {est} not within a bucket of exact {exact}"
+        );
+    }
+    // Degenerate cases.
+    assert!(h.quantile(-0.1).is_nan());
+    assert!(h.quantile(1.1).is_nan());
+    assert!(registry().histogram("q_empty").quantile(0.5).is_nan());
+    reset();
+}
+
+#[test]
+fn quantile_from_buckets_is_monotone_in_q() {
+    // Direct layout check, no registry: 4 samples in bucket 32
+    // ([1, 2)), 4 in bucket 34 ([4, 8)).
+    let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+    buckets[32] = 4;
+    buckets[34] = 4;
+    let mut prev = f64::NEG_INFINITY;
+    for i in 0..=10 {
+        let v = quantile_from_buckets(&buckets, i as f64 / 10.0, f64::INFINITY, f64::NEG_INFINITY);
+        assert!(v >= prev, "quantile must be monotone in q ({v} < {prev})");
+        prev = v;
+    }
+    assert!(quantile_from_buckets(&buckets, 0.25, f64::INFINITY, f64::NEG_INFINITY) < 2.0);
+    assert!(quantile_from_buckets(&buckets, 0.9, f64::INFINITY, f64::NEG_INFINITY) >= 4.0);
+}
+
+#[test]
+fn prometheus_exposition_matches_golden_text() {
+    use crate::expose::{validate_exposition, PrometheusRenderer};
+    let mut r = PrometheusRenderer::new();
+    r.counter("scorpio_requests_total", "Requests served.", &[], 42.0);
+    r.gauge(
+        "scorpio_window_rate_per_s",
+        "Request rate.",
+        &[("kernel", "maclaurin"), ("span", "10s")],
+        1.5,
+    );
+    let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+    buckets[32] = 2; // [1, 2)
+    buckets[33] = 1; // [2, 4)
+    r.histogram_from_log2(
+        "scorpio_latency_us",
+        "Latency.",
+        &[],
+        &buckets,
+        5.5,
+        3,
+    );
+    let text = r.finish();
+    let golden = "\
+# HELP scorpio_requests_total Requests served.
+# TYPE scorpio_requests_total counter
+scorpio_requests_total 42
+# HELP scorpio_window_rate_per_s Request rate.
+# TYPE scorpio_window_rate_per_s gauge
+scorpio_window_rate_per_s{kernel=\"maclaurin\",span=\"10s\"} 1.5
+# HELP scorpio_latency_us Latency.
+# TYPE scorpio_latency_us histogram
+scorpio_latency_us_bucket{le=\"2\"} 2
+scorpio_latency_us_bucket{le=\"4\"} 3
+scorpio_latency_us_bucket{le=\"+Inf\"} 3
+scorpio_latency_us_sum 5.5
+scorpio_latency_us_count 3
+";
+    assert_eq!(text, golden, "exposition drifted from the golden format");
+    assert_eq!(validate_exposition(&text), Ok(7), "golden must validate");
+}
+
+#[test]
+fn sliding_window_rotates_samples_out_by_span() {
+    let w = SlidingWindow::new();
+    let s = |latency_ns: u64| RequestSample {
+        latency_ns,
+        error: false,
+        cache_hit: Some(true),
+        requested_ratio: Some(0.7),
+        achieved_ratio: Some(0.75),
+    };
+    w.record(5_000_000_000, &s(1000)); // at second 5
+    // Still inside all three spans at second 8.
+    assert_eq!(w.snapshot(8_000_000_000, 10).requests, 1);
+    // At second 20 the 10s span has rotated it out; 1m still holds it.
+    assert_eq!(w.snapshot(20_000_000_000, 10).requests, 0);
+    assert_eq!(w.snapshot(20_000_000_000, 60).requests, 1);
+    // At second 100 only the 5m span holds it.
+    assert_eq!(w.snapshot(100_000_000_000, 60).requests, 0);
+    assert_eq!(w.snapshot(100_000_000_000, 300).requests, 1);
+    // Past the ring's 300s retention it is gone everywhere.
+    assert_eq!(w.snapshot(400_000_000_000, 300).requests, 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Rotation correctness: for a monotone stream of samples, every
+    /// span's snapshot must count exactly the samples whose second
+    /// falls inside `(now - span, now]` — no double counting across
+    /// bucket rotation, no leakage from evicted seconds.
+    #[test]
+    fn sliding_window_snapshot_matches_naive_model(
+        mut secs in proptest::collection::vec(0u64..600, 1..80),
+        errors in proptest::collection::vec(any::<bool>(), 80),
+    ) {
+        secs.sort_unstable();
+        let now_s = *secs.last().unwrap() + 1;
+        let w = SlidingWindow::new();
+        for (i, &sec) in secs.iter().enumerate() {
+            w.record(
+                sec * 1_000_000_000 + 500,
+                &RequestSample {
+                    latency_ns: 1000 + i as u64,
+                    error: errors[i % errors.len()],
+                    cache_hit: Some(i % 2 == 0),
+                    requested_ratio: Some(0.5),
+                    achieved_ratio: Some(0.5),
+                },
+            );
+        }
+        for (_, span_secs) in WINDOW_SPANS {
+            let snap = w.snapshot(now_s * 1_000_000_000, span_secs);
+            let oldest = now_s.saturating_sub(span_secs - 1);
+            // The ring retains WINDOW_SLOTS seconds: a second is still
+            // counted only if no later sample evicted its slot. With a
+            // monotone stream ending at now_s - 1, eviction cannot have
+            // happened for any second inside the span, so the model is
+            // a plain range filter.
+            let expected = secs
+                .iter()
+                .filter(|&&sec| sec >= oldest && sec <= now_s)
+                .count() as u64;
+            prop_assert_eq!(
+                snap.requests,
+                expected,
+                "span {}s: snapshot disagrees with model",
+                span_secs
+            );
+            let expected_errors = secs
+                .iter()
+                .enumerate()
+                .filter(|(i, &sec)| sec >= oldest && sec <= now_s && errors[i % errors.len()])
+                .count() as u64;
+            prop_assert_eq!(snap.errors, expected_errors);
+        }
+    }
+}
+
+#[test]
+fn trace_context_stamps_and_captures_spans_and_events() {
+    let _guard = lock();
+    reset();
+    enable();
+    enable_detail();
+    // Outside any context: no stamp.
+    assert_eq!(current_trace_id(), 0);
+    {
+        let mut ctx = trace_context(0xbeef, true);
+        assert_eq!(current_trace_id(), 0xbeef);
+        {
+            let _outer = span("req");
+            let _inner = span_detail("step");
+            task_event("traced", 7, 0.5, TaskClass::Accurate, 10);
+        }
+        // Nested context: inner id wins, then the outer is restored.
+        {
+            let _nested = trace_context(0xf00d, false);
+            assert_eq!(current_trace_id(), 0xf00d);
+        }
+        assert_eq!(current_trace_id(), 0xbeef);
+
+        let spans = ctx.take_spans();
+        assert_eq!(spans.len(), 2, "both spans captured");
+        assert!(spans.iter().all(|s| s.trace_id == 0xbeef));
+        assert!(spans.iter().any(|s| s.path == "req/step"));
+        let events = ctx.take_task_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].trace_id, 0xbeef);
+        assert_eq!(events[0].label, "traced");
+        // Draining is destructive: a second take is empty.
+        assert!(ctx.take_spans().is_empty());
+        assert!(ctx.take_task_events().is_empty());
+    }
+    assert_eq!(current_trace_id(), 0);
+    // The global sink got the same stamped spans.
+    let sunk = events_snapshot();
+    assert!(sunk.iter().all(|s| s.trace_id == 0xbeef));
+    reset();
+}
+
+#[test]
+fn detail_spans_gate_off_while_stage_spans_keep_recording() {
+    let _guard = lock();
+    reset();
+    enable();
+    disable_detail();
+    {
+        let _stage = span("stage");
+        let _interior = span_detail("interior");
+    }
+    let spans = events_snapshot();
+    assert!(spans.iter().any(|s| s.path == "stage"));
+    assert!(
+        !spans.iter().any(|s| s.name == "interior"),
+        "detail span must not record while detail is off"
+    );
+    enable_detail();
+    {
+        let _interior = span_detail("interior");
+    }
+    assert!(events_snapshot().iter().any(|s| s.name == "interior"));
+    reset();
+}

@@ -1,0 +1,283 @@
+//! Sliding-window SLO telemetry: a lock-light, time-bucketed aggregator
+//! answering "what happened over the last 10s / 1m / 5m" for a serving
+//! process — request rate, error rate, latency quantiles, cache hit
+//! rate, and achieved-vs-requested taskwait ratio.
+//!
+//! # Design
+//!
+//! A [`SlidingWindow`] is a ring of [`WINDOW_SLOTS`] one-second
+//! buckets, each behind its own `Mutex`. A sample at time `t` hashes to
+//! slot `⌊t/1s⌋ % WINDOW_SLOTS`; the bucket remembers which absolute
+//! second it currently represents and lazily resets itself when a
+//! sample from a *newer* second lands on it (rotation is driven by
+//! writers — there is no timer thread). Contention is therefore one
+//! short critical section (~tens of ns: a few adds and one array
+//! index) on one of 300 independent locks, and readers snapshotting a
+//! window only touch the buckets inside the asked-for span. Samples
+//! older than what a slot currently holds (possible when a reader's
+//! clock lags a full ring revolution, i.e. > 5 minutes) are dropped and
+//! counted in [`SlidingWindow::stale_dropped`] rather than corrupting a
+//! newer bucket.
+//!
+//! Timestamps are passed in explicitly (nanoseconds since an arbitrary
+//! epoch — the obs [`epoch`](crate::enable) in production) so tests can
+//! drive rotation deterministically; the proptest suite pins that
+//! samples are never double-counted or lost across bucket boundaries.
+//!
+//! Latencies are stored as the same log₂ bucket layout as
+//! [`crate::Histogram`], so window quantiles reuse
+//! [`quantile_from_buckets`] and agree with the registry's lifetime
+//! histograms to within a bucket width.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::metrics::{quantile_from_buckets, Histogram, HISTOGRAM_BUCKETS};
+
+/// Number of one-second buckets a [`SlidingWindow`] retains — 300
+/// seconds, enough to answer every span in [`WINDOW_SPANS`].
+pub const WINDOW_SLOTS: usize = 300;
+
+/// The spans the serving stack reports, as `(label, seconds)` pairs.
+pub const WINDOW_SPANS: [(&str, u64); 3] = [("10s", 10), ("1m", 60), ("5m", 300)];
+
+/// One second's worth of accumulated samples.
+#[derive(Debug)]
+struct Bucket {
+    /// Absolute second this bucket currently represents
+    /// (`u64::MAX` = never written).
+    epoch_s: u64,
+    requests: u64,
+    errors: u64,
+    cache_hits: u64,
+    cache_lookups: u64,
+    latency: [u64; HISTOGRAM_BUCKETS],
+    latency_min_ns: f64,
+    latency_max_ns: f64,
+    requested_ratio_sum: f64,
+    achieved_ratio_sum: f64,
+    ratio_samples: u64,
+}
+
+impl Bucket {
+    const fn empty() -> Bucket {
+        Bucket {
+            epoch_s: u64::MAX,
+            requests: 0,
+            errors: 0,
+            cache_hits: 0,
+            cache_lookups: 0,
+            latency: [0; HISTOGRAM_BUCKETS],
+            latency_min_ns: f64::INFINITY,
+            latency_max_ns: f64::NEG_INFINITY,
+            requested_ratio_sum: 0.0,
+            achieved_ratio_sum: 0.0,
+            ratio_samples: 0,
+        }
+    }
+
+    fn reset_for(&mut self, epoch_s: u64) {
+        *self = Bucket::empty();
+        self.epoch_s = epoch_s;
+    }
+}
+
+/// One request's contribution to a window; see
+/// [`SlidingWindow::record`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RequestSample {
+    /// End-to-end service latency in nanoseconds (0 = not measured;
+    /// still counted as a request but not in the latency quantiles).
+    pub latency_ns: u64,
+    /// Whether the request failed.
+    pub error: bool,
+    /// `Some(hit)` when the request did a tape-cache lookup.
+    pub cache_hit: Option<bool>,
+    /// The taskwait ratio the client asked for, when the request ran
+    /// an analysis.
+    pub requested_ratio: Option<f64>,
+    /// The ratio the runtime actually executed (tasks run / total).
+    pub achieved_ratio: Option<f64>,
+}
+
+/// Aggregated view of one span; see [`SlidingWindow::snapshot`].
+/// Quantile / rate fields are `NaN` when their denominator is empty.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowSnapshot {
+    /// Span length in seconds this snapshot aggregates.
+    pub span_secs: u64,
+    /// Requests observed inside the span.
+    pub requests: u64,
+    /// Failed requests inside the span.
+    pub errors: u64,
+    /// `requests / span_secs`.
+    pub rate_per_s: f64,
+    /// `errors / requests` (`NaN` when no requests).
+    pub error_rate: f64,
+    /// Median service latency in ns (`NaN` when no latency samples).
+    pub p50_ns: f64,
+    /// 90th-percentile service latency in ns.
+    pub p90_ns: f64,
+    /// 99th-percentile service latency in ns.
+    pub p99_ns: f64,
+    /// Cache lookups inside the span.
+    pub cache_lookups: u64,
+    /// Cache hits inside the span.
+    pub cache_hits: u64,
+    /// `cache_hits / cache_lookups` (`NaN` when no lookups).
+    pub cache_hit_rate: f64,
+    /// Mean requested taskwait ratio (`NaN` when no ratio samples).
+    pub requested_ratio_mean: f64,
+    /// Mean achieved taskwait ratio (`NaN` when no ratio samples).
+    pub achieved_ratio_mean: f64,
+    /// Requests that contributed ratio samples.
+    pub ratio_samples: u64,
+}
+
+/// Per-kernel bundle of [`WindowSnapshot`]s over [`WINDOW_SPANS`], the
+/// unit the `window` protocol verb and `scorpio_top` work with.
+#[derive(Debug, Clone)]
+pub struct KernelWindowStats {
+    /// Kernel name (or `"_server"` for the all-kernel aggregate).
+    pub kernel: String,
+    /// `(label, snapshot)` per span in [`WINDOW_SPANS`] order.
+    pub spans: Vec<(&'static str, WindowSnapshot)>,
+}
+
+/// Lock-light sliding-window aggregator; see the [module](self) docs.
+#[derive(Debug)]
+pub struct SlidingWindow {
+    slots: Vec<Mutex<Bucket>>,
+    stale_dropped: AtomicU64,
+}
+
+impl Default for SlidingWindow {
+    fn default() -> SlidingWindow {
+        SlidingWindow::new()
+    }
+}
+
+impl SlidingWindow {
+    /// An empty window ring.
+    pub fn new() -> SlidingWindow {
+        SlidingWindow {
+            slots: (0..WINDOW_SLOTS).map(|_| Mutex::new(Bucket::empty())).collect(),
+            stale_dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one request that *ended* at `t_ns` (nanoseconds since
+    /// the caller's epoch). Lock held for a handful of adds; stale
+    /// samples (older than the slot's current second) are dropped and
+    /// counted instead.
+    pub fn record(&self, t_ns: u64, sample: &RequestSample) {
+        let sec = t_ns / 1_000_000_000;
+        let slot = (sec % WINDOW_SLOTS as u64) as usize;
+        let mut b = match self.slots[slot].lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        if b.epoch_s != sec {
+            if b.epoch_s != u64::MAX && b.epoch_s > sec {
+                drop(b);
+                self.stale_dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            b.reset_for(sec);
+        }
+        b.requests += 1;
+        if sample.error {
+            b.errors += 1;
+        }
+        if let Some(hit) = sample.cache_hit {
+            b.cache_lookups += 1;
+            if hit {
+                b.cache_hits += 1;
+            }
+        }
+        if sample.latency_ns > 0 {
+            let v = sample.latency_ns as f64;
+            b.latency[Histogram::bucket_of(v)] += 1;
+            b.latency_min_ns = b.latency_min_ns.min(v);
+            b.latency_max_ns = b.latency_max_ns.max(v);
+        }
+        if let (Some(req), Some(ach)) = (sample.requested_ratio, sample.achieved_ratio) {
+            b.requested_ratio_sum += req;
+            b.achieved_ratio_sum += ach;
+            b.ratio_samples += 1;
+        }
+    }
+
+    /// Aggregates the buckets covering `(now - span_secs, now]` — the
+    /// current (possibly partial) second counts toward the span.
+    /// `span_secs` is clamped to the ring's retention
+    /// ([`WINDOW_SLOTS`] seconds).
+    pub fn snapshot(&self, now_ns: u64, span_secs: u64) -> WindowSnapshot {
+        let span_secs = span_secs.clamp(1, WINDOW_SLOTS as u64);
+        let now_s = now_ns / 1_000_000_000;
+        let oldest = now_s.saturating_sub(span_secs - 1);
+        let mut requests = 0u64;
+        let mut errors = 0u64;
+        let mut cache_hits = 0u64;
+        let mut cache_lookups = 0u64;
+        let mut latency = [0u64; HISTOGRAM_BUCKETS];
+        let mut lat_min = f64::INFINITY;
+        let mut lat_max = f64::NEG_INFINITY;
+        let mut req_ratio = 0.0f64;
+        let mut ach_ratio = 0.0f64;
+        let mut ratio_samples = 0u64;
+        for sec in oldest..=now_s {
+            let slot = (sec % WINDOW_SLOTS as u64) as usize;
+            let b = match self.slots[slot].lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            if b.epoch_s != sec {
+                continue;
+            }
+            requests += b.requests;
+            errors += b.errors;
+            cache_hits += b.cache_hits;
+            cache_lookups += b.cache_lookups;
+            for (agg, cnt) in latency.iter_mut().zip(b.latency.iter()) {
+                *agg += cnt;
+            }
+            lat_min = lat_min.min(b.latency_min_ns);
+            lat_max = lat_max.max(b.latency_max_ns);
+            req_ratio += b.requested_ratio_sum;
+            ach_ratio += b.achieved_ratio_sum;
+            ratio_samples += b.ratio_samples;
+        }
+        WindowSnapshot {
+            span_secs,
+            requests,
+            errors,
+            rate_per_s: requests as f64 / span_secs as f64,
+            error_rate: errors as f64 / requests as f64,
+            p50_ns: quantile_from_buckets(&latency, 0.5, lat_min, lat_max),
+            p90_ns: quantile_from_buckets(&latency, 0.9, lat_min, lat_max),
+            p99_ns: quantile_from_buckets(&latency, 0.99, lat_min, lat_max),
+            cache_lookups,
+            cache_hits,
+            cache_hit_rate: cache_hits as f64 / cache_lookups as f64,
+            requested_ratio_mean: req_ratio / ratio_samples as f64,
+            achieved_ratio_mean: ach_ratio / ratio_samples as f64,
+            ratio_samples,
+        }
+    }
+
+    /// Snapshots every span in [`WINDOW_SPANS`] at `now_ns`.
+    pub fn snapshot_all(&self, now_ns: u64) -> Vec<(&'static str, WindowSnapshot)> {
+        WINDOW_SPANS
+            .iter()
+            .map(|&(label, secs)| (label, self.snapshot(now_ns, secs)))
+            .collect()
+    }
+
+    /// Samples dropped because they were older than what their slot
+    /// currently holds (only possible when a writer lags the ring's
+    /// full retention, > [`WINDOW_SLOTS`] seconds).
+    pub fn stale_dropped(&self) -> u64 {
+        self.stale_dropped.load(Ordering::Relaxed)
+    }
+}

@@ -85,6 +85,41 @@ impl Client {
         self.request(r#"{"cmd":"cache_clear"}"#)
     }
 
+    /// Fetches the Prometheus text exposition (the `metrics` verb) and
+    /// returns its body.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`]; a reply without a `body` string
+    /// surfaces as [`io::ErrorKind::InvalidData`].
+    pub fn metrics(&mut self) -> io::Result<String> {
+        let v = self.request(r#"{"cmd":"metrics"}"#)?;
+        v.get("body")
+            .and_then(Value::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "metrics reply without body")
+            })
+    }
+
+    /// Fetches the per-kernel sliding-window SLO snapshots.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn window(&mut self) -> io::Result<Value> {
+        self.request(r#"{"cmd":"window"}"#)
+    }
+
+    /// Fetches the tail-retained slow/error exemplars.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn exemplars(&mut self) -> io::Result<Value> {
+        self.request(r#"{"cmd":"exemplars"}"#)
+    }
+
     /// Asks the server to shut down (it replies, then stops accepting).
     ///
     /// # Errors

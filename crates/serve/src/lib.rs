@@ -42,16 +42,39 @@
 //! Control commands: `{"cmd":"stats"}`, `{"cmd":"cache_clear"}`,
 //! `{"cmd":"shutdown"}` (the latter also writes the run manifest,
 //! making server lifecycles deterministic in tests and benchmarks).
+//!
+//! # Live observability
+//!
+//! The server is observable *while it runs* (see
+//! `docs/architecture.md` §live observability):
+//!
+//! * every analyze request carries a **trace id** (client-supplied or
+//!   server-generated) stamped onto all spans and task events it
+//!   emits; the [`exemplar`] ring tail-retains the slowest and all
+//!   failed requests' complete span trees, dumpable live with
+//!   `{"cmd":"exemplars"}`;
+//! * `{"cmd":"metrics"}` renders the metrics registry, cache/replay
+//!   gauges and sliding windows as Prometheus text exposition — the
+//!   same body an optional read-only HTTP **sidecar listener**
+//!   ([`ServerConfig::metrics_addr`]) serves to scrapers;
+//! * `{"cmd":"window"}` reports per-kernel sliding-window SLO
+//!   telemetry (request/error rate, latency quantiles, cache hit
+//!   rate, achieved-vs-requested ratio over the last 10s/1m/5m) from
+//!   [`scorpio_obs::SlidingWindow`] aggregators that are always on —
+//!   their cost is a handful of adds under a per-second mutex, and
+//!   the `bench_obs` ablation pins the total observability overhead.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod client;
+pub mod exemplar;
 pub mod kernels;
 pub mod protocol;
 pub mod server;
 
 pub use client::Client;
+pub use exemplar::{Exemplar, ExemplarRing};
 pub use kernels::KernelRequest;
 pub use protocol::{AnalyzeRequest, Command, Detail, Request};
 pub use server::{Server, ServerConfig, ServerSummary};

@@ -17,11 +17,26 @@
 //! {"id":8,"cmd":"stats"}
 //! {"id":9,"cmd":"cache_clear"}
 //! {"id":10,"cmd":"shutdown"}
+//! {"id":11,"cmd":"metrics"}
+//! {"id":12,"cmd":"window"}
+//! {"id":13,"cmd":"exemplars"}
 //! ```
 //!
 //! `cmd` defaults to `"analyze"`, `ratio` to `1.0`, `detail` to
 //! `"vars"` (`"full"` adds the node-level significance graph to each
 //! report). Kernel parameters are documented in [`crate::kernels`].
+//!
+//! Any request may carry a `trace_id` — a string of up to 16 hex
+//! digits (preferred: survives f64 JSON number parsing losslessly) or
+//! a non-negative integer. Analyze requests without one get a
+//! server-generated id; the id is echoed in the analyze response and
+//! stamps every span and task event the request emits, which is how
+//! the `exemplars` dump reassembles a request's full span tree. The
+//! live-observability verbs are answered on the connection thread:
+//! `metrics` returns the Prometheus text exposition (also served by
+//! the HTTP sidecar, see [`ServerConfig`](crate::ServerConfig)),
+//! `window` the sliding-window SLO snapshots, `exemplars` the
+//! tail-retained slow/error span trees.
 //!
 //! # Responses
 //!
@@ -32,9 +47,11 @@
 
 use scorpio_core::{ReportRecord, VarRecord, VarSignificances};
 use scorpio_obs::json::{self, Value};
+use scorpio_obs::{KernelWindowStats, TaskEventRecord};
 use serde::Serialize;
 
-use crate::kernels::KernelRequest;
+use crate::exemplar::Exemplar;
+use crate::kernels::{kernel_index, KernelRequest, KERNEL_NAMES};
 
 /// How much of the analysis result a request wants back.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +85,12 @@ pub enum Command {
     Stats,
     /// Drop every cached compiled trace (the cold-cache ablation knob).
     CacheClear,
+    /// Render the Prometheus text exposition (live scrape).
+    Metrics,
+    /// Report the sliding-window SLO snapshots per kernel.
+    Window,
+    /// Dump the tail-retained slow/error exemplars.
+    Exemplars,
     /// Stop the server after replying (deterministic lifecycle for
     /// tests and benchmarks; also writes the run manifest).
     Shutdown,
@@ -78,6 +101,9 @@ pub enum Command {
 pub struct Request {
     /// Echoed verbatim in the response (defaults to 0).
     pub id: u64,
+    /// Client-supplied trace id (0 = none; the server generates one
+    /// for analyze requests).
+    pub trace_id: u64,
     /// The command to execute.
     pub cmd: Command,
 }
@@ -88,6 +114,10 @@ pub struct Request {
 pub struct ParseError {
     /// The request's id if one could be read, else 0.
     pub id: u64,
+    /// The catalogue kernel the request named, when that much parsed —
+    /// lets the server attribute the error to a kernel in its
+    /// per-kernel error counts and windows.
+    pub kernel: Option<&'static str>,
     /// Human-readable description, echoed in the error reply.
     pub message: String,
 }
@@ -101,6 +131,7 @@ pub struct ParseError {
 pub fn parse_request(line: &str) -> Result<Request, ParseError> {
     let v = json::parse(line).map_err(|e| ParseError {
         id: 0,
+        kernel: None,
         message: format!("malformed JSON: {e}"),
     })?;
     let id = v
@@ -109,7 +140,19 @@ pub fn parse_request(line: &str) -> Result<Request, ParseError> {
         .filter(|x| x.is_finite() && *x >= 0.0)
         .map(|x| x as u64)
         .unwrap_or(0);
-    let fail = |message: String| ParseError { id, message };
+    // Best-effort kernel attribution for error accounting: resolve the
+    // catalogue name even when the rest of the request fails to parse.
+    let kernel_name: Option<&'static str> = v
+        .get("kernel")
+        .and_then(Value::as_str)
+        .and_then(kernel_index)
+        .map(|i| KERNEL_NAMES[i]);
+    let fail = |message: String| ParseError {
+        id,
+        kernel: kernel_name,
+        message,
+    };
+    let trace_id = parse_trace_id(&v).map_err(|m| fail(m.to_string()))?;
     let cmd = match v.get("cmd").and_then(Value::as_str).unwrap_or("analyze") {
         "analyze" => {
             let kernel = KernelRequest::from_value(&v).map_err(&fail)?;
@@ -137,10 +180,43 @@ pub fn parse_request(line: &str) -> Result<Request, ParseError> {
         }
         "stats" => Command::Stats,
         "cache_clear" => Command::CacheClear,
+        "metrics" => Command::Metrics,
+        "window" => Command::Window,
+        "exemplars" => Command::Exemplars,
         "shutdown" => Command::Shutdown,
         other => return Err(fail(format!("unknown cmd \"{other}\""))),
     };
-    Ok(Request { id, cmd })
+    Ok(Request { id, trace_id, cmd })
+}
+
+/// Reads the optional `trace_id` field: a string of 1–16 hex digits
+/// (lossless for the full u64 range) or a non-negative integer
+/// (client convenience; capped by f64 integer precision at 2⁵³).
+///
+/// # Errors
+///
+/// A message describing the accepted forms.
+pub fn parse_trace_id(v: &Value) -> Result<u64, &'static str> {
+    const MSG: &str = "\"trace_id\" must be a string of 1-16 hex digits or a non-negative integer";
+    match v.get("trace_id") {
+        None | Some(Value::Null) => Ok(0),
+        Some(Value::Str(s)) => {
+            if s.is_empty() || s.len() > 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+                return Err(MSG);
+            }
+            u64::from_str_radix(s, 16).map_err(|_| MSG)
+        }
+        Some(x) => x
+            .as_f64()
+            .filter(|n| n.is_finite() && *n >= 0.0 && n.fract() == 0.0 && *n <= 9.007_199_254_740_992e15)
+            .map(|n| n as u64)
+            .ok_or(MSG),
+    }
+}
+
+/// Renders a trace id the way the wire carries it: 16 hex digits.
+pub fn trace_id_hex(trace_id: u64) -> String {
+    format!("{trace_id:016x}")
 }
 
 /// Per-task classification row of an analyze response: how the
@@ -162,6 +238,9 @@ pub struct AnalyzeResponse {
     pub id: u64,
     /// Always `true` (errors use [`ErrorResponse`]).
     pub ok: bool,
+    /// The request's trace id as 16 hex digits (client-supplied or
+    /// server-generated) — the handle for `exemplars` lookups.
+    pub trace_id: String,
     /// Kernel catalogue name.
     pub kernel: &'static str,
     /// `true` when the compiled trace came from the tape cache
@@ -229,6 +308,9 @@ pub struct KernelCountRecord {
     pub kernel: &'static str,
     /// Analyze requests served (including failed ones).
     pub requests: u64,
+    /// Requests for this kernel answered with an error (parse or
+    /// analysis failures).
+    pub errors: u64,
 }
 
 /// Stats response.
@@ -240,6 +322,15 @@ pub struct StatsResponse {
     pub ok: bool,
     /// Worker-pool size.
     pub workers: usize,
+    /// Milliseconds since the server started serving.
+    pub uptime_ms: u64,
+    /// Task events dropped by the bounded per-thread rings over the
+    /// process lifetime (previously only visible in the shutdown
+    /// manifest).
+    pub events_dropped: u64,
+    /// Spans evicted from the bounded global trace sink over the
+    /// process lifetime (per-request exemplar capture is unaffected).
+    pub spans_dropped: u64,
     /// Total request lines handled (all commands).
     pub requests: u64,
     /// Requests answered with an error.
@@ -250,6 +341,179 @@ pub struct StatsResponse {
     pub replay: ReplayStatsRecord,
     /// Analyze-request tallies per kernel.
     pub kernels: Vec<KernelCountRecord>,
+}
+
+/// `metrics` response: the Prometheus text exposition as one JSON
+/// string field (the HTTP sidecar serves the same body raw).
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricsResponse {
+    /// Echoed request id.
+    pub id: u64,
+    /// Always `true`.
+    pub ok: bool,
+    /// Exposition format identifier.
+    pub format: &'static str,
+    /// The exposition text (`# TYPE` comments + samples, newline
+    /// separated).
+    pub body: String,
+}
+
+/// One span of one kernel's sliding window in a `window` response.
+#[derive(Debug, Clone, Serialize)]
+pub struct WindowSpanRecord {
+    /// Span label (`"10s"`, `"1m"`, `"5m"`).
+    pub span: &'static str,
+    /// Requests inside the span.
+    pub requests: u64,
+    /// Failed requests inside the span.
+    pub errors: u64,
+    /// Requests per second over the span.
+    pub rate_per_s: f64,
+    /// `errors / requests` (`null` when no requests).
+    pub error_rate: f64,
+    /// Median service latency, nanoseconds (`null` when empty).
+    pub p50_ns: f64,
+    /// 90th-percentile service latency, nanoseconds.
+    pub p90_ns: f64,
+    /// 99th-percentile service latency, nanoseconds.
+    pub p99_ns: f64,
+    /// Tape-cache lookups inside the span.
+    pub cache_lookups: u64,
+    /// Tape-cache hits inside the span.
+    pub cache_hits: u64,
+    /// `cache_hits / cache_lookups` (`null` when no lookups).
+    pub cache_hit_rate: f64,
+    /// Mean requested taskwait ratio (`null` when no samples).
+    pub requested_ratio: f64,
+    /// Mean achieved taskwait ratio (`null` when no samples).
+    pub achieved_ratio: f64,
+}
+
+/// Per-kernel window section of a `window` response.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelWindowRecord {
+    /// Kernel catalogue name.
+    pub kernel: String,
+    /// One record per span in
+    /// [`WINDOW_SPANS`](scorpio_obs::WINDOW_SPANS) order.
+    pub spans: Vec<WindowSpanRecord>,
+}
+
+/// `window` response.
+#[derive(Debug, Clone, Serialize)]
+pub struct WindowResponse {
+    /// Echoed request id.
+    pub id: u64,
+    /// Always `true`.
+    pub ok: bool,
+    /// Milliseconds since the server started (the windows' "now").
+    pub uptime_ms: u64,
+    /// Per-kernel sliding-window snapshots.
+    pub kernels: Vec<KernelWindowRecord>,
+}
+
+/// Converts an obs [`KernelWindowStats`] into its wire record.
+pub fn window_to_record(stats: &KernelWindowStats) -> KernelWindowRecord {
+    KernelWindowRecord {
+        kernel: stats.kernel.clone(),
+        spans: stats
+            .spans
+            .iter()
+            .map(|&(span, w)| WindowSpanRecord {
+                span,
+                requests: w.requests,
+                errors: w.errors,
+                rate_per_s: w.rate_per_s,
+                error_rate: w.error_rate,
+                p50_ns: w.p50_ns,
+                p90_ns: w.p90_ns,
+                p99_ns: w.p99_ns,
+                cache_lookups: w.cache_lookups,
+                cache_hits: w.cache_hits,
+                cache_hit_rate: w.cache_hit_rate,
+                requested_ratio: w.requested_ratio_mean,
+                achieved_ratio: w.achieved_ratio_mean,
+            })
+            .collect(),
+    }
+}
+
+/// One span row of an exemplar dump (a flattened
+/// [`TraceEvent`](scorpio_obs::TraceEvent)).
+#[derive(Debug, Clone, Serialize)]
+pub struct SpanRecord {
+    /// Slash-joined ancestry within the recording thread.
+    pub path: String,
+    /// The span's own name.
+    pub name: String,
+    /// Start time, nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+    /// Dense id of the recording thread.
+    pub tid: u64,
+    /// Nesting depth within the thread.
+    pub depth: usize,
+}
+
+/// One retained request in an `exemplars` response.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExemplarRecord {
+    /// Trace id, 16 hex digits.
+    pub trace_id: String,
+    /// Kernel catalogue name (`"-"` when unresolved).
+    pub kernel: &'static str,
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// Whether the compiled trace came from the tape cache.
+    pub cached: bool,
+    /// Service latency, nanoseconds.
+    pub latency_ns: u64,
+    /// Completion time, nanoseconds since server start.
+    pub end_t_ns: u64,
+    /// The request's span tree, in completion order.
+    pub spans: Vec<SpanRecord>,
+    /// The request's task events (same rows as the manifest JSONL).
+    pub events: Vec<TaskEventRecord>,
+}
+
+/// Converts a retained [`Exemplar`] into its wire record.
+pub fn exemplar_to_record(e: &Exemplar) -> ExemplarRecord {
+    ExemplarRecord {
+        trace_id: trace_id_hex(e.trace_id),
+        kernel: e.kernel,
+        ok: e.ok,
+        cached: e.cached,
+        latency_ns: e.latency_ns,
+        end_t_ns: e.end_t_ns,
+        spans: e
+            .spans
+            .iter()
+            .map(|s| SpanRecord {
+                path: s.path.clone(),
+                name: s.name.clone(),
+                start_ns: s.start_ns,
+                dur_ns: s.dur_ns,
+                tid: s.tid,
+                depth: s.depth,
+            })
+            .collect(),
+        events: e.events.iter().map(scorpio_obs::TaskEvent::to_record).collect(),
+    }
+}
+
+/// `exemplars` response.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExemplarsResponse {
+    /// Echoed request id.
+    pub id: u64,
+    /// Always `true`.
+    pub ok: bool,
+    /// Retained exemplars: errors newest-first, then slow requests
+    /// slowest-first.
+    pub exemplars: Vec<ExemplarRecord>,
+    /// Successful requests offered to the ring but not retained.
+    pub passed: u64,
 }
 
 /// Bare acknowledgement (`cache_clear`, `shutdown`).

@@ -48,14 +48,28 @@ use scorpio_core::{
     Analysis, AnalysisArena, LaneScratch, ReplayOrRecord, ReplayStats, TapeCache, TapeCacheStats,
     DEFAULT_LANES,
 };
-use scorpio_obs::RunSession;
+use scorpio_obs::expose::PrometheusRenderer;
+use scorpio_obs::{KernelWindowStats, RequestSample, RunSession, SlidingWindow, TraceEvent};
 
+use crate::exemplar::{Exemplar, ExemplarRing};
 use crate::kernels::{kernel_index, KERNEL_NAMES};
 use crate::protocol::{
-    error_line, parse_request, response_line, vars_to_record, AckResponse, AnalyzeRequest,
-    AnalyzeResponse, CacheStatsRecord, Command, Detail, KernelCountRecord, ReplayStatsRecord,
-    StatsResponse, TaskRecord,
+    error_line, exemplar_to_record, parse_request, response_line, trace_id_hex, vars_to_record,
+    window_to_record, AckResponse, AnalyzeRequest, AnalyzeResponse, CacheStatsRecord, Command,
+    Detail, ExemplarsResponse, KernelCountRecord, MetricsResponse, ReplayStatsRecord,
+    StatsResponse, TaskRecord, WindowResponse,
 };
+
+/// Slow-request exemplars retained by the tail ring.
+const EXEMPLAR_SLOW_CAP: usize = 16;
+/// Error-request exemplars retained by the tail ring.
+const EXEMPLAR_ERROR_CAP: usize = 32;
+
+/// Per-thread event-ring capacity (records) while serving; see the
+/// sizing note in [`Server::run`].
+const SERVE_EVENT_RING_CAPACITY: usize = 256;
+/// Exited-thread spill bound (records) while serving.
+const SERVE_EVENT_SPILL_CAPACITY: usize = 1 << 16;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -73,6 +87,28 @@ pub struct ServerConfig {
     /// Artifact directory for the manifest (the `--out-dir`
     /// convention; default `out/`).
     pub out_dir: PathBuf,
+    /// Live observability: when `true` (the default) tracing is
+    /// enabled for the server's lifetime, so per-request spans and
+    /// task events are recorded, stamped with trace ids and
+    /// tail-retained in the exemplar ring. Sliding windows and the
+    /// `metrics`/`window` verbs work either way (their cost is not
+    /// gated); `bench_obs` measures the difference.
+    pub obs: bool,
+    /// Keep *detail* spans (per-item `replay`/`reverse`/`significance`,
+    /// per-lane-block `forward_lanes`, …) while serving. Off by
+    /// default: a warm batch request emits ~16 interior spans whose
+    /// recording cost lands on the service path, so the daemon keeps
+    /// only stage-level spans (`serve.request` → `parse`/
+    /// `cache_lookup`/`analyze`/`classify`/`serialize`) plus the
+    /// lock-free task-event telemetry. Operators who want the deep
+    /// tree in exemplars opt back in (`--obs-detail`).
+    pub obs_detail: bool,
+    /// When set, a read-only HTTP sidecar listener binds here
+    /// (`127.0.0.1:0` picks an ephemeral port) and answers every
+    /// request with the Prometheus text exposition — scrapeable
+    /// without speaking the JSON protocol or shutting the server
+    /// down.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -83,6 +119,9 @@ impl Default for ServerConfig {
             cache_capacity: 64,
             manifest: None,
             out_dir: PathBuf::from("out"),
+            obs: true,
+            obs_detail: false,
+            metrics_addr: None,
         }
     }
 }
@@ -110,15 +149,62 @@ struct Shared {
     requests: AtomicU64,
     errors: AtomicU64,
     kernel_requests: [AtomicU64; 5],
+    kernel_errors: [AtomicU64; 5],
     /// Worker replay counters, folded in after every analyze request so
     /// `stats` replies are always current.
     replay: Mutex<ReplayStats>,
     workers: usize,
+    /// Serving epoch: window timestamps and `uptime_ms` count from
+    /// here.
+    started: Instant,
+    /// Per-kernel sliding-window SLO aggregators (always on).
+    windows: [SlidingWindow; 5],
+    /// Tail-retained slow/error exemplars.
+    exemplars: ExemplarRing,
+    /// Monotonic source for server-generated trace ids.
+    trace_counter: AtomicU64,
+}
+
+/// SplitMix64 finalizer: spreads the sequential trace counter over the
+/// id space so server-generated ids don't collide with small
+/// client-chosen ones.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
 }
 
 impl Shared {
     fn count_error(&self) {
         self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn count_kernel_error(&self, kernel: &str) {
+        if let Some(i) = kernel_index(kernel) {
+            self.kernel_errors[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Nanoseconds since the server started serving.
+    fn now_ns(&self) -> u64 {
+        self.started.elapsed().as_nanos() as u64
+    }
+
+    fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// A fresh, never-zero trace id.
+    fn next_trace_id(&self) -> u64 {
+        let id = mix64(self.trace_counter.fetch_add(1, Ordering::Relaxed));
+        id | 1
+    }
+
+    /// Folds one finished request into its kernel's sliding window.
+    fn record_window(&self, kernel: &str, sample: RequestSample) {
+        if let Some(i) = kernel_index(kernel) {
+            self.windows[i].record(self.now_ns(), &sample);
+        }
     }
 
     fn stats_response(&self, id: u64) -> StatsResponse {
@@ -135,6 +221,9 @@ impl Shared {
             id,
             ok: true,
             workers: self.workers,
+            uptime_ms: self.uptime_ms(),
+            events_dropped: scorpio_obs::events_dropped(),
+            spans_dropped: scorpio_obs::spans_dropped(),
             requests: self.requests.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             cache: CacheStatsRecord {
@@ -155,13 +244,149 @@ impl Shared {
             },
             kernels: KERNEL_NAMES
                 .iter()
-                .zip(&self.kernel_requests)
-                .map(|(&kernel, n)| KernelCountRecord {
+                .enumerate()
+                .map(|(i, &kernel)| KernelCountRecord {
                     kernel,
-                    requests: n.load(Ordering::Relaxed),
+                    requests: self.kernel_requests[i].load(Ordering::Relaxed),
+                    errors: self.kernel_errors[i].load(Ordering::Relaxed),
                 })
                 .collect(),
         }
+    }
+
+    /// Per-kernel window snapshots at "now", in catalogue order.
+    fn window_stats(&self) -> Vec<KernelWindowStats> {
+        let now_ns = self.now_ns();
+        KERNEL_NAMES
+            .iter()
+            .enumerate()
+            .map(|(i, &kernel)| KernelWindowStats {
+                kernel: kernel.to_string(),
+                spans: self.windows[i].snapshot_all(now_ns),
+            })
+            .collect()
+    }
+
+    fn window_response(&self, id: u64) -> WindowResponse {
+        WindowResponse {
+            id,
+            ok: true,
+            uptime_ms: self.uptime_ms(),
+            kernels: self.window_stats().iter().map(window_to_record).collect(),
+        }
+    }
+
+    fn exemplars_response(&self, id: u64) -> ExemplarsResponse {
+        ExemplarsResponse {
+            id,
+            ok: true,
+            exemplars: self
+                .exemplars
+                .snapshot()
+                .iter()
+                .map(exemplar_to_record)
+                .collect(),
+            passed: self.exemplars.passed(),
+        }
+    }
+
+    /// Renders the full Prometheus text exposition: the global metrics
+    /// registry, server/cache/replay gauges, and the sliding windows.
+    fn metrics_body(&self) -> String {
+        let mut r = PrometheusRenderer::new();
+        r.render_registry();
+        r.counter(
+            "scorpio_serve_requests_total",
+            "Request lines handled (all commands).",
+            &[],
+            self.requests.load(Ordering::Relaxed) as f64,
+        );
+        r.counter(
+            "scorpio_serve_errors_total",
+            "Requests answered with an error.",
+            &[],
+            self.errors.load(Ordering::Relaxed) as f64,
+        );
+        r.gauge(
+            "scorpio_serve_uptime_seconds",
+            "Seconds since the server started serving.",
+            &[],
+            self.started.elapsed().as_secs_f64(),
+        );
+        r.counter(
+            "scorpio_events_dropped_total",
+            "Task events dropped by the bounded per-thread rings.",
+            &[],
+            scorpio_obs::events_dropped() as f64,
+        );
+        r.counter(
+            "scorpio_spans_dropped_total",
+            "Spans evicted from the bounded global trace sink.",
+            &[],
+            scorpio_obs::spans_dropped() as f64,
+        );
+        let cache = self.cache.stats();
+        for (name, help, v) in [
+            ("scorpio_cache_hits_total", "Tape-cache lookups served from the cache.", cache.hits),
+            ("scorpio_cache_misses_total", "Tape-cache lookups that recorded afresh.", cache.misses),
+            ("scorpio_cache_insertions_total", "Compiled traces stored.", cache.insertions),
+            ("scorpio_cache_evictions_total", "Entries evicted by the LRU bound.", cache.evictions),
+        ] {
+            r.counter(name, help, &[], v as f64);
+        }
+        r.gauge(
+            "scorpio_cache_entries",
+            "Compiled traces currently cached.",
+            &[],
+            self.cache.len() as f64,
+        );
+        r.gauge(
+            "scorpio_cache_capacity",
+            "Tape-cache entry capacity.",
+            &[],
+            self.cache.capacity() as f64,
+        );
+        let replay = *self
+            .replay
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for (name, help, v) in [
+            ("scorpio_replay_replays_total", "Items served by replaying a compiled trace.", replay.replays),
+            ("scorpio_replay_records_total", "Items that recorded from scratch.", replay.records),
+            ("scorpio_replay_lane_blocks_total", "Full lane blocks replayed in one op-stream walk.", replay.lane_blocks),
+        ] {
+            r.counter(name, help, &[], v as f64);
+        }
+        for (i, &kernel) in KERNEL_NAMES.iter().enumerate() {
+            let labels = [("kernel", kernel)];
+            r.counter(
+                "scorpio_kernel_requests_total",
+                "Analyze requests per kernel.",
+                &labels,
+                self.kernel_requests[i].load(Ordering::Relaxed) as f64,
+            );
+            r.counter(
+                "scorpio_kernel_errors_total",
+                "Failed requests per kernel.",
+                &labels,
+                self.kernel_errors[i].load(Ordering::Relaxed) as f64,
+            );
+        }
+        for stats in self.window_stats() {
+            for &(span, w) in &stats.spans {
+                let labels = [("kernel", stats.kernel.as_str()), ("span", span)];
+                r.gauge("scorpio_window_requests", "Requests in the sliding window.", &labels, w.requests as f64);
+                r.gauge("scorpio_window_rate_per_s", "Request rate over the window.", &labels, w.rate_per_s);
+                r.gauge("scorpio_window_error_rate", "Error rate over the window.", &labels, w.error_rate);
+                r.gauge("scorpio_window_cache_hit_rate", "Tape-cache hit rate over the window.", &labels, w.cache_hit_rate);
+                r.gauge("scorpio_window_achieved_ratio", "Mean achieved taskwait ratio over the window.", &labels, w.achieved_ratio_mean);
+                for (q, v) in [("0.5", w.p50_ns), ("0.9", w.p90_ns), ("0.99", w.p99_ns)] {
+                    let labels = [("kernel", stats.kernel.as_str()), ("span", span), ("quantile", q)];
+                    r.gauge("scorpio_window_latency_ns", "Service-latency quantile over the window.", &labels, v);
+                }
+            }
+        }
+        r.finish()
     }
 }
 
@@ -169,6 +394,16 @@ impl Shared {
 /// back through `reply`.
 struct Job {
     id: u64,
+    /// The request's trace id (client-supplied or server-generated;
+    /// never 0).
+    trace_id: u64,
+    /// When the connection thread started parsing the line,
+    /// nanoseconds since the *trace epoch* (`scorpio_obs::epoch_ns`) —
+    /// the synthetic parse span must share the captured spans' time
+    /// base. Zero when tracing is off.
+    parse_start_ns: u64,
+    /// How long the parse took, nanoseconds.
+    parse_dur_ns: u64,
     request: AnalyzeRequest,
     reply: mpsc::Sender<String>,
 }
@@ -178,18 +413,28 @@ struct Job {
 #[derive(Debug)]
 pub struct Server {
     listener: TcpListener,
+    metrics_listener: Option<TcpListener>,
     config: ServerConfig,
 }
 
 impl Server {
-    /// Binds the configured address.
+    /// Binds the configured address (and the metrics sidecar address,
+    /// when one is configured).
     ///
     /// # Errors
     ///
     /// Propagates the bind failure.
     pub fn bind(config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
-        Ok(Server { listener, config })
+        let metrics_listener = match &config.metrics_addr {
+            Some(addr) => Some(TcpListener::bind(addr)?),
+            None => None,
+        };
+        Ok(Server {
+            listener,
+            metrics_listener,
+            config,
+        })
     }
 
     /// The bound address (resolves `:0` to the actual port).
@@ -199,6 +444,13 @@ impl Server {
     /// Propagates the socket query failure.
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// The sidecar scrape address, when one was configured.
+    pub fn metrics_local_addr(&self) -> Option<SocketAddr> {
+        self.metrics_listener
+            .as_ref()
+            .and_then(|l| l.local_addr().ok())
     }
 
     /// Serves until a `shutdown` command arrives, then drains workers,
@@ -215,6 +467,27 @@ impl Server {
             .manifest
             .as_ref()
             .map(|name| RunSession::start(name.clone()));
+        if self.config.obs {
+            // A serving daemon reads its telemetry through the
+            // per-request capture buffers, sliding windows and metrics
+            // registry — the global event timeline is only consulted by
+            // the shutdown manifest. Size the per-thread rings and the
+            // exited-thread spill list for that: the executor's scoped
+            // workers live for one taskwait, so the default 8192-record
+            // ring would be allocated (and spilled) per request, and
+            // the default 2^20-record spill bound would let a
+            // long-lived server pin ~100 MB of drained-by-nobody
+            // events. Overflow degrades gracefully into the
+            // `events_dropped` counter surfaced by `stats`.
+            scorpio_obs::events::set_ring_capacity(SERVE_EVENT_RING_CAPACITY);
+            scorpio_obs::events::set_spill_capacity(SERVE_EVENT_SPILL_CAPACITY);
+            if self.config.obs_detail {
+                scorpio_obs::enable_detail();
+            } else {
+                scorpio_obs::disable_detail();
+            }
+            scorpio_obs::enable();
+        }
         let addr = self.local_addr()?;
         let shared = Arc::new(Shared {
             cache: TapeCache::new(self.config.cache_capacity),
@@ -222,8 +495,18 @@ impl Server {
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             kernel_requests: Default::default(),
+            kernel_errors: Default::default(),
             replay: Mutex::new(ReplayStats::default()),
             workers: self.config.workers.max(1),
+            started: Instant::now(),
+            windows: Default::default(),
+            exemplars: ExemplarRing::new(EXEMPLAR_SLOW_CAP, EXEMPLAR_ERROR_CAP),
+            trace_counter: AtomicU64::new(1),
+        });
+
+        let sidecar = self.metrics_listener.map(|listener| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || sidecar_loop(&listener, &shared))
         });
 
         let (job_tx, job_rx) = mpsc::channel::<Job>();
@@ -263,6 +546,9 @@ impl Server {
         }
         for worker in workers {
             let _ = worker.join();
+        }
+        if let Some(sidecar) = sidecar {
+            let _ = sidecar.join();
         }
 
         let summary = ServerSummary {
@@ -350,21 +636,59 @@ fn connection_loop(
 /// it was a shutdown.
 fn handle_line(line: &str, shared: &Shared, job_tx: &mpsc::Sender<Job>) -> (String, bool) {
     shared.requests.fetch_add(1, Ordering::Relaxed);
+    let parse_start_ns = shared.now_ns();
+    let parse_start_epoch_ns = if scorpio_obs::enabled() {
+        scorpio_obs::epoch_ns()
+    } else {
+        0
+    };
     let request = match parse_request(line) {
         Ok(r) => r,
         Err(e) => {
             shared.count_error();
+            // Attribute the failure: per-kernel error count, an error
+            // sample in the kernel's window, and an error exemplar —
+            // all when the line parsed far enough to name a kernel.
+            if let Some(kernel) = e.kernel {
+                shared.count_kernel_error(kernel);
+                shared.record_window(
+                    kernel,
+                    RequestSample {
+                        error: true,
+                        ..RequestSample::default()
+                    },
+                );
+            }
+            shared.exemplars.offer(Exemplar {
+                trace_id: shared.next_trace_id(),
+                kernel: e.kernel.unwrap_or("-"),
+                ok: false,
+                cached: false,
+                latency_ns: shared.now_ns().saturating_sub(parse_start_ns),
+                end_t_ns: shared.now_ns(),
+                spans: Vec::new(),
+                events: Vec::new(),
+            });
             return (error_line(e.id, e.message), false);
         }
     };
+    let parse_dur_ns = shared.now_ns().saturating_sub(parse_start_ns);
     match request.cmd {
         Command::Analyze(analyze) => {
             if let Some(i) = kernel_index(analyze.kernel.name()) {
                 shared.kernel_requests[i].fetch_add(1, Ordering::Relaxed);
             }
+            let trace_id = if request.trace_id != 0 {
+                request.trace_id
+            } else {
+                shared.next_trace_id()
+            };
             let (reply_tx, reply_rx) = mpsc::channel();
             let job = Job {
                 id: request.id,
+                trace_id,
+                parse_start_ns: parse_start_epoch_ns,
+                parse_dur_ns,
                 request: analyze,
                 reply: reply_tx,
             };
@@ -381,6 +705,17 @@ fn handle_line(line: &str, shared: &Shared, job_tx: &mpsc::Sender<Job>) -> (Stri
             }
         }
         Command::Stats => (response_line(&shared.stats_response(request.id)), false),
+        Command::Metrics => (
+            response_line(&MetricsResponse {
+                id: request.id,
+                ok: true,
+                format: "prometheus-text-0.0.4",
+                body: shared.metrics_body(),
+            }),
+            false,
+        ),
+        Command::Window => (response_line(&shared.window_response(request.id)), false),
+        Command::Exemplars => (response_line(&shared.exemplars_response(request.id)), false),
         Command::CacheClear => {
             shared.cache.clear();
             (
@@ -398,6 +733,38 @@ fn handle_line(line: &str, shared: &Shared, job_tx: &mpsc::Sender<Job>) -> (Stri
             }),
             true,
         ),
+    }
+}
+
+/// The read-only HTTP sidecar: answers every connection with one
+/// `200 OK` carrying the current Prometheus exposition, then closes.
+/// Polls the shutdown flag between accepts so it dies with the server.
+fn sidecar_loop(listener: &TcpListener, shared: &Shared) {
+    listener.set_nonblocking(true).ok();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                stream.set_nodelay(true).ok();
+                stream
+                    .set_read_timeout(Some(std::time::Duration::from_millis(200)))
+                    .ok();
+                // Consume (best-effort) the request head; the body we
+                // serve does not depend on it.
+                let mut head = [0u8; 1024];
+                let _ = stream.read(&mut head);
+                let body = shared.metrics_body();
+                let response = format!(
+                    "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+                    body.len(),
+                    body
+                );
+                let _ = stream.write_all(response.as_bytes());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+            Err(_) => return,
+        }
     }
 }
 
@@ -438,7 +805,10 @@ fn latency_metric(kernel: &str) -> &'static str {
 }
 
 /// Runs one analyze job on this worker's state and builds its response
-/// line.
+/// line: opens the request's trace context (stamping + capture), runs
+/// the analysis under spans, then folds the outcome into the kernel's
+/// sliding window and offers the captured span tree to the exemplar
+/// ring.
 fn run_analyze(
     shared: &Shared,
     arena: &mut AnalysisArena,
@@ -446,6 +816,70 @@ fn run_analyze(
     drivers: &mut HashMap<&'static str, ReplayOrRecord>,
     job: &Job,
 ) -> String {
+    let capture = scorpio_obs::enabled();
+    let mut ctx = scorpio_obs::trace_context(job.trace_id, capture);
+    let outcome = run_analyze_spanned(shared, arena, lanes, drivers, job);
+    let mut spans = ctx.take_spans();
+    let events = ctx.take_task_events();
+    drop(ctx);
+
+    // The connection thread parsed before the job was queued; splice a
+    // synthetic span in so the exemplar's tree covers parse → reply.
+    if capture {
+        spans.push(TraceEvent {
+            path: "serve.request/parse".to_string(),
+            name: "parse".to_string(),
+            start_ns: job.parse_start_ns,
+            dur_ns: job.parse_dur_ns,
+            tid: u64::MAX, // connection thread; not a worker tid
+            depth: 1,
+            trace_id: job.trace_id,
+        });
+    }
+
+    let kernel = job.request.kernel.name();
+    shared.record_window(
+        kernel,
+        RequestSample {
+            latency_ns: outcome.server_ns.max(1),
+            error: !outcome.ok,
+            cache_hit: Some(outcome.cached),
+            requested_ratio: Some(job.request.ratio),
+            achieved_ratio: outcome.achieved_ratio,
+        },
+    );
+    shared.exemplars.offer(Exemplar {
+        trace_id: job.trace_id,
+        kernel,
+        ok: outcome.ok,
+        cached: outcome.cached,
+        latency_ns: outcome.server_ns,
+        end_t_ns: shared.now_ns(),
+        spans,
+        events,
+    });
+    outcome.line
+}
+
+/// What one analyze run produced, for the caller's window/exemplar
+/// accounting.
+struct AnalyzeOutcome {
+    line: String,
+    ok: bool,
+    cached: bool,
+    server_ns: u64,
+    achieved_ratio: Option<f64>,
+}
+
+/// The span-instrumented body of [`run_analyze`] (runs inside the
+/// job's trace context).
+fn run_analyze_spanned(
+    shared: &Shared,
+    arena: &mut AnalysisArena,
+    lanes: &mut LaneScratch<DEFAULT_LANES>,
+    drivers: &mut HashMap<&'static str, ReplayOrRecord>,
+    job: &Job,
+) -> AnalyzeOutcome {
     let _span = scorpio_obs::span("serve.request");
     let request = &job.request;
     let kernel = request.kernel.name();
@@ -458,32 +892,38 @@ fn run_analyze(
     // Cache as source of truth: a hit installs the shared trace, a miss
     // clears worker-private state so the recording cost is honest (see
     // the module docs).
-    let cached = match shared.cache.get(kernel, key) {
-        Some(trace) => {
-            driver.install(&trace);
-            true
-        }
-        None => {
-            driver.clear_compiled();
-            false
+    let cached = {
+        let _s = scorpio_obs::span("serve.cache_lookup");
+        match shared.cache.get(kernel, key) {
+            Some(trace) => {
+                driver.install(&trace);
+                true
+            }
+            None => {
+                driver.clear_compiled();
+                false
+            }
         }
     };
 
     let started = Instant::now();
-    let result = match request.detail {
-        Detail::Vars => request
-            .kernel
-            .run_vars(driver, arena, lanes)
-            .map(|vars| (vars.iter().map(vars_to_record).collect::<Vec<_>>(), vars_sigs(&vars))),
-        Detail::Full => request.kernel.run_full(driver, arena).map(|reports| {
-            (
-                reports.iter().map(|r| r.to_record()).collect::<Vec<_>>(),
-                reports
-                    .iter()
-                    .map(|r| r.output_significance_raw())
-                    .collect(),
-            )
-        }),
+    let result = {
+        let _s = scorpio_obs::span("serve.analyze");
+        match request.detail {
+            Detail::Vars => request
+                .kernel
+                .run_vars(driver, arena, lanes)
+                .map(|vars| (vars.iter().map(vars_to_record).collect::<Vec<_>>(), vars_sigs(&vars))),
+            Detail::Full => request.kernel.run_full(driver, arena).map(|reports| {
+                (
+                    reports.iter().map(|r| r.to_record()).collect::<Vec<_>>(),
+                    reports
+                        .iter()
+                        .map(|r| r.output_significance_raw())
+                        .collect(),
+                )
+            }),
+        }
     };
     let server_ns = started.elapsed().as_nanos() as u64;
 
@@ -506,20 +946,41 @@ fn run_analyze(
 
     match result {
         Ok((reports, significances)) => {
-            let tasks = classify_tasks(kernel, request.ratio, &significances, server_ns);
-            response_line(&AnalyzeResponse {
-                id: job.id,
+            let (tasks, achieved) = {
+                let _s = scorpio_obs::span("serve.classify");
+                classify_tasks(kernel, request.ratio, &significances, server_ns)
+            };
+            let line = {
+                let _s = scorpio_obs::span("serve.serialize");
+                response_line(&AnalyzeResponse {
+                    id: job.id,
+                    ok: true,
+                    trace_id: trace_id_hex(job.trace_id),
+                    kernel,
+                    cached,
+                    server_ns,
+                    tasks,
+                    reports,
+                })
+            };
+            AnalyzeOutcome {
+                line,
                 ok: true,
-                kernel,
                 cached,
                 server_ns,
-                tasks,
-                reports,
-            })
+                achieved_ratio: Some(achieved),
+            }
         }
         Err(e) => {
             shared.count_error();
-            error_line(job.id, format!("analysis failed: {e}"))
+            shared.count_kernel_error(kernel);
+            AnalyzeOutcome {
+                line: error_line(job.id, format!("analysis failed: {e}")),
+                ok: false,
+                cached,
+                server_ns,
+                achieved_ratio: None,
+            }
         }
     }
 }
@@ -531,12 +992,13 @@ fn vars_sigs(vars: &[scorpio_core::VarSignificances]) -> Vec<f64> {
 
 /// Ranks the batch by significance, classifies the top `ratio` fraction
 /// accurate, and emits the task/taskwait events for the run manifest.
+/// Returns the rows plus the achieved ratio (`accurate / total`).
 fn classify_tasks(
     kernel: &str,
     ratio: f64,
     significances: &[f64],
     server_ns: u64,
-) -> Vec<TaskRecord> {
+) -> (Vec<TaskRecord>, f64) {
     let k = significances.len();
     let accurate_n = ((ratio * k as f64).ceil() as usize).min(k);
     let mut order: Vec<usize> = (0..k).collect();
@@ -553,13 +1015,20 @@ fn classify_tasks(
     }
     let per_task_ns = server_ns / (k as u64).max(1);
     let label = format!("serve.{kernel}");
-    for (i, (&sig, &class)) in significances.iter().zip(&classes).enumerate() {
-        let task_class = if class == "accurate" {
-            scorpio_obs::TaskClass::Accurate
-        } else {
-            scorpio_obs::TaskClass::Approx
-        };
-        scorpio_obs::task_event(&label, i as u64, sig, task_class, per_task_ns);
+    // Per-item task events scale with the batch (one per item), so like
+    // interior spans they are detail-level telemetry: the daemon's
+    // default keeps the per-request `taskwait` summary event and the
+    // aggregate counters, and `--obs-detail` restores the per-item
+    // timeline in exemplars and JSONL exports.
+    if scorpio_obs::detail_enabled() {
+        for (i, (&sig, &class)) in significances.iter().zip(&classes).enumerate() {
+            let task_class = if class == "accurate" {
+                scorpio_obs::TaskClass::Accurate
+            } else {
+                scorpio_obs::TaskClass::Approx
+            };
+            scorpio_obs::task_event(&label, i as u64, sig, task_class, per_task_ns);
+        }
     }
     let achieved = if k == 0 {
         0.0
@@ -575,7 +1044,7 @@ fn classify_tasks(
         0,
         server_ns,
     );
-    significances
+    let rows = significances
         .iter()
         .zip(&classes)
         .enumerate()
@@ -584,7 +1053,8 @@ fn classify_tasks(
             significance: sig,
             class: class.to_string(),
         })
-        .collect()
+        .collect();
+    (rows, achieved)
 }
 
 #[cfg(test)]
@@ -598,8 +1068,13 @@ mod tests {
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             kernel_requests: Default::default(),
+            kernel_errors: Default::default(),
             replay: Mutex::new(ReplayStats::default()),
             workers: 1,
+            started: Instant::now(),
+            windows: Default::default(),
+            exemplars: ExemplarRing::new(4, 4),
+            trace_counter: AtomicU64::new(1),
         })
     }
 
@@ -665,6 +1140,9 @@ mod tests {
         job_tx
             .send(Job {
                 id: 1,
+                trace_id: 0x5eed,
+                parse_start_ns: 0,
+                parse_dur_ns: 0,
                 request: AnalyzeRequest {
                     kernel: crate::kernels::KernelRequest::Maclaurin {
                         n: 4,

@@ -1,0 +1,224 @@
+//! Live-observability round trip through the serve layer: a real TCP
+//! server on an ephemeral port, the `metrics`/`window`/`exemplars`
+//! verbs exercised under active mixed-kernel load, the HTTP metrics
+//! sidecar scraped raw, and a client-supplied trace id followed from
+//! the request line into a reassemblable span tree in the exemplar
+//! dump.
+//!
+//! Tracing enablement is process-global and one-way, so every test in
+//! this binary runs with tracing on — which is exactly the regime the
+//! verbs are specified for.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::thread;
+
+use scorpio::obs::expose::validate_exposition;
+use scorpio::obs::json::Value;
+use scorpio::serve::{Client, Server, ServerConfig, ServerSummary};
+
+const MACLAURIN_LINE: &str = r#"{"kernel":"maclaurin","n":8,"items":[0.12,0.31,-0.27,0.44]}"#;
+const FISHEYE_LINE: &str =
+    r#"{"kernel":"fisheye","width":24,"height":16,"items":[{"u":3.5,"v":7.25},{"u":20.0,"v":11.5}]}"#;
+
+/// Binds a traced server with a metrics sidecar; returns the protocol
+/// address, the sidecar scrape address and the run handle.
+fn spawn_traced_server() -> (
+    String,
+    String,
+    thread::JoinHandle<std::io::Result<ServerSummary>>,
+) {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        cache_capacity: 16,
+        manifest: None,
+        out_dir: std::env::temp_dir(),
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral server");
+    let addr = server.local_addr().expect("local_addr").to_string();
+    let scrape = server
+        .metrics_local_addr()
+        .expect("sidecar addr")
+        .to_string();
+    (addr, scrape, thread::spawn(move || server.run()))
+}
+
+fn assert_ok(reply: &Value) {
+    assert_eq!(
+        reply.get("ok"),
+        Some(&Value::Bool(true)),
+        "error reply: {:?}",
+        reply.get("error")
+    );
+}
+
+/// Sends a few analyze requests on both kernels so the registry,
+/// windows and exemplar ring all have live data.
+fn drive_load(client: &mut Client) {
+    for _ in 0..3 {
+        assert_ok(&client.request(MACLAURIN_LINE).expect("maclaurin request"));
+        assert_ok(&client.request(FISHEYE_LINE).expect("fisheye request"));
+    }
+}
+
+/// One raw HTTP/1.0-style scrape of the sidecar: request head out,
+/// full response in (the sidecar closes the connection after one
+/// exposition).
+fn scrape_sidecar(addr: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect sidecar");
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\nHost: test\r\n\r\n")
+        .expect("write scrape request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read scrape");
+    response
+}
+
+#[test]
+fn metrics_verb_and_sidecar_expose_valid_prometheus_under_load() {
+    let (addr, scrape_addr, server) = spawn_traced_server();
+    let mut client = Client::connect(&addr).expect("connect");
+    drive_load(&mut client);
+
+    // The JSON-protocol `metrics` verb.
+    let body = client.metrics().expect("metrics verb");
+    let samples = validate_exposition(&body)
+        .unwrap_or_else(|e| panic!("metrics verb exposition invalid: {e}\n{body}"));
+    assert!(samples > 0, "exposition carried no samples");
+    for needle in [
+        "# TYPE scorpio_serve_requests_total counter",
+        r#"scorpio_kernel_requests_total{kernel="maclaurin"}"#,
+        r#"scorpio_kernel_requests_total{kernel="fisheye"}"#,
+        "scorpio_serve_latency_us_maclaurin_bucket",
+        r#"scorpio_window_latency_ns{kernel="maclaurin",span="1m",quantile="0.5"}"#,
+    ] {
+        assert!(body.contains(needle), "missing {needle:?} in:\n{body}");
+    }
+
+    // The HTTP sidecar serves the same registry without touching the
+    // JSON protocol.
+    let response = scrape_sidecar(&scrape_addr);
+    assert!(
+        response.starts_with("HTTP/1.1 200 OK"),
+        "sidecar status line: {response}"
+    );
+    assert!(
+        response.contains("text/plain; version=0.0.4"),
+        "sidecar content type: {response}"
+    );
+    let scraped = response
+        .split_once("\r\n\r\n")
+        .expect("header/body separator")
+        .1;
+    validate_exposition(scraped)
+        .unwrap_or_else(|e| panic!("sidecar exposition invalid: {e}\n{scraped}"));
+    assert!(scraped.contains("scorpio_serve_requests_total"));
+
+    // The sliding windows saw the traffic we just sent. The 1m span is
+    // the check target: on a loaded box the 10s window can rotate
+    // mid-test (its rotation math is covered by obs unit/property
+    // tests).
+    let window = client.window().expect("window verb");
+    assert_ok(&window);
+    let kernels = window.get("kernels").and_then(Value::as_arr).expect("kernels");
+    for wanted in ["maclaurin", "fisheye"] {
+        let requests = kernels
+            .iter()
+            .find(|k| k.get("kernel").and_then(Value::as_str) == Some(wanted))
+            .and_then(|k| k.get("spans"))
+            .and_then(Value::as_arr)
+            .and_then(|spans| {
+                spans
+                    .iter()
+                    .find(|s| s.get("span").and_then(Value::as_str) == Some("1m"))
+            })
+            .and_then(|s| s.get("requests"))
+            .and_then(Value::as_f64)
+            .expect("1m span record");
+        assert!(requests >= 3.0, "{wanted} 1m window missed traffic");
+    }
+
+    client.shutdown().expect("shutdown");
+    server.join().unwrap().expect("server run");
+}
+
+#[test]
+fn client_trace_id_round_trips_into_a_reassemblable_span_tree() {
+    let (addr, _scrape, server) = spawn_traced_server();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // A request that names its own trace id.
+    let traced_line =
+        r#"{"kernel":"maclaurin","n":8,"trace_id":"beef","items":[0.12,0.31,-0.27,0.44]}"#;
+    let reply = client.request(traced_line).expect("traced request");
+    assert_ok(&reply);
+    assert_eq!(
+        reply.get("trace_id").and_then(Value::as_str),
+        Some("000000000000beef"),
+        "client-supplied trace id must echo zero-padded"
+    );
+
+    // A request without one gets a server-generated id.
+    let reply = client.request(MACLAURIN_LINE).expect("untagged request");
+    assert_ok(&reply);
+    let generated = reply
+        .get("trace_id")
+        .and_then(Value::as_str)
+        .expect("server-generated trace id");
+    assert_eq!(generated.len(), 16, "trace ids are 16 hex digits");
+    assert_ne!(generated, "000000000000beef");
+    assert!(u64::from_str_radix(generated, 16).is_ok_and(|id| id != 0));
+
+    // The tail ring retained the tagged request; its span dump must
+    // reassemble into a single tree rooted at serve.request.
+    let dump = client.exemplars().expect("exemplars verb");
+    assert_ok(&dump);
+    let empty = Vec::new();
+    let exemplars = dump.get("exemplars").and_then(Value::as_arr).unwrap_or(&empty);
+    let tagged = exemplars
+        .iter()
+        .find(|e| e.get("trace_id").and_then(Value::as_str) == Some("000000000000beef"))
+        .expect("tagged exemplar retained");
+    assert_eq!(tagged.get("kernel").and_then(Value::as_str), Some("maclaurin"));
+    assert_eq!(tagged.get("ok"), Some(&Value::Bool(true)));
+
+    let spans = tagged.get("spans").and_then(Value::as_arr).expect("spans");
+    assert!(!spans.is_empty(), "traced request captured no spans");
+    let paths: Vec<&str> = spans
+        .iter()
+        .map(|s| s.get("path").and_then(Value::as_str).expect("span path"))
+        .collect();
+    let roots: Vec<&&str> = paths.iter().filter(|p| !p.contains('/')).collect();
+    assert_eq!(roots, [&"serve.request"], "exactly one root span");
+    for (span, path) in spans.iter().zip(&paths) {
+        if let Some((parent, _)) = path.rsplit_once('/') {
+            assert!(
+                paths.contains(&parent),
+                "span {path:?} has no captured parent — tree does not reassemble"
+            );
+        } else {
+            assert_eq!(
+                span.get("depth").and_then(Value::as_f64),
+                Some(0.0),
+                "root span depth"
+            );
+        }
+        let dur = span.get("dur_ns").and_then(Value::as_f64).expect("dur_ns");
+        assert!(dur >= 0.0);
+    }
+    // The stage-level pipeline is present even with detail spans off.
+    for stage in ["parse", "serve.analyze", "serve.serialize"] {
+        assert!(
+            spans
+                .iter()
+                .any(|s| s.get("name").and_then(Value::as_str) == Some(stage)),
+            "missing stage span {stage:?} in {paths:?}"
+        );
+    }
+
+    client.shutdown().expect("shutdown");
+    server.join().unwrap().expect("server run");
+}

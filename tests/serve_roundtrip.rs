@@ -42,6 +42,7 @@ fn spawn_server(
         cache_capacity: 16,
         manifest: None,
         out_dir: std::env::temp_dir(),
+        ..ServerConfig::default()
     })
     .expect("bind ephemeral server");
     let addr = server.local_addr().expect("local_addr").to_string();
